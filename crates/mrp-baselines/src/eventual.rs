@@ -1,0 +1,348 @@
+//! An eventually consistent partitioned store (Cassandra-like).
+//!
+//! Each partition has an owner and `RF - 1` asynchronous replicas. The
+//! owner executes operations against its local tree and answers the
+//! client *immediately*; mutations propagate to the replicas in the
+//! background with no ordering. This captures the property the paper
+//! contrasts in Figure 4: no request ordering ⇒ lower latency and higher
+//! throughput, weaker guarantees (consistency ONE).
+
+use bytes::Bytes;
+use mrp_coord::PartitionMap;
+use mrp_sim::actor::{Actor, ActorCtx, ActorEvent, Outbox};
+use mrp_store::command::StoreCommand;
+use mrp_store::kv::KvStore;
+use multiring_paxos::event::Message;
+use multiring_paxos::types::{ClientId, GroupId, ProcessId, Time};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Marks internal replication traffic (never a real client id).
+const REPLICATION_CLIENT: ClientId = ClientId::new(u64::MAX);
+
+/// One partition server of the eventual store.
+#[derive(Debug)]
+pub struct EventualServer {
+    partition: u16,
+    /// Asynchronous replicas of this partition (receive mutations in
+    /// the background).
+    replicas: Vec<ProcessId>,
+    kv: KvStore,
+    /// Extra CPU microseconds charged per entry returned by a scan:
+    /// models LSM/SSTable merges and read repair — the reason range
+    /// scans are the workload where this style of store loses in the
+    /// paper's Figure 4 (workload E).
+    scan_us_per_entry: u64,
+}
+
+impl EventualServer {
+    /// A server for `partition` replicating to `replicas`.
+    pub fn new(partition: u16, replicas: Vec<ProcessId>) -> Self {
+        Self {
+            partition,
+            replicas,
+            kv: KvStore::new(),
+            scan_us_per_entry: 15,
+        }
+    }
+
+    /// Pre-loads an entry.
+    pub fn load(&mut self, key: Bytes, value: Bytes) {
+        self.kv.load(key, value);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kv.is_empty()
+    }
+}
+
+impl Actor for EventualServer {
+    fn on_event(
+        &mut self,
+        _now: Time,
+        event: ActorEvent,
+        out: &mut Outbox,
+        _ctx: &mut ActorCtx<'_>,
+    ) {
+        let ActorEvent::Message {
+            msg:
+                Message::Request {
+                    client,
+                    request,
+                    payload,
+                    ..
+                },
+            ..
+        } = event
+        else {
+            return;
+        };
+        let mut buf = payload.clone();
+        let Some(cmd) = StoreCommand::decode(&mut buf) else {
+            return;
+        };
+        let response = self.kv.apply(&cmd);
+        if let mrp_store::command::StoreResponse::Entries(es) = &response {
+            // LSM scan penalty (see `scan_us_per_entry`).
+            out.push(mrp_sim::actor::Op::Busy {
+                us: self.scan_us_per_entry * (es.len() as u64 + 1),
+            });
+        }
+        if client == REPLICATION_CLIENT {
+            return; // background replication: no reply, no re-replication
+        }
+        // Answer immediately (consistency ONE)…
+        out.push(mrp_sim::actor::Op::Respond {
+            client,
+            request,
+            payload: mrp_store::app::StoreApp::frame_response(self.partition, &response),
+        });
+        // …and propagate mutations asynchronously.
+        let mutates = matches!(
+            cmd,
+            StoreCommand::Update { .. }
+                | StoreCommand::Insert { .. }
+                | StoreCommand::Delete { .. }
+                | StoreCommand::Batch(_)
+        );
+        if mutates {
+            for &r in &self.replicas {
+                out.send(
+                    r,
+                    Message::Request {
+                        client: REPLICATION_CLIENT,
+                        request: 0,
+                        group: GroupId::new(self.partition),
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    session: u32,
+    tag: &'static str,
+    issued_at: Time,
+    need: usize,
+    got: usize,
+}
+
+/// A closed-loop client for partitioned baseline stores ([`EventualServer`]
+/// and the single-server store): routes by partition map, fans scans out
+/// to every partition owner.
+pub struct BaselineClient {
+    client: ClientId,
+    sessions: u32,
+    partition_map: PartitionMap,
+    /// Owner process per partition.
+    owners: BTreeMap<u16, ProcessId>,
+    source: Box<dyn FnMut(&mut mrp_sim::rng::Rng) -> (StoreCommand, &'static str)>,
+    next_request: u64,
+    pending: BTreeMap<u64, Pending>,
+    warmup_until: Time,
+    metric_prefix: String,
+}
+
+impl std::fmt::Debug for BaselineClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineClient")
+            .field("client", &self.client)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BaselineClient {
+    /// Creates the client.
+    pub fn new(
+        client: ClientId,
+        sessions: u32,
+        partition_map: PartitionMap,
+        owners: BTreeMap<u16, ProcessId>,
+        metric_prefix: impl Into<String>,
+        source: impl FnMut(&mut mrp_sim::rng::Rng) -> (StoreCommand, &'static str) + 'static,
+    ) -> Self {
+        Self {
+            client,
+            sessions,
+            partition_map,
+            owners,
+            source: Box::new(source),
+            next_request: 0,
+            pending: BTreeMap::new(),
+            warmup_until: Time::ZERO,
+            metric_prefix: metric_prefix.into(),
+        }
+    }
+
+    /// Discards samples before `t`.
+    pub fn warmup_until(mut self, t: Time) -> Self {
+        self.warmup_until = t;
+        self
+    }
+
+    fn issue(&mut self, session: u32, now: Time, out: &mut Outbox, rng: &mut mrp_sim::rng::Rng) {
+        let (cmd, tag) = (self.source)(rng);
+        let targets: Vec<ProcessId> = match &cmd {
+            StoreCommand::Scan { .. } => self.owners.values().copied().collect(),
+            StoreCommand::Read { key }
+            | StoreCommand::Update { key, .. }
+            | StoreCommand::Insert { key, .. }
+            | StoreCommand::Delete { key } => {
+                let part = self.partition_map.group_of(key).value();
+                self.owners.get(&part).copied().into_iter().collect()
+            }
+            StoreCommand::Batch(cmds) => cmds
+                .first()
+                .and_then(|c| match c {
+                    StoreCommand::Read { key } | StoreCommand::Update { key, .. } => {
+                        let part = self.partition_map.group_of(key).value();
+                        self.owners.get(&part).copied()
+                    }
+                    _ => None,
+                })
+                .into_iter()
+                .collect(),
+        };
+        if targets.is_empty() {
+            return;
+        }
+        self.next_request += 1;
+        let request = self.next_request;
+        self.pending.insert(
+            request,
+            Pending {
+                session,
+                tag,
+                issued_at: now,
+                need: targets.len(),
+                got: 0,
+            },
+        );
+        let payload = cmd.encode();
+        for t in targets {
+            out.send(
+                t,
+                Message::Request {
+                    client: self.client,
+                    request,
+                    group: GroupId::new(0),
+                    payload: payload.clone(),
+                },
+            );
+        }
+    }
+}
+
+impl Actor for BaselineClient {
+    fn on_event(
+        &mut self,
+        now: Time,
+        event: ActorEvent,
+        out: &mut Outbox,
+        ctx: &mut ActorCtx<'_>,
+    ) {
+        match event {
+            ActorEvent::Start => {
+                for s in 0..self.sessions {
+                    self.issue(s, now, out, ctx.rng);
+                }
+            }
+            ActorEvent::Message {
+                msg: Message::Response { request, .. },
+                ..
+            } => {
+                let Some(p) = self.pending.get_mut(&request) else {
+                    return;
+                };
+                p.got += 1;
+                if p.got < p.need {
+                    return;
+                }
+                let p = self.pending.remove(&request).expect("present");
+                if now >= self.warmup_until {
+                    let prefix = &self.metric_prefix;
+                    ctx.metrics
+                        .record(&format!("{prefix}/latency_us"), now.since(p.issued_at));
+                    ctx.metrics.record(
+                        &format!("{prefix}/latency_us/{}", p.tag),
+                        now.since(p.issued_at),
+                    );
+                    ctx.metrics.incr(&format!("{prefix}/ops"), 1);
+                    ctx.metrics.series_add(&format!("{prefix}/ops"), now, 1.0);
+                }
+                self.issue(p.session, now, out, ctx.rng);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_sim::cluster::{Cluster, SimConfig};
+    use mrp_sim::net::Topology;
+
+    #[test]
+    fn eventual_store_serves_and_replicates() {
+        let mut cluster = Cluster::new(SimConfig::default(), Topology::lan(8));
+        // Partition 0: owner p0, replicas p1, p2.
+        let owner = ProcessId::new(0);
+        let mut s0 = EventualServer::new(0, vec![ProcessId::new(1), ProcessId::new(2)]);
+        s0.load(Bytes::from_static(b"k"), Bytes::from_static(b"v0"));
+        cluster.add_actor(owner, Box::new(s0));
+        for i in 1..3 {
+            cluster.add_actor(
+                ProcessId::new(i),
+                Box::new(EventualServer::new(0, vec![])),
+            );
+        }
+        let client_proc = ProcessId::new(9);
+        let client_id = ClientId::new(1);
+        let mut n = 0u64;
+        let client = BaselineClient::new(
+            client_id,
+            2,
+            PartitionMap::hash(1, 0),
+            BTreeMap::from([(0u16, owner)]),
+            "cassandra",
+            move |_rng| {
+                n += 1;
+                (
+                    StoreCommand::Insert {
+                        key: Bytes::from(format!("key{}", n % 20)),
+                        value: Bytes::from_static(b"x"),
+                    },
+                    "insert",
+                )
+            },
+        );
+        cluster.add_actor(client_proc, Box::new(client));
+        cluster.register_client(client_id, client_proc);
+        cluster.start();
+        cluster.run_until(Time::from_secs(2));
+        assert!(cluster.metrics().counter("cassandra/ops") > 100);
+        // Replication reached the async replicas.
+        let r1 = cluster
+            .actor_as::<EventualServer>(ProcessId::new(1))
+            .unwrap();
+        assert!(r1.len() > 0, "async replica received mutations");
+    }
+}

@@ -1,0 +1,30 @@
+//! # Baseline systems for the evaluation
+//!
+//! Simulator models of the systems the paper compares against. Each is
+//! implemented as actors with the same queueing, network, CPU and disk
+//! models as the Multi-Ring Paxos stack, so comparisons exercise
+//! mechanisms rather than hard-coded numbers:
+//!
+//! * [`eventual`] — an eventually consistent partitioned store in the
+//!   style of Apache Cassandra (Figure 4): per-partition owners answer
+//!   immediately and replicate asynchronously; no request ordering.
+//! * [`single`] — a single-server strongly consistent store in the
+//!   style of one MySQL instance (Figure 4): a CPU-bound server with a
+//!   bounded worker pool.
+//! * [`quorumlog`] — a quorum-replicated log in the style of Apache
+//!   Bookkeeper (Figure 5): clients write entries to an ensemble of
+//!   bookies and wait for an acknowledgement quorum; bookies batch
+//!   aggressively before each synchronous flush, which is what produces
+//!   Bookkeeper's characteristic latency in the paper.
+//! * [`twopc`] — two-phase commit with no-wait locking across
+//!   partitions (the Section 3 discussion: unordered cross-partition
+//!   transactions can invalidate each other and abort; atomic multicast
+//!   orders them and commits both).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eventual;
+pub mod quorumlog;
+pub mod single;
+pub mod twopc;

@@ -1,0 +1,43 @@
+//! Figure 6: dLog vertical scalability — aggregate throughput and
+//! latency CDF as rings (and disks) are added.
+
+use mrp_bench::table::{fmt_f, Table};
+use mrp_bench::{figures, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = figures::fig6(scale);
+    let mut t = Table::new(
+        "Figure 6 — dLog vertical scalability (async disk, one disk per ring)",
+        &["rings", "aggregate_ops_per_sec(1KB)", "pct_of_linear"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.rings.to_string(),
+            fmt_f(r.ops_per_sec),
+            format!("{}%", fmt_f(r.pct_linear)),
+        ]);
+    }
+    t.print();
+
+    let mut cdf = Table::new(
+        "Figure 6 (bottom) — latency CDF",
+        &["rings", "p50_ms", "p90_ms", "p99_ms"],
+    );
+    for r in &rows {
+        let q = |p: f64| {
+            r.cdf
+                .iter()
+                .find(|&&(_, f)| f >= p)
+                .map(|&(v, _)| v as f64 / 1000.0)
+                .unwrap_or(0.0)
+        };
+        cdf.row(&[
+            r.rings.to_string(),
+            fmt_f(q(0.5)),
+            fmt_f(q(0.9)),
+            fmt_f(q(0.99)),
+        ]);
+    }
+    cdf.print();
+}

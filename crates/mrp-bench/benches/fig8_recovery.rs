@@ -1,0 +1,26 @@
+//! Figure 8: impact of recovery on performance — throughput and latency
+//! over a 300 s run with a replica kill at 20 s and restart at 240 s.
+
+use mrp_bench::table::{fmt_f, Table};
+use mrp_bench::{figures, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let result = figures::fig8(scale);
+    let mut t = Table::new(
+        "Figure 8 — recovery timeline (replica killed / restarted)",
+        &["t_s", "ops_per_sec", "latency_ms"],
+    );
+    for p in &result.timeline {
+        t.row(&[p.t_s.to_string(), fmt_f(p.ops_per_sec), fmt_f(p.latency_ms)]);
+    }
+    t.print();
+    println!("\nevents:");
+    for (t_s, what) in &result.events {
+        println!("  t={t_s:>4}s  {what}");
+    }
+    println!(
+        "  checkpoints taken: {}   acceptor log trims: {}",
+        result.checkpoints, result.trims
+    );
+}

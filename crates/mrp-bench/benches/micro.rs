@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the hot paths: wire codec,
+//! deterministic merge, acceptor voting and YCSB key generation.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mrp_ycsb::{KeyChooser, SmallRng};
+use multiring_paxos::codec;
+use multiring_paxos::event::Message;
+use multiring_paxos::multiring::Merger;
+use multiring_paxos::paxos::Acceptor;
+use multiring_paxos::types::{
+    Ballot, ConsensusValue, GroupId, InstanceId, ProcessId, RingId, Value, ValueId,
+};
+
+fn phase2_msg(size: usize) -> Message {
+    Message::Phase2 {
+        ring: RingId::new(0),
+        ballot: Ballot::new(1, ProcessId::new(0)),
+        first: InstanceId::new(42),
+        count: 1,
+        value: ConsensusValue::Values(vec![Value::new(
+            ValueId::new(ProcessId::new(1), 7),
+            GroupId::new(0),
+            vec![0xABu8; size],
+        )]),
+        votes: 2,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for size in [512usize, 32 * 1024] {
+        let msg = phase2_msg(size);
+        group.throughput(Throughput::Bytes(codec::encoded_len(&msg) as u64));
+        group.bench_function(format!("encode_{size}"), |b| {
+            b.iter(|| {
+                let mut buf = BytesMut::with_capacity(codec::encoded_len(&msg));
+                codec::encode(&msg, &mut buf);
+                buf
+            })
+        });
+        let encoded = codec::encode_to_bytes(&msg);
+        group.bench_function(format!("decode_{size}"), |b| {
+            b.iter(|| {
+                let mut buf = encoded.clone();
+                codec::decode(&mut buf).expect("valid frame")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    c.bench_function("merge_poll_2rings_1000", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Merger::new(vec![GroupId::new(0), GroupId::new(1)], 1);
+                for i in 1..=1000u64 {
+                    for g in 0..2u16 {
+                        m.push(
+                            GroupId::new(g),
+                            InstanceId::new(i),
+                            1,
+                            ConsensusValue::Values(vec![Value::new(
+                                ValueId::new(ProcessId::new(u32::from(g)), i),
+                                GroupId::new(g),
+                                vec![0u8; 64],
+                            )]),
+                        );
+                    }
+                }
+                m
+            },
+            |mut m| m.poll(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_acceptor(c: &mut Criterion) {
+    c.bench_function("acceptor_phase2_vote_x100", |b| {
+        b.iter_batched(
+            || {
+                let mut a = Acceptor::new(RingId::new(0));
+                a.on_phase1a(Ballot::new(1, ProcessId::new(0)), InstanceId::new(1));
+                let v = ConsensusValue::Values(vec![Value::new(
+                    ValueId::new(ProcessId::new(1), 1),
+                    GroupId::new(0),
+                    vec![0u8; 512],
+                )]);
+                (a, v)
+            },
+            |(mut a, v)| {
+                for i in 1..=100u64 {
+                    a.on_phase2(Ballot::new(1, ProcessId::new(0)), InstanceId::new(i), 1, &v);
+                }
+                a
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ycsb(c: &mut Criterion) {
+    c.bench_function("zipfian_next_x1000", |b| {
+        let chooser = KeyChooser::zipfian(1_000_000);
+        let mut rng = SmallRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(chooser.next(&mut rng));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_merge, bench_acceptor, bench_ycsb);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! # Benchmark harness: regenerating the paper's evaluation
+//!
+//! One bench target per figure of Section 8 (run with
+//! `cargo bench -p mrp-bench --bench <name>`):
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `fig3_baseline` | Fig. 3 — Multi-Ring Paxos under 5 storage modes × request sizes |
+//! | `fig4_ycsb` | Fig. 4 — YCSB A–F: Cassandra-like vs MRP-Store (indep.) vs MRP-Store vs MySQL-like |
+//! | `fig5_dlog` | Fig. 5 — dLog vs Bookkeeper-like quorum log |
+//! | `fig6_vertical` | Fig. 6 — dLog vertical scalability (1–5 rings/disks) |
+//! | `fig7_horizontal` | Fig. 7 — MRP-Store across 4 EC2 regions |
+//! | `fig8_recovery` | Fig. 8 — recovery impact timeline |
+//! | `ablation_2pc` | §3 — 2PC aborts vs atomic-multicast ordering |
+//! | `ablation_merge` | §4 — rate-leveling (Δ, λ) sensitivity |
+//! | `micro` | Criterion micro-benchmarks of the hot paths |
+//!
+//! Every harness prints the same rows/series the paper reports and is
+//! parameterized by [`Scale`] so the test suite can run a fast smoke
+//! version of the exact same code (`MRP_BENCH_SCALE=smoke`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+pub mod table;
+
+pub use harness::{EchoApp, OpenLoopClient, PingClient, Scale};
+pub use table::Table;

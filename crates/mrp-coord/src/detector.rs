@@ -1,0 +1,101 @@
+//! Heartbeat-based failure detection.
+
+use multiring_paxos::types::{ProcessId, Time};
+use std::collections::BTreeMap;
+
+/// Tracks heartbeats and reports processes whose last heartbeat is older
+/// than the timeout. This is the ◇P-style detector the coordination
+/// service runs; the protocol itself only needs its output eventually
+/// (safety never depends on it).
+#[derive(Debug)]
+pub struct FailureDetector {
+    timeout_us: u64,
+    last_seen: BTreeMap<ProcessId, Time>,
+}
+
+impl FailureDetector {
+    /// A detector declaring processes down after `timeout_us` of
+    /// silence.
+    pub fn new(timeout_us: u64) -> Self {
+        Self {
+            timeout_us,
+            last_seen: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a process (counts as a heartbeat at `now`).
+    pub fn register(&mut self, p: ProcessId, now: Time) {
+        self.last_seen.insert(p, now);
+    }
+
+    /// Removes a process from monitoring.
+    pub fn deregister(&mut self, p: ProcessId) {
+        self.last_seen.remove(&p);
+    }
+
+    /// Records a heartbeat.
+    pub fn heartbeat(&mut self, p: ProcessId, now: Time) {
+        self.last_seen.insert(p, now);
+    }
+
+    /// Whether `p` is considered up at `now`.
+    pub fn is_up(&self, p: ProcessId, now: Time) -> bool {
+        self.last_seen
+            .get(&p)
+            .is_some_and(|&t| now.since(t) < self.timeout_us)
+    }
+
+    /// All monitored processes considered down at `now`.
+    pub fn down(&self, now: Time) -> Vec<ProcessId> {
+        self.last_seen
+            .iter()
+            .filter(|&(_, &t)| now.since(t) >= self.timeout_us)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// All monitored processes considered up at `now`.
+    pub fn up(&self, now: Time) -> Vec<ProcessId> {
+        self.last_seen
+            .iter()
+            .filter(|&(_, &t)| now.since(t) < self.timeout_us)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn detects_silence() {
+        let mut d = FailureDetector::new(1000);
+        d.register(p(0), Time::ZERO);
+        d.register(p(1), Time::ZERO);
+        d.heartbeat(p(0), Time::from_micros(900));
+        assert!(d.is_up(p(0), Time::from_micros(1500)));
+        assert!(!d.is_up(p(1), Time::from_micros(1500)));
+        assert_eq!(d.down(Time::from_micros(1500)), vec![p(1)]);
+        assert_eq!(d.up(Time::from_micros(1500)), vec![p(0)]);
+    }
+
+    #[test]
+    fn deregister_stops_monitoring() {
+        let mut d = FailureDetector::new(10);
+        d.register(p(0), Time::ZERO);
+        d.deregister(p(0));
+        assert!(d.down(Time::from_secs(1)).is_empty());
+        assert!(!d.is_up(p(0), Time::ZERO));
+    }
+
+    #[test]
+    fn unknown_process_is_down() {
+        let d = FailureDetector::new(10);
+        assert!(!d.is_up(p(9), Time::ZERO));
+    }
+}

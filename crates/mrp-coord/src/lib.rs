@@ -1,0 +1,33 @@
+//! Coordination service for Multi-Ring Paxos deployments.
+//!
+//! The paper delegates ring configuration, coordinator election and the
+//! partitioning schema to Zookeeper (Sections 4 and 7). Zookeeper is an
+//! *oracle* here — it is never on the ordering data path — so any
+//! registry with the same small API preserves the system's behaviour.
+//! This crate provides that registry:
+//!
+//! * [`FailureDetector`] — heartbeat bookkeeping with a configurable
+//!   timeout;
+//! * [`elect`] — the deterministic election rule (lowest-id live
+//!   acceptor of the ring);
+//! * [`Registry`] — a process-shared registry of ring coordinators,
+//!   down-sets and the service partition map, with watch channels so
+//!   runtimes learn about changes;
+//! * [`PartitionMap`] — the hash/range partitioning schema MRP-Store
+//!   clients read (Section 6.1).
+//!
+//! In a multi-machine deployment the registry itself would be replicated
+//! (the paper runs a Zookeeper ensemble); embedding it in-process keeps
+//! the reproduction self-contained without changing any protocol
+//! behaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod partition;
+pub mod registry;
+
+pub use detector::FailureDetector;
+pub use partition::{PartitionMap, Partitioning};
+pub use registry::{elect, CoordEvent, Registry};

@@ -1,0 +1,231 @@
+//! The shared configuration registry (Zookeeper substitute): ring
+//! coordinators, down-sets and the partition map, with watch channels.
+
+use crate::detector::FailureDetector;
+use crate::partition::PartitionMap;
+use multiring_paxos::config::{ClusterConfig, RingConfig};
+use multiring_paxos::types::{ProcessId, RingId, Time};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// The deterministic election rule: the lowest-id acceptor of the ring
+/// that is currently up.
+pub fn elect(ring: &RingConfig, is_up: impl Fn(ProcessId) -> bool) -> Option<ProcessId> {
+    ring.acceptors().iter().copied().find(|&a| is_up(a))
+}
+
+/// Events published to watchers.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CoordEvent {
+    /// A ring's coordinator changed.
+    Coordinator {
+        /// Ring.
+        ring: RingId,
+        /// The elected coordinator.
+        coordinator: ProcessId,
+    },
+    /// A ring's down-set changed.
+    Membership {
+        /// Ring.
+        ring: RingId,
+        /// Members currently down.
+        down: Vec<ProcessId>,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: ClusterConfig,
+    detector: FailureDetector,
+    coordinators: BTreeMap<RingId, ProcessId>,
+    down: BTreeMap<RingId, Vec<ProcessId>>,
+    partition_map: Option<PartitionMap>,
+    watchers: Vec<Sender<CoordEvent>>,
+}
+
+/// A process-shared coordination registry. Clone handles freely; all
+/// clones see the same state.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Registry {
+    /// Creates a registry for `config`, with every member initially up
+    /// and configured coordinators in place.
+    pub fn new(config: ClusterConfig, detector_timeout_us: u64) -> Self {
+        let mut detector = FailureDetector::new(detector_timeout_us);
+        for p in config.processes() {
+            detector.register(p, Time::ZERO);
+        }
+        let coordinators = config
+            .rings()
+            .iter()
+            .map(|(&r, rc)| (r, rc.coordinator()))
+            .collect();
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                config,
+                detector,
+                coordinators,
+                down: BTreeMap::new(),
+                partition_map: None,
+                watchers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Subscribes to coordination events.
+    pub fn watch(&self) -> Receiver<CoordEvent> {
+        let (tx, rx) = channel();
+        self.inner.lock().watchers.push(tx);
+        rx
+    }
+
+    /// Publishes the service partition map.
+    pub fn set_partition_map(&self, map: PartitionMap) {
+        self.inner.lock().partition_map = Some(map);
+    }
+
+    /// Reads the service partition map.
+    pub fn partition_map(&self) -> Option<PartitionMap> {
+        self.inner.lock().partition_map.clone()
+    }
+
+    /// The current coordinator of `ring`.
+    pub fn coordinator(&self, ring: RingId) -> Option<ProcessId> {
+        self.inner.lock().coordinators.get(&ring).copied()
+    }
+
+    /// The current down-set of `ring`.
+    pub fn down(&self, ring: RingId) -> Vec<ProcessId> {
+        self.inner.lock().down.get(&ring).cloned().unwrap_or_default()
+    }
+
+    /// Records a heartbeat and runs detection: any ring whose down-set
+    /// or coordinator changes publishes events to watchers.
+    pub fn heartbeat(&self, p: ProcessId, now: Time) {
+        let mut inner = self.inner.lock();
+        inner.detector.heartbeat(p, now);
+        Self::reevaluate(&mut inner, now);
+    }
+
+    /// Runs detection without a heartbeat (periodic sweep).
+    pub fn tick(&self, now: Time) {
+        let mut inner = self.inner.lock();
+        Self::reevaluate(&mut inner, now);
+    }
+
+    fn reevaluate(inner: &mut Inner, now: Time) {
+        let mut events = Vec::new();
+        let rings: Vec<RingId> = inner.config.rings().keys().copied().collect();
+        for ring_id in rings {
+            let ring = inner.config.ring(ring_id).expect("known ring").clone();
+            let down: Vec<ProcessId> = ring
+                .members()
+                .iter()
+                .map(|m| m.process)
+                .filter(|&p| !inner.detector.is_up(p, now))
+                .collect();
+            if inner.down.get(&ring_id).map(Vec::as_slice) != Some(down.as_slice()) {
+                inner.down.insert(ring_id, down.clone());
+                events.push(CoordEvent::Membership {
+                    ring: ring_id,
+                    down: down.clone(),
+                });
+            }
+            let current = inner.coordinators.get(&ring_id).copied();
+            let current_down =
+                current.is_none_or(|c| down.contains(&c));
+            if current_down {
+                if let Some(new) = elect(&ring, |p| !down.contains(&p)) {
+                    if Some(new) != current {
+                        inner.coordinators.insert(ring_id, new);
+                        events.push(CoordEvent::Coordinator {
+                            ring: ring_id,
+                            coordinator: new,
+                        });
+                    }
+                }
+            }
+        }
+        inner
+            .watchers
+            .retain(|w| events.iter().all(|e| w.send(e.clone()).is_ok()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiring_paxos::config::{single_ring, RingTuning};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn elect_picks_lowest_live_acceptor() {
+        let cfg = single_ring(3, RingTuning::default());
+        let ring = cfg.ring(RingId::new(0)).unwrap();
+        assert_eq!(elect(ring, |_| true), Some(p(0)));
+        assert_eq!(elect(ring, |q| q != p(0)), Some(p(1)));
+        assert_eq!(elect(ring, |_| false), None);
+    }
+
+    #[test]
+    fn silence_triggers_membership_and_election_events() {
+        let cfg = single_ring(3, RingTuning::default());
+        let reg = Registry::new(cfg, 1_000);
+        let rx = reg.watch();
+        // Keep p1, p2 alive; let p0 (the coordinator) go silent.
+        reg.heartbeat(p(1), Time::from_micros(1_500));
+        reg.heartbeat(p(2), Time::from_micros(1_500));
+        let mut events = Vec::new();
+        while let Ok(e) = rx.try_recv() {
+            events.push(e);
+        }
+        assert!(events.contains(&CoordEvent::Membership {
+            ring: RingId::new(0),
+            down: vec![p(0)],
+        }));
+        assert!(events.contains(&CoordEvent::Coordinator {
+            ring: RingId::new(0),
+            coordinator: p(1),
+        }));
+        assert_eq!(reg.coordinator(RingId::new(0)), Some(p(1)));
+        assert_eq!(reg.down(RingId::new(0)), vec![p(0)]);
+    }
+
+    #[test]
+    fn recovery_restores_membership() {
+        let cfg = single_ring(3, RingTuning::default());
+        let reg = Registry::new(cfg, 1_000);
+        reg.heartbeat(p(1), Time::from_micros(1_500));
+        reg.heartbeat(p(2), Time::from_micros(1_500));
+        assert_eq!(reg.down(RingId::new(0)), vec![p(0)]);
+        // p0 comes back; coordinator stays with p1 (no flapping).
+        let rx = reg.watch();
+        reg.heartbeat(p(0), Time::from_micros(1_600));
+        reg.heartbeat(p(1), Time::from_micros(1_600));
+        reg.heartbeat(p(2), Time::from_micros(1_600));
+        assert_eq!(reg.down(RingId::new(0)), Vec::<ProcessId>::new());
+        assert_eq!(reg.coordinator(RingId::new(0)), Some(p(1)));
+        let events: Vec<CoordEvent> = rx.try_iter().collect();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            CoordEvent::Membership { down, .. } if down.is_empty()
+        )));
+    }
+
+    #[test]
+    fn partition_map_roundtrip() {
+        let cfg = single_ring(1, RingTuning::default());
+        let reg = Registry::new(cfg, 1_000);
+        assert!(reg.partition_map().is_none());
+        reg.set_partition_map(PartitionMap::hash(3, 0));
+        assert_eq!(reg.partition_map().unwrap().partitions(), 3);
+    }
+}

@@ -1,0 +1,314 @@
+//! The dLog replicated state machine: deterministic position assignment,
+//! in-memory cache, trim.
+
+use crate::command::{DLogCommand, DLogResponse, LogId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use multiring_paxos::app::{decode_command, Application, Delivery, Reply};
+use std::collections::BTreeMap;
+
+/// Per-log state.
+#[derive(Clone, Default, Debug)]
+struct LogState {
+    /// Next position to assign.
+    next_pos: u64,
+    /// Entries strictly below this position were trimmed.
+    trimmed_to: u64,
+    /// Cached entries by position.
+    entries: BTreeMap<u64, Bytes>,
+    /// Cached bytes.
+    cached_bytes: usize,
+}
+
+/// The dLog server state machine: hosts a set of logs (the paper's
+/// servers subscribe to `k` log rings plus the common ring and hold all
+/// `k` logs).
+#[derive(Debug)]
+pub struct DLogApp {
+    logs: BTreeMap<LogId, LogState>,
+    /// Cache cap in bytes per log (the paper uses a 200 MB cache per
+    /// server); oldest entries are evicted beyond it.
+    cache_limit: usize,
+    appended: u64,
+}
+
+impl DLogApp {
+    /// A server hosting `logs`, with the given per-log cache cap.
+    pub fn new(logs: impl IntoIterator<Item = LogId>, cache_limit: usize) -> Self {
+        Self {
+            logs: logs
+                .into_iter()
+                .map(|l| (l, LogState::default()))
+                .collect(),
+            cache_limit,
+            appended: 0,
+        }
+    }
+
+    /// Entries appended since start.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// The next position of `log` (= its current length including
+    /// trimmed entries).
+    pub fn len_of(&self, log: LogId) -> Option<u64> {
+        self.logs.get(&log).map(|l| l.next_pos)
+    }
+
+    /// Cached bytes across logs.
+    pub fn cached_bytes(&self) -> usize {
+        self.logs.values().map(|l| l.cached_bytes).sum()
+    }
+
+    fn append_one(&mut self, log: LogId, data: &Bytes) -> Option<u64> {
+        let cache_limit = self.cache_limit;
+        let state = self.logs.get_mut(&log)?;
+        let pos = state.next_pos;
+        state.next_pos += 1;
+        state.cached_bytes += data.len();
+        state.entries.insert(pos, data.clone());
+        // Evict oldest beyond the cache cap (they remain recoverable
+        // from the ring's acceptor logs / checkpoints).
+        while state.cached_bytes > cache_limit && state.entries.len() > 1 {
+            if let Some((&old, _)) = state.entries.iter().next() {
+                if let Some(v) = state.entries.remove(&old) {
+                    state.cached_bytes -= v.len();
+                }
+            }
+        }
+        self.appended += 1;
+        Some(pos)
+    }
+
+    /// Executes one command.
+    pub fn apply(&mut self, cmd: &DLogCommand) -> DLogResponse {
+        match cmd {
+            DLogCommand::Append { log, data } => match self.append_one(*log, data) {
+                Some(pos) => DLogResponse::Pos(pos),
+                None => DLogResponse::Value(None),
+            },
+            DLogCommand::MultiAppend { logs, data } => {
+                let mut out = Vec::with_capacity(logs.len());
+                for &l in logs {
+                    if let Some(pos) = self.append_one(l, data) {
+                        out.push((l, pos));
+                    }
+                }
+                DLogResponse::MultiPos(out)
+            }
+            DLogCommand::Read { log, pos } => DLogResponse::Value(
+                self.logs
+                    .get(log)
+                    .and_then(|l| l.entries.get(pos))
+                    .cloned(),
+            ),
+            DLogCommand::Trim { log, pos } => {
+                if let Some(state) = self.logs.get_mut(log) {
+                    state.trimmed_to = state.trimmed_to.max(*pos);
+                    let dropped: Vec<u64> =
+                        state.entries.range(..*pos).map(|(&p, _)| p).collect();
+                    for p in dropped {
+                        if let Some(v) = state.entries.remove(&p) {
+                            state.cached_bytes -= v.len();
+                        }
+                    }
+                }
+                DLogResponse::Ok
+            }
+        }
+    }
+}
+
+impl Application for DLogApp {
+    fn execute(&mut self, delivery: &Delivery) -> Vec<Reply> {
+        let Some((client, request, cmd_bytes)) = decode_command(delivery.value.payload.clone())
+        else {
+            return Vec::new();
+        };
+        let mut buf = cmd_bytes;
+        let Some(cmd) = DLogCommand::decode(&mut buf) else {
+            return Vec::new();
+        };
+        let response = self.apply(&cmd);
+        vec![Reply {
+            client,
+            request,
+            payload: response.encode(),
+        }]
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(self.logs.len() as u16);
+        for (&id, state) in &self.logs {
+            buf.put_u16_le(id);
+            buf.put_u64_le(state.next_pos);
+            buf.put_u64_le(state.trimmed_to);
+            buf.put_u32_le(state.entries.len() as u32);
+            for (&pos, data) in &state.entries {
+                buf.put_u64_le(pos);
+                buf.put_u32_le(data.len() as u32);
+                buf.put_slice(data);
+            }
+        }
+        buf.freeze()
+    }
+
+    fn restore(&mut self, snapshot: &Bytes) {
+        let mut buf = snapshot.clone();
+        if buf.remaining() < 2 {
+            return;
+        }
+        self.logs.clear();
+        let n = buf.get_u16_le();
+        for _ in 0..n {
+            if buf.remaining() < 2 + 8 + 8 + 4 {
+                return;
+            }
+            let id = buf.get_u16_le();
+            let mut state = LogState {
+                next_pos: buf.get_u64_le(),
+                trimmed_to: buf.get_u64_le(),
+                ..LogState::default()
+            };
+            let entries = buf.get_u32_le();
+            for _ in 0..entries {
+                if buf.remaining() < 12 {
+                    return;
+                }
+                let pos = buf.get_u64_le();
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return;
+                }
+                let data = buf.copy_to_bytes(len);
+                state.cached_bytes += data.len();
+                state.entries.insert(pos, data);
+            }
+            self.logs.insert(id, state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_string())
+    }
+
+    #[test]
+    fn append_assigns_consecutive_positions() {
+        let mut app = DLogApp::new([0, 1], 1 << 20);
+        assert_eq!(
+            app.apply(&DLogCommand::Append { log: 0, data: b("a") }),
+            DLogResponse::Pos(0)
+        );
+        assert_eq!(
+            app.apply(&DLogCommand::Append { log: 0, data: b("b") }),
+            DLogResponse::Pos(1)
+        );
+        assert_eq!(
+            app.apply(&DLogCommand::Append { log: 1, data: b("c") }),
+            DLogResponse::Pos(0)
+        );
+        assert_eq!(app.appended(), 3);
+    }
+
+    #[test]
+    fn multi_append_is_atomic_across_logs() {
+        let mut app = DLogApp::new([0, 1, 2], 1 << 20);
+        app.apply(&DLogCommand::Append { log: 1, data: b("x") });
+        let r = app.apply(&DLogCommand::MultiAppend {
+            logs: vec![0, 1, 2],
+            data: b("m"),
+        });
+        assert_eq!(r, DLogResponse::MultiPos(vec![(0, 0), (1, 1), (2, 0)]));
+        // The value is readable at each assigned position.
+        assert_eq!(
+            app.apply(&DLogCommand::Read { log: 1, pos: 1 }),
+            DLogResponse::Value(Some(b("m")))
+        );
+    }
+
+    #[test]
+    fn read_and_trim() {
+        let mut app = DLogApp::new([0], 1 << 20);
+        for i in 0..5 {
+            app.apply(&DLogCommand::Append {
+                log: 0,
+                data: b(&format!("e{i}")),
+            });
+        }
+        assert_eq!(
+            app.apply(&DLogCommand::Read { log: 0, pos: 3 }),
+            DLogResponse::Value(Some(b("e3")))
+        );
+        assert_eq!(app.apply(&DLogCommand::Trim { log: 0, pos: 3 }), DLogResponse::Ok);
+        assert_eq!(
+            app.apply(&DLogCommand::Read { log: 0, pos: 2 }),
+            DLogResponse::Value(None),
+            "trimmed entries are gone"
+        );
+        assert_eq!(
+            app.apply(&DLogCommand::Read { log: 0, pos: 3 }),
+            DLogResponse::Value(Some(b("e3")))
+        );
+        // Positions keep growing after a trim.
+        assert_eq!(
+            app.apply(&DLogCommand::Append { log: 0, data: b("e5") }),
+            DLogResponse::Pos(5)
+        );
+    }
+
+    #[test]
+    fn unknown_log_is_rejected_gracefully() {
+        let mut app = DLogApp::new([0], 1 << 20);
+        assert_eq!(
+            app.apply(&DLogCommand::Append { log: 9, data: b("x") }),
+            DLogResponse::Value(None)
+        );
+    }
+
+    #[test]
+    fn cache_evicts_oldest() {
+        let mut app = DLogApp::new([0], 10);
+        for i in 0..5 {
+            app.apply(&DLogCommand::Append {
+                log: 0,
+                data: Bytes::from(vec![i as u8; 4]),
+            });
+        }
+        assert!(app.cached_bytes() <= 12, "cache bounded: {}", app.cached_bytes());
+        // Oldest entries evicted, newest readable.
+        assert_eq!(
+            app.apply(&DLogCommand::Read { log: 0, pos: 0 }),
+            DLogResponse::Value(None)
+        );
+        assert!(matches!(
+            app.apply(&DLogCommand::Read { log: 0, pos: 4 }),
+            DLogResponse::Value(Some(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut app = DLogApp::new([0, 1], 1 << 20);
+        for i in 0..10 {
+            app.apply(&DLogCommand::Append {
+                log: i % 2,
+                data: b(&format!("e{i}")),
+            });
+        }
+        let snap = app.snapshot();
+        let mut fresh = DLogApp::new([], 1 << 20);
+        fresh.restore(&snap);
+        assert_eq!(fresh.len_of(0), Some(5));
+        assert_eq!(fresh.len_of(1), Some(5));
+        assert_eq!(
+            fresh.apply(&DLogCommand::Read { log: 1, pos: 4 }),
+            DLogResponse::Value(Some(b("e9")))
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The dLog command set (Table 2 of the paper) and its wire encoding.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Identifies one log.
+pub type LogId = u16;
+
+/// One dLog operation (Table 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DLogCommand {
+    /// `append(l, v)`: append `v` to log `l`; returns the position.
+    Append {
+        /// Target log.
+        log: LogId,
+        /// Data.
+        data: Bytes,
+    },
+    /// `multi-append(L, v)`: append `v` to every log in `L` atomically;
+    /// returns one position per log.
+    MultiAppend {
+        /// Target logs.
+        logs: Vec<LogId>,
+        /// Data.
+        data: Bytes,
+    },
+    /// `read(l, p)`: return the value at position `p` of log `l`.
+    Read {
+        /// Log.
+        log: LogId,
+        /// Position.
+        pos: u64,
+    },
+    /// `trim(l, p)`: trim log `l` up to position `p`.
+    Trim {
+        /// Log.
+        log: LogId,
+        /// Position (entries strictly below are dropped).
+        pos: u64,
+    },
+}
+
+/// The response to a [`DLogCommand`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DLogResponse {
+    /// Position assigned by an append.
+    Pos(u64),
+    /// Positions assigned by a multi-append, in log order.
+    MultiPos(Vec<(LogId, u64)>),
+    /// Value returned by a read (`None` if unknown position or trimmed
+    /// out of the cache).
+    Value(Option<Bytes>),
+    /// Trim acknowledged.
+    Ok,
+}
+
+const C_APPEND: u8 = 1;
+const C_MULTI: u8 = 2;
+const C_READ: u8 = 3;
+const C_TRIM: u8 = 4;
+
+const R_POS: u8 = 1;
+const R_MULTI: u8 = 2;
+const R_VALUE_NONE: u8 = 3;
+const R_VALUE_SOME: u8 = 4;
+const R_OK: u8 = 5;
+
+impl DLogCommand {
+    /// Encodes the command.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            DLogCommand::Append { log, data } => {
+                buf.put_u8(C_APPEND);
+                buf.put_u16_le(*log);
+                buf.put_u32_le(data.len() as u32);
+                buf.put_slice(data);
+            }
+            DLogCommand::MultiAppend { logs, data } => {
+                buf.put_u8(C_MULTI);
+                buf.put_u16_le(logs.len() as u16);
+                for l in logs {
+                    buf.put_u16_le(*l);
+                }
+                buf.put_u32_le(data.len() as u32);
+                buf.put_slice(data);
+            }
+            DLogCommand::Read { log, pos } => {
+                buf.put_u8(C_READ);
+                buf.put_u16_le(*log);
+                buf.put_u64_le(*pos);
+            }
+            DLogCommand::Trim { log, pos } => {
+                buf.put_u8(C_TRIM);
+                buf.put_u16_le(*log);
+                buf.put_u64_le(*pos);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a command; `None` on malformed input.
+    pub fn decode(buf: &mut Bytes) -> Option<DLogCommand> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            C_APPEND => {
+                if buf.remaining() < 6 {
+                    return None;
+                }
+                let log = buf.get_u16_le();
+                let n = buf.get_u32_le() as usize;
+                (buf.remaining() >= n).then(|| DLogCommand::Append {
+                    log,
+                    data: buf.copy_to_bytes(n),
+                })
+            }
+            C_MULTI => {
+                if buf.remaining() < 2 {
+                    return None;
+                }
+                let k = buf.get_u16_le() as usize;
+                if buf.remaining() < k * 2 + 4 {
+                    return None;
+                }
+                let logs = (0..k).map(|_| buf.get_u16_le()).collect();
+                let n = buf.get_u32_le() as usize;
+                (buf.remaining() >= n).then(|| DLogCommand::MultiAppend {
+                    logs,
+                    data: buf.copy_to_bytes(n),
+                })
+            }
+            C_READ => {
+                if buf.remaining() < 10 {
+                    return None;
+                }
+                Some(DLogCommand::Read {
+                    log: buf.get_u16_le(),
+                    pos: buf.get_u64_le(),
+                })
+            }
+            C_TRIM => {
+                if buf.remaining() < 10 {
+                    return None;
+                }
+                Some(DLogCommand::Trim {
+                    log: buf.get_u16_le(),
+                    pos: buf.get_u64_le(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl DLogResponse {
+    /// Encodes the response.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            DLogResponse::Pos(p) => {
+                buf.put_u8(R_POS);
+                buf.put_u64_le(*p);
+            }
+            DLogResponse::MultiPos(ps) => {
+                buf.put_u8(R_MULTI);
+                buf.put_u16_le(ps.len() as u16);
+                for (l, p) in ps {
+                    buf.put_u16_le(*l);
+                    buf.put_u64_le(*p);
+                }
+            }
+            DLogResponse::Value(None) => buf.put_u8(R_VALUE_NONE),
+            DLogResponse::Value(Some(v)) => {
+                buf.put_u8(R_VALUE_SOME);
+                buf.put_u32_le(v.len() as u32);
+                buf.put_slice(v);
+            }
+            DLogResponse::Ok => buf.put_u8(R_OK),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a response; `None` on malformed input.
+    pub fn decode(buf: &mut Bytes) -> Option<DLogResponse> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            R_POS => (buf.remaining() >= 8).then(|| DLogResponse::Pos(buf.get_u64_le())),
+            R_MULTI => {
+                if buf.remaining() < 2 {
+                    return None;
+                }
+                let k = buf.get_u16_le() as usize;
+                if buf.remaining() < k * 10 {
+                    return None;
+                }
+                Some(DLogResponse::MultiPos(
+                    (0..k)
+                        .map(|_| (buf.get_u16_le(), buf.get_u64_le()))
+                        .collect(),
+                ))
+            }
+            R_VALUE_NONE => Some(DLogResponse::Value(None)),
+            R_VALUE_SOME => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32_le() as usize;
+                (buf.remaining() >= n).then(|| DLogResponse::Value(Some(buf.copy_to_bytes(n))))
+            }
+            R_OK => Some(DLogResponse::Ok),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrips() {
+        for cmd in [
+            DLogCommand::Append {
+                log: 3,
+                data: Bytes::from_static(b"entry"),
+            },
+            DLogCommand::MultiAppend {
+                logs: vec![0, 2, 5],
+                data: Bytes::from_static(b"multi"),
+            },
+            DLogCommand::Read { log: 1, pos: 42 },
+            DLogCommand::Trim { log: 1, pos: 40 },
+        ] {
+            let mut enc = cmd.encode();
+            assert_eq!(DLogCommand::decode(&mut enc).unwrap(), cmd);
+            assert_eq!(enc.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for r in [
+            DLogResponse::Pos(9),
+            DLogResponse::MultiPos(vec![(0, 1), (1, 7)]),
+            DLogResponse::Value(None),
+            DLogResponse::Value(Some(Bytes::from_static(b"v"))),
+            DLogResponse::Ok,
+        ] {
+            let mut enc = r.encode();
+            assert_eq!(DLogResponse::decode(&mut enc).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut bad = Bytes::from_static(&[C_APPEND, 0]);
+        assert!(DLogCommand::decode(&mut bad).is_none());
+        let mut empty = Bytes::new();
+        assert!(DLogResponse::decode(&mut empty).is_none());
+    }
+}

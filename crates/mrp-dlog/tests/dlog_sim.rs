@@ -1,0 +1,74 @@
+//! End-to-end dLog tests on the deterministic simulator.
+
+use mrp_dlog::{DLogApp, DLogClient, DLogClientConfig, DLogDeployment, DLogTopology};
+use mrp_sim::actor::Hosted;
+use mrp_sim::cluster::{Cluster, SimConfig};
+use mrp_sim::net::Topology;
+use multiring_paxos::app::Application;
+use multiring_paxos::config::RingTuning;
+use multiring_paxos::replica::{CheckpointPolicy, Replica};
+use multiring_paxos::types::{ClientId, ProcessId, Time};
+
+fn tuning() -> RingTuning {
+    RingTuning {
+        lambda: 2_000,
+        delta_us: 5_000,
+        ..RingTuning::default()
+    }
+}
+
+fn spawn_dlog(cluster: &mut Cluster, deployment: &DLogDeployment) {
+    cluster.set_protocol(deployment.config.clone());
+    let logs: Vec<u16> = deployment.group_of_log.keys().copied().collect();
+    for &s in &deployment.servers {
+        let app = DLogApp::new(logs.clone(), 200 * 1024 * 1024);
+        let replica = Replica::new(
+            s,
+            deployment.config.clone(),
+            app,
+            CheckpointPolicy {
+                interval_us: 0,
+                sync: true,
+            },
+        );
+        cluster.add_actor(s, Hosted::new(replica).boxed());
+    }
+}
+
+#[test]
+fn appends_and_multi_appends_complete_and_servers_agree() {
+    let deployment = DLogDeployment::build(&DLogTopology::new(2, tuning()));
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed: 21,
+            ..SimConfig::default()
+        },
+        Topology::lan(8),
+    );
+    spawn_dlog(&mut cluster, &deployment);
+
+    let client_proc = ProcessId::new(900);
+    let client_id = ClientId::new(1);
+    let mut cfg = DLogClientConfig::new(client_id, 8);
+    cfg.append_bytes = 512;
+    cfg.multi_append_per_mille = 100; // 10% multi-appends
+    let client = DLogClient::new(cfg, deployment.clone());
+    cluster.add_actor(client_proc, Box::new(client));
+    cluster.register_client(client_id, client_proc);
+    cluster.start();
+    cluster.run_until(Time::from_secs(10));
+
+    let ops = cluster.metrics().counter("dlog/ops");
+    assert!(ops > 100, "appends progressed: {ops}");
+
+    // All three servers hold identical log states.
+    type Server = Hosted<Replica<DLogApp>>;
+    let mut snaps = Vec::new();
+    for &s in &deployment.servers.clone() {
+        let server = cluster.actor_as::<Server>(s).expect("server");
+        assert!(server.inner().app().appended() > 0);
+        snaps.push(server.inner().app().snapshot());
+    }
+    assert_eq!(snaps[0], snaps[1]);
+    assert_eq!(snaps[1], snaps[2]);
+}

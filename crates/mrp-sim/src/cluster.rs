@@ -1,0 +1,848 @@
+//! The simulation event loop: hosts actors, models the network, disks
+//! and CPUs, injects crashes/restarts, and runs coordinator re-election
+//! (the role Zookeeper plays in the paper's deployment).
+
+use crate::actor::{Actor, ActorCtx, ActorEvent, Op, Outbox};
+use crate::cpu::CpuModel;
+use crate::disk::DiskModel;
+use crate::metrics::Metrics;
+use crate::net::{NetState, Topology};
+use crate::rng::Rng;
+use multiring_paxos::codec;
+use multiring_paxos::config::ClusterConfig;
+use multiring_paxos::event::{Message, PersistRecord, PersistToken};
+use multiring_paxos::types::{ClientId, ProcessId, RingId, Time};
+use mrp_storage::NodeStorage;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Global simulation knobs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Master random seed; everything is deterministic given it.
+    pub seed: u64,
+    /// Whether the harness plays coordination service: on coordinator
+    /// crash, elect the lowest-id live acceptor after the detection
+    /// timeout.
+    pub auto_reelect: bool,
+    /// Failure-detection delay before re-election, microseconds.
+    pub election_timeout_us: u64,
+    /// Interpret the first 8 payload bytes of values delivered by bare
+    /// nodes as a send timestamp and record end-to-end latency.
+    pub measure_delivery_latency: bool,
+    /// Window width for throughput series, microseconds.
+    pub series_window_us: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            auto_reelect: true,
+            election_timeout_us: 1_000_000,
+            measure_delivery_latency: false,
+            series_window_us: 1_000_000,
+        }
+    }
+}
+
+enum What {
+    ActorEv { p: ProcessId, ev: ActorEvent },
+    DiskDone {
+        p: ProcessId,
+        record: PersistRecord,
+        token: PersistToken,
+    },
+    Crash(ProcessId),
+    Restart(ProcessId),
+    Elect(RingId),
+    Membership(RingId),
+}
+
+struct Sched {
+    at: Time,
+    seq: u64,
+    what: What,
+}
+
+impl PartialEq for Sched {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Sched {}
+impl PartialOrd for Sched {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sched {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Factory rebuilding an actor from its stable storage on restart.
+pub type ActorFactory = Box<dyn FnMut(&NodeStorage) -> Box<dyn Actor>>;
+
+struct Slot {
+    actor: Option<Box<dyn Actor>>,
+    factory: Option<ActorFactory>,
+    storage: NodeStorage,
+    disks: Vec<DiskModel>,
+    disk_of_ring: BTreeMap<RingId, usize>,
+    cpu: Option<CpuModel>,
+    rng: Rng,
+    up: bool,
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    cfg: SimConfig,
+    topology: Topology,
+    net: NetState,
+    queue: BinaryHeap<Reverse<Sched>>,
+    seq: u64,
+    now: Time,
+    slots: BTreeMap<ProcessId, Slot>,
+    clients: BTreeMap<ClientId, ProcessId>,
+    protocol: Option<ClusterConfig>,
+    ring_coordinator: BTreeMap<RingId, ProcessId>,
+    metrics: Metrics,
+    rng: Rng,
+    started: bool,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("now", &self.now)
+            .field("processes", &self.slots.len())
+            .field("pending_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// A cluster over `topology` with the given knobs.
+    pub fn new(cfg: SimConfig, topology: Topology) -> Self {
+        let mut rng = Rng::new(cfg.seed);
+        let metrics = Metrics::new(cfg.series_window_us);
+        let _ = rng.next_u64();
+        Self {
+            cfg,
+            topology,
+            net: NetState::default(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            slots: BTreeMap::new(),
+            clients: BTreeMap::new(),
+            protocol: None,
+            ring_coordinator: BTreeMap::new(),
+            metrics,
+            rng,
+            started: false,
+        }
+    }
+
+    /// Registers the protocol configuration, enabling coordinator
+    /// re-election on crashes.
+    pub fn set_protocol(&mut self, config: ClusterConfig) {
+        for (&ring_id, ring) in config.rings() {
+            self.ring_coordinator.insert(ring_id, ring.coordinator());
+        }
+        self.protocol = Some(config);
+    }
+
+    /// Adds an actor for process `p`. If the cluster already started,
+    /// the actor is started immediately.
+    pub fn add_actor(&mut self, p: ProcessId, actor: Box<dyn Actor>) {
+        let rng = self.rng.fork();
+        self.slots.insert(
+            p,
+            Slot {
+                actor: Some(actor),
+                factory: None,
+                storage: NodeStorage::new(),
+                disks: Vec::new(),
+                disk_of_ring: BTreeMap::new(),
+                cpu: None,
+                rng,
+                up: true,
+            },
+        );
+        if self.started {
+            self.push(self.now, What::ActorEv { p, ev: ActorEvent::Start });
+        }
+    }
+
+    /// Registers the factory used to rebuild `p`'s actor on restart.
+    pub fn set_factory(&mut self, p: ProcessId, factory: ActorFactory) {
+        if let Some(slot) = self.slots.get_mut(&p) {
+            slot.factory = Some(factory);
+        }
+    }
+
+    /// Attaches a CPU model to `p`.
+    pub fn set_cpu(&mut self, p: ProcessId, cpu: CpuModel) {
+        if let Some(slot) = self.slots.get_mut(&p) {
+            slot.cpu = Some(cpu);
+        }
+    }
+
+    /// Adds a disk to `p`, returning its index.
+    pub fn add_disk(&mut self, p: ProcessId, disk: DiskModel) -> usize {
+        let slot = self.slots.get_mut(&p).expect("unknown process");
+        slot.disks.push(disk);
+        slot.disks.len() - 1
+    }
+
+    /// Routes persist records of `ring` at `p` to disk index `disk`.
+    pub fn map_ring_to_disk(&mut self, p: ProcessId, ring: RingId, disk: usize) {
+        if let Some(slot) = self.slots.get_mut(&p) {
+            slot.disk_of_ring.insert(ring, disk);
+        }
+    }
+
+    /// Declares that client session `client` lives on process `home`
+    /// (service replies are routed there).
+    pub fn register_client(&mut self, client: ClientId, home: ProcessId) {
+        self.clients.insert(client, home);
+    }
+
+    /// Starts every registered actor (at the current time).
+    pub fn start(&mut self) {
+        self.started = true;
+        let ps: Vec<ProcessId> = self.slots.keys().copied().collect();
+        for p in ps {
+            self.push(self.now, What::ActorEv { p, ev: ActorEvent::Start });
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics (for harness-level annotations).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Total bytes offered to the network.
+    pub fn network_bytes(&self) -> u64 {
+        self.net.bytes_sent
+    }
+
+    /// Stable storage of `p` (inspection).
+    pub fn storage(&self, p: ProcessId) -> Option<&NodeStorage> {
+        self.slots.get(&p).map(|s| &s.storage)
+    }
+
+    /// Disk `idx` of `p` (inspection).
+    pub fn disk(&self, p: ProcessId, idx: usize) -> Option<&DiskModel> {
+        self.slots.get(&p).and_then(|s| s.disks.get(idx))
+    }
+
+    /// CPU model of `p` (inspection).
+    pub fn cpu(&self, p: ProcessId) -> Option<&CpuModel> {
+        self.slots.get(&p).and_then(|s| s.cpu.as_ref())
+    }
+
+    /// Whether `p` is currently up.
+    pub fn is_up(&self, p: ProcessId) -> bool {
+        self.slots.get(&p).is_some_and(|s| s.up)
+    }
+
+    /// Downcasts `p`'s actor for inspection.
+    pub fn actor_as<T: 'static>(&mut self, p: ProcessId) -> Option<&mut T> {
+        self.slots
+            .get_mut(&p)?
+            .actor
+            .as_mut()?
+            .as_any()
+            .downcast_mut::<T>()
+    }
+
+    /// Schedules a crash of `p` at absolute time `at`.
+    pub fn schedule_crash(&mut self, at: Time, p: ProcessId) {
+        self.push(at, What::Crash(p));
+    }
+
+    /// Schedules a restart of `p` at absolute time `at` (requires a
+    /// factory).
+    pub fn schedule_restart(&mut self, at: Time, p: ProcessId) {
+        self.push(at, What::Restart(p));
+    }
+
+    fn push(&mut self, at: Time, what: What) {
+        self.seq += 1;
+        self.queue.push(Reverse(Sched {
+            at,
+            seq: self.seq,
+            what,
+        }));
+    }
+
+    /// Runs until virtual time `t` (inclusive of events at `t`).
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            let Reverse(sched) = self.queue.pop().expect("peeked");
+            self.now = sched.at;
+            self.process(sched);
+        }
+        self.now = t;
+    }
+
+    /// Runs for `us` more microseconds.
+    pub fn run_for(&mut self, us: u64) {
+        self.run_until(self.now.plus(us));
+    }
+
+    fn process(&mut self, sched: Sched) {
+        match sched.what {
+            What::ActorEv { p, ev } => self.deliver(p, ev),
+            What::DiskDone { p, record, token } => {
+                let Some(slot) = self.slots.get_mut(&p) else {
+                    return;
+                };
+                if !slot.up {
+                    return; // the write was lost with the crash
+                }
+                slot.storage.apply(&record);
+                self.deliver(p, ActorEvent::PersistDone(token));
+            }
+            What::Crash(p) => self.crash(p),
+            What::Restart(p) => self.restart(p),
+            What::Elect(ring) => self.elect(ring),
+            What::Membership(ring) => self.broadcast_membership(ring),
+        }
+    }
+
+    fn event_bytes(ev: &ActorEvent) -> usize {
+        match ev {
+            ActorEvent::Message { msg, .. } => codec::encoded_len(msg),
+            _ => 0,
+        }
+    }
+
+    fn deliver(&mut self, p: ProcessId, ev: ActorEvent) {
+        let Some(slot) = self.slots.get_mut(&p) else {
+            return;
+        };
+        if !slot.up {
+            return;
+        }
+        // CPU gating: requeue if busy, otherwise charge and process at
+        // the completion instant.
+        let t_proc = if let Some(cpu) = slot.cpu.as_mut() {
+            if cpu.next_free() > self.now {
+                let at = cpu.next_free();
+                self.push(at, What::ActorEv { p, ev });
+                return;
+            }
+            cpu.charge(self.now, Self::event_bytes(&ev))
+        } else {
+            self.now
+        };
+        let Some(mut actor) = slot.actor.take() else {
+            return;
+        };
+        let mut out = Outbox::new();
+        {
+            let slot = self.slots.get_mut(&p).expect("slot exists");
+            let mut ctx = ActorCtx {
+                me: p,
+                rng: &mut slot.rng,
+                metrics: &mut self.metrics,
+            };
+            actor.on_event(t_proc, ev, &mut out, &mut ctx);
+        }
+        if let Some(slot) = self.slots.get_mut(&p) {
+            if slot.actor.is_none() {
+                slot.actor = Some(actor);
+            }
+        }
+        for op in out.take() {
+            self.apply_op(p, t_proc, op);
+        }
+    }
+
+    fn apply_op(&mut self, p: ProcessId, t: Time, op: Op) {
+        match op {
+            Op::Send { to, msg } => self.send_message(p, to, t, msg),
+            Op::ProtoTimer { after_us, timer } => {
+                self.push(
+                    t.plus(after_us),
+                    What::ActorEv {
+                        p,
+                        ev: ActorEvent::ProtoTimer(timer),
+                    },
+                );
+            }
+            Op::Wakeup { after_us, token } => {
+                self.push(
+                    t.plus(after_us),
+                    What::ActorEv {
+                        p,
+                        ev: ActorEvent::Wakeup(token),
+                    },
+                );
+            }
+            Op::Persist {
+                record,
+                sync,
+                token,
+            } => {
+                let bytes = codec::record_len(&record);
+                let slot = self.slots.get_mut(&p).expect("slot exists");
+                let done = if slot.disks.is_empty() {
+                    t.plus(1)
+                } else {
+                    let idx = match &record {
+                        PersistRecord::Promise { ring, .. }
+                        | PersistRecord::Vote { ring, .. }
+                        | PersistRecord::Decision { ring, .. } => {
+                            slot.disk_of_ring.get(ring).copied().unwrap_or(0)
+                        }
+                        PersistRecord::Checkpoint { .. } => 0,
+                    };
+                    let idx = idx.min(slot.disks.len() - 1);
+                    slot.disks[idx].write(t, bytes, sync)
+                };
+                self.push(done, What::DiskDone { p, record, token });
+            }
+            Op::TrimStorage { ring, upto } => {
+                if let Some(slot) = self.slots.get_mut(&p) {
+                    slot.storage.trim(ring, upto);
+                }
+                self.metrics.incr("trim_storage", 1);
+            }
+            Op::Busy { us } => {
+                if let Some(slot) = self.slots.get_mut(&p) {
+                    if let Some(cpu) = slot.cpu.as_mut() {
+                        cpu.occupy(t, us);
+                    }
+                }
+            }
+            Op::DiskWrite {
+                disk,
+                bytes,
+                sync,
+                token,
+            } => {
+                let slot = self.slots.get_mut(&p).expect("slot exists");
+                let idx = disk.min(slot.disks.len().saturating_sub(1));
+                let done = match slot.disks.get_mut(idx) {
+                    Some(d) => d.write(t, bytes, sync),
+                    None => t.plus(1),
+                };
+                self.push(
+                    done,
+                    What::ActorEv {
+                        p,
+                        ev: ActorEvent::DiskDone(token),
+                    },
+                );
+            }
+            Op::Delivered { value, .. } => {
+                self.metrics.incr("delivered_values", 1);
+                self.metrics
+                    .incr("delivered_bytes", value.payload.len() as u64);
+                self.metrics.series_add("deliveries", t, 1.0);
+                if self.cfg.measure_delivery_latency && value.payload.len() >= 8 {
+                    let mut ts = [0u8; 8];
+                    ts.copy_from_slice(&value.payload[..8]);
+                    let sent = u64::from_le_bytes(ts);
+                    let latency = t.as_micros().saturating_sub(sent);
+                    self.metrics.record("delivery_latency_us", latency);
+                }
+            }
+            Op::Respond {
+                client,
+                request,
+                payload,
+            } => {
+                if let Some(&home) = self.clients.get(&client) {
+                    self.send_message(
+                        p,
+                        home,
+                        t,
+                        Message::Response {
+                            client,
+                            request,
+                            payload,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn send_message(&mut self, from: ProcessId, to: ProcessId, t: Time, msg: Message) {
+        if !self.slots.contains_key(&to) {
+            return;
+        }
+        if from == to {
+            self.push(
+                t,
+                What::ActorEv {
+                    p: to,
+                    ev: ActorEvent::Message { from, msg },
+                },
+            );
+            return;
+        }
+        let bytes = codec::encoded_len(&msg);
+        // Client RPC traffic (the paper's Thrift/UDP paths with
+        // application-level retries) is exempt from loss injection: the
+        // loss knob stresses the ordering protocol, whose own
+        // retransmission machinery must absorb it.
+        let reliable = matches!(msg, Message::Request { .. } | Message::Response { .. });
+        let arrival = if reliable && self.topology.loss > 0.0 {
+            let saved = std::mem::replace(&mut self.topology.loss, 0.0);
+            let a = self
+                .net
+                .transit(&self.topology, t, from, to, bytes, &mut self.rng);
+            self.topology.loss = saved;
+            a
+        } else {
+            self.net
+                .transit(&self.topology, t, from, to, bytes, &mut self.rng)
+        };
+        if let Some(arrival) = arrival {
+            self.push(
+                arrival,
+                What::ActorEv {
+                    p: to,
+                    ev: ActorEvent::Message { from, msg },
+                },
+            );
+        }
+    }
+
+    fn crash(&mut self, p: ProcessId) {
+        let Some(slot) = self.slots.get_mut(&p) else {
+            return;
+        };
+        slot.up = false;
+        slot.actor = None;
+        self.metrics.incr("crashes", 1);
+        if self.cfg.auto_reelect {
+            let rings: Vec<RingId> = self
+                .ring_coordinator
+                .iter()
+                .filter(|&(_, &c)| c == p)
+                .map(|(&r, _)| r)
+                .collect();
+            for r in rings {
+                self.push(self.now.plus(self.cfg.election_timeout_us), What::Elect(r));
+            }
+            // Every ring this process belongs to learns (after the
+            // detection timeout) that it must route around it.
+            if let Some(config) = self.protocol.clone() {
+                for r in config.rings_of(p) {
+                    self.push(
+                        self.now.plus(self.cfg.election_timeout_us),
+                        What::Membership(r),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sends the current down-set of `ring` to all its live members (the
+    /// coordination service's failure-detector output).
+    fn broadcast_membership(&mut self, ring_id: RingId) {
+        let Some(config) = self.protocol.clone() else {
+            return;
+        };
+        let Some(ring) = config.ring(ring_id) else {
+            return;
+        };
+        let down: Vec<ProcessId> = ring
+            .members()
+            .iter()
+            .map(|m| m.process)
+            .filter(|q| !self.slots.get(q).is_some_and(|s| s.up))
+            .collect();
+        for m in ring.members() {
+            if self.slots.get(&m.process).is_some_and(|s| s.up) {
+                self.push(
+                    self.now,
+                    What::ActorEv {
+                        p: m.process,
+                        ev: ActorEvent::MembershipChange {
+                            ring: ring_id,
+                            down: down.clone(),
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    fn restart(&mut self, p: ProcessId) {
+        let Some(slot) = self.slots.get_mut(&p) else {
+            return;
+        };
+        if slot.up {
+            return;
+        }
+        let Some(factory) = slot.factory.as_mut() else {
+            return;
+        };
+        let actor = factory(&slot.storage);
+        slot.actor = Some(actor);
+        slot.up = true;
+        self.metrics.incr("restarts", 1);
+        self.push(self.now, What::ActorEv { p, ev: ActorEvent::Start });
+        // Tell the restarted process who currently coordinates its rings
+        // (the coordination service's configuration snapshot), and let
+        // every ring fold the process back into the overlay.
+        if let Some(config) = self.protocol.clone() {
+            for ring_id in config.rings_of(p) {
+                if let Some(&coordinator) = self.ring_coordinator.get(&ring_id) {
+                    self.push(
+                        self.now,
+                        What::ActorEv {
+                            p,
+                            ev: ActorEvent::CoordinatorChange {
+                                ring: ring_id,
+                                coordinator,
+                            },
+                        },
+                    );
+                }
+                self.push(
+                    self.now.plus(self.cfg.election_timeout_us),
+                    What::Membership(ring_id),
+                );
+            }
+        }
+    }
+
+    fn elect(&mut self, ring_id: RingId) {
+        let Some(config) = self.protocol.clone() else {
+            return;
+        };
+        let Some(ring) = config.ring(ring_id) else {
+            return;
+        };
+        // The current believed coordinator may have recovered meanwhile.
+        if let Some(&cur) = self.ring_coordinator.get(&ring_id) {
+            if self.slots.get(&cur).is_some_and(|s| s.up) {
+                return;
+            }
+        }
+        let Some(&new) = ring
+            .acceptors()
+            .iter()
+            .find(|&&a| self.slots.get(&a).is_some_and(|s| s.up))
+        else {
+            return;
+        };
+        self.ring_coordinator.insert(ring_id, new);
+        self.metrics.incr("elections", 1);
+        for m in ring.members() {
+            if self.slots.get(&m.process).is_some_and(|s| s.up) {
+                self.push(
+                    self.now,
+                    What::ActorEv {
+                        p: m.process,
+                        ev: ActorEvent::CoordinatorChange {
+                            ring: ring_id,
+                            coordinator: new,
+                        },
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Hosted;
+    use multiring_paxos::config::{single_ring, RingTuning};
+    use multiring_paxos::node::Node;
+    use multiring_paxos::types::GroupId;
+    use bytes::Bytes;
+    use std::any::Any;
+
+    fn quiet() -> RingTuning {
+        RingTuning {
+            lambda: 0,
+            ..RingTuning::default()
+        }
+    }
+
+    /// A client actor that fires `n` requests at a proposer and counts
+    /// deliveries it observes via the shared metrics.
+    #[derive(Debug)]
+    struct Pulse {
+        target: ProcessId,
+        group: GroupId,
+        n: u64,
+        client: ClientId,
+    }
+
+    impl Actor for Pulse {
+        fn on_event(
+            &mut self,
+            _now: Time,
+            event: ActorEvent,
+            out: &mut Outbox,
+            _ctx: &mut ActorCtx<'_>,
+        ) {
+            if event == ActorEvent::Start {
+                for i in 0..self.n {
+                    out.send(
+                        self.target,
+                        Message::Request {
+                            client: self.client,
+                            request: i,
+                            group: self.group,
+                            payload: Bytes::from_static(b"ping"),
+                        },
+                    );
+                }
+            }
+        }
+
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn build(seed: u64) -> Cluster {
+        let config = single_ring(3, quiet());
+        let mut cluster = Cluster::new(
+            SimConfig {
+                seed,
+                election_timeout_us: 100_000,
+                ..SimConfig::default()
+            },
+            Topology::lan(4),
+        );
+        cluster.set_protocol(config.clone());
+        for i in 0..3 {
+            let p = ProcessId::new(i);
+            let cfg = config.clone();
+            cluster.add_actor(p, Hosted::new(Node::new(p, cfg.clone())).boxed());
+            cluster.set_factory(
+                p,
+                Box::new(move |storage: &NodeStorage| {
+                    Hosted::new(Node::with_recovery(
+                        p,
+                        cfg.clone(),
+                        storage.acceptor_recovery(),
+                    ))
+                    .boxed()
+                }),
+            );
+        }
+        let client = ProcessId::new(100);
+        cluster.add_actor(
+            client,
+            Box::new(Pulse {
+                target: ProcessId::new(1),
+                group: GroupId::new(0),
+                n: 10,
+                client: ClientId::new(1),
+            }),
+        );
+        cluster.register_client(ClientId::new(1), client);
+        cluster
+    }
+
+    #[test]
+    fn end_to_end_delivery_over_simulated_lan() {
+        let mut cluster = build(7);
+        cluster.start();
+        cluster.run_until(Time::from_secs(2));
+        // 10 requests delivered at each of the 3 learners.
+        assert_eq!(cluster.metrics().counter("delivered_values"), 30);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = build(42);
+        let mut b = build(42);
+        a.start();
+        b.start();
+        a.run_until(Time::from_secs(2));
+        b.run_until(Time::from_secs(2));
+        assert_eq!(
+            a.metrics().counter("delivered_values"),
+            b.metrics().counter("delivered_values")
+        );
+        assert_eq!(a.network_bytes(), b.network_bytes());
+    }
+
+    #[test]
+    fn coordinator_crash_triggers_election_and_progress_resumes() {
+        let mut cluster = build(3);
+        cluster.start();
+        cluster.run_until(Time::from_secs(1));
+        assert_eq!(cluster.metrics().counter("delivered_values"), 30);
+        // Kill the coordinator (p0); elections should move the ring to
+        // p1 and new traffic should still be ordered and delivered to
+        // the two surviving learners.
+        cluster.schedule_crash(Time::from_millis(1100), ProcessId::new(0));
+        cluster.run_until(Time::from_millis(1500));
+        assert_eq!(cluster.metrics().counter("elections"), 1);
+        assert!(!cluster.is_up(ProcessId::new(0)));
+        let late_client = ProcessId::new(101);
+        cluster.add_actor(
+            late_client,
+            Box::new(Pulse {
+                target: ProcessId::new(1),
+                group: GroupId::new(0),
+                n: 5,
+                client: ClientId::new(2),
+            }),
+        );
+        cluster.run_until(Time::from_secs(4));
+        // 30 before the crash + 5 × 2 surviving learners.
+        assert_eq!(cluster.metrics().counter("delivered_values"), 40);
+    }
+
+    #[test]
+    fn crashed_process_recovers_and_catches_up() {
+        let mut cluster = build(5);
+        cluster.start();
+        cluster.run_until(Time::from_secs(1));
+        // Crash a non-coordinator learner, keep traffic flowing, restart.
+        cluster.schedule_crash(Time::from_millis(1100), ProcessId::new(2));
+        cluster.schedule_restart(Time::from_millis(1400), ProcessId::new(2));
+        let late_client = ProcessId::new(101);
+        cluster.add_actor(
+            late_client,
+            Box::new(Pulse {
+                target: ProcessId::new(0),
+                group: GroupId::new(0),
+                n: 5,
+                client: ClientId::new(2),
+            }),
+        );
+        cluster.run_until(Time::from_secs(5));
+        assert_eq!(cluster.metrics().counter("restarts"), 1);
+        assert!(cluster.is_up(ProcessId::new(2)));
+        // 30 + 5 at p0 and p1; the restarted p2 read nothing from its
+        // in-memory acceptor log, but gap repair must recover the 5 new
+        // values (delivered ≥ 40; p2 may or may not replay the old 10
+        // depending on what acceptors retained).
+        assert!(cluster.metrics().counter("delivered_values") >= 40);
+    }
+}

@@ -1,0 +1,116 @@
+//! A per-process CPU cost model.
+//!
+//! The paper's Figure 3 shows that with in-memory storage the ring's
+//! throughput is limited by the coordinator's CPU. We model a process as
+//! a single server queue: handling an event costs a fixed per-message
+//! overhead plus a per-byte cost (marshalling, checksums, copying).
+//! Events arriving while the CPU is busy wait; the utilization statistic
+//! is busy time over elapsed time — the quantity plotted in Figure 3's
+//! bottom-left panel.
+
+use multiring_paxos::types::Time;
+
+/// Single-server CPU queue with linear event costs.
+#[derive(Clone, Debug)]
+pub struct CpuModel {
+    /// Fixed cost per handled event, microseconds.
+    pub per_event_us: u64,
+    /// Cost per 1024 payload bytes, microseconds.
+    pub per_kb_us: u64,
+    next_free: Time,
+    busy_us: u64,
+}
+
+impl CpuModel {
+    /// A model with the given costs.
+    pub fn new(per_event_us: u64, per_kb_us: u64) -> Self {
+        Self {
+            per_event_us,
+            per_kb_us,
+            next_free: Time::ZERO,
+            busy_us: 0,
+        }
+    }
+
+    /// When the CPU can next take work.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Charges the handling of an event carrying `bytes` payload bytes
+    /// arriving at `now`; returns the time processing completes.
+    pub fn charge(&mut self, now: Time, bytes: usize) -> Time {
+        let cost = self.per_event_us + (bytes as u64 * self.per_kb_us) / 1024;
+        let start = if self.next_free > now {
+            self.next_free
+        } else {
+            now
+        };
+        let done = start.plus(cost.max(1));
+        self.busy_us += cost.max(1);
+        self.next_free = done;
+        done
+    }
+
+    /// Occupies the CPU for exactly `us` microseconds starting no
+    /// earlier than `now` (models service work beyond message handling,
+    /// e.g. scan execution); returns the completion time.
+    pub fn occupy(&mut self, now: Time, us: u64) -> Time {
+        let start = if self.next_free > now {
+            self.next_free
+        } else {
+            now
+        };
+        let done = start.plus(us.max(1));
+        self.busy_us += us.max(1);
+        self.next_free = done;
+        done
+    }
+
+    /// Total busy microseconds.
+    pub fn busy_us(&self) -> u64 {
+        self.busy_us
+    }
+
+    /// Utilization over an elapsed window (clamped to 1).
+    pub fn utilization(&self, elapsed_us: u64) -> f64 {
+        if elapsed_us == 0 {
+            0.0
+        } else {
+            (self.busy_us as f64 / elapsed_us as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_linear_cost() {
+        let mut c = CpuModel::new(10, 2);
+        let done = c.charge(Time::ZERO, 2048);
+        assert_eq!(done.as_micros(), 14);
+        assert_eq!(c.busy_us(), 14);
+    }
+
+    #[test]
+    fn queues_when_busy() {
+        let mut c = CpuModel::new(100, 0);
+        let t1 = c.charge(Time::ZERO, 0);
+        let t2 = c.charge(Time::from_micros(10), 0);
+        assert_eq!(t1.as_micros(), 100);
+        assert_eq!(t2.as_micros(), 200);
+        // Idle gap: next charge starts at arrival.
+        let t3 = c.charge(Time::from_millis(1), 0);
+        assert_eq!(t3.as_micros(), 1100);
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        let mut c = CpuModel::new(1000, 0);
+        c.charge(Time::ZERO, 0);
+        assert!((c.utilization(500) - 1.0).abs() < 1e-9);
+        assert!((c.utilization(2000) - 0.5).abs() < 1e-9);
+    }
+}

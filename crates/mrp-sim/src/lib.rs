@@ -1,0 +1,53 @@
+//! Deterministic discrete-event simulator for Multi-Ring Paxos.
+//!
+//! The paper's evaluation ran on a 10 GbE cluster and across four Amazon
+//! EC2 regions. This crate substitutes that testbed with a discrete-event
+//! simulation that runs the *same protocol state machines*
+//! (`multiring-paxos` is sans-io) under controlled, reproducible
+//! conditions:
+//!
+//! * [`net`] — WAN/LAN topologies: per-link one-way latency, jitter and
+//!   bandwidth with FIFO serialization queues; presets for the paper's
+//!   local cluster and the four EC2 regions of Section 8.4.2.
+//! * [`disk`] — disk service models (7200-RPM HDD, SATA SSD) with seek
+//!   cost, streaming bandwidth and a FIFO queue; sync writes pay the
+//!   latency before the acceptor's vote is forwarded, exactly like the
+//!   paper's five storage modes.
+//! * [`cpu`] — an optional per-process CPU cost model (per-message +
+//!   per-byte), capturing the coordinator bottleneck visible in the
+//!   paper's Figure 3.
+//! * [`cluster`] — the event loop: hosts protocol nodes and custom
+//!   actors (clients, baseline systems), injects crashes/restarts, runs
+//!   coordinator re-election, and collects [`metrics`].
+//!
+//! Everything is deterministic given a seed: the event queue breaks time
+//! ties by insertion order and all randomness flows from one
+//! [`rng::Rng`].
+//!
+//! ```
+//! use mrp_sim::cluster::{Cluster, SimConfig};
+//! use mrp_sim::net::Topology;
+//! use multiring_paxos::types::Time;
+//!
+//! let mut cluster = Cluster::new(SimConfig::default(), Topology::lan(4));
+//! cluster.run_until(Time::from_secs(1));
+//! assert_eq!(cluster.now(), Time::from_secs(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod cluster;
+pub mod cpu;
+pub mod disk;
+pub mod metrics;
+pub mod net;
+pub mod rng;
+
+pub use actor::{Actor, ActorEvent, Hosted, Op, Outbox};
+pub use cluster::{Cluster, SimConfig};
+pub use disk::DiskModel;
+pub use metrics::{Histogram, Metrics, TimeSeries};
+pub use net::Topology;
+pub use rng::Rng;

@@ -1,0 +1,27 @@
+//! Stable storage for Multi-Ring Paxos processes.
+//!
+//! The paper's implementation persists acceptor state in Berkeley DB JE
+//! and replica checkpoints as files. This crate provides the equivalent
+//! substrate:
+//!
+//! * [`NodeStorage`] — the *logical* stable state of one process:
+//!   per-ring acceptor logs (promises, votes, decisions, trim marks) and
+//!   the latest replica checkpoint. It applies
+//!   [`PersistRecord`](multiring_paxos::event::PersistRecord)s and
+//!   reconstructs the [`AcceptorRecovery`](multiring_paxos::paxos::AcceptorRecovery)
+//!   image a restarting process needs. The simulator keeps `NodeStorage`
+//!   in memory (disk *timing* is simulated separately); the TCP runtime
+//!   couples it with the write-ahead log below.
+//! * [`Wal`] — a real, file-backed, segmented write-ahead log with
+//!   optional `fsync` per append and prefix truncation, plus a
+//!   [`DirStorage`] layer that persists `NodeStorage` contents across
+//!   process restarts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node_storage;
+pub mod wal;
+
+pub use node_storage::{AcceptorLog, NodeStorage};
+pub use wal::{DirStorage, Wal, WalError};

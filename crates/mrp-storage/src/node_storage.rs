@@ -1,0 +1,349 @@
+//! The logical stable state of one process.
+
+use multiring_paxos::event::PersistRecord;
+use multiring_paxos::paxos::AcceptorRecovery;
+use multiring_paxos::recovery::CheckpointId;
+use multiring_paxos::types::{Ballot, ConsensusValue, InstanceId, RingId};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Durable acceptor state for one ring: everything an acceptor must
+/// reload to participate safely after a crash (Section 5.1: "before
+/// responding ... an acceptor must log its response onto stable
+/// storage").
+#[derive(Clone, Default, Debug)]
+pub struct AcceptorLog {
+    promised: Ballot,
+    promised_from: InstanceId,
+    /// Votes keyed by first instance: `(count, ballot, value)`.
+    votes: BTreeMap<InstanceId, (u32, Ballot, ConsensusValue)>,
+    /// Decision markers observed on the ring.
+    decided: BTreeMap<InstanceId, (u32, ConsensusValue)>,
+    /// Decision markers whose value must be resolved from `votes` at
+    /// recovery time (written by the tiny async `Decision` record).
+    markers: BTreeMap<InstanceId, u32>,
+    trimmed: InstanceId,
+}
+
+impl AcceptorLog {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a promise.
+    pub fn promise(&mut self, ballot: Ballot, from: InstanceId) {
+        if ballot > self.promised {
+            self.promised = ballot;
+            self.promised_from = from;
+        }
+    }
+
+    /// Records a vote.
+    pub fn vote(&mut self, ballot: Ballot, first: InstanceId, count: u32, value: ConsensusValue) {
+        if ballot > self.promised {
+            self.promised = ballot;
+        }
+        self.votes.insert(first, (count, ballot, value));
+    }
+
+    /// Records a decision (used to serve retransmissions after restart).
+    pub fn decision(&mut self, first: InstanceId, count: u32, value: ConsensusValue) {
+        if first > self.trimmed {
+            self.decided.insert(first, (count, value));
+        }
+    }
+
+    /// Records a value-less decision marker; the value is resolved from
+    /// the logged vote at recovery time.
+    pub fn decision_marker(&mut self, first: InstanceId, count: u32) {
+        if first > self.trimmed {
+            self.markers.insert(first, count);
+        }
+    }
+
+    /// Deletes state up to `upto` (inclusive); ranges straddling the
+    /// watermark are kept whole.
+    pub fn trim(&mut self, upto: InstanceId) {
+        if upto <= self.trimmed {
+            return;
+        }
+        self.trimmed = upto;
+        self.votes
+            .retain(|&f, &mut (c, _, _)| f.plus(u64::from(c) - 1) > upto);
+        self.decided
+            .retain(|&f, &mut (c, _)| f.plus(u64::from(c) - 1) > upto);
+        self.markers
+            .retain(|&f, &mut c| f.plus(u64::from(c) - 1) > upto);
+    }
+
+    /// The trim watermark.
+    pub fn trimmed(&self) -> InstanceId {
+        self.trimmed
+    }
+
+    /// Number of vote records retained.
+    pub fn vote_records(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Approximate bytes retained (payloads only), for metrics.
+    pub fn payload_bytes(&self) -> usize {
+        self.votes
+            .values()
+            .map(|(_, _, v)| v.payload_bytes())
+            .sum::<usize>()
+            + self
+                .decided
+                .values()
+                .map(|(_, v)| v.payload_bytes())
+                .sum::<usize>()
+    }
+
+    /// Builds the recovery image for a restarting acceptor. Decision
+    /// markers are resolved against the logged votes; markers whose vote
+    /// was superseded or lost are dropped (the live ring will re-decide
+    /// or retransmission falls back to another acceptor).
+    pub fn recovery(&self) -> AcceptorRecovery {
+        let mut decided: BTreeMap<InstanceId, (u32, ConsensusValue)> = self.decided.clone();
+        for (&first, &count) in &self.markers {
+            if let Some((vcount, _, value)) = self.votes.get(&first) {
+                if *vcount == count {
+                    decided.entry(first).or_insert((count, value.clone()));
+                }
+            }
+        }
+        AcceptorRecovery {
+            promised: self.promised,
+            accepted: self
+                .votes
+                .iter()
+                .map(|(&f, &(c, b, ref v))| (f, c, b, v.clone()))
+                .collect(),
+            decided: decided
+                .into_iter()
+                .map(|(f, (c, v))| (f, c, v))
+                .collect(),
+            trimmed: self.trimmed,
+        }
+    }
+}
+
+/// The complete stable state of one process: acceptor logs per ring plus
+/// the most recent replica checkpoint.
+///
+/// The simulator keeps one `NodeStorage` per process across simulated
+/// crashes; the TCP runtime persists it via [`crate::DirStorage`].
+#[derive(Clone, Default, Debug)]
+pub struct NodeStorage {
+    logs: BTreeMap<RingId, AcceptorLog>,
+    checkpoint: Option<(CheckpointId, Bytes)>,
+}
+
+impl NodeStorage {
+    /// Empty storage (first boot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a persist record (called when the write becomes durable).
+    pub fn apply(&mut self, record: &PersistRecord) {
+        match record {
+            PersistRecord::Promise { ring, ballot, from } => {
+                self.logs.entry(*ring).or_default().promise(*ballot, *from);
+            }
+            PersistRecord::Vote {
+                ring,
+                ballot,
+                first,
+                count,
+                value,
+            } => {
+                self.logs
+                    .entry(*ring)
+                    .or_default()
+                    .vote(*ballot, *first, *count, value.clone());
+            }
+            PersistRecord::Checkpoint { id, snapshot } => {
+                self.checkpoint = Some((id.clone(), snapshot.clone()));
+            }
+            PersistRecord::Decision { ring, first, count } => {
+                self.logs
+                    .entry(*ring)
+                    .or_default()
+                    .decision_marker(*first, *count);
+            }
+        }
+    }
+
+    /// Records a decision marker (cheap, written asynchronously by
+    /// acceptors so restarts can serve retransmissions).
+    pub fn decision(&mut self, ring: RingId, first: InstanceId, count: u32, value: ConsensusValue) {
+        self.logs
+            .entry(ring)
+            .or_default()
+            .decision(first, count, value);
+    }
+
+    /// Trims the acceptor log of `ring`.
+    pub fn trim(&mut self, ring: RingId, upto: InstanceId) {
+        if let Some(log) = self.logs.get_mut(&ring) {
+            log.trim(upto);
+        }
+    }
+
+    /// The acceptor log of `ring`, if any writes happened.
+    pub fn log(&self, ring: RingId) -> Option<&AcceptorLog> {
+        self.logs.get(&ring)
+    }
+
+    /// Builds the acceptor recovery images for every ring with a log.
+    pub fn acceptor_recovery(&self) -> BTreeMap<RingId, AcceptorRecovery> {
+        self.logs
+            .iter()
+            .map(|(&ring, log)| (ring, log.recovery()))
+            .collect()
+    }
+
+    /// The latest durable checkpoint.
+    pub fn checkpoint(&self) -> Option<&(CheckpointId, Bytes)> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Takes the latest durable checkpoint (cloning).
+    pub fn checkpoint_cloned(&self) -> Option<(CheckpointId, Bytes)> {
+        self.checkpoint.clone()
+    }
+
+    /// Wipes everything (simulates disk loss).
+    pub fn wipe(&mut self) {
+        self.logs.clear();
+        self.checkpoint = None;
+    }
+
+    /// Total payload bytes retained across rings (metrics/trim tests).
+    pub fn payload_bytes(&self) -> usize {
+        self.logs.values().map(AcceptorLog::payload_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiring_paxos::types::{GroupId, ProcessId, Value, ValueId};
+
+    fn b(n: u32) -> Ballot {
+        Ballot::new(n, ProcessId::new(0))
+    }
+
+    fn i(n: u64) -> InstanceId {
+        InstanceId::new(n)
+    }
+
+    fn cv(n: u64) -> ConsensusValue {
+        ConsensusValue::Values(vec![Value::new(
+            ValueId::new(ProcessId::new(1), n),
+            GroupId::new(0),
+            vec![0u8; 16],
+        )])
+    }
+
+    #[test]
+    fn apply_and_recover_roundtrip() {
+        let mut s = NodeStorage::new();
+        let ring = RingId::new(0);
+        s.apply(&PersistRecord::Promise {
+            ring,
+            ballot: b(1),
+            from: i(1),
+        });
+        s.apply(&PersistRecord::Vote {
+            ring,
+            ballot: b(1),
+            first: i(1),
+            count: 1,
+            value: cv(1),
+        });
+        s.decision(ring, i(1), 1, cv(1));
+        let rec = s.acceptor_recovery();
+        let log = &rec[&ring];
+        assert_eq!(log.promised, b(1));
+        assert_eq!(log.accepted.len(), 1);
+        assert_eq!(log.decided.len(), 1);
+        assert_eq!(log.trimmed, InstanceId::ZERO);
+    }
+
+    #[test]
+    fn checkpoint_replaces_previous() {
+        let mut s = NodeStorage::new();
+        let id1 = CheckpointId {
+            marks: vec![(GroupId::new(0), i(1))],
+            cursor_group: 0,
+            cursor_used: 0,
+        };
+        let id2 = CheckpointId {
+            marks: vec![(GroupId::new(0), i(5))],
+            cursor_group: 0,
+            cursor_used: 0,
+        };
+        s.apply(&PersistRecord::Checkpoint {
+            id: id1,
+            snapshot: Bytes::from_static(b"a"),
+        });
+        s.apply(&PersistRecord::Checkpoint {
+            id: id2.clone(),
+            snapshot: Bytes::from_static(b"b"),
+        });
+        let (id, snap) = s.checkpoint().unwrap();
+        assert_eq!(*id, id2);
+        assert_eq!(&snap[..], b"b");
+    }
+
+    #[test]
+    fn trim_reclaims_space() {
+        let mut s = NodeStorage::new();
+        let ring = RingId::new(0);
+        for n in 1..=10 {
+            s.apply(&PersistRecord::Vote {
+                ring,
+                ballot: b(1),
+                first: i(n),
+                count: 1,
+                value: cv(n),
+            });
+            s.decision(ring, i(n), 1, cv(n));
+        }
+        let before = s.payload_bytes();
+        s.trim(ring, i(8));
+        assert!(s.payload_bytes() < before / 2);
+        let rec = s.acceptor_recovery();
+        assert_eq!(rec[&ring].trimmed, i(8));
+        assert_eq!(rec[&ring].accepted.len(), 2);
+    }
+
+    #[test]
+    fn promise_keeps_highest_ballot() {
+        let mut log = AcceptorLog::new();
+        log.promise(b(5), i(1));
+        log.promise(b(3), i(1));
+        assert_eq!(log.recovery().promised, b(5));
+        // A higher vote ballot also raises the promise.
+        log.vote(b(7), i(1), 1, cv(1));
+        assert_eq!(log.recovery().promised, b(7));
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut s = NodeStorage::new();
+        s.apply(&PersistRecord::Vote {
+            ring: RingId::new(0),
+            ballot: b(1),
+            first: i(1),
+            count: 1,
+            value: cv(1),
+        });
+        s.wipe();
+        assert!(s.acceptor_recovery().is_empty());
+        assert!(s.checkpoint().is_none());
+    }
+}

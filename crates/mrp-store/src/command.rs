@@ -1,0 +1,333 @@
+//! The MRP-Store command set (Table 1 of the paper) and its wire
+//! encoding.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One store operation (Table 1), plus client-side batches ("clients may
+/// batch small commands, grouped by partition, up to 32 Kbytes").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StoreCommand {
+    /// `read(k)`: return the value of entry `k`, if existent.
+    Read {
+        /// Key.
+        key: Bytes,
+    },
+    /// `scan(k, k')`: return up to `limit` entries within `k..=k'`.
+    Scan {
+        /// Range start (inclusive).
+        from: Bytes,
+        /// Range end (inclusive).
+        to: Bytes,
+        /// Maximum entries returned per partition (0 = unlimited).
+        limit: u32,
+    },
+    /// `update(k, v)`: update entry `k` with value `v`, if existent.
+    Update {
+        /// Key.
+        key: Bytes,
+        /// New value.
+        value: Bytes,
+    },
+    /// `insert(k, v)`: insert `(k, v)` into the database.
+    Insert {
+        /// Key.
+        key: Bytes,
+        /// Value.
+        value: Bytes,
+    },
+    /// `delete(k)`: delete entry `k`.
+    Delete {
+        /// Key.
+        key: Bytes,
+    },
+    /// Several commands executed in order within one multicast.
+    Batch(Vec<StoreCommand>),
+}
+
+/// The response to a [`StoreCommand`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StoreResponse {
+    /// Result of a read: the value, if present.
+    Value(Option<Bytes>),
+    /// Result of a scan over one partition.
+    Entries(Vec<(Bytes, Bytes)>),
+    /// The operation succeeded.
+    Ok,
+    /// `update` on a missing key or `insert` on an existing key.
+    Miss,
+    /// Responses of a batch, in command order.
+    Batch(Vec<StoreResponse>),
+}
+
+const C_READ: u8 = 1;
+const C_SCAN: u8 = 2;
+const C_UPDATE: u8 = 3;
+const C_INSERT: u8 = 4;
+const C_DELETE: u8 = 5;
+const C_BATCH: u8 = 6;
+
+const R_VALUE_NONE: u8 = 1;
+const R_VALUE_SOME: u8 = 2;
+const R_ENTRIES: u8 = 3;
+const R_OK: u8 = 4;
+const R_MISS: u8 = 5;
+const R_BATCH: u8 = 6;
+
+fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn get_bytes(buf: &mut Bytes) -> Option<Bytes> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n = buf.get_u32_le() as usize;
+    (buf.remaining() >= n).then(|| buf.copy_to_bytes(n))
+}
+
+impl StoreCommand {
+    /// Encodes the command.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            StoreCommand::Read { key } => {
+                buf.put_u8(C_READ);
+                put_bytes(buf, key);
+            }
+            StoreCommand::Scan { from, to, limit } => {
+                buf.put_u8(C_SCAN);
+                put_bytes(buf, from);
+                put_bytes(buf, to);
+                buf.put_u32_le(*limit);
+            }
+            StoreCommand::Update { key, value } => {
+                buf.put_u8(C_UPDATE);
+                put_bytes(buf, key);
+                put_bytes(buf, value);
+            }
+            StoreCommand::Insert { key, value } => {
+                buf.put_u8(C_INSERT);
+                put_bytes(buf, key);
+                put_bytes(buf, value);
+            }
+            StoreCommand::Delete { key } => {
+                buf.put_u8(C_DELETE);
+                put_bytes(buf, key);
+            }
+            StoreCommand::Batch(cmds) => {
+                buf.put_u8(C_BATCH);
+                buf.put_u32_le(cmds.len() as u32);
+                for c in cmds {
+                    c.encode_into(buf);
+                }
+            }
+        }
+    }
+
+    /// Size of the encoding (used for the client's 32 KB batch cap).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            StoreCommand::Read { key } | StoreCommand::Delete { key } => 1 + 4 + key.len(),
+            StoreCommand::Scan { from, to, .. } => 1 + 4 + from.len() + 4 + to.len() + 4,
+            StoreCommand::Update { key, value } | StoreCommand::Insert { key, value } => {
+                1 + 4 + key.len() + 4 + value.len()
+            }
+            StoreCommand::Batch(cmds) => {
+                1 + 4 + cmds.iter().map(StoreCommand::encoded_len).sum::<usize>()
+            }
+        }
+    }
+
+    /// Decodes a command; `None` on malformed input.
+    pub fn decode(buf: &mut Bytes) -> Option<StoreCommand> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            C_READ => Some(StoreCommand::Read {
+                key: get_bytes(buf)?,
+            }),
+            C_SCAN => {
+                let from = get_bytes(buf)?;
+                let to = get_bytes(buf)?;
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let limit = buf.get_u32_le();
+                Some(StoreCommand::Scan { from, to, limit })
+            }
+            C_UPDATE => Some(StoreCommand::Update {
+                key: get_bytes(buf)?,
+                value: get_bytes(buf)?,
+            }),
+            C_INSERT => Some(StoreCommand::Insert {
+                key: get_bytes(buf)?,
+                value: get_bytes(buf)?,
+            }),
+            C_DELETE => Some(StoreCommand::Delete {
+                key: get_bytes(buf)?,
+            }),
+            C_BATCH => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut cmds = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    cmds.push(StoreCommand::decode(buf)?);
+                }
+                Some(StoreCommand::Batch(cmds))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl StoreResponse {
+    /// Encodes the response.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            StoreResponse::Value(None) => buf.put_u8(R_VALUE_NONE),
+            StoreResponse::Value(Some(v)) => {
+                buf.put_u8(R_VALUE_SOME);
+                put_bytes(buf, v);
+            }
+            StoreResponse::Entries(entries) => {
+                buf.put_u8(R_ENTRIES);
+                buf.put_u32_le(entries.len() as u32);
+                for (k, v) in entries {
+                    put_bytes(buf, k);
+                    put_bytes(buf, v);
+                }
+            }
+            StoreResponse::Ok => buf.put_u8(R_OK),
+            StoreResponse::Miss => buf.put_u8(R_MISS),
+            StoreResponse::Batch(rs) => {
+                buf.put_u8(R_BATCH);
+                buf.put_u32_le(rs.len() as u32);
+                for r in rs {
+                    r.encode_into(buf);
+                }
+            }
+        }
+    }
+
+    /// Decodes a response; `None` on malformed input.
+    pub fn decode(buf: &mut Bytes) -> Option<StoreResponse> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            R_VALUE_NONE => Some(StoreResponse::Value(None)),
+            R_VALUE_SOME => Some(StoreResponse::Value(Some(get_bytes(buf)?))),
+            R_ENTRIES => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let k = get_bytes(buf)?;
+                    let v = get_bytes(buf)?;
+                    entries.push((k, v));
+                }
+                Some(StoreResponse::Entries(entries))
+            }
+            R_OK => Some(StoreResponse::Ok),
+            R_MISS => Some(StoreResponse::Miss),
+            R_BATCH => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut rs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    rs.push(StoreResponse::decode(buf)?);
+                }
+                Some(StoreResponse::Batch(rs))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_cmd(cmd: StoreCommand) {
+        let mut encoded = cmd.encode();
+        assert_eq!(encoded.len(), cmd.encoded_len());
+        let back = StoreCommand::decode(&mut encoded).unwrap();
+        assert_eq!(back, cmd);
+        assert_eq!(encoded.remaining(), 0);
+    }
+
+    #[test]
+    fn command_roundtrips() {
+        roundtrip_cmd(StoreCommand::Read {
+            key: Bytes::from_static(b"k1"),
+        });
+        roundtrip_cmd(StoreCommand::Scan {
+            from: Bytes::from_static(b"a"),
+            to: Bytes::from_static(b"z"),
+            limit: 10,
+        });
+        roundtrip_cmd(StoreCommand::Update {
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"v"),
+        });
+        roundtrip_cmd(StoreCommand::Insert {
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from(vec![0u8; 1024]),
+        });
+        roundtrip_cmd(StoreCommand::Delete {
+            key: Bytes::from_static(b"k"),
+        });
+        roundtrip_cmd(StoreCommand::Batch(vec![
+            StoreCommand::Read {
+                key: Bytes::from_static(b"a"),
+            },
+            StoreCommand::Delete {
+                key: Bytes::from_static(b"b"),
+            },
+        ]));
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for r in [
+            StoreResponse::Value(None),
+            StoreResponse::Value(Some(Bytes::from_static(b"v"))),
+            StoreResponse::Entries(vec![(Bytes::from_static(b"k"), Bytes::from_static(b"v"))]),
+            StoreResponse::Ok,
+            StoreResponse::Miss,
+            StoreResponse::Batch(vec![StoreResponse::Ok, StoreResponse::Miss]),
+        ] {
+            let mut encoded = r.encode();
+            assert_eq!(StoreResponse::decode(&mut encoded).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        let mut empty = Bytes::new();
+        assert!(StoreCommand::decode(&mut empty).is_none());
+        let mut bad_tag = Bytes::from_static(&[99]);
+        assert!(StoreCommand::decode(&mut bad_tag).is_none());
+        let mut truncated = Bytes::from_static(&[C_READ, 10, 0, 0, 0, 1]);
+        assert!(StoreCommand::decode(&mut truncated).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! End-to-end MRP-Store tests on the deterministic simulator.
+
+use bytes::Bytes;
+use mrp_sim::actor::Hosted;
+use mrp_sim::cluster::{Cluster, SimConfig};
+use mrp_sim::net::Topology;
+use mrp_sim::rng::Rng;
+use mrp_store::client::{ClientOp, StoreClient, StoreClientConfig};
+use mrp_store::command::StoreCommand;
+use mrp_store::{StoreApp, StoreDeployment, StoreTopology};
+use multiring_paxos::app::Application;
+use multiring_paxos::config::RingTuning;
+use multiring_paxos::replica::{CheckpointPolicy, Replica};
+use multiring_paxos::types::{ClientId, ProcessId, Time};
+
+fn tuning() -> RingTuning {
+    RingTuning {
+        lambda: 2_000,
+        delta_us: 5_000,
+        ..RingTuning::default()
+    }
+}
+
+fn spawn_store(cluster: &mut Cluster, deployment: &StoreDeployment, preload: u32) {
+    cluster.set_protocol(deployment.config.clone());
+    for (p, partition) in deployment.all_replicas() {
+        let mut app = StoreApp::new(partition);
+        for i in 0..preload {
+            let key = format!("user{i:06}");
+            if deployment.partition_map.group_of(key.as_bytes()).value() == partition {
+                app.load(Bytes::from(key), Bytes::from(vec![7u8; 64]));
+            }
+        }
+        let replica = Replica::new(
+            p,
+            deployment.config.clone(),
+            app,
+            CheckpointPolicy {
+                interval_us: 0,
+                sync: true,
+            },
+        );
+        cluster.add_actor(p, Hosted::new(replica).boxed());
+    }
+}
+
+#[test]
+fn mixed_workload_completes_operations() {
+    let deployment = StoreDeployment::build(&StoreTopology::local(3, tuning()));
+    let mut cluster = Cluster::new(SimConfig { seed: 11, ..SimConfig::default() }, Topology::lan(16));
+    spawn_store(&mut cluster, &deployment, 200);
+
+    let client_proc = ProcessId::new(900);
+    let client_id = ClientId::new(1);
+    let mut op_rng = Rng::new(99);
+    let gen = move |_r: &mut Rng| {
+        let k = op_rng.below(200);
+        let key = Bytes::from(format!("user{k:06}"));
+        match op_rng.below(5) {
+            0 => ClientOp::Single {
+                cmd: StoreCommand::Read { key },
+                tag: "read",
+            },
+            1 => ClientOp::Single {
+                cmd: StoreCommand::Update {
+                    key,
+                    value: Bytes::from(vec![1u8; 64]),
+                },
+                tag: "update",
+            },
+            2 => ClientOp::Single {
+                cmd: StoreCommand::Insert {
+                    key,
+                    value: Bytes::from(vec![2u8; 64]),
+                },
+                tag: "insert",
+            },
+            3 => ClientOp::Single {
+                cmd: StoreCommand::Scan {
+                    from: key.clone(),
+                    to: Bytes::from(format!("user{:06}", k + 20)),
+                    limit: 20,
+                },
+                tag: "scan",
+            },
+            _ => ClientOp::ReadModifyWrite {
+                key,
+                value: Bytes::from(vec![3u8; 64]),
+            },
+        }
+    };
+    let client = StoreClient::new(
+        StoreClientConfig::new(client_id, 8),
+        deployment.clone(),
+        gen,
+    );
+    cluster.add_actor(client_proc, Box::new(client));
+    cluster.register_client(client_id, client_proc);
+    cluster.start();
+    cluster.run_until(Time::from_secs(10));
+
+    let ops = cluster.metrics().counter("store/ops");
+    assert!(ops > 100, "expected progress, got {ops} ops");
+    // Scans and RMWs completed too.
+    assert!(cluster
+        .metrics()
+        .histogram("store/latency_us/scan")
+        .is_some_and(|h| h.count() > 0));
+    assert!(cluster
+        .metrics()
+        .histogram("store/latency_us/rmw")
+        .is_some_and(|h| h.count() > 0));
+}
+
+#[test]
+fn replicas_of_a_partition_converge() {
+    let deployment = StoreDeployment::build(&StoreTopology::local(2, tuning()));
+    let mut cluster = Cluster::new(SimConfig { seed: 5, ..SimConfig::default() }, Topology::lan(16));
+    spawn_store(&mut cluster, &deployment, 0);
+
+    let client_proc = ProcessId::new(900);
+    let client_id = ClientId::new(1);
+    let mut n = 0u64;
+    let gen = move |_r: &mut Rng| {
+        n += 1;
+        ClientOp::Single {
+            cmd: StoreCommand::Insert {
+                key: Bytes::from(format!("key{:04}", n % 50)),
+                value: Bytes::from(format!("v{n}")),
+            },
+            tag: "insert",
+        }
+    };
+    let client = StoreClient::new(
+        StoreClientConfig::new(client_id, 4),
+        deployment.clone(),
+        gen,
+    );
+    cluster.add_actor(client_proc, Box::new(client));
+    cluster.register_client(client_id, client_proc);
+    cluster.start();
+    cluster.run_until(Time::from_secs(5));
+
+    // Every replica of each partition holds the same entries.
+    type StoreReplica = Hosted<Replica<StoreApp>>;
+    for (&partition, members) in deployment.replicas.clone().iter() {
+        let mut snapshots = Vec::new();
+        for &p in members {
+            let replica = cluster
+                .actor_as::<StoreReplica>(p)
+                .expect("replica present");
+            assert_eq!(replica.inner().app().partition(), partition);
+            snapshots.push(replica.inner().app().snapshot());
+        }
+        for pair in snapshots.windows(2) {
+            assert_eq!(pair[0], pair[1], "replicas of partition {partition} diverge");
+        }
+    }
+    assert!(cluster.metrics().counter("store/ops") > 50);
+}
+
+#[test]
+fn batching_reduces_requests_but_completes_all_ops() {
+    let deployment = StoreDeployment::build(&StoreTopology::local(2, tuning()));
+    let mut cluster = Cluster::new(SimConfig { seed: 8, ..SimConfig::default() }, Topology::lan(16));
+    spawn_store(&mut cluster, &deployment, 100);
+
+    let client_proc = ProcessId::new(900);
+    let client_id = ClientId::new(1);
+    let mut k = 0u64;
+    let gen = move |_r: &mut Rng| {
+        k += 1;
+        ClientOp::Single {
+            cmd: StoreCommand::Update {
+                key: Bytes::from(format!("user{:06}", k % 100)),
+                value: Bytes::from(vec![9u8; 256]),
+            },
+            tag: "update",
+        }
+    };
+    let mut cfg = StoreClientConfig::new(client_id, 32);
+    cfg.batch = Some(mrp_store::client::ClientBatching {
+        max_bytes: 4096,
+        linger_us: 500,
+    });
+    let client = StoreClient::new(cfg, deployment.clone(), gen);
+    cluster.add_actor(client_proc, Box::new(client));
+    cluster.register_client(client_id, client_proc);
+    cluster.start();
+    cluster.run_until(Time::from_secs(5));
+    let ops = cluster.metrics().counter("store/ops");
+    assert!(ops > 200, "batched updates progressed: {ops}");
+}

@@ -1,0 +1,577 @@
+//! A thread-per-peer TCP runtime for sans-io state machines.
+//!
+//! Mirrors the paper's implementation architecture (Section 7.1): every
+//! process is multi-threaded — reader threads per inbound connection,
+//! writer threads per outbound peer, one protocol thread — and threads
+//! communicate through queues (crossbeam channels). All inter-process
+//! communication is TCP; stable storage is a real write-ahead log with
+//! `fsync` on synchronous writes.
+
+use crate::framing;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use multiring_paxos::event::{Action, Event, Message, StateMachine, TimerKind};
+use multiring_paxos::types::{ClientId, GroupId, InstanceId, ProcessId, Time, Value};
+use mrp_storage::DirStorage;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Static configuration of one runtime process.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// This process.
+    pub me: ProcessId,
+    /// Address to listen on.
+    pub listen: SocketAddr,
+    /// Peer addresses (processes and client ports).
+    pub peers: BTreeMap<ProcessId, SocketAddr>,
+    /// Maps client sessions to the process (usually a
+    /// [`ClientPort`]) their responses are sent to.
+    pub clients: BTreeMap<ClientId, ProcessId>,
+    /// Directory for the write-ahead log and checkpoints; `None` keeps
+    /// stable state in memory (tests, in-memory storage mode).
+    pub storage_dir: Option<PathBuf>,
+    /// Maximum idle wait of the protocol loop, microseconds.
+    pub tick_us: u64,
+}
+
+impl RuntimeConfig {
+    /// A minimal config for `me` listening on `listen`.
+    pub fn new(me: ProcessId, listen: SocketAddr) -> Self {
+        Self {
+            me,
+            listen,
+            peers: BTreeMap::new(),
+            clients: BTreeMap::new(),
+            storage_dir: None,
+            tick_us: 10_000,
+        }
+    }
+}
+
+/// Events surfaced by the runtime to its embedding application.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RuntimeEvent {
+    /// An atomic-multicast delivery (bare nodes).
+    Delivered {
+        /// Group.
+        group: GroupId,
+        /// Deciding instance.
+        instance: InstanceId,
+        /// The value.
+        value: Value,
+    },
+    /// A client response produced locally whose session has no
+    /// registered home (surfaced instead of sent).
+    Response {
+        /// Client session.
+        client: ClientId,
+        /// Request number.
+        request: u64,
+        /// Payload.
+        payload: bytes::Bytes,
+    },
+}
+
+enum Cmd {
+    Inject(Event),
+    Shutdown,
+}
+
+/// Handle to a running [`TcpRuntime`].
+pub struct RuntimeHandle {
+    cmd_tx: Sender<Cmd>,
+    events_rx: Receiver<RuntimeEvent>,
+    join: Option<thread::JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for RuntimeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeHandle").finish_non_exhaustive()
+    }
+}
+
+impl RuntimeHandle {
+    /// Injects a client request as if it arrived from `client`'s
+    /// session: the hosted node frames and multicasts it.
+    pub fn request(&self, client: ClientId, request: u64, group: GroupId, payload: bytes::Bytes) {
+        let _ = self.cmd_tx.send(Cmd::Inject(Event::Message {
+            from: ProcessId::new(u32::MAX),
+            msg: Message::Request {
+                client,
+                request,
+                group,
+                payload,
+            },
+        }));
+    }
+
+    /// Injects an arbitrary protocol event (tests, coordination
+    /// service).
+    pub fn inject(&self, event: Event) {
+        let _ = self.cmd_tx.send(Cmd::Inject(event));
+    }
+
+    /// The stream of surfaced events (deliveries, local responses).
+    pub fn events(&self) -> &Receiver<RuntimeEvent> {
+        &self.events_rx
+    }
+
+    /// Stops the runtime and joins its protocol thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for RuntimeHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The TCP runtime: hosts one state machine per process.
+#[derive(Debug)]
+pub struct TcpRuntime;
+
+#[derive(PartialEq, Eq)]
+struct Deadline(u64, TimerKind);
+
+impl PartialOrd for Deadline {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deadline {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.cmp(&self.0) // min-heap
+    }
+}
+
+impl TcpRuntime {
+    /// Spawns the runtime threads around `sm`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listen socket cannot be bound or the storage
+    /// directory cannot be opened.
+    pub fn spawn<S: StateMachine + Send + 'static>(
+        config: RuntimeConfig,
+        sm: S,
+    ) -> std::io::Result<RuntimeHandle> {
+        let listener = TcpListener::bind(config.listen)?;
+        listener.set_nonblocking(true)?;
+        let storage = match &config.storage_dir {
+            Some(dir) => Some(
+                DirStorage::open(dir)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?,
+            ),
+            None => None,
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (net_tx, net_rx) = unbounded::<(ProcessId, Message)>();
+        let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+        let (events_tx, events_rx) = unbounded::<RuntimeEvent>();
+
+        // Listener thread: accept + handshake + reader per connection.
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let net_tx = net_tx.clone();
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let net_tx = net_tx.clone();
+                            let shutdown = Arc::clone(&shutdown);
+                            thread::spawn(move || {
+                                let mut stream = stream;
+                                let Ok(peer) = framing::read_hello(&mut stream) else {
+                                    return;
+                                };
+                                while !shutdown.load(Ordering::SeqCst) {
+                                    match framing::read_frame(&mut stream) {
+                                        Ok(msg) => {
+                                            if net_tx.send((peer, msg)).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        Err(_) => return,
+                                    }
+                                }
+                            });
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            });
+        }
+
+        let cfg = config.clone();
+        let shutdown_main = Arc::clone(&shutdown);
+        let join = thread::Builder::new()
+            .name(format!("mrp-node-{}", config.me.value()))
+            .spawn(move || {
+                Self::protocol_loop(cfg, sm, storage, net_rx, cmd_rx, events_tx, shutdown_main)
+            })?;
+
+        Ok(RuntimeHandle {
+            cmd_tx,
+            events_rx,
+            join: Some(join),
+            shutdown,
+        })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn protocol_loop<S: StateMachine>(
+        config: RuntimeConfig,
+        mut sm: S,
+        mut storage: Option<DirStorage>,
+        net_rx: Receiver<(ProcessId, Message)>,
+        cmd_rx: Receiver<Cmd>,
+        events_tx: Sender<RuntimeEvent>,
+        shutdown: Arc<AtomicBool>,
+    ) {
+        let start = Instant::now();
+        let now_us = || start.elapsed().as_micros() as u64;
+        let mut timers: BinaryHeap<Deadline> = BinaryHeap::new();
+        let mut writers: HashMap<ProcessId, Sender<Message>> = HashMap::new();
+        let mut pending: VecDeque<Event> = VecDeque::new();
+
+        pending.push_back(Event::Start);
+        'main: loop {
+            // Drain pending protocol events first.
+            while let Some(event) = pending.pop_front() {
+                let now = Time::from_micros(now_us());
+                let actions = sm.on_event(now, event);
+                Self::run_actions(
+                    &config,
+                    actions,
+                    &mut timers,
+                    &mut writers,
+                    &mut storage,
+                    &mut pending,
+                    &events_tx,
+                    &shutdown,
+                    now_us(),
+                );
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // Wait for the next input or timer deadline.
+            let timeout_us = timers
+                .peek()
+                .map(|d| d.0.saturating_sub(now_us()))
+                .unwrap_or(config.tick_us)
+                .min(config.tick_us)
+                .max(100);
+            crossbeam::channel::select! {
+                recv(net_rx) -> item => {
+                    if let Ok((from, msg)) = item {
+                        pending.push_back(Event::Message { from, msg });
+                    }
+                }
+                recv(cmd_rx) -> item => match item {
+                    Ok(Cmd::Inject(ev)) => pending.push_back(ev),
+                    Ok(Cmd::Shutdown) | Err(_) => break 'main,
+                },
+                default(Duration::from_micros(timeout_us)) => {}
+            }
+            // Fire due timers.
+            let t = now_us();
+            while timers.peek().is_some_and(|d| d.0 <= t) {
+                let Deadline(_, kind) = timers.pop().expect("peeked");
+                pending.push_back(Event::Timer(kind));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_actions(
+        config: &RuntimeConfig,
+        actions: Vec<Action>,
+        timers: &mut BinaryHeap<Deadline>,
+        writers: &mut HashMap<ProcessId, Sender<Message>>,
+        storage: &mut Option<DirStorage>,
+        pending: &mut VecDeque<Event>,
+        events_tx: &Sender<RuntimeEvent>,
+        shutdown: &Arc<AtomicBool>,
+        now_us: u64,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    Self::send_to(config, writers, shutdown, to, msg);
+                }
+                Action::SetTimer { after_us, timer } => {
+                    timers.push(Deadline(now_us + after_us, timer));
+                }
+                Action::Persist {
+                    record,
+                    sync,
+                    token,
+                } => {
+                    if let Some(store) = storage.as_mut() {
+                        // Real durability; an I/O failure here is fatal
+                        // for the acceptor's safety guarantees.
+                        store
+                            .persist(&record, sync)
+                            .expect("stable storage write failed");
+                    }
+                    pending.push_back(Event::PersistDone(token));
+                }
+                Action::TrimStorage { ring, upto } => {
+                    if let Some(store) = storage.as_mut() {
+                        let _ = store.trim(ring, upto);
+                    }
+                }
+                Action::Deliver {
+                    group,
+                    instance,
+                    value,
+                } => {
+                    let _ = events_tx.send(RuntimeEvent::Delivered {
+                        group,
+                        instance,
+                        value,
+                    });
+                }
+                Action::Respond {
+                    client,
+                    request,
+                    payload,
+                } => {
+                    if let Some(&home) = config.clients.get(&client) {
+                        Self::send_to(
+                            config,
+                            writers,
+                            shutdown,
+                            home,
+                            Message::Response {
+                                client,
+                                request,
+                                payload,
+                            },
+                        );
+                    } else {
+                        let _ = events_tx.send(RuntimeEvent::Response {
+                            client,
+                            request,
+                            payload,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_to(
+        config: &RuntimeConfig,
+        writers: &mut HashMap<ProcessId, Sender<Message>>,
+        shutdown: &Arc<AtomicBool>,
+        to: ProcessId,
+        msg: Message,
+    ) {
+        let tx = writers.entry(to).or_insert_with(|| {
+            let (tx, rx) = unbounded::<Message>();
+            let addr = config.peers.get(&to).copied();
+            let me = config.me;
+            let shutdown = Arc::clone(shutdown);
+            thread::spawn(move || {
+                let Some(addr) = addr else { return };
+                Self::writer_loop(me, addr, rx, shutdown);
+            });
+            tx
+        });
+        let _ = tx.send(msg);
+    }
+
+    fn writer_loop(
+        me: ProcessId,
+        addr: SocketAddr,
+        rx: Receiver<Message>,
+        shutdown: Arc<AtomicBool>,
+    ) {
+        let mut conn: Option<TcpStream> = None;
+        let mut carry: Option<Message> = None;
+        while !shutdown.load(Ordering::SeqCst) {
+            let msg = match carry.take() {
+                Some(m) => m,
+                None => match rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                },
+            };
+            loop {
+                if conn.is_none() {
+                    match TcpStream::connect(addr) {
+                        Ok(mut s) => {
+                            let _ = s.set_nodelay(true);
+                            if framing::write_hello(&mut s, me).is_ok() {
+                                conn = Some(s);
+                            }
+                        }
+                        Err(_) => {
+                            thread::sleep(Duration::from_millis(50));
+                            if shutdown.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                if let Some(s) = conn.as_mut() {
+                    match framing::write_frame(s, &msg) {
+                        Ok(()) => break,
+                        Err(_) => {
+                            conn = None; // reconnect and retry this frame
+                        }
+                    }
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A lightweight client endpoint: binds a socket, receives
+/// [`Message::Response`] frames addressed to its sessions, and sends
+/// [`Message::Request`]s to runtime processes. This is the paper's
+/// "client connects to proposers, replicas answer over the network"
+/// shape.
+pub struct ClientPort {
+    me: ProcessId,
+    peers: BTreeMap<ProcessId, SocketAddr>,
+    responses_rx: Receiver<(ClientId, u64, bytes::Bytes)>,
+    writers: Mutex<HashMap<ProcessId, Sender<Message>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ClientPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientPort").field("me", &self.me).finish()
+    }
+}
+
+impl ClientPort {
+    /// Binds a client port as pseudo-process `me` on `listen`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket cannot be bound.
+    pub fn bind(
+        me: ProcessId,
+        listen: SocketAddr,
+        peers: BTreeMap<ProcessId, SocketAddr>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        {
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((mut stream, _)) => {
+                            let tx = tx.clone();
+                            let shutdown = Arc::clone(&shutdown);
+                            thread::spawn(move || {
+                                if framing::read_hello(&mut stream).is_err() {
+                                    return;
+                                }
+                                while !shutdown.load(Ordering::SeqCst) {
+                                    match framing::read_frame(&mut stream) {
+                                        Ok(Message::Response {
+                                            client,
+                                            request,
+                                            payload,
+                                        }) => {
+                                            if tx.send((client, request, payload)).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        Ok(_) => {}
+                                        Err(_) => return,
+                                    }
+                                }
+                            });
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            });
+        }
+        Ok(Self {
+            me,
+            peers,
+            responses_rx: rx,
+            writers: Mutex::new(HashMap::new()),
+            shutdown,
+        })
+    }
+
+    /// Sends a request to process `to`.
+    pub fn request(
+        &self,
+        to: ProcessId,
+        client: ClientId,
+        request: u64,
+        group: GroupId,
+        payload: bytes::Bytes,
+    ) {
+        let msg = Message::Request {
+            client,
+            request,
+            group,
+            payload,
+        };
+        let mut writers = self.writers.lock();
+        let tx = writers.entry(to).or_insert_with(|| {
+            let (tx, rx) = unbounded::<Message>();
+            let addr = self.peers.get(&to).copied();
+            let me = self.me;
+            let shutdown = Arc::clone(&self.shutdown);
+            thread::spawn(move || {
+                let Some(addr) = addr else { return };
+                TcpRuntime::writer_loop(me, addr, rx, shutdown);
+            });
+            tx
+        });
+        let _ = tx.send(msg);
+    }
+
+    /// The stream of responses: `(client, request, payload)`.
+    pub fn responses(&self) -> &Receiver<(ClientId, u64, bytes::Bytes)> {
+        &self.responses_rx
+    }
+}
+
+impl Drop for ClientPort {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}

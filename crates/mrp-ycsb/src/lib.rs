@@ -1,0 +1,25 @@
+//! # YCSB-style workload generation
+//!
+//! Self-contained reimplementation of the Yahoo! Cloud Serving Benchmark
+//! core workloads (Cooper et al., SoCC 2010) used in the paper's
+//! Figure 4: key distributions (uniform, zipfian, scrambled zipfian,
+//! latest) and the standard A–F operation mixes.
+//!
+//! ```
+//! use mrp_ycsb::{Workload, WorkloadKind, YcsbOp};
+//!
+//! let mut w = Workload::new(WorkloadKind::A, 1000, 64, 7);
+//! match w.next_op() {
+//!     YcsbOp::Read { key } | YcsbOp::Update { key, .. } => assert!(key.starts_with("user")),
+//!     _ => {}
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod workload;
+
+pub use generator::{KeyChooser, SmallRng};
+pub use workload::{Workload, WorkloadKind, YcsbOp};

@@ -1,0 +1,111 @@
+//! The application interface for state-machine replication.
+//!
+//! Services (the key-value store `mrp-store`, the distributed log
+//! `mrp-dlog`, or user code) implement [`Application`] and are hosted by
+//! a [`Replica`](crate::replica::Replica): every atomic-multicast
+//! delivery is executed deterministically, replies are routed back to
+//! client sessions, and the application state is periodically
+//! checkpointed for recovery.
+
+use crate::types::{ClientId, GroupId, InstanceId, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One delivered multicast value handed to the application.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Delivery {
+    /// Group the value was multicast to.
+    pub group: GroupId,
+    /// Consensus instance of the group's ring that decided it.
+    pub instance: InstanceId,
+    /// The value.
+    pub value: Value,
+}
+
+/// A reply to a client session, produced by command execution.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Reply {
+    /// The client session to answer.
+    pub client: ClientId,
+    /// The request number being answered.
+    pub request: u64,
+    /// Reply payload.
+    pub payload: Bytes,
+}
+
+/// A deterministic, checkpointable replicated state machine.
+///
+/// Implementations must be deterministic: executing the same deliveries
+/// in the same order from the same snapshot must produce identical state
+/// and replies on every replica. All I/O must go through the returned
+/// replies and the snapshot mechanism.
+pub trait Application {
+    /// Executes one delivered command, mutating the state and returning
+    /// any client replies.
+    fn execute(&mut self, delivery: &Delivery) -> Vec<Reply>;
+
+    /// Serializes the full application state.
+    fn snapshot(&self) -> Bytes;
+
+    /// Replaces the state with a previously produced snapshot.
+    fn restore(&mut self, snapshot: &Bytes);
+}
+
+/// Encodes a client command frame: services embed the client session and
+/// request number in the multicast payload so any replica can answer
+/// (the paper's replicas reply to clients over UDP).
+pub fn encode_command(client: ClientId, request: u64, cmd: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + 8 + 4 + cmd.len());
+    buf.put_u64_le(client.value());
+    buf.put_u64_le(request);
+    buf.put_u32_le(cmd.len() as u32);
+    buf.put_slice(cmd);
+    buf.freeze()
+}
+
+/// Decodes a client command frame produced by [`encode_command`].
+/// Returns `None` if the frame is malformed.
+pub fn decode_command(mut frame: Bytes) -> Option<(ClientId, u64, Bytes)> {
+    if frame.len() < 20 {
+        return None;
+    }
+    let client = ClientId::new(frame.get_u64_le());
+    let request = frame.get_u64_le();
+    let len = frame.get_u32_le() as usize;
+    if frame.remaining() < len {
+        return None;
+    }
+    Some((client, request, frame.copy_to_bytes(len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_frame_roundtrip() {
+        let frame = encode_command(ClientId::new(42), 7, b"hello");
+        let (client, request, cmd) = decode_command(frame).unwrap();
+        assert_eq!(client, ClientId::new(42));
+        assert_eq!(request, 7);
+        assert_eq!(&cmd[..], b"hello");
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert!(decode_command(Bytes::from_static(b"short")).is_none());
+        // Length prefix larger than remaining payload.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u64_le(1);
+        buf.put_u32_le(100);
+        buf.put_slice(b"abc");
+        assert!(decode_command(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn empty_command_allowed() {
+        let frame = encode_command(ClientId::new(0), 0, b"");
+        let (_, _, cmd) = decode_command(frame).unwrap();
+        assert!(cmd.is_empty());
+    }
+}

@@ -1,0 +1,916 @@
+//! Binary wire encoding of protocol messages.
+//!
+//! A hand-written, length-stable codec on top of [`bytes`]: the TCP
+//! transport uses it to frame messages, and the simulator uses
+//! [`encoded_len`] to charge link bandwidth for exactly the bytes a real
+//! deployment would move. Integers are little-endian; variable-size
+//! fields carry `u32` length prefixes.
+
+use crate::event::Message;
+use crate::recovery::CheckpointId;
+use crate::types::{
+    Ballot, ClientId, ConsensusValue, GroupId, InstanceId, ProcessId, RingId, Value, ValueId,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors produced while decoding a frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// An unknown message or enum tag was encountered.
+    BadTag(u8),
+    /// A length prefix exceeded the remaining buffer or a sanity bound.
+    BadLength(u64),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+            CodecError::BadLength(l) => write!(f, "implausible length {l}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Upper bound accepted for any single length prefix (1 GiB): protects
+/// against corrupt frames allocating unbounded memory.
+const MAX_LEN: u64 = 1 << 30;
+
+const TAG_FORWARD: u8 = 1;
+const TAG_PHASE1A: u8 = 2;
+const TAG_PHASE1B: u8 = 3;
+const TAG_PHASE2: u8 = 4;
+const TAG_DECISION: u8 = 5;
+const TAG_RETRANSMIT: u8 = 6;
+const TAG_RETRANSMIT_REPLY: u8 = 7;
+const TAG_TRIM_QUERY: u8 = 8;
+const TAG_TRIM_REPLY: u8 = 9;
+const TAG_TRIM_COMMAND: u8 = 10;
+const TAG_CKPT_QUERY: u8 = 11;
+const TAG_CKPT_INFO: u8 = 12;
+const TAG_CKPT_FETCH: u8 = 13;
+const TAG_CKPT_DATA: u8 = 14;
+const TAG_REQUEST: u8 = 15;
+const TAG_RESPONSE: u8 = 16;
+const TAG_BATCH: u8 = 17;
+
+/// Encodes `msg` into `buf`.
+pub fn encode(msg: &Message, buf: &mut BytesMut) {
+    buf.reserve(encoded_len(msg));
+    match msg {
+        Message::Forward { ring, values, hops } => {
+            buf.put_u8(TAG_FORWARD);
+            buf.put_u16_le(ring.value());
+            buf.put_u32_le(*hops);
+            buf.put_u32_le(values.len() as u32);
+            for v in values {
+                put_value(buf, v);
+            }
+        }
+        Message::Phase1A { ring, ballot, from } => {
+            buf.put_u8(TAG_PHASE1A);
+            buf.put_u16_le(ring.value());
+            put_ballot(buf, *ballot);
+            buf.put_u64_le(from.value());
+        }
+        Message::Phase1B {
+            ring,
+            ballot,
+            from,
+            accepted,
+            trimmed,
+        } => {
+            buf.put_u8(TAG_PHASE1B);
+            buf.put_u16_le(ring.value());
+            put_ballot(buf, *ballot);
+            buf.put_u64_le(from.value());
+            buf.put_u64_le(trimmed.value());
+            buf.put_u32_le(accepted.len() as u32);
+            for (i, b, v) in accepted {
+                buf.put_u64_le(i.value());
+                put_ballot(buf, *b);
+                put_cv(buf, v);
+            }
+        }
+        Message::Phase2 {
+            ring,
+            ballot,
+            first,
+            count,
+            value,
+            votes,
+        } => {
+            buf.put_u8(TAG_PHASE2);
+            buf.put_u16_le(ring.value());
+            put_ballot(buf, *ballot);
+            buf.put_u64_le(first.value());
+            buf.put_u32_le(*count);
+            buf.put_u32_le(*votes);
+            put_cv(buf, value);
+        }
+        Message::Decision {
+            ring,
+            first,
+            count,
+            value,
+            hops,
+        } => {
+            buf.put_u8(TAG_DECISION);
+            buf.put_u16_le(ring.value());
+            buf.put_u64_le(first.value());
+            buf.put_u32_le(*count);
+            buf.put_u32_le(*hops);
+            match value {
+                None => buf.put_u8(0),
+                Some(v) => {
+                    buf.put_u8(1);
+                    put_cv(buf, v);
+                }
+            }
+        }
+        Message::Retransmit { ring, from, to } => {
+            buf.put_u8(TAG_RETRANSMIT);
+            buf.put_u16_le(ring.value());
+            buf.put_u64_le(from.value());
+            buf.put_u64_le(to.value());
+        }
+        Message::RetransmitReply {
+            ring,
+            decided,
+            trimmed,
+        } => {
+            buf.put_u8(TAG_RETRANSMIT_REPLY);
+            buf.put_u16_le(ring.value());
+            buf.put_u64_le(trimmed.value());
+            buf.put_u32_le(decided.len() as u32);
+            for (i, c, v) in decided {
+                buf.put_u64_le(i.value());
+                buf.put_u32_le(*c);
+                put_cv(buf, v);
+            }
+        }
+        Message::TrimQuery { group, seq } => {
+            buf.put_u8(TAG_TRIM_QUERY);
+            buf.put_u16_le(group.value());
+            buf.put_u64_le(*seq);
+        }
+        Message::TrimReply { group, seq, safe } => {
+            buf.put_u8(TAG_TRIM_REPLY);
+            buf.put_u16_le(group.value());
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(safe.value());
+        }
+        Message::TrimCommand { ring, upto } => {
+            buf.put_u8(TAG_TRIM_COMMAND);
+            buf.put_u16_le(ring.value());
+            buf.put_u64_le(upto.value());
+        }
+        Message::CheckpointQuery { seq } => {
+            buf.put_u8(TAG_CKPT_QUERY);
+            buf.put_u64_le(*seq);
+        }
+        Message::CheckpointInfo { seq, checkpoint } => {
+            buf.put_u8(TAG_CKPT_INFO);
+            buf.put_u64_le(*seq);
+            match checkpoint {
+                None => buf.put_u8(0),
+                Some(c) => {
+                    buf.put_u8(1);
+                    put_ckpt(buf, c);
+                }
+            }
+        }
+        Message::CheckpointFetch { seq, id } => {
+            buf.put_u8(TAG_CKPT_FETCH);
+            buf.put_u64_le(*seq);
+            put_ckpt(buf, id);
+        }
+        Message::CheckpointData { seq, id, snapshot } => {
+            buf.put_u8(TAG_CKPT_DATA);
+            buf.put_u64_le(*seq);
+            put_ckpt(buf, id);
+            match snapshot {
+                None => buf.put_u8(0),
+                Some(s) => {
+                    buf.put_u8(1);
+                    put_bytes(buf, s);
+                }
+            }
+        }
+        Message::Request {
+            client,
+            request,
+            group,
+            payload,
+        } => {
+            buf.put_u8(TAG_REQUEST);
+            buf.put_u64_le(client.value());
+            buf.put_u64_le(*request);
+            buf.put_u16_le(group.value());
+            put_bytes(buf, payload);
+        }
+        Message::Response {
+            client,
+            request,
+            payload,
+        } => {
+            buf.put_u8(TAG_RESPONSE);
+            buf.put_u64_le(client.value());
+            buf.put_u64_le(*request);
+            put_bytes(buf, payload);
+        }
+        Message::Batch(msgs) => {
+            buf.put_u8(TAG_BATCH);
+            buf.put_u32_le(msgs.len() as u32);
+            for m in msgs {
+                encode(m, buf);
+            }
+        }
+    }
+}
+
+/// Encodes `msg` into a fresh buffer.
+pub fn encode_to_bytes(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(msg));
+    encode(msg, &mut buf);
+    buf.freeze()
+}
+
+/// The exact number of bytes [`encode`] produces for `msg`, without
+/// allocating. The simulator uses this to charge link bandwidth.
+pub fn encoded_len(msg: &Message) -> usize {
+    match msg {
+        Message::Forward { values, .. } => {
+            1 + 2 + 4 + 4 + values.iter().map(value_len).sum::<usize>()
+        }
+        Message::Phase1A { .. } => 1 + 2 + 8 + 8,
+        Message::Phase1B { accepted, .. } => {
+            1 + 2
+                + 8
+                + 8
+                + 8
+                + 4
+                + accepted
+                    .iter()
+                    .map(|(_, _, v)| 8 + 8 + cv_len(v))
+                    .sum::<usize>()
+        }
+        Message::Phase2 { value, .. } => 1 + 2 + 8 + 8 + 4 + 4 + cv_len(value),
+        Message::Decision { value, .. } => {
+            1 + 2 + 8 + 4 + 4 + 1 + value.as_ref().map_or(0, cv_len)
+        }
+        Message::Retransmit { .. } => 1 + 2 + 8 + 8,
+        Message::RetransmitReply { decided, .. } => {
+            1 + 2 + 8 + 4 + decided.iter().map(|(_, _, v)| 8 + 4 + cv_len(v)).sum::<usize>()
+        }
+        Message::TrimQuery { .. } => 1 + 2 + 8,
+        Message::TrimReply { .. } => 1 + 2 + 8 + 8,
+        Message::TrimCommand { .. } => 1 + 2 + 8,
+        Message::CheckpointQuery { .. } => 1 + 8,
+        Message::CheckpointInfo { checkpoint, .. } => {
+            1 + 8 + 1 + checkpoint.as_ref().map_or(0, ckpt_len)
+        }
+        Message::CheckpointFetch { id, .. } => 1 + 8 + ckpt_len(id),
+        Message::CheckpointData { id, snapshot, .. } => {
+            1 + 8 + ckpt_len(id) + 1 + snapshot.as_ref().map_or(0, |s| 4 + s.len())
+        }
+        Message::Request { payload, .. } => 1 + 8 + 8 + 2 + 4 + payload.len(),
+        Message::Response { payload, .. } => 1 + 8 + 8 + 4 + payload.len(),
+        Message::Batch(msgs) => 1 + 4 + msgs.iter().map(encoded_len).sum::<usize>(),
+    }
+}
+
+/// Decodes one message from `buf`.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] if the buffer is truncated, a tag is unknown or
+/// a length prefix is implausible.
+pub fn decode(buf: &mut impl Buf) -> Result<Message, CodecError> {
+    let tag = get_u8(buf)?;
+    match tag {
+        TAG_FORWARD => {
+            let ring = RingId::new(get_u16(buf)?);
+            let hops = get_u32(buf)?;
+            let n = get_len(buf)?;
+            let mut values = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                values.push(get_value(buf)?);
+            }
+            Ok(Message::Forward { ring, values, hops })
+        }
+        TAG_PHASE1A => Ok(Message::Phase1A {
+            ring: RingId::new(get_u16(buf)?),
+            ballot: get_ballot(buf)?,
+            from: InstanceId::new(get_u64(buf)?),
+        }),
+        TAG_PHASE1B => {
+            let ring = RingId::new(get_u16(buf)?);
+            let ballot = get_ballot(buf)?;
+            let from = InstanceId::new(get_u64(buf)?);
+            let trimmed = InstanceId::new(get_u64(buf)?);
+            let n = get_len(buf)?;
+            let mut accepted = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let i = InstanceId::new(get_u64(buf)?);
+                let b = get_ballot(buf)?;
+                let v = get_cv(buf)?;
+                accepted.push((i, b, v));
+            }
+            Ok(Message::Phase1B {
+                ring,
+                ballot,
+                from,
+                accepted,
+                trimmed,
+            })
+        }
+        TAG_PHASE2 => Ok(Message::Phase2 {
+            ring: RingId::new(get_u16(buf)?),
+            ballot: get_ballot(buf)?,
+            first: InstanceId::new(get_u64(buf)?),
+            count: get_u32(buf)?,
+            votes: get_u32(buf)?,
+            value: get_cv(buf)?,
+        }),
+        TAG_DECISION => {
+            let ring = RingId::new(get_u16(buf)?);
+            let first = InstanceId::new(get_u64(buf)?);
+            let count = get_u32(buf)?;
+            let hops = get_u32(buf)?;
+            let value = match get_u8(buf)? {
+                0 => None,
+                1 => Some(get_cv(buf)?),
+                t => return Err(CodecError::BadTag(t)),
+            };
+            Ok(Message::Decision {
+                ring,
+                first,
+                count,
+                value,
+                hops,
+            })
+        }
+        TAG_RETRANSMIT => Ok(Message::Retransmit {
+            ring: RingId::new(get_u16(buf)?),
+            from: InstanceId::new(get_u64(buf)?),
+            to: InstanceId::new(get_u64(buf)?),
+        }),
+        TAG_RETRANSMIT_REPLY => {
+            let ring = RingId::new(get_u16(buf)?);
+            let trimmed = InstanceId::new(get_u64(buf)?);
+            let n = get_len(buf)?;
+            let mut decided = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let i = InstanceId::new(get_u64(buf)?);
+                let c = get_u32(buf)?;
+                let v = get_cv(buf)?;
+                decided.push((i, c, v));
+            }
+            Ok(Message::RetransmitReply {
+                ring,
+                decided,
+                trimmed,
+            })
+        }
+        TAG_TRIM_QUERY => Ok(Message::TrimQuery {
+            group: GroupId::new(get_u16(buf)?),
+            seq: get_u64(buf)?,
+        }),
+        TAG_TRIM_REPLY => Ok(Message::TrimReply {
+            group: GroupId::new(get_u16(buf)?),
+            seq: get_u64(buf)?,
+            safe: InstanceId::new(get_u64(buf)?),
+        }),
+        TAG_TRIM_COMMAND => Ok(Message::TrimCommand {
+            ring: RingId::new(get_u16(buf)?),
+            upto: InstanceId::new(get_u64(buf)?),
+        }),
+        TAG_CKPT_QUERY => Ok(Message::CheckpointQuery { seq: get_u64(buf)? }),
+        TAG_CKPT_INFO => {
+            let seq = get_u64(buf)?;
+            let checkpoint = match get_u8(buf)? {
+                0 => None,
+                1 => Some(get_ckpt(buf)?),
+                t => return Err(CodecError::BadTag(t)),
+            };
+            Ok(Message::CheckpointInfo { seq, checkpoint })
+        }
+        TAG_CKPT_FETCH => Ok(Message::CheckpointFetch {
+            seq: get_u64(buf)?,
+            id: get_ckpt(buf)?,
+        }),
+        TAG_CKPT_DATA => {
+            let seq = get_u64(buf)?;
+            let id = get_ckpt(buf)?;
+            let snapshot = match get_u8(buf)? {
+                0 => None,
+                1 => Some(get_bytes(buf)?),
+                t => return Err(CodecError::BadTag(t)),
+            };
+            Ok(Message::CheckpointData { seq, id, snapshot })
+        }
+        TAG_REQUEST => Ok(Message::Request {
+            client: ClientId::new(get_u64(buf)?),
+            request: get_u64(buf)?,
+            group: GroupId::new(get_u16(buf)?),
+            payload: get_bytes(buf)?,
+        }),
+        TAG_RESPONSE => Ok(Message::Response {
+            client: ClientId::new(get_u64(buf)?),
+            request: get_u64(buf)?,
+            payload: get_bytes(buf)?,
+        }),
+        TAG_BATCH => {
+            let n = get_len(buf)?;
+            let mut msgs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                msgs.push(decode(buf)?);
+            }
+            Ok(Message::Batch(msgs))
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+// ---- persist records (acceptor WAL / checkpoint files) ----------------
+
+const TAG_REC_PROMISE: u8 = 40;
+const TAG_REC_VOTE: u8 = 41;
+const TAG_REC_CHECKPOINT: u8 = 42;
+const TAG_REC_DECISION: u8 = 43;
+
+/// Encodes a stable-storage record (acceptor WAL entry or checkpoint).
+pub fn encode_record(record: &crate::event::PersistRecord, buf: &mut BytesMut) {
+    use crate::event::PersistRecord;
+    match record {
+        PersistRecord::Promise { ring, ballot, from } => {
+            buf.put_u8(TAG_REC_PROMISE);
+            buf.put_u16_le(ring.value());
+            put_ballot(buf, *ballot);
+            buf.put_u64_le(from.value());
+        }
+        PersistRecord::Vote {
+            ring,
+            ballot,
+            first,
+            count,
+            value,
+        } => {
+            buf.put_u8(TAG_REC_VOTE);
+            buf.put_u16_le(ring.value());
+            put_ballot(buf, *ballot);
+            buf.put_u64_le(first.value());
+            buf.put_u32_le(*count);
+            put_cv(buf, value);
+        }
+        PersistRecord::Checkpoint { id, snapshot } => {
+            buf.put_u8(TAG_REC_CHECKPOINT);
+            put_ckpt(buf, id);
+            put_bytes(buf, snapshot);
+        }
+        PersistRecord::Decision { ring, first, count } => {
+            buf.put_u8(TAG_REC_DECISION);
+            buf.put_u16_le(ring.value());
+            buf.put_u64_le(first.value());
+            buf.put_u32_le(*count);
+        }
+    }
+}
+
+/// The number of bytes [`encode_record`] produces (used by disk models to
+/// charge write bandwidth).
+pub fn record_len(record: &crate::event::PersistRecord) -> usize {
+    use crate::event::PersistRecord;
+    match record {
+        PersistRecord::Promise { .. } => 1 + 2 + 8 + 8,
+        PersistRecord::Vote { value, .. } => 1 + 2 + 8 + 8 + 4 + cv_len(value),
+        PersistRecord::Checkpoint { id, snapshot } => {
+            1 + ckpt_len(id) + 4 + snapshot.len()
+        }
+        PersistRecord::Decision { .. } => 1 + 2 + 8 + 4,
+    }
+}
+
+/// Decodes a stable-storage record.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation or unknown tags.
+pub fn decode_record(buf: &mut impl Buf) -> Result<crate::event::PersistRecord, CodecError> {
+    use crate::event::PersistRecord;
+    match get_u8(buf)? {
+        TAG_REC_PROMISE => Ok(PersistRecord::Promise {
+            ring: RingId::new(get_u16(buf)?),
+            ballot: get_ballot(buf)?,
+            from: InstanceId::new(get_u64(buf)?),
+        }),
+        TAG_REC_VOTE => Ok(PersistRecord::Vote {
+            ring: RingId::new(get_u16(buf)?),
+            ballot: get_ballot(buf)?,
+            first: InstanceId::new(get_u64(buf)?),
+            count: get_u32(buf)?,
+            value: get_cv(buf)?,
+        }),
+        TAG_REC_CHECKPOINT => Ok(PersistRecord::Checkpoint {
+            id: get_ckpt(buf)?,
+            snapshot: get_bytes(buf)?,
+        }),
+        TAG_REC_DECISION => Ok(PersistRecord::Decision {
+            ring: RingId::new(get_u16(buf)?),
+            first: InstanceId::new(get_u64(buf)?),
+            count: get_u32(buf)?,
+        }),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+// ---- field helpers ----------------------------------------------------
+
+fn put_ballot(buf: &mut BytesMut, b: Ballot) {
+    buf.put_u32_le(b.round());
+    buf.put_u32_le(b.node().value());
+}
+
+fn get_ballot(buf: &mut impl Buf) -> Result<Ballot, CodecError> {
+    let round = get_u32(buf)?;
+    let node = ProcessId::new(get_u32(buf)?);
+    Ok(Ballot::new(round, node))
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    buf.put_u32_le(v.id.proposer.value());
+    buf.put_u64_le(v.id.seq);
+    buf.put_u16_le(v.group.value());
+    put_bytes(buf, &v.payload);
+}
+
+fn value_len(v: &Value) -> usize {
+    4 + 8 + 2 + 4 + v.payload.len()
+}
+
+fn get_value(buf: &mut impl Buf) -> Result<Value, CodecError> {
+    let proposer = ProcessId::new(get_u32(buf)?);
+    let seq = get_u64(buf)?;
+    let group = GroupId::new(get_u16(buf)?);
+    let payload = get_bytes(buf)?;
+    Ok(Value::new(ValueId::new(proposer, seq), group, payload))
+}
+
+fn put_cv(buf: &mut BytesMut, cv: &ConsensusValue) {
+    match cv {
+        ConsensusValue::Skip => buf.put_u8(0),
+        ConsensusValue::Values(vs) => {
+            buf.put_u8(1);
+            buf.put_u32_le(vs.len() as u32);
+            for v in vs {
+                put_value(buf, v);
+            }
+        }
+    }
+}
+
+fn cv_len(cv: &ConsensusValue) -> usize {
+    match cv {
+        ConsensusValue::Skip => 1,
+        ConsensusValue::Values(vs) => 1 + 4 + vs.iter().map(value_len).sum::<usize>(),
+    }
+}
+
+fn get_cv(buf: &mut impl Buf) -> Result<ConsensusValue, CodecError> {
+    match get_u8(buf)? {
+        0 => Ok(ConsensusValue::Skip),
+        1 => {
+            let n = get_len(buf)?;
+            let mut vs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                vs.push(get_value(buf)?);
+            }
+            Ok(ConsensusValue::Values(vs))
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+fn put_ckpt(buf: &mut BytesMut, c: &CheckpointId) {
+    buf.put_u32_le(c.marks.len() as u32);
+    for (g, i) in &c.marks {
+        buf.put_u16_le(g.value());
+        buf.put_u64_le(i.value());
+    }
+    buf.put_u32_le(c.cursor_group);
+    buf.put_u32_le(c.cursor_used);
+}
+
+fn ckpt_len(c: &CheckpointId) -> usize {
+    4 + c.marks.len() * (2 + 8) + 4 + 4
+}
+
+fn get_ckpt(buf: &mut impl Buf) -> Result<CheckpointId, CodecError> {
+    let n = get_len(buf)?;
+    let mut marks = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let g = GroupId::new(get_u16(buf)?);
+        let i = InstanceId::new(get_u64(buf)?);
+        marks.push((g, i));
+    }
+    let cursor_group = get_u32(buf)?;
+    let cursor_used = get_u32(buf)?;
+    Ok(CheckpointId {
+        marks,
+        cursor_group,
+        cursor_used,
+    })
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn get_bytes(buf: &mut impl Buf) -> Result<Bytes, CodecError> {
+    let n = get_u32(buf)? as u64;
+    if n > MAX_LEN {
+        return Err(CodecError::BadLength(n));
+    }
+    if (buf.remaining() as u64) < n {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.copy_to_bytes(n as usize))
+}
+
+fn get_len(buf: &mut impl Buf) -> Result<usize, CodecError> {
+    let n = get_u32(buf)? as u64;
+    if n > MAX_LEN {
+        return Err(CodecError::BadLength(n));
+    }
+    Ok(n as usize)
+}
+
+fn get_u8(buf: &mut impl Buf) -> Result<u8, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut impl Buf) -> Result<u16, CodecError> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_messages() -> Vec<Message> {
+        let value = Value::new(
+            ValueId::new(ProcessId::new(3), 77),
+            GroupId::new(2),
+            vec![1u8, 2, 3, 4],
+        );
+        let cv = ConsensusValue::Values(vec![value.clone()]);
+        let ckpt = CheckpointId {
+            marks: vec![
+                (GroupId::new(0), InstanceId::new(10)),
+                (GroupId::new(1), InstanceId::new(9)),
+            ],
+            cursor_group: 1,
+            cursor_used: 0,
+        };
+        vec![
+            Message::Forward {
+                ring: RingId::new(1),
+                values: vec![value.clone()],
+                hops: 2,
+            },
+            Message::Phase1A {
+                ring: RingId::new(1),
+                ballot: Ballot::new(4, ProcessId::new(2)),
+                from: InstanceId::new(5),
+            },
+            Message::Phase1B {
+                ring: RingId::new(1),
+                ballot: Ballot::new(4, ProcessId::new(2)),
+                from: InstanceId::new(5),
+                accepted: vec![(
+                    InstanceId::new(6),
+                    Ballot::new(3, ProcessId::new(1)),
+                    cv.clone(),
+                )],
+                trimmed: InstanceId::new(2),
+            },
+            Message::Phase2 {
+                ring: RingId::new(1),
+                ballot: Ballot::new(4, ProcessId::new(2)),
+                first: InstanceId::new(7),
+                count: 1,
+                value: cv.clone(),
+                votes: 2,
+            },
+            Message::Decision {
+                ring: RingId::new(1),
+                first: InstanceId::new(7),
+                count: 3,
+                value: Some(ConsensusValue::Skip),
+                hops: 1,
+            },
+            Message::Decision {
+                ring: RingId::new(1),
+                first: InstanceId::new(9),
+                count: 1,
+                value: None,
+                hops: 2,
+            },
+            Message::Retransmit {
+                ring: RingId::new(0),
+                from: InstanceId::new(1),
+                to: InstanceId::new(4),
+            },
+            Message::RetransmitReply {
+                ring: RingId::new(0),
+                decided: vec![(InstanceId::new(1), 2, ConsensusValue::Skip)],
+                trimmed: InstanceId::ZERO,
+            },
+            Message::TrimQuery {
+                group: GroupId::new(3),
+                seq: 9,
+            },
+            Message::TrimReply {
+                group: GroupId::new(3),
+                seq: 9,
+                safe: InstanceId::new(100),
+            },
+            Message::TrimCommand {
+                ring: RingId::new(2),
+                upto: InstanceId::new(50),
+            },
+            Message::CheckpointQuery { seq: 1 },
+            Message::CheckpointInfo {
+                seq: 1,
+                checkpoint: Some(ckpt.clone()),
+            },
+            Message::CheckpointInfo {
+                seq: 2,
+                checkpoint: None,
+            },
+            Message::CheckpointFetch {
+                seq: 3,
+                id: ckpt.clone(),
+            },
+            Message::CheckpointData {
+                seq: 3,
+                id: ckpt,
+                snapshot: Some(Bytes::from_static(b"snapshot")),
+            },
+            Message::Request {
+                client: ClientId::new(8),
+                request: 55,
+                group: GroupId::new(1),
+                payload: Bytes::from_static(b"cmd"),
+            },
+            Message::Response {
+                client: ClientId::new(8),
+                request: 55,
+                payload: Bytes::from_static(b"ok"),
+            },
+            Message::Batch(vec![
+                Message::CheckpointQuery { seq: 4 },
+                Message::TrimCommand {
+                    ring: RingId::new(0),
+                    upto: InstanceId::new(1),
+                },
+            ]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for msg in sample_messages() {
+            let mut buf = BytesMut::new();
+            encode(&msg, &mut buf);
+            assert_eq!(
+                buf.len(),
+                encoded_len(&msg),
+                "encoded_len mismatch for {msg:?}"
+            );
+            let mut frozen = buf.freeze();
+            let back = decode(&mut frozen).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(frozen.remaining(), 0, "trailing bytes for {msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        for msg in sample_messages() {
+            let full = encode_to_bytes(&msg);
+            for cut in 0..full.len() {
+                let mut partial = full.slice(..cut);
+                assert!(
+                    decode(&mut partial).is_err(),
+                    "decode of {cut}/{} bytes should fail for {msg:?}",
+                    full.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = Bytes::from_static(&[99u8, 0, 0, 0]);
+        assert_eq!(decode(&mut buf), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        // A Request whose payload length prefix claims 2 GiB.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_REQUEST);
+        buf.put_u64_le(1);
+        buf.put_u64_le(1);
+        buf.put_u16_le(0);
+        buf.put_u32_le(u32::MAX);
+        let mut frozen = buf.freeze();
+        assert!(matches!(
+            decode(&mut frozen),
+            Err(CodecError::BadLength(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_request_roundtrip(client in any::<u64>(), request in any::<u64>(),
+                                  group in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let msg = Message::Request {
+                client: ClientId::new(client),
+                request,
+                group: GroupId::new(group),
+                payload: Bytes::from(payload),
+            };
+            let mut buf = BytesMut::new();
+            encode(&msg, &mut buf);
+            prop_assert_eq!(buf.len(), encoded_len(&msg));
+            let back = decode(&mut buf.freeze()).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+
+        #[test]
+        fn prop_phase2_roundtrip(ring in any::<u16>(), round in any::<u32>(),
+                                 node in any::<u32>(), first in 1u64..u64::MAX/2,
+                                 count in 1u32..1000, votes in 0u32..100,
+                                 payload in proptest::collection::vec(any::<u8>(), 0..256),
+                                 skip in any::<bool>()) {
+            let value = if skip {
+                ConsensusValue::Skip
+            } else {
+                ConsensusValue::Values(vec![Value::new(
+                    ValueId::new(ProcessId::new(node), first),
+                    GroupId::new(ring),
+                    payload,
+                )])
+            };
+            let msg = Message::Phase2 {
+                ring: RingId::new(ring),
+                ballot: Ballot::new(round, ProcessId::new(node)),
+                first: InstanceId::new(first),
+                count,
+                value,
+                votes,
+            };
+            let mut buf = BytesMut::new();
+            encode(&msg, &mut buf);
+            prop_assert_eq!(buf.len(), encoded_len(&msg));
+            let back = decode(&mut buf.freeze()).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+
+        #[test]
+        fn prop_decode_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut buf = Bytes::from(data);
+            let _ = decode(&mut buf);
+        }
+    }
+}

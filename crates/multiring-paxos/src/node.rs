@@ -1,0 +1,629 @@
+//! The composite per-process state machine.
+//!
+//! A [`Node`] hosts, for one process, every role it plays in every ring
+//! it belongs to, plus the deterministic merge over its subscribed
+//! groups and (when it coordinates a ring) the trim protocol. It is the
+//! unit a runtime drives: feed it [`Event`]s, execute the returned
+//! [`Action`]s.
+//!
+//! Messages a node sends to itself (its own successor in a singleton
+//! ring, the local acceptor of a coordinator, …) are processed inline
+//! rather than round-tripping through the runtime.
+
+use crate::config::ClusterConfig;
+use crate::event::{Action, Event, Message, PersistToken, StateMachine, TimerKind};
+use crate::multiring::Merger;
+use crate::paxos::AcceptorRecovery;
+use crate::recovery::{CheckpointId, TrimCoordinator};
+use crate::ring::{Effects, RingState};
+use crate::types::{
+    Ballot, ClientId, GroupId, InstanceId, ProcessId, RingId, Time, ValueId,
+};
+use bytes::Bytes;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Errors returned by [`Node::multicast`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MulticastError {
+    /// The group does not exist in the configuration.
+    UnknownGroup(GroupId),
+    /// This process has no proposer role in the group's ring.
+    NotAProposer(GroupId),
+}
+
+impl fmt::Display for MulticastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MulticastError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            MulticastError::NotAProposer(g) => {
+                write!(f, "process is not a proposer for group {g}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MulticastError {}
+
+/// The per-process protocol state machine: ring roles, deterministic
+/// merge, trim coordination.
+pub struct Node {
+    me: ProcessId,
+    config: ClusterConfig,
+    rings: BTreeMap<RingId, RingState>,
+    merger: Merger,
+    trim: BTreeMap<RingId, TrimCoordinator>,
+    gated: HashMap<PersistToken, Vec<Action>>,
+    token_seed: u64,
+    need_checkpoint: Option<(RingId, InstanceId)>,
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("me", &self.me)
+            .field("rings", &self.rings.keys().collect::<Vec<_>>())
+            .field("groups", &self.merger.groups())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Node {
+    /// Creates a fresh node for process `me`.
+    pub fn new(me: ProcessId, config: ClusterConfig) -> Self {
+        Self::with_recovery(me, config, BTreeMap::new())
+    }
+
+    /// Creates a node restoring acceptor state from recovered stable
+    /// logs (keyed by ring).
+    pub fn with_recovery(
+        me: ProcessId,
+        config: ClusterConfig,
+        mut acceptor_logs: BTreeMap<RingId, AcceptorRecovery>,
+    ) -> Self {
+        let subscriptions = config.subscriptions_of(me);
+        let mut rings = BTreeMap::new();
+        for (&ring_id, ring_cfg) in config.rings() {
+            if !ring_cfg.is_member(me) {
+                continue;
+            }
+            let group = config
+                .group_of_ring(ring_id)
+                .expect("validated config maps every ring to a group");
+            let subscribed = subscriptions.contains(&group);
+            let state = RingState::with_recovery(
+                me,
+                group,
+                ring_cfg.clone(),
+                subscribed,
+                acceptor_logs.remove(&ring_id),
+            );
+            rings.insert(ring_id, state);
+        }
+        let merger = Merger::new(subscriptions, config.merge_window());
+        Self {
+            me,
+            config,
+            rings,
+            merger,
+            trim: BTreeMap::new(),
+            gated: HashMap::new(),
+            token_seed: 0,
+            need_checkpoint: None,
+        }
+    }
+
+    /// The process this node embodies.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Per-ring state (for inspection and tests).
+    pub fn ring(&self, ring: RingId) -> Option<&RingState> {
+        self.rings.get(&ring)
+    }
+
+    /// The merge position over subscribed groups, used as checkpoint id.
+    pub fn watermarks(&self) -> CheckpointId {
+        self.merger.watermarks()
+    }
+
+    /// Total consensus instances consumed by the merge (progress metric).
+    pub fn merge_progress(&self) -> u64 {
+        self.merger.total_consumed()
+    }
+
+    /// Suppresses or resumes learner gap repair on all subscribed rings
+    /// (used while replica recovery decides which checkpoint to install).
+    pub fn hold_repair(&mut self, hold: bool) {
+        for ring in self.rings.values_mut() {
+            if let Some(l) = ring.learner_mut() {
+                l.hold_repair(hold);
+            }
+        }
+    }
+
+    /// Repositions the merge and the per-ring learners at `ckpt`
+    /// (checkpoint installation during recovery).
+    pub fn install_watermarks(&mut self, ckpt: &CheckpointId) {
+        self.merger.install(ckpt);
+        for ring in self.rings.values_mut() {
+            let mark = ckpt.mark_of(ring.group());
+            if let Some(l) = ring.learner_mut() {
+                l.fast_forward(mark);
+            }
+        }
+    }
+
+    /// Asks acceptors to retransmit everything after the current learner
+    /// positions (bounded by `chunk` instances per ring); used right
+    /// after checkpoint installation to backfill without waiting for
+    /// live traffic to reveal the gap.
+    pub fn request_backfill(&mut self, now: Time, chunk: u64) -> Vec<Action> {
+        let _ = now;
+        let mut fx = Effects::new(self.token_seed);
+        for ring in self.rings.values_mut() {
+            ring.backfill(chunk, &mut fx);
+        }
+        self.token_seed = fx.token_seed();
+        let mut out = Vec::new();
+        self.finish(Time::ZERO, fx, &mut out);
+        out
+    }
+
+    /// Signals raised by learners whose repair hit trimmed acceptor logs;
+    /// consumed by the replica layer to trigger checkpoint recovery.
+    pub fn take_need_checkpoint(&mut self) -> Option<(RingId, InstanceId)> {
+        self.need_checkpoint.take()
+    }
+
+    /// Atomically multicasts `payload` to `group` via the local proposer
+    /// role. Returns the assigned value id plus the actions to execute.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the group is unknown or this process cannot propose to
+    /// the group's ring.
+    pub fn multicast(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        payload: Bytes,
+    ) -> Result<(ValueId, Vec<Action>), MulticastError> {
+        let ring_id = self
+            .config
+            .ring_of_group(group)
+            .ok_or(MulticastError::UnknownGroup(group))?;
+        let Some(ring) = self.rings.get_mut(&ring_id) else {
+            return Err(MulticastError::NotAProposer(group));
+        };
+        let mut fx = Effects::new(self.token_seed);
+        let id = ring
+            .multicast(now, payload, &mut fx)
+            .ok_or(MulticastError::NotAProposer(group))?;
+        self.token_seed = fx.token_seed();
+        let mut out = Vec::new();
+        self.finish(now, fx, &mut out);
+        Ok((id, out))
+    }
+
+    /// Values proposed locally and not yet acknowledged as decided.
+    pub fn proposer_backlog(&self) -> usize {
+        self.rings.values().map(RingState::proposer_pending).sum()
+    }
+
+    fn finish(&mut self, now: Time, fx: Effects, out: &mut Vec<Action>) {
+        let Effects {
+            actions,
+            released,
+            need_checkpoint,
+            gated,
+            ..
+        } = fx;
+        if let Some(nc) = need_checkpoint {
+            self.need_checkpoint = Some(nc);
+        }
+        for (ring_id, range) in released {
+            let group = self
+                .rings
+                .get(&ring_id)
+                .map(RingState::group)
+                .unwrap_or_else(|| GroupId::new(u16::MAX));
+            self.merger.push(group, range.first, range.count, range.value);
+        }
+        for d in self.merger.poll() {
+            out.push(Action::Deliver {
+                group: d.group,
+                instance: d.instance,
+                value: d.value,
+            });
+        }
+        self.gated.extend(gated);
+        for action in actions {
+            match action {
+                Action::Send { to, msg } if to == self.me => {
+                    self.dispatch_message(now, self.me, msg, out);
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    fn dispatch_message(
+        &mut self,
+        now: Time,
+        from: ProcessId,
+        msg: Message,
+        out: &mut Vec<Action>,
+    ) {
+        match msg {
+            Message::Batch(msgs) => {
+                for m in msgs {
+                    self.dispatch_message(now, from, m, out);
+                }
+            }
+            Message::TrimReply { group, seq, safe } => {
+                self.on_trim_reply(now, from, group, seq, safe, out);
+            }
+            Message::Request {
+                client,
+                request,
+                group,
+                payload,
+            } => {
+                self.on_request(now, client, request, group, payload, out);
+            }
+            msg => {
+                if let Some(ring_id) = msg.ring() {
+                    let mut fx = Effects::new(self.token_seed);
+                    if let Some(ring) = self.rings.get_mut(&ring_id) {
+                        ring.on_message(now, from, msg, &mut fx);
+                    }
+                    self.token_seed = fx.token_seed();
+                    self.finish(now, fx, out);
+                }
+                // Messages without a ring scope that reach a bare node
+                // (checkpoint queries, trim queries) are replica-layer
+                // concerns; `Replica` intercepts them before this point.
+            }
+        }
+    }
+
+    /// Handles a client request arriving at this proposer: wraps the
+    /// command with the client session so replicas can reply directly.
+    fn on_request(
+        &mut self,
+        now: Time,
+        client: ClientId,
+        request: u64,
+        group: GroupId,
+        payload: Bytes,
+        out: &mut Vec<Action>,
+    ) {
+        let framed = crate::app::encode_command(client, request, &payload);
+        match self.multicast(now, group, framed) {
+            Ok((_, actions)) => out.extend(actions),
+            Err(_) => {
+                // Not a proposer for this group: drop; the client will
+                // time out and retry against a correct proposer.
+            }
+        }
+    }
+
+    fn on_trim_reply(
+        &mut self,
+        now: Time,
+        from: ProcessId,
+        group: GroupId,
+        seq: u64,
+        safe: InstanceId,
+        out: &mut Vec<Action>,
+    ) {
+        let Some(ring_id) = self.config.ring_of_group(group) else {
+            return;
+        };
+        let Some(tc) = self.trim.get_mut(&ring_id) else {
+            return;
+        };
+        if let Some(upto) = tc.on_reply(from, seq, safe) {
+            let acceptors: Vec<ProcessId> = self
+                .config
+                .ring(ring_id)
+                .map(|r| r.acceptors().to_vec())
+                .unwrap_or_default();
+            for a in acceptors {
+                let msg = Message::TrimCommand { ring: ring_id, upto };
+                if a == self.me {
+                    self.dispatch_message(now, self.me, msg, out);
+                } else {
+                    out.push(Action::Send { to: a, msg });
+                }
+            }
+        }
+    }
+
+    fn on_start(&mut self, now: Time, out: &mut Vec<Action>) {
+        let ring_ids: Vec<RingId> = self.rings.keys().copied().collect();
+        for ring_id in ring_ids {
+            let mut fx = Effects::new(self.token_seed);
+            if let Some(ring) = self.rings.get_mut(&ring_id) {
+                ring.on_start(now, &mut fx);
+            }
+            self.token_seed = fx.token_seed();
+            self.finish(now, fx, out);
+            self.maybe_start_trim(ring_id, out);
+        }
+    }
+
+    fn maybe_start_trim(&mut self, ring_id: RingId, out: &mut Vec<Action>) {
+        let Some(ring) = self.rings.get(&ring_id) else {
+            return;
+        };
+        let interval = ring.config().tuning().trim_interval_us;
+        if interval == 0 || ring.coordinator_proc() != self.me {
+            self.trim.remove(&ring_id);
+            return;
+        }
+        if !self.trim.contains_key(&ring_id) {
+            let group = ring.group();
+            self.trim
+                .insert(ring_id, TrimCoordinator::new(group, ring_id, &self.config));
+            out.push(Action::SetTimer {
+                after_us: interval,
+                timer: TimerKind::TrimTick(ring_id),
+            });
+        }
+    }
+
+    fn on_timer(&mut self, now: Time, kind: TimerKind, out: &mut Vec<Action>) {
+        match kind {
+            TimerKind::Delta(r)
+            | TimerKind::FlushLinks(r)
+            | TimerKind::GapCheck(r)
+            | TimerKind::ProposalResend(r) => {
+                let mut fx = Effects::new(self.token_seed);
+                if let Some(ring) = self.rings.get_mut(&r) {
+                    ring.on_timer(now, kind, &mut fx);
+                }
+                self.token_seed = fx.token_seed();
+                self.finish(now, fx, out);
+            }
+            TimerKind::TrimTick(r) => {
+                let interval = self
+                    .rings
+                    .get(&r)
+                    .map(|ring| ring.config().tuning().trim_interval_us)
+                    .unwrap_or(0);
+                if let Some(tc) = self.trim.get_mut(&r) {
+                    let group = tc.group();
+                    let (seq, targets) = tc.begin_round();
+                    for t in targets {
+                        let msg = Message::TrimQuery { group, seq };
+                        if t == self.me {
+                            // The replica layer answers; a bare node has
+                            // no checkpoints and simply does not reply.
+                        } else {
+                            out.push(Action::Send { to: t, msg });
+                        }
+                    }
+                    if interval > 0 {
+                        out.push(Action::SetTimer {
+                            after_us: interval,
+                            timer: kind,
+                        });
+                    }
+                }
+            }
+            TimerKind::CheckpointTick | TimerKind::RecoveryRetry => {
+                // Replica-layer timers; a bare node ignores them.
+            }
+        }
+    }
+
+    fn on_coordinator_change(
+        &mut self,
+        now: Time,
+        ring_id: RingId,
+        coordinator: ProcessId,
+        supersedes: Ballot,
+        out: &mut Vec<Action>,
+    ) {
+        let mut fx = Effects::new(self.token_seed);
+        if let Some(ring) = self.rings.get_mut(&ring_id) {
+            ring.set_coordinator(now, coordinator, supersedes, &mut fx);
+        }
+        self.token_seed = fx.token_seed();
+        self.finish(now, fx, out);
+        self.maybe_start_trim(ring_id, out);
+    }
+}
+
+impl StateMachine for Node {
+    fn on_event(&mut self, now: Time, event: Event) -> Vec<Action> {
+        let mut out = Vec::new();
+        match event {
+            Event::Start => self.on_start(now, &mut out),
+            Event::Message { from, msg } => self.dispatch_message(now, from, msg, &mut out),
+            Event::Timer(kind) => self.on_timer(now, kind, &mut out),
+            Event::PersistDone(token) => {
+                if let Some(actions) = self.gated.remove(&token) {
+                    for action in actions {
+                        match action {
+                            Action::Send { to, msg } if to == self.me => {
+                                self.dispatch_message(now, self.me, msg, &mut out);
+                            }
+                            other => out.push(other),
+                        }
+                    }
+                }
+            }
+            Event::CoordinatorChange {
+                ring,
+                coordinator,
+                supersedes,
+            } => self.on_coordinator_change(now, ring, coordinator, supersedes, &mut out),
+            Event::MembershipChange { ring, down } => {
+                if let Some(state) = self.rings.get_mut(&ring) {
+                    state.set_down(down);
+                }
+            }
+        }
+        out
+    }
+
+    fn process_id(&self) -> ProcessId {
+        self.me
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{single_ring, RingTuning};
+
+    fn quiet_tuning() -> RingTuning {
+        RingTuning {
+            lambda: 0,
+            ..RingTuning::default()
+        }
+    }
+
+    /// Drives a set of nodes to quiescence by executing all Send actions
+    /// (zero-latency, in-order), returning delivered values per process.
+    fn run_to_quiescence(
+        nodes: &mut BTreeMap<ProcessId, Node>,
+        mut queue: Vec<(ProcessId, Action)>,
+    ) -> BTreeMap<ProcessId, Vec<(GroupId, InstanceId, ValueId)>> {
+        let mut delivered: BTreeMap<ProcessId, Vec<(GroupId, InstanceId, ValueId)>> =
+            BTreeMap::new();
+        let now = Time::ZERO;
+        let mut steps = 0;
+        while let Some((origin, action)) = queue.pop() {
+            steps += 1;
+            assert!(steps < 100_000, "no quiescence");
+            match action {
+                Action::Send { to, msg } => {
+                    let node = nodes.get_mut(&to).expect("known process");
+                    let actions = node.on_event(
+                        now,
+                        Event::Message {
+                            from: origin,
+                            msg,
+                        },
+                    );
+                    for a in actions {
+                        queue.push((to, a));
+                    }
+                }
+                Action::Deliver {
+                    group,
+                    instance,
+                    value,
+                } => {
+                    delivered
+                        .entry(origin)
+                        .or_default()
+                        .push((group, instance, value.id));
+                }
+                Action::Persist { token, .. } => {
+                    // Immediate durable completion.
+                    let node = nodes.get_mut(&origin).expect("known process");
+                    for a in node.on_event(now, Event::PersistDone(token)) {
+                        queue.push((origin, a));
+                    }
+                }
+                Action::SetTimer { .. } | Action::TrimStorage { .. } | Action::Respond { .. } => {}
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn three_process_ring_delivers_in_total_order() {
+        let config = single_ring(3, quiet_tuning());
+        let mut nodes: BTreeMap<ProcessId, Node> = (0..3)
+            .map(|i| {
+                let p = ProcessId::new(i);
+                (p, Node::new(p, config.clone()))
+            })
+            .collect();
+        let mut queue = Vec::new();
+        for (&p, node) in nodes.iter_mut() {
+            for a in node.on_event(Time::ZERO, Event::Start) {
+                queue.push((p, a));
+            }
+        }
+        run_to_quiescence(&mut nodes, std::mem::take(&mut queue));
+
+        // Multicast three values from different proposers.
+        for (i, proposer) in [0u32, 1, 2].iter().enumerate() {
+            let p = ProcessId::new(*proposer);
+            let (_, actions) = nodes
+                .get_mut(&p)
+                .unwrap()
+                .multicast(Time::ZERO, GroupId::new(0), Bytes::from(vec![i as u8]))
+                .unwrap();
+            for a in actions {
+                queue.push((p, a));
+            }
+        }
+        let delivered = run_to_quiescence(&mut nodes, queue);
+        assert_eq!(delivered.len(), 3, "all three learners deliver");
+        let reference = &delivered[&ProcessId::new(0)];
+        assert_eq!(reference.len(), 3);
+        for (_, seq) in delivered.iter() {
+            assert_eq!(seq, reference, "identical delivery order everywhere");
+        }
+    }
+
+    #[test]
+    fn multicast_to_unknown_group_fails() {
+        let config = single_ring(3, quiet_tuning());
+        let mut node = Node::new(ProcessId::new(0), config);
+        let err = node
+            .multicast(Time::ZERO, GroupId::new(9), Bytes::new())
+            .unwrap_err();
+        assert_eq!(err, MulticastError::UnknownGroup(GroupId::new(9)));
+    }
+
+    #[test]
+    fn request_is_framed_and_multicast() {
+        let config = single_ring(3, quiet_tuning());
+        let mut nodes: BTreeMap<ProcessId, Node> = (0..3)
+            .map(|i| {
+                let p = ProcessId::new(i);
+                (p, Node::new(p, config.clone()))
+            })
+            .collect();
+        let mut queue = Vec::new();
+        for (&p, node) in nodes.iter_mut() {
+            for a in node.on_event(Time::ZERO, Event::Start) {
+                queue.push((p, a));
+            }
+        }
+        run_to_quiescence(&mut nodes, std::mem::take(&mut queue));
+        let p0 = ProcessId::new(0);
+        let actions = nodes.get_mut(&p0).unwrap().on_event(
+            Time::ZERO,
+            Event::Message {
+                from: ProcessId::new(99),
+                msg: Message::Request {
+                    client: ClientId::new(5),
+                    request: 1,
+                    group: GroupId::new(0),
+                    payload: Bytes::from_static(b"cmd"),
+                },
+            },
+        );
+        let delivered = run_to_quiescence(
+            &mut nodes,
+            actions.into_iter().map(|a| (p0, a)).collect(),
+        );
+        assert_eq!(delivered[&p0].len(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Single-ring consensus roles.
+//!
+//! Ring Paxos (Marandi et al., DSN 2012) is an optimized Paxos in which
+//! all communication follows a unidirectional ring. The role logic is
+//! still classic Paxos:
+//!
+//! * the [`Acceptor`](acceptor::Acceptor) promises ballots (Phase 1) and
+//!   votes on values (Phase 2), persisting both before answering so it
+//!   can serve retransmissions after a crash;
+//! * the [`Coordinator`](coordinator::Coordinator) — an elected acceptor —
+//!   pre-executes Phase 1 for an open-ended instance range, assigns
+//!   consensus instances to incoming values, pipelines Phase 2 rounds,
+//!   and implements *rate leveling* by proposing `Skip` ranges when the
+//!   ring runs below its configured rate λ.
+//!
+//! The ring-overlay routing (who forwards what to whom) lives in
+//! [`crate::ring`]; the types here are pure consensus state.
+
+pub mod acceptor;
+pub mod coordinator;
+
+pub use acceptor::{Acceptor, AcceptorRecovery, Phase1Outcome, Phase2Outcome};
+pub use coordinator::{Coordinator, CoordinatorStatus};

@@ -1,0 +1,70 @@
+//! dLog example: two logs plus a common ring; concurrent appenders and
+//! atomic multi-appends; all three servers agree on every position.
+//!
+//! Run with: `cargo run --example distributed_log`
+
+use atomic_multicast::core::app::Application;
+use atomic_multicast::core::config::RingTuning;
+use atomic_multicast::core::replica::{CheckpointPolicy, Replica};
+use atomic_multicast::core::types::{ClientId, ProcessId, Time};
+use atomic_multicast::dlog::{DLogApp, DLogClient, DLogClientConfig, DLogDeployment, DLogTopology};
+use atomic_multicast::sim::actor::Hosted;
+use atomic_multicast::sim::cluster::{Cluster, SimConfig};
+use atomic_multicast::sim::net::Topology;
+
+fn main() {
+    let tuning = RingTuning { lambda: 2_000, ..RingTuning::default() };
+    let deployment = DLogDeployment::build(&DLogTopology::new(2, tuning));
+    println!(
+        "dLog: {} logs over {} servers, common ring for multi-appends",
+        deployment.group_of_log.len(),
+        deployment.servers.len()
+    );
+
+    let mut cluster = Cluster::new(SimConfig::default(), Topology::lan(8));
+    cluster.set_protocol(deployment.config.clone());
+    let logs: Vec<u16> = deployment.group_of_log.keys().copied().collect();
+    for &s in &deployment.servers {
+        let app = DLogApp::new(logs.clone(), 200 * 1024 * 1024);
+        let replica = Replica::new(
+            s,
+            deployment.config.clone(),
+            app,
+            CheckpointPolicy { interval_us: 0, sync: false },
+        );
+        cluster.add_actor(s, Hosted::new(replica).boxed());
+    }
+
+    let client_proc = ProcessId::new(900);
+    let client_id = ClientId::new(1);
+    let mut cfg = DLogClientConfig::new(client_id, 6);
+    cfg.append_bytes = 256;
+    cfg.multi_append_per_mille = 200; // 20% atomic multi-appends
+    let client = DLogClient::new(cfg, deployment.clone());
+    cluster.add_actor(client_proc, Box::new(client));
+    cluster.register_client(client_id, client_proc);
+    cluster.start();
+    cluster.run_until(Time::from_secs(5));
+
+    println!(
+        "completed {} appends in 5 simulated seconds",
+        cluster.metrics().counter("dlog/ops")
+    );
+    // The three servers agree byte-for-byte on every log.
+    type Server = Hosted<Replica<DLogApp>>;
+    let mut snaps = Vec::new();
+    for &s in &deployment.servers.clone() {
+        let server = cluster.actor_as::<Server>(s).expect("server");
+        for &log in &logs {
+            println!(
+                "  server {} log {}: next position {}",
+                s.value(),
+                log,
+                server.inner().app().len_of(log).unwrap_or(0)
+            );
+        }
+        snaps.push(server.inner().app().snapshot());
+    }
+    assert!(snaps.windows(2).all(|w| w[0] == w[1]));
+    println!("all servers agree on all positions — multi-appends were atomic.");
+}

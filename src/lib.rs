@@ -1,0 +1,44 @@
+//! # atomic-multicast
+//!
+//! Umbrella crate for the Multi-Ring Paxos atomic multicast stack — a
+//! from-scratch Rust reproduction of *"Building global and scalable
+//! systems with atomic multicast"* (Benz, Jalili Marandi, Pedone,
+//! Garbinato — Middleware 2014).
+//!
+//! It re-exports the workspace crates under stable paths:
+//!
+//! * [`core`](multiring_paxos) — the sans-io Multi-Ring Paxos protocol
+//!   (rings, deterministic merge, rate leveling, recovery).
+//! * [`sim`](mrp_sim) — deterministic discrete-event simulator (WAN
+//!   topologies, disk/CPU models, fault injection) used by tests and by
+//!   the benchmark harness that regenerates the paper's figures.
+//! * [`transport`](mrp_transport) — wire codec and a real TCP runtime.
+//! * [`storage`](mrp_storage) — acceptor write-ahead logs and checkpoint
+//!   storage.
+//! * [`coord`](mrp_coord) — coordination service (membership, ring
+//!   configuration, coordinator election).
+//! * [`store`](mrp_store) — MRP-Store, the partitioned strongly
+//!   consistent key-value store of Section 6.1.
+//! * [`dlog`](mrp_dlog) — dLog, the distributed shared log of
+//!   Section 6.2.
+//! * [`ycsb`](mrp_ycsb) — YCSB-style workload generator.
+//! * [`baselines`](mrp_baselines) — comparison systems used by the
+//!   evaluation.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the paper-figure reproductions.
+
+pub use mrp_baselines as baselines;
+pub use mrp_coord as coord;
+pub use mrp_dlog as dlog;
+pub use mrp_sim as sim;
+pub use mrp_storage as storage;
+pub use mrp_store as store;
+pub use mrp_transport as transport;
+pub use mrp_ycsb as ycsb;
+pub use multiring_paxos as core;
+
+/// Broadly useful items for building on the stack.
+pub mod prelude {
+    pub use multiring_paxos::prelude::*;
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the protocol's core invariants, driven by
+//! proptest over randomized inputs and schedules.
+
+use bytes::Bytes;
+use multiring_paxos::multiring::Merger;
+use multiring_paxos::recovery::CheckpointId;
+use multiring_paxos::types::{ConsensusValue, GroupId, InstanceId, ProcessId, Value, ValueId};
+use proptest::prelude::*;
+
+fn value(group: u16, proposer: u32, seq: u64) -> ConsensusValue {
+    ConsensusValue::Values(vec![Value::new(
+        ValueId::new(ProcessId::new(proposer), seq),
+        GroupId::new(group),
+        Bytes::from(vec![0u8; 8]),
+    )])
+}
+
+/// Builds per-group decision streams: group g gets `lens[g]` instances,
+/// a pseudo-random subset of which are skips.
+fn streams(lens: &[u8], skip_mask: u64) -> Vec<Vec<(InstanceId, ConsensusValue)>> {
+    lens.iter()
+        .enumerate()
+        .map(|(g, &len)| {
+            (1..=u64::from(len))
+                .map(|i| {
+                    let cv = if (skip_mask >> ((i + g as u64) % 64)) & 1 == 1 {
+                        ConsensusValue::Skip
+                    } else {
+                        value(g as u16, g as u32 + 1, i)
+                    };
+                    (InstanceId::new(i), cv)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    /// Determinism: for any pair of arrival interleavings of the same
+    /// per-ring streams, two mergers deliver identical sequences.
+    #[test]
+    fn merge_is_deterministic_under_interleaving(
+        lens in proptest::collection::vec(1u8..40, 2..4),
+        skip_mask in any::<u64>(),
+        order_seed in any::<u64>(),
+        m in 1u32..4,
+    ) {
+        let groups: Vec<GroupId> = (0..lens.len() as u16).map(GroupId::new).collect();
+        let streams = streams(&lens, skip_mask);
+
+        // Merger A: strictly group by group.
+        let mut a = Merger::new(groups.clone(), m);
+        let mut out_a = Vec::new();
+        for (g, s) in streams.iter().enumerate() {
+            for (i, cv) in s {
+                a.push(GroupId::new(g as u16), *i, 1, cv.clone());
+                out_a.extend(a.poll());
+            }
+        }
+
+        // Merger B: pseudo-random round-robin interleaving.
+        let mut b = Merger::new(groups, m);
+        let mut out_b = Vec::new();
+        let mut cursors = vec![0usize; streams.len()];
+        let mut state = order_seed | 1;
+        while cursors.iter().zip(&streams).any(|(&c, s)| c < s.len()) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (state >> 33) as usize % streams.len();
+            if cursors[pick] < streams[pick].len() {
+                let (i, cv) = &streams[pick][cursors[pick]];
+                b.push(GroupId::new(pick as u16), *i, 1, cv.clone());
+                cursors[pick] += 1;
+                out_b.extend(b.poll());
+            }
+        }
+
+        let key = |d: &multiring_paxos::multiring::MergeDelivery| (d.group, d.instance, d.value.id);
+        prop_assert_eq!(
+            out_a.iter().map(key).collect::<Vec<_>>(),
+            out_b.iter().map(key).collect::<Vec<_>>()
+        );
+    }
+
+    /// The merge cursor always satisfies Predicate 1 of the paper
+    /// (checkpoint tuples are cursor-consistent at every point).
+    #[test]
+    fn merge_watermarks_always_satisfy_predicate1(
+        lens in proptest::collection::vec(1u8..30, 2..4),
+        skip_mask in any::<u64>(),
+        m in 1u32..4,
+    ) {
+        let groups: Vec<GroupId> = (0..lens.len() as u16).map(GroupId::new).collect();
+        let streams = streams(&lens, skip_mask);
+        let mut merger = Merger::new(groups, m);
+        for (g, s) in streams.iter().enumerate() {
+            for (i, cv) in s {
+                merger.push(GroupId::new(g as u16), *i, 1, cv.clone());
+                merger.poll();
+                let w = merger.watermarks();
+                prop_assert!(
+                    w.cursor_consistent(m),
+                    "inconsistent watermark {w} with M={m}"
+                );
+            }
+        }
+    }
+
+    /// Install/watermark round trip: reconstructing a merger from any
+    /// intermediate checkpoint resumes at exactly the same position.
+    #[test]
+    fn merge_install_resumes_identically(
+        lens in proptest::collection::vec(5u8..30, 2..3),
+        skip_mask in any::<u64>(),
+        cut in 1u8..5,
+    ) {
+        let groups: Vec<GroupId> = (0..lens.len() as u16).map(GroupId::new).collect();
+        let streams = streams(&lens, skip_mask);
+        // Feed only a prefix, checkpoint, then feed the rest to both the
+        // original and a freshly installed merger.
+        let mut original = Merger::new(groups.clone(), 1);
+        for (g, s) in streams.iter().enumerate() {
+            for (i, cv) in s.iter().take(usize::from(cut)) {
+                original.push(GroupId::new(g as u16), *i, 1, cv.clone());
+            }
+        }
+        original.poll();
+        let ckpt = original.watermarks();
+        let mut restored = Merger::new(groups, 1);
+        restored.install(&ckpt);
+        prop_assert_eq!(restored.watermarks(), ckpt.clone());
+
+        let mut out_orig = Vec::new();
+        let mut out_rest = Vec::new();
+        for (g, s) in streams.iter().enumerate() {
+            for (i, cv) in s {
+                // Feed everything after each merger's own watermark.
+                if i.value() > ckpt.mark_of(GroupId::new(g as u16)).value() {
+                    original.push(GroupId::new(g as u16), *i, 1, cv.clone());
+                    restored.push(GroupId::new(g as u16), *i, 1, cv.clone());
+                }
+            }
+        }
+        out_orig.extend(original.poll());
+        out_rest.extend(restored.poll());
+        let key = |d: &multiring_paxos::multiring::MergeDelivery| (d.group, d.instance, d.value.id);
+        prop_assert_eq!(
+            out_orig.iter().map(key).collect::<Vec<_>>(),
+            out_rest.iter().map(key).collect::<Vec<_>>()
+        );
+    }
+
+    /// Checkpoint total order (Predicate 1 consequence): any two valid
+    /// cursor-consistent checkpoints over the same groups are comparable.
+    #[test]
+    fn valid_checkpoints_are_totally_ordered(
+        lens in proptest::collection::vec(10u8..40, 2..3),
+        skip_mask in any::<u64>(),
+        cut_a in 1u8..9,
+        cut_b in 1u8..9,
+    ) {
+        let groups: Vec<GroupId> = (0..lens.len() as u16).map(GroupId::new).collect();
+        let streams = streams(&lens, skip_mask);
+        let snapshot_at = |cut: u8| -> CheckpointId {
+            let mut m = Merger::new(groups.clone(), 1);
+            for (g, s) in streams.iter().enumerate() {
+                for (i, cv) in s.iter().take(usize::from(cut)) {
+                    m.push(GroupId::new(g as u16), *i, 1, cv.clone());
+                }
+            }
+            m.poll();
+            m.watermarks()
+        };
+        let a = snapshot_at(cut_a);
+        let b = snapshot_at(cut_b);
+        prop_assert!(
+            a.dominates(&b) || b.dominates(&a),
+            "checkpoints {a} and {b} are incomparable"
+        );
+    }
+}
