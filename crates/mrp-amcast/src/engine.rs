@@ -1,0 +1,223 @@
+//! The [`AmcastEngine`] trait, the [`EngineKind`] selector, and the
+//! [`AnyEngine`] enum that lets runtimes host either engine behind one
+//! concrete type.
+
+use crate::wbcast::WbcastNode;
+use bytes::Bytes;
+use multiring_paxos::config::ClusterConfig;
+use multiring_paxos::event::{Action, Event, StateMachine};
+use multiring_paxos::node::{MulticastError, Node};
+use multiring_paxos::types::{GroupId, ProcessId, Time, ValueId};
+use std::fmt;
+use std::str::FromStr;
+
+/// A sans-io atomic-multicast ordering engine.
+///
+/// Beyond the [`StateMachine`] contract (events in, actions out), an
+/// engine accepts local submissions and reports its identity. All
+/// engines must provide agreement, validity and acyclic order for the
+/// values they deliver via [`Action::Deliver`].
+pub trait AmcastEngine: StateMachine {
+    /// Atomically multicasts `payload` to `group` from this process,
+    /// returning the assigned value id and the actions to execute.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the group is unknown in the configuration or this
+    /// process may not propose to it.
+    fn multicast(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        payload: Bytes,
+    ) -> Result<(ValueId, Vec<Action>), MulticastError>;
+
+    /// A short, stable engine name (for metrics and reports).
+    fn engine_name(&self) -> &'static str;
+
+    /// Values submitted locally and not yet known to be ordered
+    /// (backpressure signal; engines without tracking return 0).
+    fn backlog(&self) -> usize {
+        0
+    }
+}
+
+impl AmcastEngine for Node {
+    fn multicast(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        payload: Bytes,
+    ) -> Result<(ValueId, Vec<Action>), MulticastError> {
+        Node::multicast(self, now, group, payload)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "multiring"
+    }
+
+    fn backlog(&self) -> usize {
+        self.proposer_backlog()
+    }
+}
+
+/// Which atomic-multicast engine a deployment runs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum EngineKind {
+    /// Multi-Ring Paxos: one Ring Paxos instance per group,
+    /// deterministic merge at the learners (the paper's protocol).
+    #[default]
+    MultiRing,
+    /// Timestamp-based Skeen/white-box multicast: per-group sequencer
+    /// timestamps, delivery in global `(timestamp, group)` order.
+    Wbcast,
+}
+
+impl EngineKind {
+    /// Every selectable engine, for parameterized tests and benches.
+    pub const ALL: [EngineKind; 2] = [EngineKind::MultiRing, EngineKind::Wbcast];
+
+    /// The engine's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::MultiRing => "multiring",
+            EngineKind::Wbcast => "wbcast",
+        }
+    }
+
+    /// Builds an engine of this kind for process `me` over `config`.
+    ///
+    /// Both engines consume the same [`ClusterConfig`]: groups, the
+    /// group→ring mapping (wbcast treats each ring as a replica set
+    /// whose coordinator is the group's sequencer), roles and learner
+    /// subscriptions.
+    pub fn build(self, me: ProcessId, config: ClusterConfig) -> AnyEngine {
+        match self {
+            EngineKind::MultiRing => AnyEngine::MultiRing(Node::new(me, config)),
+            EngineKind::Wbcast => AnyEngine::Wbcast(WbcastNode::new(me, config)),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "multiring" | "multi-ring" | "mrp" => Ok(EngineKind::MultiRing),
+            "wbcast" | "skeen" | "timestamp" => Ok(EngineKind::Wbcast),
+            other => Err(format!("unknown engine kind {other:?}")),
+        }
+    }
+}
+
+/// A concrete either-engine type, so runtimes and services can host an
+/// engine chosen at configuration time without trait objects.
+#[derive(Debug)]
+pub enum AnyEngine {
+    /// The Multi-Ring Paxos engine.
+    MultiRing(Node),
+    /// The timestamp-based white-box engine.
+    Wbcast(WbcastNode),
+}
+
+impl AnyEngine {
+    /// Which kind this engine is.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            AnyEngine::MultiRing(_) => EngineKind::MultiRing,
+            AnyEngine::Wbcast(_) => EngineKind::Wbcast,
+        }
+    }
+
+    /// The inner Multi-Ring Paxos node, if that is the engine.
+    pub fn as_multiring(&self) -> Option<&Node> {
+        match self {
+            AnyEngine::MultiRing(n) => Some(n),
+            AnyEngine::Wbcast(_) => None,
+        }
+    }
+
+    /// The inner white-box node, if that is the engine.
+    pub fn as_wbcast(&self) -> Option<&WbcastNode> {
+        match self {
+            AnyEngine::MultiRing(_) => None,
+            AnyEngine::Wbcast(n) => Some(n),
+        }
+    }
+}
+
+impl StateMachine for AnyEngine {
+    fn on_event(&mut self, now: Time, event: Event) -> Vec<Action> {
+        match self {
+            AnyEngine::MultiRing(n) => n.on_event(now, event),
+            AnyEngine::Wbcast(n) => n.on_event(now, event),
+        }
+    }
+
+    fn process_id(&self) -> ProcessId {
+        match self {
+            AnyEngine::MultiRing(n) => n.process_id(),
+            AnyEngine::Wbcast(n) => n.process_id(),
+        }
+    }
+}
+
+impl AmcastEngine for AnyEngine {
+    fn multicast(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        payload: Bytes,
+    ) -> Result<(ValueId, Vec<Action>), MulticastError> {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::multicast(n, now, group, payload),
+            AnyEngine::Wbcast(n) => AmcastEngine::multicast(n, now, group, payload),
+        }
+    }
+
+    fn engine_name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    fn backlog(&self) -> usize {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::backlog(n),
+            AnyEngine::Wbcast(n) => AmcastEngine::backlog(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiring_paxos::config::{single_ring, RingTuning};
+
+    #[test]
+    fn kind_parse_and_display() {
+        assert_eq!(
+            "multiring".parse::<EngineKind>().unwrap(),
+            EngineKind::MultiRing
+        );
+        assert_eq!("skeen".parse::<EngineKind>().unwrap(), EngineKind::Wbcast);
+        assert!("zab".parse::<EngineKind>().is_err());
+        assert_eq!(EngineKind::Wbcast.to_string(), "wbcast");
+    }
+
+    #[test]
+    fn build_produces_matching_engine() {
+        let config = single_ring(3, RingTuning::default());
+        for kind in EngineKind::ALL {
+            let engine = kind.build(ProcessId::new(0), config.clone());
+            assert_eq!(engine.kind(), kind);
+            assert_eq!(engine.engine_name(), kind.name());
+            assert_eq!(engine.process_id(), ProcessId::new(0));
+        }
+    }
+}

@@ -1,0 +1,855 @@
+//! A timestamp-based Skeen-style ("white-box") atomic multicast engine.
+//!
+//! ## Message flow
+//!
+//! Each multicast group has one *sequencer*: the coordinator of the
+//! ring the group maps to in the [`ClusterConfig`] (in a full
+//! deployment the sequencer's counter would itself be Paxos-replicated
+//! inside the group, as in *White-Box Atomic Multicast*; this engine
+//! models the failure-free ordering path).
+//!
+//! ```text
+//!  proposer            sequencer of g                subscribers of g
+//!     │  Submit(g, v)       │                               │
+//!     ├────────────────────▶│ ts := clock(g)++              │
+//!     │                     ├── Ordered(g, ts, v) ─────────▶│  buffer by ts
+//!     │                     │                               │  deliver in global
+//!     │                     ├── Heartbeat(g, promise) ──···▶│  (ts, g) order
+//! ```
+//!
+//! 1. **Submit** — a proposer assigns the value its [`ValueId`] and
+//!    forwards it to the group's sequencer (one WAN hop; zero if the
+//!    proposer *is* the sequencer). This is the step that makes the
+//!    engine *genuine*: only the destination group's processes are
+//!    involved.
+//! 2. **Order** — the sequencer assigns the value the next per-group
+//!    timestamp and fans `Ordered(group, ts, value)` out to the group's
+//!    subscribers. Timestamps are Lamport-style hybrid clocks: they
+//!    advance with submissions *and* with elapsed time (in a fixed
+//!    quantum shared by every group, [`CLOCK_QUANTUM_US`]), so
+//!    timestamps of different groups stay loosely aligned without any
+//!    cross-group communication — even when rings configure different
+//!    heartbeat intervals Δ.
+//! 3. **Deliver** — every subscriber delivers buffered values in the
+//!    global lexicographic `(ts, group)` order. A value `(ts, g)` is
+//!    deliverable once no other subscribed group can still produce a
+//!    smaller key, i.e. for every other subscribed group `g'` the
+//!    subscriber has observed a timestamp `≥ ts` (if `g' < g`) or
+//!    `≥ ts − 1` (if `g' > g`). Channels are reliable FIFO (the
+//!    [`Action::Send`] contract), so "observed timestamp" is simply the
+//!    largest received one.
+//! 4. **Heartbeat** — sequencers of idle groups periodically promise
+//!    "all my future timestamps exceed X" so that other groups'
+//!    deliveries are never blocked by an idle group: the analogue of
+//!    Multi-Ring Paxos rate leveling, paced by the ring's Δ.
+//!
+//! Compared with the ring engine, the ordering path for a value is
+//! `proposer → sequencer → subscribers` — one message delay fewer than
+//! circulating a ring and merging — at the price of funnelling each
+//! group's traffic through one sequencer and (in this implementation)
+//! no fault-tolerant ordering path.
+//!
+//! All engine traffic travels in opaque
+//! [`Message::Engine`](multiring_paxos::event::Message::Engine) frames
+//! with wire id [`WBCAST_WIRE_ID`], so every existing runtime
+//! (simulator, TCP transport) carries it unchanged.
+
+use crate::engine::AmcastEngine;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use multiring_paxos::app::encode_command;
+use multiring_paxos::config::ClusterConfig;
+use multiring_paxos::event::{Action, Event, Message, StateMachine, TimerKind};
+use multiring_paxos::node::MulticastError;
+use multiring_paxos::types::{
+    ClientId, GroupId, InstanceId, ProcessId, RingId, Time, Value, ValueId,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Wire id of this engine inside [`Message::Engine`] frames.
+pub const WBCAST_WIRE_ID: u8 = 1;
+
+const TAG_SUBMIT: u8 = 1;
+const TAG_ORDERED: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+
+/// The engine's private messages, carried inside [`Message::Engine`].
+#[derive(Clone, PartialEq, Debug)]
+enum WbMessage {
+    /// A proposer submits a value to the group's sequencer.
+    Submit { group: GroupId, value: Value },
+    /// The sequencer's ordering decision, fanned out to subscribers.
+    Ordered {
+        group: GroupId,
+        ts: u64,
+        value: Value,
+    },
+    /// The sequencer's promise that all future timestamps of `group`
+    /// are strictly greater than `ts`.
+    Heartbeat { group: GroupId, ts: u64 },
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    buf.put_u32_le(v.id.proposer.value());
+    buf.put_u64_le(v.id.seq);
+    buf.put_u16_le(v.group.value());
+    buf.put_u32_le(v.payload.len() as u32);
+    buf.put_slice(&v.payload);
+}
+
+fn get_value(buf: &mut Bytes) -> Option<Value> {
+    if buf.remaining() < 4 + 8 + 2 + 4 {
+        return None;
+    }
+    let proposer = ProcessId::new(buf.get_u32_le());
+    let seq = buf.get_u64_le();
+    let group = GroupId::new(buf.get_u16_le());
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let payload = buf.copy_to_bytes(len);
+    Some(Value::new(ValueId::new(proposer, seq), group, payload))
+}
+
+impl WbMessage {
+    /// Wraps this message into the shared [`Message`] vocabulary.
+    fn into_frame(self) -> Message {
+        let mut buf = BytesMut::new();
+        match &self {
+            WbMessage::Submit { group, value } => {
+                buf.put_u8(TAG_SUBMIT);
+                buf.put_u16_le(group.value());
+                put_value(&mut buf, value);
+            }
+            WbMessage::Ordered { group, ts, value } => {
+                buf.put_u8(TAG_ORDERED);
+                buf.put_u16_le(group.value());
+                buf.put_u64_le(*ts);
+                put_value(&mut buf, value);
+            }
+            WbMessage::Heartbeat { group, ts } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u16_le(group.value());
+                buf.put_u64_le(*ts);
+            }
+        }
+        Message::Engine {
+            engine: WBCAST_WIRE_ID,
+            payload: buf.freeze(),
+        }
+    }
+
+    /// Parses an engine payload; `None` on malformed or foreign frames.
+    fn parse(mut payload: Bytes) -> Option<WbMessage> {
+        if payload.remaining() < 1 + 2 {
+            return None;
+        }
+        let tag = payload.get_u8();
+        let group = GroupId::new(payload.get_u16_le());
+        match tag {
+            TAG_SUBMIT => Some(WbMessage::Submit {
+                group,
+                value: get_value(&mut payload)?,
+            }),
+            TAG_ORDERED => {
+                if payload.remaining() < 8 {
+                    return None;
+                }
+                let ts = payload.get_u64_le();
+                Some(WbMessage::Ordered {
+                    group,
+                    ts,
+                    value: get_value(&mut payload)?,
+                })
+            }
+            TAG_HEARTBEAT => {
+                if payload.remaining() < 8 {
+                    return None;
+                }
+                Some(WbMessage::Heartbeat {
+                    group,
+                    ts: payload.get_u64_le(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Per-group sequencer state (held by the group's coordinator).
+#[derive(Debug)]
+struct Sequencer {
+    /// The ring whose Δ paces this group's heartbeats.
+    ring: RingId,
+    /// Heartbeat interval, microseconds.
+    delta_us: u64,
+    /// Next timestamp to assign (timestamps start at 1).
+    next_ts: u64,
+    /// Highest promise already heartbeated (avoids redundant sends).
+    promised: u64,
+    /// The group's subscribers, precomputed: the fan-out target of
+    /// every `Ordered`/`Heartbeat`, resolved once instead of scanning
+    /// the subscription map per message.
+    subscribers: Vec<ProcessId>,
+}
+
+/// The shared time unit of the hybrid clocks, microseconds. Every
+/// sequencer ticks in this fixed quantum — *not* in its ring's Δ —
+/// so groups with different Δ still advance their timestamps at the
+/// same wall-clock rate and no subscriber's delivery of one group can
+/// lag another group's clock without bound. Δ only paces how often
+/// the promise is *communicated* (heartbeats).
+///
+/// The quantum also bounds cross-group release: when a busy group's
+/// count-driven timestamps outrun an idle group's time-driven promise,
+/// the busy group's deliveries at shared subscribers drain at most
+/// `1 / CLOCK_QUANTUM_US` values per second (the [`Sequencer::observe`]
+/// rule lifts this cap entirely when the idle sequencer's process also
+/// subscribes to the busy group). One microsecond puts that floor at
+/// 10⁶ values/s/group — above any workload this simulator drives — at
+/// no cost: timestamps are u64 and their magnitude carries no meaning.
+pub const CLOCK_QUANTUM_US: u64 = 1;
+
+impl Sequencer {
+    /// Advances the hybrid clock with elapsed time: future timestamps
+    /// of this group always exceed `now / CLOCK_QUANTUM_US`, keeping
+    /// independent groups loosely aligned so no group waits long on
+    /// another.
+    fn bump_clock(&mut self, now: Time) {
+        let floor = now.as_micros() / CLOCK_QUANTUM_US + 1;
+        self.next_ts = self.next_ts.max(floor);
+    }
+
+    /// Lamport receive rule: a sequencer that observes another group's
+    /// timestamp jumps its own clock past it, so a busy group's
+    /// count-driven timestamps never outrun an idle co-located group's
+    /// promises (which would cap the busy group's delivery rate at the
+    /// time-based tick rate).
+    fn observe(&mut self, ts: u64) {
+        self.next_ts = self.next_ts.max(ts + 1);
+    }
+}
+
+/// Per-subscribed-group delivery state.
+#[derive(Debug, Default)]
+struct Subscription {
+    /// Largest timestamp observed from the group's sequencer. FIFO
+    /// channels make this a frontier: everything at or below it has
+    /// been received.
+    horizon: u64,
+    /// Ordered-but-not-yet-deliverable values, keyed by timestamp.
+    pending: BTreeMap<u64, Value>,
+}
+
+/// The per-process state machine of the white-box engine: sequencer
+/// roles for the groups this process coordinates, plus the delivery
+/// buffer over its subscribed groups.
+pub struct WbcastNode {
+    me: ProcessId,
+    config: ClusterConfig,
+    /// Groups this process sequences.
+    led: BTreeMap<GroupId, Sequencer>,
+    /// Groups this process subscribes to.
+    subs: BTreeMap<GroupId, Subscription>,
+    /// Per-proposer sequence numbers for [`ValueId`] assignment.
+    next_seq: u64,
+    /// Values delivered (progress metric).
+    delivered: u64,
+}
+
+impl fmt::Debug for WbcastNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WbcastNode")
+            .field("me", &self.me)
+            .field("leads", &self.led.keys().collect::<Vec<_>>())
+            .field("subscribes", &self.subs.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WbcastNode {
+    /// Creates the engine for process `me` over `config`. The
+    /// sequencer of each group is the coordinator of the group's ring;
+    /// subscriptions are the config's learner subscriptions.
+    pub fn new(me: ProcessId, config: ClusterConfig) -> Self {
+        let mut led = BTreeMap::new();
+        for (&group, &ring_id) in config.groups() {
+            let ring = config.ring(ring_id).expect("validated config");
+            if ring.coordinator() == me {
+                led.insert(
+                    group,
+                    Sequencer {
+                        ring: ring_id,
+                        delta_us: ring.tuning().delta_us,
+                        next_ts: 1,
+                        promised: 0,
+                        subscribers: config.subscribers_of(group),
+                    },
+                );
+            }
+        }
+        let subs = config
+            .subscriptions_of(me)
+            .into_iter()
+            .map(|g| (g, Subscription::default()))
+            .collect();
+        Self {
+            me,
+            config,
+            led,
+            subs,
+            next_seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// The process this engine embodies.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Values delivered so far (progress metric).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The timestamp frontier per subscribed group (inspection: equal
+    /// frontiers on two subscribers of a group mean equal histories).
+    pub fn horizons(&self) -> BTreeMap<GroupId, u64> {
+        self.subs.iter().map(|(&g, s)| (g, s.horizon)).collect()
+    }
+
+    /// Ordered-but-undeliverable values buffered (backpressure metric).
+    pub fn pending_len(&self) -> usize {
+        self.subs.values().map(|s| s.pending.len()).sum()
+    }
+
+    fn sequencer_of(&self, group: GroupId) -> Option<ProcessId> {
+        let ring = self.config.ring_of_group(group)?;
+        Some(self.config.ring(ring)?.coordinator())
+    }
+
+    /// Routes an engine message to a peer, or handles it inline when
+    /// addressed to this process itself.
+    fn route(&mut self, now: Time, to: ProcessId, msg: WbMessage, out: &mut Vec<Action>) {
+        if to == self.me {
+            self.on_wb_message(now, msg, out);
+        } else {
+            out.push(Action::Send {
+                to,
+                msg: msg.into_frame(),
+            });
+        }
+    }
+
+    /// Sequencer side: assigns the next timestamp and fans out. The
+    /// frame is encoded once and shared across subscribers (`Message`
+    /// clones are cheap: the payload is a reference-counted `Bytes`).
+    fn order_value(&mut self, now: Time, group: GroupId, value: Value, out: &mut Vec<Action>) {
+        let me = self.me;
+        let Some(seq) = self.led.get_mut(&group) else {
+            // Stale submission (this process no longer sequences the
+            // group); the proposer's client will retry elsewhere.
+            return;
+        };
+        seq.bump_clock(now);
+        let ts = seq.next_ts;
+        seq.next_ts += 1;
+        let frame = WbMessage::Ordered {
+            group,
+            ts,
+            value: value.clone(),
+        }
+        .into_frame();
+        let mut deliver_locally = false;
+        for &to in &seq.subscribers {
+            if to == me {
+                deliver_locally = true;
+            } else {
+                out.push(Action::Send {
+                    to,
+                    msg: frame.clone(),
+                });
+            }
+        }
+        if deliver_locally {
+            self.on_ordered(group, ts, value, out);
+        }
+    }
+
+    /// Lamport receive rule over every sequencer this process hosts:
+    /// any timestamp observed from another group drags the local
+    /// clocks past it (see [`Sequencer::observe`]).
+    fn observe_ts(&mut self, from_group: GroupId, ts: u64) {
+        for (&g, seq) in self.led.iter_mut() {
+            if g != from_group {
+                seq.observe(ts);
+            }
+        }
+    }
+
+    /// Subscriber side: buffers and drains in global `(ts, group)` order.
+    fn on_ordered(&mut self, group: GroupId, ts: u64, value: Value, out: &mut Vec<Action>) {
+        self.observe_ts(group, ts);
+        let Some(sub) = self.subs.get_mut(&group) else {
+            return;
+        };
+        sub.horizon = sub.horizon.max(ts);
+        sub.pending.insert(ts, value);
+        self.drain(out);
+    }
+
+    fn on_heartbeat(&mut self, group: GroupId, ts: u64, out: &mut Vec<Action>) {
+        self.observe_ts(group, ts);
+        let Some(sub) = self.subs.get_mut(&group) else {
+            return;
+        };
+        if ts <= sub.horizon {
+            return;
+        }
+        sub.horizon = ts;
+        self.drain(out);
+    }
+
+    /// Delivers every buffered value whose `(ts, group)` key can no
+    /// longer be preceded: for each other subscribed group the observed
+    /// frontier must reach `ts` (groups ordered before `group` at equal
+    /// timestamps) or `ts − 1` (groups ordered after).
+    fn drain(&mut self, out: &mut Vec<Action>) {
+        loop {
+            let mut best: Option<(u64, GroupId)> = None;
+            for (&g, s) in &self.subs {
+                if let Some((&ts, _)) = s.pending.iter().next() {
+                    let key = (ts, g);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            let Some((ts, g)) = best else { break };
+            let releasable = self
+                .subs
+                .iter()
+                .all(|(&g2, s2)| g2 == g || s2.horizon >= if g2 < g { ts } else { ts - 1 });
+            if !releasable {
+                break;
+            }
+            let value = self
+                .subs
+                .get_mut(&g)
+                .expect("candidate group is subscribed")
+                .pending
+                .remove(&ts)
+                .expect("candidate timestamp is pending");
+            self.delivered += 1;
+            out.push(Action::Deliver {
+                group: g,
+                instance: InstanceId::new(ts),
+                value,
+            });
+        }
+    }
+
+    fn on_wb_message(&mut self, now: Time, msg: WbMessage, out: &mut Vec<Action>) {
+        match msg {
+            WbMessage::Submit { group, value } => self.order_value(now, group, value, out),
+            WbMessage::Ordered { group, ts, value } => self.on_ordered(group, ts, value, out),
+            WbMessage::Heartbeat { group, ts } => self.on_heartbeat(group, ts, out),
+        }
+    }
+
+    /// Handles a client request arriving at this proposer, mirroring
+    /// the ring engine: the command is framed with its client session
+    /// so any subscriber can answer.
+    fn on_request(
+        &mut self,
+        now: Time,
+        client: ClientId,
+        request: u64,
+        group: GroupId,
+        payload: Bytes,
+        out: &mut Vec<Action>,
+    ) {
+        let framed = encode_command(client, request, &payload);
+        if let Ok((_, actions)) = AmcastEngine::multicast(self, now, group, framed) {
+            out.extend(actions);
+        }
+        // Not a proposer / unknown group: drop; the client retries
+        // against a correct proposer (same policy as the ring engine).
+    }
+
+    fn dispatch_message(&mut self, now: Time, msg: Message, out: &mut Vec<Action>) {
+        match msg {
+            Message::Engine { engine, payload } if engine == WBCAST_WIRE_ID => {
+                if let Some(wb) = WbMessage::parse(payload) {
+                    self.on_wb_message(now, wb, out);
+                }
+            }
+            Message::Batch(msgs) => {
+                for m in msgs {
+                    self.dispatch_message(now, m, out);
+                }
+            }
+            Message::Request {
+                client,
+                request,
+                group,
+                payload,
+            } => self.on_request(now, client, request, group, payload, out),
+            // Ring traffic, trim/checkpoint protocol and foreign engine
+            // frames do not concern this engine.
+            _ => {}
+        }
+    }
+
+    fn heartbeat(&mut self, now: Time, ring: RingId, out: &mut Vec<Action>) {
+        let groups: Vec<GroupId> = self
+            .led
+            .iter()
+            .filter(|(_, s)| s.ring == ring)
+            .map(|(&g, _)| g)
+            .collect();
+        let mut delta_us = None;
+        let me = self.me;
+        for group in groups {
+            let (promise, heartbeat_locally) = {
+                let seq = self.led.get_mut(&group).expect("led group");
+                seq.bump_clock(now);
+                let promise = seq.next_ts - 1;
+                let fresh = promise > seq.promised;
+                if fresh {
+                    seq.promised = promise;
+                }
+                delta_us = Some(seq.delta_us);
+                if !fresh {
+                    continue;
+                }
+                let frame = WbMessage::Heartbeat { group, ts: promise }.into_frame();
+                let mut heartbeat_locally = false;
+                for &to in &seq.subscribers {
+                    if to == me {
+                        heartbeat_locally = true;
+                    } else {
+                        out.push(Action::Send {
+                            to,
+                            msg: frame.clone(),
+                        });
+                    }
+                }
+                (promise, heartbeat_locally)
+            };
+            if heartbeat_locally {
+                self.on_heartbeat(group, promise, out);
+            }
+        }
+        // Exactly one re-arm per ring, regardless of how many led
+        // groups share it: runtimes do not dedupe timers, so one
+        // SetTimer per group would multiply live timers every Δ.
+        if let Some(delta_us) = delta_us {
+            out.push(Action::SetTimer {
+                after_us: delta_us.max(1),
+                timer: TimerKind::Delta(ring),
+            });
+        }
+    }
+
+    fn on_start(&mut self, out: &mut Vec<Action>) {
+        // One Δ timer per distinct ring this process sequences groups
+        // of (several groups may share a ring).
+        let mut rings: BTreeMap<RingId, u64> = BTreeMap::new();
+        for seq in self.led.values() {
+            rings.entry(seq.ring).or_insert(seq.delta_us);
+        }
+        for (ring, delta_us) in rings {
+            out.push(Action::SetTimer {
+                after_us: delta_us.max(1),
+                timer: TimerKind::Delta(ring),
+            });
+        }
+    }
+}
+
+impl StateMachine for WbcastNode {
+    fn on_event(&mut self, now: Time, event: Event) -> Vec<Action> {
+        let mut out = Vec::new();
+        match event {
+            Event::Start => self.on_start(&mut out),
+            Event::Message { msg, .. } => self.dispatch_message(now, msg, &mut out),
+            Event::Timer(TimerKind::Delta(ring)) => self.heartbeat(now, ring, &mut out),
+            // The engine keeps no stable storage and (in this
+            // implementation) a static sequencer assignment; other
+            // timers, persistence completions and membership events
+            // are ring-engine concerns.
+            Event::Timer(_)
+            | Event::PersistDone(_)
+            | Event::CoordinatorChange { .. }
+            | Event::MembershipChange { .. } => {}
+        }
+        out
+    }
+
+    fn process_id(&self) -> ProcessId {
+        self.me
+    }
+}
+
+impl AmcastEngine for WbcastNode {
+    fn multicast(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        payload: Bytes,
+    ) -> Result<(ValueId, Vec<Action>), MulticastError> {
+        let Some(ring_id) = self.config.ring_of_group(group) else {
+            return Err(MulticastError::UnknownGroup(group));
+        };
+        let ring = self.config.ring(ring_id).expect("validated config");
+        if !ring.roles_of(self.me).is_proposer() {
+            return Err(MulticastError::NotAProposer(group));
+        }
+        self.next_seq += 1;
+        let id = ValueId::new(self.me, self.next_seq);
+        let value = Value::new(id, group, payload);
+        let sequencer = self.sequencer_of(group).expect("group has a ring");
+        let mut out = Vec::new();
+        self.route(now, sequencer, WbMessage::Submit { group, value }, &mut out);
+        Ok((id, out))
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "wbcast"
+    }
+
+    // `backlog` keeps its default of 0: the trait defines it as values
+    // *submitted locally* and not yet ordered, which this engine does
+    // not track (submissions are fire-and-forget to the sequencer).
+    // Subscriber-side buffering is exposed as [`WbcastNode::pending_len`].
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiring_paxos::config::{single_ring, RingSpec, RingTuning, Roles};
+    use std::collections::BTreeMap as Map;
+
+    /// Executes all Send actions at zero latency (in-order), collecting
+    /// deliveries per process.
+    fn pump(
+        nodes: &mut Map<ProcessId, WbcastNode>,
+        mut queue: Vec<(ProcessId, Action)>,
+    ) -> Map<ProcessId, Vec<(GroupId, u64, ValueId)>> {
+        let mut delivered: Map<ProcessId, Vec<(GroupId, u64, ValueId)>> = Map::new();
+        let mut steps = 0;
+        while let Some((origin, action)) = queue.pop() {
+            steps += 1;
+            assert!(steps < 100_000, "no quiescence");
+            match action {
+                Action::Send { to, msg } => {
+                    let node = nodes.get_mut(&to).expect("known process");
+                    for a in node.on_event(Time::ZERO, Event::Message { from: origin, msg }) {
+                        queue.push((to, a));
+                    }
+                }
+                Action::Deliver {
+                    group,
+                    instance,
+                    value,
+                } => delivered
+                    .entry(origin)
+                    .or_default()
+                    .push((group, instance.value(), value.id)),
+                _ => {}
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn single_group_delivers_in_submission_order_everywhere() {
+        let config = single_ring(3, RingTuning::default());
+        let mut nodes: Map<ProcessId, WbcastNode> = (0..3)
+            .map(|i| {
+                let p = ProcessId::new(i);
+                (p, WbcastNode::new(p, config.clone()))
+            })
+            .collect();
+        let mut queue = Vec::new();
+        for proposer in [1u32, 2, 0] {
+            let p = ProcessId::new(proposer);
+            let (_, actions) = AmcastEngine::multicast(
+                nodes.get_mut(&p).unwrap(),
+                Time::ZERO,
+                GroupId::new(0),
+                Bytes::from(vec![proposer as u8]),
+            )
+            .unwrap();
+            queue.extend(actions.into_iter().map(|a| (p, a)));
+        }
+        let delivered = pump(&mut nodes, queue);
+        assert_eq!(delivered.len(), 3, "all three subscribers deliver");
+        let reference = &delivered[&ProcessId::new(0)];
+        assert_eq!(reference.len(), 3);
+        for seq in delivered.values() {
+            assert_eq!(seq, reference, "identical delivery sequences");
+        }
+        // Timestamps are dense from 1.
+        let ts: Vec<u64> = reference.iter().map(|(_, t, _)| *t).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multicast_to_unknown_group_fails() {
+        let config = single_ring(2, RingTuning::default());
+        let mut n = WbcastNode::new(ProcessId::new(0), config);
+        let err =
+            AmcastEngine::multicast(&mut n, Time::ZERO, GroupId::new(7), Bytes::new()).unwrap_err();
+        assert_eq!(err, MulticastError::UnknownGroup(GroupId::new(7)));
+    }
+
+    #[test]
+    fn request_is_framed_ordered_and_delivered() {
+        let config = single_ring(1, RingTuning::default());
+        let mut n = WbcastNode::new(ProcessId::new(0), config);
+        let out = n.on_event(
+            Time::ZERO,
+            Event::Message {
+                from: ProcessId::new(9),
+                msg: Message::Request {
+                    client: ClientId::new(4),
+                    request: 1,
+                    group: GroupId::new(0),
+                    payload: Bytes::from_static(b"cmd"),
+                },
+            },
+        );
+        // Singleton: submit, order and deliver complete inline.
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, Action::Deliver { group, .. } if *group == GroupId::new(0))));
+        assert_eq!(n.delivered(), 1);
+    }
+
+    #[test]
+    fn heartbeats_advance_idle_groups() {
+        let config = single_ring(1, RingTuning::default());
+        let mut n = WbcastNode::new(ProcessId::new(0), config);
+        let start = n.on_event(Time::ZERO, Event::Start);
+        assert!(start.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                timer: TimerKind::Delta(_),
+                ..
+            }
+        )));
+        let out = n.on_event(
+            Time::from_millis(50),
+            Event::Timer(TimerKind::Delta(RingId::new(0))),
+        );
+        // Re-armed, and the (self-subscribed) horizon advanced with time.
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                timer: TimerKind::Delta(_),
+                ..
+            }
+        )));
+        assert!(n.horizons()[&GroupId::new(0)] > 0);
+    }
+
+    #[test]
+    fn observed_timestamps_drag_idle_sequencer_clocks_forward() {
+        // Two groups over the same processes; p0 sequences both. A burst
+        // into group 0 drives its count-based timestamps far past wall
+        // clock; the Lamport receive rule must drag group 1's clock
+        // along, so group 1's next heartbeat promise releases the burst
+        // instead of capping delivery at the time-based tick rate.
+        let mut b = ClusterConfig::builder();
+        for ring in 0..2u16 {
+            let mut spec = RingSpec::new(RingId::new(ring));
+            for p in 0..2u32 {
+                spec = spec.member(ProcessId::new(p), Roles::ALL);
+            }
+            b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+        }
+        for p in 0..2u32 {
+            for g in 0..2u16 {
+                b = b.subscribe(ProcessId::new(p), GroupId::new(g));
+            }
+        }
+        let config = b.build().expect("two-group config");
+        let mut nodes: Map<ProcessId, WbcastNode> = (0..2)
+            .map(|i| {
+                let p = ProcessId::new(i);
+                (p, WbcastNode::new(p, config.clone()))
+            })
+            .collect();
+        // 40 submissions to group 0 only, all at t=0 (time-based clock
+        // floor stays at 1, so timestamps run ahead on counts alone).
+        let mut queue = Vec::new();
+        let p0 = ProcessId::new(0);
+        for i in 0..40u8 {
+            let (_, actions) = AmcastEngine::multicast(
+                nodes.get_mut(&p0).unwrap(),
+                Time::ZERO,
+                GroupId::new(0),
+                Bytes::from(vec![i]),
+            )
+            .unwrap();
+            queue.extend(actions.into_iter().map(|a| (p0, a)));
+        }
+        let delivered = pump(&mut nodes, queue);
+        // One group-1 heartbeat at t=0 must now promise past the burst
+        // (clock observed ts=40) and release everything at once.
+        let hb = nodes
+            .get_mut(&p0)
+            .unwrap()
+            .on_event(Time::ZERO, Event::Timer(TimerKind::Delta(RingId::new(1))));
+        let mut queue: Vec<(ProcessId, Action)> = hb.into_iter().map(|a| (p0, a)).collect();
+        queue.retain(|(_, a)| !matches!(a, Action::SetTimer { .. }));
+        let late = pump(&mut nodes, queue);
+        let total: usize = [&delivered, &late]
+            .iter()
+            .flat_map(|d| d.get(&p0))
+            .map(|v| v.len())
+            .sum();
+        assert_eq!(total, 40, "idle group 1 must not throttle group 0's burst");
+    }
+
+    #[test]
+    fn wire_roundtrip_of_engine_frames() {
+        let value = Value::new(
+            ValueId::new(ProcessId::new(3), 9),
+            GroupId::new(1),
+            Bytes::from_static(b"payload"),
+        );
+        for msg in [
+            WbMessage::Submit {
+                group: GroupId::new(1),
+                value: value.clone(),
+            },
+            WbMessage::Ordered {
+                group: GroupId::new(1),
+                ts: 42,
+                value,
+            },
+            WbMessage::Heartbeat {
+                group: GroupId::new(0),
+                ts: 7,
+            },
+        ] {
+            let Message::Engine { engine, payload } = msg.clone().into_frame() else {
+                panic!("expected engine frame");
+            };
+            assert_eq!(engine, WBCAST_WIRE_ID);
+            assert_eq!(WbMessage::parse(payload), Some(msg));
+        }
+        assert_eq!(WbMessage::parse(Bytes::from_static(b"")), None);
+        assert_eq!(WbMessage::parse(Bytes::from_static(&[9, 0, 0])), None);
+    }
+}

@@ -140,6 +140,10 @@ struct Pending {
     got: usize,
 }
 
+/// A workload source: draws the next command (with its metric tag)
+/// from the client's deterministic random stream.
+pub type CommandSource = Box<dyn FnMut(&mut mrp_sim::rng::Rng) -> (StoreCommand, &'static str)>;
+
 /// A closed-loop client for partitioned baseline stores ([`EventualServer`]
 /// and the single-server store): routes by partition map, fans scans out
 /// to every partition owner.
@@ -149,7 +153,7 @@ pub struct BaselineClient {
     partition_map: PartitionMap,
     /// Owner process per partition.
     owners: BTreeMap<u16, ProcessId>,
-    source: Box<dyn FnMut(&mut mrp_sim::rng::Rng) -> (StoreCommand, &'static str)>,
+    source: CommandSource,
     next_request: u64,
     pending: BTreeMap<u64, Pending>,
     warmup_until: Time,
@@ -247,13 +251,7 @@ impl BaselineClient {
 }
 
 impl Actor for BaselineClient {
-    fn on_event(
-        &mut self,
-        now: Time,
-        event: ActorEvent,
-        out: &mut Outbox,
-        ctx: &mut ActorCtx<'_>,
-    ) {
+    fn on_event(&mut self, now: Time, event: ActorEvent, out: &mut Outbox, ctx: &mut ActorCtx<'_>) {
         match event {
             ActorEvent::Start => {
                 for s in 0..self.sessions {
@@ -309,10 +307,7 @@ mod tests {
         s0.load(Bytes::from_static(b"k"), Bytes::from_static(b"v0"));
         cluster.add_actor(owner, Box::new(s0));
         for i in 1..3 {
-            cluster.add_actor(
-                ProcessId::new(i),
-                Box::new(EventualServer::new(0, vec![])),
-            );
+            cluster.add_actor(ProcessId::new(i), Box::new(EventualServer::new(0, vec![])));
         }
         let client_proc = ProcessId::new(9);
         let client_id = ClientId::new(1);
@@ -343,6 +338,6 @@ mod tests {
         let r1 = cluster
             .actor_as::<EventualServer>(ProcessId::new(1))
             .unwrap();
-        assert!(r1.len() > 0, "async replica received mutations");
+        assert!(!r1.is_empty(), "async replica received mutations");
     }
 }

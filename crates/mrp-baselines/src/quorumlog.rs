@@ -248,13 +248,7 @@ impl QuorumLogClient {
 }
 
 impl Actor for QuorumLogClient {
-    fn on_event(
-        &mut self,
-        now: Time,
-        event: ActorEvent,
-        out: &mut Outbox,
-        ctx: &mut ActorCtx<'_>,
-    ) {
+    fn on_event(&mut self, now: Time, event: ActorEvent, out: &mut Outbox, ctx: &mut ActorCtx<'_>) {
         match event {
             ActorEvent::Start => {
                 for s in 0..self.sessions {
@@ -336,7 +330,10 @@ mod tests {
         let ops = cluster.metrics().counter("bookkeeper/ops");
         assert!(ops > 20, "quorum appends progressed: {ops}");
         // Latency is dominated by the flush interval (10 ms policy).
-        let h = cluster.metrics().histogram("bookkeeper/latency_us").unwrap();
+        let h = cluster
+            .metrics()
+            .histogram("bookkeeper/latency_us")
+            .unwrap();
         assert!(
             h.quantile(0.5) >= 5_000,
             "batched flushes should dominate latency, p50={}",

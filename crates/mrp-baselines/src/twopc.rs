@@ -51,7 +51,7 @@ fn decode_msg(mut b: Bytes) -> Option<(u8, u64, Vec<u64>)> {
 /// a no-wait policy (any conflict votes no).
 #[derive(Debug, Default)]
 pub struct TxnParticipant {
-    locks: BTreeMap<u64, u64>, // key → owning txn
+    locks: BTreeMap<u64, u64>,         // key → owning txn
     prepared: BTreeMap<u64, Vec<u64>>, // txn → locked keys
     commits: u64,
     aborts: u64,
@@ -100,9 +100,9 @@ impl Actor for TxnParticipant {
         };
         match tag {
             M_PREPARE => {
-                let conflict = keys.iter().any(|k| {
-                    self.locks.get(k).is_some_and(|&owner| owner != txn)
-                });
+                let conflict = keys
+                    .iter()
+                    .any(|k| self.locks.get(k).is_some_and(|&owner| owner != txn));
                 let vote = if conflict {
                     self.aborts += 1;
                     R_VOTE_NO
@@ -282,13 +282,7 @@ impl TwoPcClient {
 }
 
 impl Actor for TwoPcClient {
-    fn on_event(
-        &mut self,
-        now: Time,
-        event: ActorEvent,
-        out: &mut Outbox,
-        ctx: &mut ActorCtx<'_>,
-    ) {
+    fn on_event(&mut self, now: Time, event: ActorEvent, out: &mut Outbox, ctx: &mut ActorCtx<'_>) {
         match event {
             ActorEvent::Start => {
                 for s in 0..self.sessions {
@@ -296,7 +290,9 @@ impl Actor for TwoPcClient {
                 }
             }
             ActorEvent::Message {
-                msg: Message::Response { request, payload, .. },
+                msg: Message::Response {
+                    request, payload, ..
+                },
                 ..
             } => {
                 let Some(txn) = self.open.remove(&request) else {
@@ -361,7 +357,9 @@ mod tests {
         let client_id = ClientId::new(1);
         cluster.add_actor(
             client_proc,
-            Box::new(TwoPcClient::new(client_id, sessions, parts, hot_keys, "2pc")),
+            Box::new(TwoPcClient::new(
+                client_id, sessions, parts, hot_keys, "2pc",
+            )),
         );
         cluster.register_client(client_id, client_proc);
         cluster.start();

@@ -9,7 +9,12 @@ fn main() {
     let rows = figures::ablation_2pc(scale);
     let mut t = Table::new(
         "Ablation — 2PC aborts vs atomic multicast (32 concurrent cross-partition txns)",
-        &["hot_keys", "2pc_commits_per_s", "2pc_abort_pct", "multicast_txn_per_s"],
+        &[
+            "hot_keys",
+            "2pc_commits_per_s",
+            "2pc_abort_pct",
+            "multicast_txn_per_s",
+        ],
     );
     for r in &rows {
         t.row(&[

@@ -10,7 +10,13 @@ fn main() {
     let rows = figures::fig3(scale);
     let mut t = Table::new(
         "Figure 3 — Multi-Ring Paxos baseline (1 ring x 3 processes, 10 proposer threads)",
-        &["mode", "size", "throughput_mbps", "latency_ms", "cpu_pct@coord"],
+        &[
+            "mode",
+            "size",
+            "throughput_mbps",
+            "latency_ms",
+            "cpu_pct@coord",
+        ],
     );
     for r in &rows {
         t.row(&[

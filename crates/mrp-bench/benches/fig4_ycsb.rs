@@ -10,7 +10,13 @@ fn main() {
     let rows = figures::fig4(scale, &WorkloadKind::all());
     let mut t = Table::new(
         "Figure 4 (top) — YCSB throughput, ops/s (100 client threads)",
-        &["workload", "cassandra-like", "mrp-store (indep.)", "mrp-store", "mysql-like"],
+        &[
+            "workload",
+            "cassandra-like",
+            "mrp-store (indep.)",
+            "mrp-store",
+            "mysql-like",
+        ],
     );
     for kind in WorkloadKind::all() {
         let get = |sys: &str| {

@@ -1,0 +1,33 @@
+//! Figure 9 (extension): atomic-multicast engine comparison —
+//! Multi-Ring Paxos vs the timestamp-based Skeen/white-box engine on
+//! the identical closed-loop workload as groups scale.
+
+use mrp_bench::table::{fmt_f, Table};
+use mrp_bench::{figures, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = figures::fig9(scale);
+    let mut t = Table::new(
+        "Figure 9 — engine comparison (3 processes, 8 sessions/group, 512 B requests)",
+        &[
+            "engine",
+            "groups",
+            "ops_per_sec",
+            "latency_ms",
+            "p50_ms",
+            "p99_ms",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.engine.to_string(),
+            r.groups.to_string(),
+            fmt_f(r.ops_per_sec),
+            fmt_f(r.latency_ms),
+            fmt_f(r.p50_ms),
+            fmt_f(r.p99_ms),
+        ]);
+    }
+    t.print();
+}

@@ -115,5 +115,11 @@ fn bench_ycsb(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_codec, bench_merge, bench_acceptor, bench_ycsb);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_merge,
+    bench_acceptor,
+    bench_ycsb
+);
 criterion_main!(benches);

@@ -20,6 +20,7 @@ use mrp_sim::cluster::{Cluster, SimConfig};
 use mrp_sim::cpu::CpuModel;
 use mrp_sim::disk::DiskModel;
 use mrp_sim::net::{Region, Topology};
+use mrp_storage::NodeStorage;
 use mrp_store::client::{ClientOp, StoreClient, StoreClientConfig};
 use mrp_store::command::StoreCommand;
 use mrp_store::{StoreApp, StoreDeployment, StoreTopology};
@@ -28,7 +29,6 @@ use multiring_paxos::config::{ClusterConfig, RingSpec, RingTuning, Roles, Storag
 use multiring_paxos::node::Node;
 use multiring_paxos::replica::{CheckpointPolicy, Replica};
 use multiring_paxos::types::{ClientId, GroupId, ProcessId, RingId, Time};
-use mrp_storage::NodeStorage;
 use std::collections::BTreeMap;
 
 /// CPU model used for every server process in the service-level
@@ -63,11 +63,14 @@ pub struct Fig3Row {
     pub cdf: Vec<(u64, f64)>,
 }
 
+/// A Figure 3 storage mode: name, acceptor mode, disk model factory.
+type StorageModeRow = (&'static str, StorageMode, Option<fn() -> DiskModel>);
+
 /// Figure 3: one ring, three processes (proposer+acceptor+learner), ten
 /// closed-loop proposer threads, five storage modes × request sizes.
 pub fn fig3(scale: Scale) -> Vec<Fig3Row> {
     let sizes: &[usize] = &[512, 2048, 8192, 32 * 1024];
-    let modes: &[(&str, StorageMode, Option<fn() -> DiskModel>)] = &[
+    let modes: &[StorageModeRow] = &[
         ("in-memory", StorageMode::InMemory, None),
         ("async-disk", StorageMode::AsyncDisk, Some(DiskModel::hdd)),
         ("async-ssd", StorageMode::AsyncDisk, Some(DiskModel::ssd)),
@@ -112,8 +115,15 @@ pub fn fig3(scale: Scale) -> Vec<Fig3Row> {
             }
             let client_proc = ProcessId::new(50);
             let client_id = ClientId::new(1);
-            let client = PingClient::new(client_id, 10, ProcessId::new(0), GroupId::new(0), size, "fig3")
-                .warmup_until(Time::from_secs(warmup_s));
+            let client = PingClient::new(
+                client_id,
+                10,
+                ProcessId::new(0),
+                GroupId::new(0),
+                size,
+                "fig3",
+            )
+            .warmup_until(Time::from_secs(warmup_s));
             cluster.add_actor(client_proc, Box::new(client));
             cluster.register_client(client_id, client_proc);
             cluster.start();
@@ -205,13 +215,15 @@ fn ycsb_to_cmd(op: YcsbOp) -> (StoreCommand, &'static str) {
         ClientOp::Single { cmd, tag } => (cmd, tag),
         // Baselines execute RMW as one update round-trip (their servers
         // have no read-then-write protocol; this only favors them).
-        ClientOp::ReadModifyWrite { key, value } => {
-            (StoreCommand::Update { key, value }, "rmw")
-        }
+        ClientOp::ReadModifyWrite { key, value } => (StoreCommand::Update { key, value }, "rmw"),
     }
 }
 
-fn run_mrp_ycsb(kind: WorkloadKind, scale: Scale, independent: bool) -> (f64, Option<(f64, f64, f64)>) {
+fn run_mrp_ycsb(
+    kind: WorkloadKind,
+    scale: Scale,
+    independent: bool,
+) -> (f64, Option<(f64, f64, f64)>) {
     // The paper's local configuration: M=1, Delta=5ms, lambda=9000 —
     // lambda must sit above the per-ring delivery rate or the merge
     // throttles every partition to the global ring's skip rate.
@@ -307,14 +319,9 @@ fn run_eventual_ycsb(kind: WorkloadKind, scale: Scale) -> (f64, Option<(f64, f64
     let client_proc = ProcessId::new(900);
     let client_id = ClientId::new(1);
     let mut workload = Workload::new(kind, YCSB_RECORDS, YCSB_VALUE, 7);
-    let client = BaselineClient::new(
-        client_id,
-        100,
-        map,
-        owners,
-        "cassandra",
-        move |_rng| ycsb_to_cmd(workload.next_op()),
-    )
+    let client = BaselineClient::new(client_id, 100, map, owners, "cassandra", move |_rng| {
+        ycsb_to_cmd(workload.next_op())
+    })
     .warmup_until(Time::from_secs(warmup_s));
     cluster.add_actor(client_proc, Box::new(client));
     cluster.register_client(client_id, client_proc);
@@ -683,6 +690,7 @@ pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
             global_ring: true,
             tuning,
             global_tuning: tuning,
+            engine: mrp_amcast::EngineKind::MultiRing,
         };
         let deployment = StoreDeployment::build(&topo);
         let mut net = Topology::ec2_four_regions();
@@ -743,10 +751,8 @@ pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
             });
             cfg.warmup_until = Time::from_secs(warmup_s);
             cfg.metric_prefix = format!("fig7/r{part}");
-            cfg.proposer_override.insert(
-                GroupId::new(part),
-                deployment.replicas[&part][0],
-            );
+            cfg.proposer_override
+                .insert(GroupId::new(part), deployment.replicas[&part][0]);
             let client = StoreClient::new(cfg, deployment.clone(), gen);
             cluster.add_actor(client_proc, Box::new(client));
             cluster.register_client(client_id, client_proc);
@@ -911,9 +917,7 @@ pub fn fig8(scale: Scale) -> Fig8Result {
         let lat = cluster.metrics().series("fig8/latency_sum_us");
         for (t, n) in ops.points() {
             let window_s = ops.window_us() as f64 / 1e6;
-            let latency_ms = lat
-                .map(|l| l.at(t) / n.max(1.0) / 1000.0)
-                .unwrap_or(0.0);
+            let latency_ms = lat.map(|l| l.at(t) / n.max(1.0) / 1000.0).unwrap_or(0.0);
             timeline.push(Fig8Point {
                 t_s: t.as_micros() / 1_000_000,
                 ops_per_sec: n / window_s,
@@ -1073,7 +1077,9 @@ pub fn ablation_merge(scale: Scale) -> Vec<AblationMergeRow> {
             for p in 0..3 {
                 spec = spec.member(ProcessId::new(p), Roles::ALL);
             }
-            builder = builder.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+            builder = builder
+                .ring(spec)
+                .group(GroupId::new(ring), RingId::new(ring));
         }
         for p in 0..3 {
             builder = builder
@@ -1099,9 +1105,15 @@ pub fn ablation_merge(scale: Scale) -> Vec<AblationMergeRow> {
         // Busy client on group 0; group 1 idles entirely.
         let client_proc = ProcessId::new(900);
         let client_id = ClientId::new(1);
-        let client =
-            PingClient::new(client_id, 16, ProcessId::new(0), GroupId::new(0), 512, "busy")
-                .warmup_until(Time::from_secs(warmup_s));
+        let client = PingClient::new(
+            client_id,
+            16,
+            ProcessId::new(0),
+            GroupId::new(0),
+            512,
+            "busy",
+        )
+        .warmup_until(Time::from_secs(warmup_s));
         cluster.add_actor(client_proc, Box::new(client));
         cluster.register_client(client_id, client_proc);
         cluster.start();
@@ -1115,6 +1127,108 @@ pub fn ablation_merge(scale: Scale) -> Vec<AblationMergeRow> {
                 .map_or(f64::INFINITY, |h| h.mean() / 1000.0),
             ops_per_sec: cluster.metrics().counter("busy/ops") as f64 / run_s as f64,
         });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- fig 9
+
+/// One row of the engine comparison (Figure 9, an extension of the
+/// paper's evaluation: same workload ordered by different
+/// atomic-multicast engines).
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Number of multicast groups.
+    pub groups: u16,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+    /// Mean client latency in milliseconds.
+    pub latency_ms: f64,
+    /// Median client latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile client latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// A deployment for the engine comparison: `groups` rings over the same
+/// `n` processes (membership rotated so coordinators/sequencers spread),
+/// every process playing all roles and subscribing to every group.
+fn engines_config(groups: u16, n: u32, tuning: RingTuning) -> ClusterConfig {
+    let mut builder = ClusterConfig::builder();
+    for g in 0..groups {
+        let mut spec = RingSpec::new(RingId::new(g)).tuning(tuning);
+        for j in 0..n {
+            let p = ProcessId::new((u32::from(g) + j) % n);
+            spec = spec.member(p, Roles::ALL);
+        }
+        builder = builder.ring(spec).group(GroupId::new(g), RingId::new(g));
+    }
+    for p in 0..n {
+        for g in 0..groups {
+            builder = builder.subscribe(ProcessId::new(p), GroupId::new(g));
+        }
+    }
+    builder.build().expect("engines config is valid")
+}
+
+/// Figure 9: Multi-Ring Paxos vs the timestamp-based white-box engine
+/// on the identical closed-loop workload, as the number of groups
+/// grows. Both engines run behind the same engine-generic replica, so
+/// the difference is purely the ordering path.
+pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
+    use mrp_amcast::{EngineKind, EngineReplica};
+    let group_counts: &[u16] = scale.pick(&[1, 2, 4], &[1, 2]);
+    let warmup_s = scale.pick(2, 1);
+    let run_s = scale.pick(10, 2);
+    let n = 3u32;
+    let mut rows = Vec::new();
+    for kind in EngineKind::ALL {
+        for &groups in group_counts {
+            let tuning = RingTuning {
+                lambda: 3_000,
+                delta_us: 5_000,
+                ..RingTuning::default()
+            };
+            let config = engines_config(groups, n, tuning);
+            let mut cluster = Cluster::new(
+                SimConfig {
+                    seed: 9,
+                    ..SimConfig::default()
+                },
+                Topology::lan(16),
+            );
+            cluster.set_protocol(config.clone());
+            for p in 0..n {
+                let pid = ProcessId::new(p);
+                let replica = EngineReplica::new(kind, pid, config.clone(), EchoApp::new());
+                cluster.add_actor(pid, Hosted::new(replica).boxed());
+                cluster.set_cpu(pid, proto_cpu());
+            }
+            for g in 0..groups {
+                let client_proc = ProcessId::new(900 + u32::from(g));
+                let client_id = ClientId::new(u64::from(g) + 1);
+                // Target the group's ring-rotation head so load (and the
+                // sequencer role) spreads over the processes.
+                let target = ProcessId::new(u32::from(g) % n);
+                let client = PingClient::new(client_id, 8, target, GroupId::new(g), 512, "fig9")
+                    .warmup_until(Time::from_secs(warmup_s));
+                cluster.add_actor(client_proc, Box::new(client));
+                cluster.register_client(client_id, client_proc);
+            }
+            cluster.start();
+            cluster.run_until(Time::from_secs(warmup_s + run_s));
+            let h = cluster.metrics().histogram("fig9/latency_us");
+            rows.push(Fig9Row {
+                engine: kind.name(),
+                groups,
+                ops_per_sec: cluster.metrics().counter("fig9/ops") as f64 / run_s as f64,
+                latency_ms: h.map_or(0.0, |h| h.mean() / 1000.0),
+                p50_ms: h.map_or(0.0, |h| h.quantile(0.5) as f64 / 1000.0),
+                p99_ms: h.map_or(0.0, |h| h.quantile(0.99) as f64 / 1000.0),
+            });
+        }
     }
     rows
 }

@@ -101,7 +101,12 @@ impl Registry {
 
     /// The current down-set of `ring`.
     pub fn down(&self, ring: RingId) -> Vec<ProcessId> {
-        self.inner.lock().down.get(&ring).cloned().unwrap_or_default()
+        self.inner
+            .lock()
+            .down
+            .get(&ring)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Records a heartbeat and runs detection: any ring whose down-set
@@ -137,8 +142,7 @@ impl Registry {
                 });
             }
             let current = inner.coordinators.get(&ring_id).copied();
-            let current_down =
-                current.is_none_or(|c| down.contains(&c));
+            let current_down = current.is_none_or(|c| down.contains(&c));
             if current_down {
                 if let Some(new) = elect(&ring, |p| !down.contains(&p)) {
                     if Some(new) != current {

@@ -35,10 +35,7 @@ impl DLogApp {
     /// A server hosting `logs`, with the given per-log cache cap.
     pub fn new(logs: impl IntoIterator<Item = LogId>, cache_limit: usize) -> Self {
         Self {
-            logs: logs
-                .into_iter()
-                .map(|l| (l, LogState::default()))
-                .collect(),
+            logs: logs.into_iter().map(|l| (l, LogState::default())).collect(),
             cache_limit,
             appended: 0,
         }
@@ -96,17 +93,13 @@ impl DLogApp {
                 }
                 DLogResponse::MultiPos(out)
             }
-            DLogCommand::Read { log, pos } => DLogResponse::Value(
-                self.logs
-                    .get(log)
-                    .and_then(|l| l.entries.get(pos))
-                    .cloned(),
-            ),
+            DLogCommand::Read { log, pos } => {
+                DLogResponse::Value(self.logs.get(log).and_then(|l| l.entries.get(pos)).cloned())
+            }
             DLogCommand::Trim { log, pos } => {
                 if let Some(state) = self.logs.get_mut(log) {
                     state.trimmed_to = state.trimmed_to.max(*pos);
-                    let dropped: Vec<u64> =
-                        state.entries.range(..*pos).map(|(&p, _)| p).collect();
+                    let dropped: Vec<u64> = state.entries.range(..*pos).map(|(&p, _)| p).collect();
                     for p in dropped {
                         if let Some(v) = state.entries.remove(&p) {
                             state.cached_bytes -= v.len();
@@ -202,15 +195,24 @@ mod tests {
     fn append_assigns_consecutive_positions() {
         let mut app = DLogApp::new([0, 1], 1 << 20);
         assert_eq!(
-            app.apply(&DLogCommand::Append { log: 0, data: b("a") }),
+            app.apply(&DLogCommand::Append {
+                log: 0,
+                data: b("a")
+            }),
             DLogResponse::Pos(0)
         );
         assert_eq!(
-            app.apply(&DLogCommand::Append { log: 0, data: b("b") }),
+            app.apply(&DLogCommand::Append {
+                log: 0,
+                data: b("b")
+            }),
             DLogResponse::Pos(1)
         );
         assert_eq!(
-            app.apply(&DLogCommand::Append { log: 1, data: b("c") }),
+            app.apply(&DLogCommand::Append {
+                log: 1,
+                data: b("c")
+            }),
             DLogResponse::Pos(0)
         );
         assert_eq!(app.appended(), 3);
@@ -219,7 +221,10 @@ mod tests {
     #[test]
     fn multi_append_is_atomic_across_logs() {
         let mut app = DLogApp::new([0, 1, 2], 1 << 20);
-        app.apply(&DLogCommand::Append { log: 1, data: b("x") });
+        app.apply(&DLogCommand::Append {
+            log: 1,
+            data: b("x"),
+        });
         let r = app.apply(&DLogCommand::MultiAppend {
             logs: vec![0, 1, 2],
             data: b("m"),
@@ -245,7 +250,10 @@ mod tests {
             app.apply(&DLogCommand::Read { log: 0, pos: 3 }),
             DLogResponse::Value(Some(b("e3")))
         );
-        assert_eq!(app.apply(&DLogCommand::Trim { log: 0, pos: 3 }), DLogResponse::Ok);
+        assert_eq!(
+            app.apply(&DLogCommand::Trim { log: 0, pos: 3 }),
+            DLogResponse::Ok
+        );
         assert_eq!(
             app.apply(&DLogCommand::Read { log: 0, pos: 2 }),
             DLogResponse::Value(None),
@@ -257,7 +265,10 @@ mod tests {
         );
         // Positions keep growing after a trim.
         assert_eq!(
-            app.apply(&DLogCommand::Append { log: 0, data: b("e5") }),
+            app.apply(&DLogCommand::Append {
+                log: 0,
+                data: b("e5")
+            }),
             DLogResponse::Pos(5)
         );
     }
@@ -266,7 +277,10 @@ mod tests {
     fn unknown_log_is_rejected_gracefully() {
         let mut app = DLogApp::new([0], 1 << 20);
         assert_eq!(
-            app.apply(&DLogCommand::Append { log: 9, data: b("x") }),
+            app.apply(&DLogCommand::Append {
+                log: 9,
+                data: b("x")
+            }),
             DLogResponse::Value(None)
         );
     }
@@ -280,7 +294,11 @@ mod tests {
                 data: Bytes::from(vec![i as u8; 4]),
             });
         }
-        assert!(app.cached_bytes() <= 12, "cache bounded: {}", app.cached_bytes());
+        assert!(
+            app.cached_bytes() <= 12,
+            "cache bounded: {}",
+            app.cached_bytes()
+        );
         // Oldest entries evicted, newest readable.
         assert_eq!(
             app.apply(&DLogCommand::Read { log: 0, pos: 0 }),

@@ -141,13 +141,7 @@ impl DLogClient {
 }
 
 impl Actor for DLogClient {
-    fn on_event(
-        &mut self,
-        now: Time,
-        event: ActorEvent,
-        out: &mut Outbox,
-        ctx: &mut ActorCtx<'_>,
-    ) {
+    fn on_event(&mut self, now: Time, event: ActorEvent, out: &mut Outbox, ctx: &mut ActorCtx<'_>) {
         match event {
             ActorEvent::Start => {
                 for s in 0..self.cfg.sessions {
@@ -166,8 +160,7 @@ impl Actor for DLogClient {
                     let latency = now.since(o.issued_at);
                     ctx.metrics.record(&format!("{prefix}/latency_us"), latency);
                     ctx.metrics.incr(&format!("{prefix}/ops"), 1);
-                    ctx.metrics
-                        .series_add(&format!("{prefix}/ops"), now, 1.0);
+                    ctx.metrics.series_add(&format!("{prefix}/ops"), now, 1.0);
                     if let Some(log) = o.log {
                         ctx.metrics.incr(&format!("{prefix}/ops/log{log}"), 1);
                     }

@@ -2,8 +2,12 @@
 //! ring, hosted by a fixed set of server processes (the paper's vertical
 //! scalability setup, Section 8.4.1).
 
+use crate::app::DLogApp;
 use crate::command::LogId;
+use mrp_amcast::EngineKind;
+use mrp_sim::cluster::Cluster;
 use multiring_paxos::config::{ClusterConfig, RingSpec, RingTuning, Roles};
+use multiring_paxos::replica::CheckpointPolicy;
 use multiring_paxos::types::{GroupId, ProcessId, RingId};
 use std::collections::BTreeMap;
 
@@ -19,18 +23,28 @@ pub struct DLogTopology {
     pub common_ring: bool,
     /// Ring tuning.
     pub tuning: RingTuning,
+    /// Which atomic-multicast engine orders appends.
+    pub engine: EngineKind,
 }
 
 impl DLogTopology {
     /// The paper's setup: `logs` rings over 3 servers with a common
-    /// ring.
+    /// ring, ordered by Multi-Ring Paxos.
     pub fn new(logs: u16, tuning: RingTuning) -> Self {
         Self {
             logs,
             servers: 3,
             common_ring: true,
             tuning,
+            engine: EngineKind::MultiRing,
         }
+    }
+
+    /// Selects the ordering engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -47,6 +61,8 @@ pub struct DLogDeployment {
     pub common_group: Option<GroupId>,
     /// A proposer per group.
     pub proposer_of: BTreeMap<GroupId, ProcessId>,
+    /// The ordering engine the deployment runs.
+    pub engine: EngineKind,
 }
 
 impl DLogDeployment {
@@ -111,6 +127,28 @@ impl DLogDeployment {
             group_of_log,
             common_group,
             proposer_of,
+            engine: topology.engine,
+        }
+    }
+
+    /// Spawns one server actor per process on `cluster`, hosted by the
+    /// deployment's ordering engine (the checkpoint-capable
+    /// [`Replica`](multiring_paxos::replica::Replica) for Multi-Ring
+    /// Paxos, [`EngineReplica`](mrp_amcast::EngineReplica) otherwise).
+    /// Each server
+    /// hosts every log with `wal_capacity` bytes of in-memory log
+    /// budget.
+    pub fn spawn_servers(
+        &self,
+        cluster: &mut Cluster,
+        policy: CheckpointPolicy,
+        wal_capacity: usize,
+    ) {
+        cluster.set_protocol(self.config.clone());
+        let logs: Vec<LogId> = self.group_of_log.keys().copied().collect();
+        for &s in &self.servers {
+            let app = DLogApp::new(logs.clone(), wal_capacity);
+            cluster.add_replica_actor(self.engine, s, self.config.clone(), app, policy);
         }
     }
 

@@ -4,13 +4,13 @@
 
 use crate::metrics::Metrics;
 use crate::rng::Rng;
+use bytes::Bytes;
 use multiring_paxos::event::{
     Action, Event, Message, PersistRecord, PersistToken, StateMachine, TimerKind,
 };
 use multiring_paxos::types::{
     Ballot, ClientId, GroupId, InstanceId, ProcessId, RingId, Time, Value,
 };
-use bytes::Bytes;
 use std::any::Any;
 
 /// Inputs delivered to an actor by the simulator.

@@ -2,17 +2,20 @@
 //! and CPUs, injects crashes/restarts, and runs coordinator re-election
 //! (the role Zookeeper plays in the paper's deployment).
 
-use crate::actor::{Actor, ActorCtx, ActorEvent, Op, Outbox};
+use crate::actor::{Actor, ActorCtx, ActorEvent, Hosted, Op, Outbox};
 use crate::cpu::CpuModel;
 use crate::disk::DiskModel;
 use crate::metrics::Metrics;
 use crate::net::{NetState, Topology};
 use crate::rng::Rng;
+use mrp_amcast::{EngineKind, EngineReplica};
+use mrp_storage::NodeStorage;
+use multiring_paxos::app::Application;
 use multiring_paxos::codec;
 use multiring_paxos::config::ClusterConfig;
 use multiring_paxos::event::{Message, PersistRecord, PersistToken};
+use multiring_paxos::replica::{CheckpointPolicy, Replica};
 use multiring_paxos::types::{ClientId, ProcessId, RingId, Time};
-use mrp_storage::NodeStorage;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -47,7 +50,10 @@ impl Default for SimConfig {
 }
 
 enum What {
-    ActorEv { p: ProcessId, ev: ActorEvent },
+    ActorEv {
+        p: ProcessId,
+        ev: ActorEvent,
+    },
     DiskDone {
         p: ProcessId,
         record: PersistRecord,
@@ -173,7 +179,52 @@ impl Cluster {
             },
         );
         if self.started {
-            self.push(self.now, What::ActorEv { p, ev: ActorEvent::Start });
+            self.push(
+                self.now,
+                What::ActorEv {
+                    p,
+                    ev: ActorEvent::Start,
+                },
+            );
+        }
+    }
+
+    /// Adds one bare ordering node per process of `config`, built by
+    /// the selected atomic-multicast engine, and registers the protocol
+    /// configuration. This is how engine-generic workloads (tests,
+    /// benches, examples) spawn a cluster without naming an engine
+    /// type.
+    pub fn add_engine_actors(&mut self, config: &ClusterConfig, kind: EngineKind) {
+        self.set_protocol(config.clone());
+        for p in config.processes() {
+            self.add_actor(p, Hosted::new(kind.build(p, config.clone())).boxed());
+        }
+    }
+
+    /// Adds one replicated-service actor for `p` running `app` over the
+    /// selected engine: the checkpoint/trim-capable [`Replica`] when
+    /// the engine is Multi-Ring Paxos (honoring `policy`), the
+    /// engine-generic [`EngineReplica`] otherwise (no checkpointing
+    /// yet; `policy` is ignored). Service deployment helpers
+    /// (MRP-Store, dLog) all funnel through here.
+    pub fn add_replica_actor<A: Application + 'static>(
+        &mut self,
+        kind: EngineKind,
+        p: ProcessId,
+        config: ClusterConfig,
+        app: A,
+        policy: CheckpointPolicy,
+    ) {
+        match kind {
+            EngineKind::MultiRing => {
+                self.add_actor(p, Hosted::new(Replica::new(p, config, app, policy)).boxed());
+            }
+            kind => {
+                self.add_actor(
+                    p,
+                    Hosted::new(EngineReplica::new(kind, p, config, app)).boxed(),
+                );
+            }
         }
     }
 
@@ -216,7 +267,13 @@ impl Cluster {
         self.started = true;
         let ps: Vec<ProcessId> = self.slots.keys().copied().collect();
         for p in ps {
-            self.push(self.now, What::ActorEv { p, ev: ActorEvent::Start });
+            self.push(
+                self.now,
+                What::ActorEv {
+                    p,
+                    ev: ActorEvent::Start,
+                },
+            );
         }
     }
 
@@ -505,9 +562,17 @@ impl Cluster {
         let bytes = codec::encoded_len(&msg);
         // Client RPC traffic (the paper's Thrift/UDP paths with
         // application-level retries) is exempt from loss injection: the
-        // loss knob stresses the ordering protocol, whose own
-        // retransmission machinery must absorb it.
-        let reliable = matches!(msg, Message::Request { .. } | Message::Response { .. });
+        // loss knob stresses the ring protocol, whose own retransmission
+        // machinery must absorb it. Engine frames are exempt too — the
+        // `Action::Send` contract promises a reliable FIFO channel
+        // (TCP), and alternative engines (wbcast) build on exactly that
+        // promise with no repair path of their own; dropping their
+        // frames would silently diverge replicas rather than stress
+        // anything the loss knob is meant to stress.
+        let reliable = matches!(
+            msg,
+            Message::Request { .. } | Message::Response { .. } | Message::Engine { .. }
+        );
         let arrival = if reliable && self.topology.loss > 0.0 {
             let saved = std::mem::replace(&mut self.topology.loss, 0.0);
             let a = self
@@ -605,7 +670,13 @@ impl Cluster {
         slot.actor = Some(actor);
         slot.up = true;
         self.metrics.incr("restarts", 1);
-        self.push(self.now, What::ActorEv { p, ev: ActorEvent::Start });
+        self.push(
+            self.now,
+            What::ActorEv {
+                p,
+                ev: ActorEvent::Start,
+            },
+        );
         // Tell the restarted process who currently coordinates its rings
         // (the coordination service's configuration snapshot), and let
         // every ring fold the process back into the overlay.
@@ -674,10 +745,10 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::actor::Hosted;
+    use bytes::Bytes;
     use multiring_paxos::config::{single_ring, RingTuning};
     use multiring_paxos::node::Node;
     use multiring_paxos::types::GroupId;
-    use bytes::Bytes;
     use std::any::Any;
 
     fn quiet() -> RingTuning {

@@ -216,6 +216,9 @@ impl Metrics {
     }
 
     /// Records `v` into histogram `name`.
+    // Not `or_default()`: `Histogram::new` seeds `min` with `u64::MAX`,
+    // which the derived `Default` would not.
+    #[allow(clippy::unwrap_or_default)]
     pub fn record(&mut self, name: &str, v: u64) {
         self.histograms
             .entry(name.to_string())

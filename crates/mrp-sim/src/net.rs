@@ -67,10 +67,10 @@ impl Topology {
             [150, 85, 25, 1],
         ];
         let mut t = Self::uniform(4, 0, 0, GBPS_1);
-        for a in 0..4 {
-            for b in 0..4 {
-                t.latency_us[a][b] = RTT_MS[a][b] * 1000 / 2;
-                t.jitter_us[a][b] = RTT_MS[a][b] * 25; // 5% of RTT
+        for (a, row) in RTT_MS.iter().enumerate() {
+            for (b, &rtt) in row.iter().enumerate() {
+                t.latency_us[a][b] = rtt * 1000 / 2;
+                t.jitter_us[a][b] = rtt * 25; // 5% of RTT
                 t.bandwidth_bps[a][b] = if a == b { GBPS_1 } else { INTER_REGION_BPS };
             }
         }

@@ -1,10 +1,10 @@
 //! The logical stable state of one process.
 
+use bytes::Bytes;
 use multiring_paxos::event::PersistRecord;
 use multiring_paxos::paxos::AcceptorRecovery;
 use multiring_paxos::recovery::CheckpointId;
 use multiring_paxos::types::{Ballot, ConsensusValue, InstanceId, RingId};
-use bytes::Bytes;
 use std::collections::BTreeMap;
 
 /// Durable acceptor state for one ring: everything an acceptor must
@@ -120,10 +120,7 @@ impl AcceptorLog {
                 .iter()
                 .map(|(&f, &(c, b, ref v))| (f, c, b, v.clone()))
                 .collect(),
-            decided: decided
-                .into_iter()
-                .map(|(f, (c, v))| (f, c, v))
-                .collect(),
+            decided: decided.into_iter().map(|(f, (c, v))| (f, c, v)).collect(),
             trimmed: self.trimmed,
         }
     }

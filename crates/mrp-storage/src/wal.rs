@@ -347,9 +347,7 @@ impl DirStorage {
 mod tests {
     use super::*;
     use multiring_paxos::recovery::CheckpointId;
-    use multiring_paxos::types::{
-        Ballot, ConsensusValue, GroupId, ProcessId, Value, ValueId,
-    };
+    use multiring_paxos::types::{Ballot, ConsensusValue, GroupId, ProcessId, Value, ValueId};
 
     fn tempdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(

@@ -177,11 +177,7 @@ impl std::fmt::Debug for StoreClient {
 
 impl StoreClient {
     /// Creates a client over `deployment` issuing ops from `source`.
-    pub fn new(
-        cfg: StoreClientConfig,
-        deployment: StoreDeployment,
-        source: impl OpSource,
-    ) -> Self {
+    pub fn new(cfg: StoreClientConfig, deployment: StoreDeployment, source: impl OpSource) -> Self {
         Self {
             cfg,
             deployment,
@@ -357,6 +353,7 @@ impl StoreClient {
 
     /// Completes one logical item; returns the follow-up dispatch if it
     /// was the read half of a read-modify-write.
+    #[allow(clippy::too_many_arguments)]
     fn complete_item(
         &mut self,
         session: u32,
@@ -449,13 +446,7 @@ impl StoreClient {
 }
 
 impl Actor for StoreClient {
-    fn on_event(
-        &mut self,
-        now: Time,
-        event: ActorEvent,
-        out: &mut Outbox,
-        ctx: &mut ActorCtx<'_>,
-    ) {
+    fn on_event(&mut self, now: Time, event: ActorEvent, out: &mut Outbox, ctx: &mut ActorCtx<'_>) {
         match event {
             ActorEvent::Start => {
                 for session in 0..self.cfg.sessions {

@@ -2,8 +2,12 @@
 //! MRP-Store cluster (partition rings plus optional global ring) the way
 //! the paper's evaluation deploys it.
 
+use crate::app::StoreApp;
+use mrp_amcast::EngineKind;
 use mrp_coord::PartitionMap;
+use mrp_sim::cluster::Cluster;
 use multiring_paxos::config::{ClusterConfig, RingSpec, RingTuning, Roles};
+use multiring_paxos::replica::CheckpointPolicy;
 use multiring_paxos::types::{GroupId, ProcessId, RingId};
 use std::collections::BTreeMap;
 
@@ -22,11 +26,13 @@ pub struct StoreTopology {
     pub tuning: RingTuning,
     /// Ring tuning applied to the global ring (usually identical).
     pub global_tuning: RingTuning,
+    /// Which atomic-multicast engine orders the store's commands.
+    pub engine: EngineKind,
 }
 
 impl StoreTopology {
     /// The paper's local setup: `partitions` rings of 3 replicas with a
-    /// global ring.
+    /// global ring, ordered by Multi-Ring Paxos.
     pub fn local(partitions: u16, tuning: RingTuning) -> Self {
         Self {
             partitions,
@@ -34,7 +40,15 @@ impl StoreTopology {
             global_ring: true,
             tuning,
             global_tuning: tuning,
+            engine: EngineKind::MultiRing,
         }
+    }
+
+    /// Selects the ordering engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The "independent rings" configuration of Figure 4 (no global
@@ -61,6 +75,8 @@ pub struct StoreDeployment {
     pub replicas: BTreeMap<u16, Vec<ProcessId>>,
     /// A proposer to contact per group (the first ring member).
     pub proposer_of: BTreeMap<GroupId, ProcessId>,
+    /// The ordering engine the deployment runs.
+    pub engine: EngineKind,
 }
 
 impl StoreDeployment {
@@ -124,6 +140,31 @@ impl StoreDeployment {
             global_group,
             replicas,
             proposer_of,
+            engine: topology.engine,
+        }
+    }
+
+    /// Spawns one replica actor per process on `cluster`, hosted by the
+    /// deployment's ordering engine: the full checkpoint/trim-capable
+    /// [`Replica`](multiring_paxos::replica::Replica) for Multi-Ring
+    /// Paxos, the engine-generic [`EngineReplica`](mrp_amcast::EngineReplica)
+    /// otherwise. `mk_app` builds (and may preload) each replica's
+    /// application from its partition number.
+    pub fn spawn_replicas(
+        &self,
+        cluster: &mut Cluster,
+        policy: CheckpointPolicy,
+        mut mk_app: impl FnMut(u16) -> StoreApp,
+    ) {
+        cluster.set_protocol(self.config.clone());
+        for (p, partition) in self.all_replicas() {
+            cluster.add_replica_actor(
+                self.engine,
+                p,
+                self.config.clone(),
+                mk_app(partition),
+                policy,
+            );
         }
     }
 

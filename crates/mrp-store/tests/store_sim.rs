@@ -22,32 +22,36 @@ fn tuning() -> RingTuning {
 }
 
 fn spawn_store(cluster: &mut Cluster, deployment: &StoreDeployment, preload: u32) {
-    cluster.set_protocol(deployment.config.clone());
-    for (p, partition) in deployment.all_replicas() {
-        let mut app = StoreApp::new(partition);
-        for i in 0..preload {
-            let key = format!("user{i:06}");
-            if deployment.partition_map.group_of(key.as_bytes()).value() == partition {
-                app.load(Bytes::from(key), Bytes::from(vec![7u8; 64]));
+    let map = deployment.partition_map.clone();
+    deployment.spawn_replicas(
+        cluster,
+        CheckpointPolicy {
+            interval_us: 0,
+            sync: true,
+        },
+        |partition| {
+            let mut app = StoreApp::new(partition);
+            for i in 0..preload {
+                let key = format!("user{i:06}");
+                if map.group_of(key.as_bytes()).value() == partition {
+                    app.load(Bytes::from(key), Bytes::from(vec![7u8; 64]));
+                }
             }
-        }
-        let replica = Replica::new(
-            p,
-            deployment.config.clone(),
-            app,
-            CheckpointPolicy {
-                interval_us: 0,
-                sync: true,
-            },
-        );
-        cluster.add_actor(p, Hosted::new(replica).boxed());
-    }
+            app
+        },
+    );
 }
 
 #[test]
 fn mixed_workload_completes_operations() {
     let deployment = StoreDeployment::build(&StoreTopology::local(3, tuning()));
-    let mut cluster = Cluster::new(SimConfig { seed: 11, ..SimConfig::default() }, Topology::lan(16));
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed: 11,
+            ..SimConfig::default()
+        },
+        Topology::lan(16),
+    );
     spawn_store(&mut cluster, &deployment, 200);
 
     let client_proc = ProcessId::new(900);
@@ -115,7 +119,13 @@ fn mixed_workload_completes_operations() {
 #[test]
 fn replicas_of_a_partition_converge() {
     let deployment = StoreDeployment::build(&StoreTopology::local(2, tuning()));
-    let mut cluster = Cluster::new(SimConfig { seed: 5, ..SimConfig::default() }, Topology::lan(16));
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed: 5,
+            ..SimConfig::default()
+        },
+        Topology::lan(16),
+    );
     spawn_store(&mut cluster, &deployment, 0);
 
     let client_proc = ProcessId::new(900);
@@ -153,7 +163,10 @@ fn replicas_of_a_partition_converge() {
             snapshots.push(replica.inner().app().snapshot());
         }
         for pair in snapshots.windows(2) {
-            assert_eq!(pair[0], pair[1], "replicas of partition {partition} diverge");
+            assert_eq!(
+                pair[0], pair[1],
+                "replicas of partition {partition} diverge"
+            );
         }
     }
     assert!(cluster.metrics().counter("store/ops") > 50);
@@ -162,7 +175,13 @@ fn replicas_of_a_partition_converge() {
 #[test]
 fn batching_reduces_requests_but_completes_all_ops() {
     let deployment = StoreDeployment::build(&StoreTopology::local(2, tuning()));
-    let mut cluster = Cluster::new(SimConfig { seed: 8, ..SimConfig::default() }, Topology::lan(16));
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed: 8,
+            ..SimConfig::default()
+        },
+        Topology::lan(16),
+    );
     spawn_store(&mut cluster, &deployment, 100);
 
     let client_proc = ProcessId::new(900);
@@ -190,4 +209,68 @@ fn batching_reduces_requests_but_completes_all_ops() {
     cluster.run_until(Time::from_secs(5));
     let ops = cluster.metrics().counter("store/ops");
     assert!(ops > 200, "batched updates progressed: {ops}");
+}
+
+#[test]
+fn wbcast_engine_serves_store_and_replicas_converge() {
+    // The identical insert workload, ordered by the timestamp-based
+    // engine selected purely from deployment configuration.
+    let deployment = StoreDeployment::build(
+        &StoreTopology::local(2, tuning()).engine(mrp_amcast::EngineKind::Wbcast),
+    );
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed: 6,
+            ..SimConfig::default()
+        },
+        Topology::lan(16),
+    );
+    spawn_store(&mut cluster, &deployment, 0);
+
+    let client_proc = ProcessId::new(900);
+    let client_id = ClientId::new(1);
+    let mut n = 0u64;
+    let gen = move |_r: &mut Rng| {
+        n += 1;
+        ClientOp::Single {
+            cmd: StoreCommand::Insert {
+                key: Bytes::from(format!("key{:04}", n % 50)),
+                value: Bytes::from(format!("v{n}")),
+            },
+            tag: "insert",
+        }
+    };
+    let client = StoreClient::new(
+        StoreClientConfig::new(client_id, 4),
+        deployment.clone(),
+        gen,
+    );
+    cluster.add_actor(client_proc, Box::new(client));
+    cluster.register_client(client_id, client_proc);
+    cluster.start();
+    // Stop the workload at 5 s, then let in-flight commands drain:
+    // wbcast subscribers may trail each other by up to one heartbeat
+    // interval, so state is only comparable at quiescence.
+    cluster.schedule_crash(Time::from_secs(5), client_proc);
+    cluster.run_until(Time::from_secs(6));
+
+    // Every replica of each partition holds the same entries.
+    type WbReplica = Hosted<mrp_amcast::EngineReplica<StoreApp>>;
+    for (&partition, members) in deployment.replicas.clone().iter() {
+        let mut snapshots = Vec::new();
+        for &p in members {
+            let replica = cluster
+                .actor_as::<WbReplica>(p)
+                .expect("wbcast replica present");
+            assert_eq!(replica.inner().app().partition(), partition);
+            snapshots.push(replica.inner().app().snapshot());
+        }
+        for pair in snapshots.windows(2) {
+            assert_eq!(
+                pair[0], pair[1],
+                "wbcast replicas of partition {partition} diverge"
+            );
+        }
+    }
+    assert!(cluster.metrics().counter("store/ops") > 50);
 }

@@ -92,6 +92,8 @@ impl FrameAccumulator {
     /// # Errors
     ///
     /// Returns decode failures as [`CodecError`].
+    // Fallible and non-iterating, so deliberately not `Iterator::next`.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Message>, CodecError> {
         if self.buf.len() < 4 {
             return Ok(None);

@@ -9,9 +9,9 @@
 
 use crate::framing;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use mrp_storage::DirStorage;
 use multiring_paxos::event::{Action, Event, Message, StateMachine, TimerKind};
 use multiring_paxos::types::{ClientId, GroupId, InstanceId, ProcessId, Time, Value};
-use mrp_storage::DirStorage;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -83,9 +83,17 @@ enum Cmd {
     Shutdown,
 }
 
+/// Everything the protocol thread receives, merged into one channel so
+/// it can block on a single `recv_timeout` (std mpsc has no
+/// multi-channel select).
+enum Inbound {
+    Net { from: ProcessId, msg: Message },
+    Cmd(Cmd),
+}
+
 /// Handle to a running [`TcpRuntime`].
 pub struct RuntimeHandle {
-    cmd_tx: Sender<Cmd>,
+    cmd_tx: Sender<Inbound>,
     events_rx: Receiver<RuntimeEvent>,
     join: Option<thread::JoinHandle<()>>,
     shutdown: Arc<AtomicBool>,
@@ -101,7 +109,7 @@ impl RuntimeHandle {
     /// Injects a client request as if it arrived from `client`'s
     /// session: the hosted node frames and multicasts it.
     pub fn request(&self, client: ClientId, request: u64, group: GroupId, payload: bytes::Bytes) {
-        let _ = self.cmd_tx.send(Cmd::Inject(Event::Message {
+        let _ = self.cmd_tx.send(Inbound::Cmd(Cmd::Inject(Event::Message {
             from: ProcessId::new(u32::MAX),
             msg: Message::Request {
                 client,
@@ -109,13 +117,13 @@ impl RuntimeHandle {
                 group,
                 payload,
             },
-        }));
+        })));
     }
 
     /// Injects an arbitrary protocol event (tests, coordination
     /// service).
     pub fn inject(&self, event: Event) {
-        let _ = self.cmd_tx.send(Cmd::Inject(event));
+        let _ = self.cmd_tx.send(Inbound::Cmd(Cmd::Inject(event)));
     }
 
     /// The stream of surfaced events (deliveries, local responses).
@@ -130,7 +138,7 @@ impl RuntimeHandle {
 
     fn shutdown_inner(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        let _ = self.cmd_tx.send(Inbound::Cmd(Cmd::Shutdown));
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -175,21 +183,19 @@ impl TcpRuntime {
         let listener = TcpListener::bind(config.listen)?;
         listener.set_nonblocking(true)?;
         let storage = match &config.storage_dir {
-            Some(dir) => Some(
-                DirStorage::open(dir)
-                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?,
-            ),
+            Some(dir) => {
+                Some(DirStorage::open(dir).map_err(|e| std::io::Error::other(e.to_string()))?)
+            }
             None => None,
         };
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (net_tx, net_rx) = unbounded::<(ProcessId, Message)>();
-        let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+        let (in_tx, in_rx) = unbounded::<Inbound>();
         let (events_tx, events_rx) = unbounded::<RuntimeEvent>();
 
         // Listener thread: accept + handshake + reader per connection.
         {
             let shutdown = Arc::clone(&shutdown);
-            let net_tx = net_tx.clone();
+            let net_tx = in_tx.clone();
             thread::spawn(move || {
                 while !shutdown.load(Ordering::SeqCst) {
                     match listener.accept() {
@@ -204,7 +210,8 @@ impl TcpRuntime {
                                 while !shutdown.load(Ordering::SeqCst) {
                                     match framing::read_frame(&mut stream) {
                                         Ok(msg) => {
-                                            if net_tx.send((peer, msg)).is_err() {
+                                            let inbound = Inbound::Net { from: peer, msg };
+                                            if net_tx.send(inbound).is_err() {
                                                 return;
                                             }
                                         }
@@ -227,11 +234,11 @@ impl TcpRuntime {
         let join = thread::Builder::new()
             .name(format!("mrp-node-{}", config.me.value()))
             .spawn(move || {
-                Self::protocol_loop(cfg, sm, storage, net_rx, cmd_rx, events_tx, shutdown_main)
+                Self::protocol_loop(cfg, sm, storage, in_rx, events_tx, shutdown_main)
             })?;
 
         Ok(RuntimeHandle {
-            cmd_tx,
+            cmd_tx: in_tx,
             events_rx,
             join: Some(join),
             shutdown,
@@ -243,8 +250,7 @@ impl TcpRuntime {
         config: RuntimeConfig,
         mut sm: S,
         mut storage: Option<DirStorage>,
-        net_rx: Receiver<(ProcessId, Message)>,
-        cmd_rx: Receiver<Cmd>,
+        in_rx: Receiver<Inbound>,
         events_tx: Sender<RuntimeEvent>,
         shutdown: Arc<AtomicBool>,
     ) {
@@ -282,17 +288,17 @@ impl TcpRuntime {
                 .unwrap_or(config.tick_us)
                 .min(config.tick_us)
                 .max(100);
-            crossbeam::channel::select! {
-                recv(net_rx) -> item => {
-                    if let Ok((from, msg)) = item {
-                        pending.push_back(Event::Message { from, msg });
-                    }
+            // Block until the next input or the timer deadline: all
+            // producers feed the single merged channel.
+            match in_rx.recv_timeout(Duration::from_micros(timeout_us)) {
+                Ok(Inbound::Net { from, msg }) => {
+                    pending.push_back(Event::Message { from, msg });
                 }
-                recv(cmd_rx) -> item => match item {
-                    Ok(Cmd::Inject(ev)) => pending.push_back(ev),
-                    Ok(Cmd::Shutdown) | Err(_) => break 'main,
-                },
-                default(Duration::from_micros(timeout_us)) => {}
+                Ok(Inbound::Cmd(Cmd::Inject(ev))) => pending.push_back(ev),
+                Ok(Inbound::Cmd(Cmd::Shutdown)) | Err(RecvTimeoutError::Disconnected) => {
+                    break 'main;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
             }
             // Fire due timers.
             let t = now_us();

@@ -157,8 +157,8 @@ impl KeyChooser {
                 // Incremental ζ update (YCSB does the same).
                 *items += 1;
                 *zetan += 1.0 / (*items as f64).powf(ZIPF_THETA);
-                *eta = (1.0 - (2.0 / *items as f64).powf(1.0 - ZIPF_THETA))
-                    / (1.0 - *zeta2 / *zetan);
+                *eta =
+                    (1.0 - (2.0 / *items as f64).powf(1.0 - ZIPF_THETA)) / (1.0 - *zeta2 / *zetan);
                 *alpha = 1.0 / (1.0 - ZIPF_THETA);
             }
             KeyChooser::Scrambled { inner, items } => {
@@ -209,7 +209,7 @@ mod tests {
     fn uniform_covers_space() {
         let c = KeyChooser::uniform(100);
         let mut rng = SmallRng::new(1);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for _ in 0..5000 {
             seen[c.next(&mut rng) as usize] = true;
         }

@@ -58,6 +58,7 @@ const TAG_CKPT_DATA: u8 = 14;
 const TAG_REQUEST: u8 = 15;
 const TAG_RESPONSE: u8 = 16;
 const TAG_BATCH: u8 = 17;
+const TAG_ENGINE: u8 = 18;
 
 /// Encodes `msg` into `buf`.
 pub fn encode(msg: &Message, buf: &mut BytesMut) {
@@ -231,6 +232,11 @@ pub fn encode(msg: &Message, buf: &mut BytesMut) {
                 encode(m, buf);
             }
         }
+        Message::Engine { engine, payload } => {
+            buf.put_u8(TAG_ENGINE);
+            buf.put_u8(*engine);
+            put_bytes(buf, payload);
+        }
     }
 }
 
@@ -261,12 +267,16 @@ pub fn encoded_len(msg: &Message) -> usize {
                     .sum::<usize>()
         }
         Message::Phase2 { value, .. } => 1 + 2 + 8 + 8 + 4 + 4 + cv_len(value),
-        Message::Decision { value, .. } => {
-            1 + 2 + 8 + 4 + 4 + 1 + value.as_ref().map_or(0, cv_len)
-        }
+        Message::Decision { value, .. } => 1 + 2 + 8 + 4 + 4 + 1 + value.as_ref().map_or(0, cv_len),
         Message::Retransmit { .. } => 1 + 2 + 8 + 8,
         Message::RetransmitReply { decided, .. } => {
-            1 + 2 + 8 + 4 + decided.iter().map(|(_, _, v)| 8 + 4 + cv_len(v)).sum::<usize>()
+            1 + 2
+                + 8
+                + 4
+                + decided
+                    .iter()
+                    .map(|(_, _, v)| 8 + 4 + cv_len(v))
+                    .sum::<usize>()
         }
         Message::TrimQuery { .. } => 1 + 2 + 8,
         Message::TrimReply { .. } => 1 + 2 + 8 + 8,
@@ -282,6 +292,7 @@ pub fn encoded_len(msg: &Message) -> usize {
         Message::Request { payload, .. } => 1 + 8 + 8 + 2 + 4 + payload.len(),
         Message::Response { payload, .. } => 1 + 8 + 8 + 4 + payload.len(),
         Message::Batch(msgs) => 1 + 4 + msgs.iter().map(encoded_len).sum::<usize>(),
+        Message::Engine { payload, .. } => 1 + 1 + 4 + payload.len(),
     }
 }
 
@@ -434,6 +445,10 @@ pub fn decode(buf: &mut impl Buf) -> Result<Message, CodecError> {
             }
             Ok(Message::Batch(msgs))
         }
+        TAG_ENGINE => Ok(Message::Engine {
+            engine: get_u8(buf)?,
+            payload: get_bytes(buf)?,
+        }),
         t => Err(CodecError::BadTag(t)),
     }
 }
@@ -490,9 +505,7 @@ pub fn record_len(record: &crate::event::PersistRecord) -> usize {
     match record {
         PersistRecord::Promise { .. } => 1 + 2 + 8 + 8,
         PersistRecord::Vote { value, .. } => 1 + 2 + 8 + 8 + 4 + cv_len(value),
-        PersistRecord::Checkpoint { id, snapshot } => {
-            1 + ckpt_len(id) + 4 + snapshot.len()
-        }
+        PersistRecord::Checkpoint { id, snapshot } => 1 + ckpt_len(id) + 4 + snapshot.len(),
         PersistRecord::Decision { .. } => 1 + 2 + 8 + 4,
     }
 }
@@ -803,6 +816,10 @@ mod tests {
                     upto: InstanceId::new(1),
                 },
             ]),
+            Message::Engine {
+                engine: 1,
+                payload: Bytes::from_static(b"engine-frame"),
+            },
         ]
     }
 
@@ -854,10 +871,7 @@ mod tests {
         buf.put_u16_le(0);
         buf.put_u32_le(u32::MAX);
         let mut frozen = buf.freeze();
-        assert!(matches!(
-            decode(&mut frozen),
-            Err(CodecError::BadLength(_))
-        ));
+        assert!(matches!(decode(&mut frozen), Err(CodecError::BadLength(_))));
     }
 
     proptest! {

@@ -819,7 +819,10 @@ mod tests {
             .group(GroupId::new(0), RingId::new(9))
             .build()
             .unwrap_err();
-        assert_eq!(err, ConfigError::UnknownRing(GroupId::new(0), RingId::new(9)));
+        assert_eq!(
+            err,
+            ConfigError::UnknownRing(GroupId::new(0), RingId::new(9))
+        );
     }
 
     #[test]
@@ -876,7 +879,10 @@ mod tests {
         assert_eq!(c.partition_of(p(0)), vec![p(0), p(1)]);
         assert_eq!(c.partition_of(p(2)), vec![p(2)]);
         assert_eq!(c.subscribers_of(GroupId::new(1)), vec![p(0), p(1), p(2)]);
-        assert_eq!(c.subscriptions_of(p(0)), vec![GroupId::new(0), GroupId::new(1)]);
+        assert_eq!(
+            c.subscriptions_of(p(0)),
+            vec![GroupId::new(0), GroupId::new(1)]
+        );
         assert_eq!(c.rings_of(p(2)), vec![RingId::new(0), RingId::new(1)]);
     }
 }

@@ -198,6 +198,16 @@ pub enum Message {
     /// Several messages for the same destination packed into one frame
     /// (link-level batching).
     Batch(Vec<Message>),
+    /// An opaque message belonging to an alternative atomic-multicast
+    /// engine (see the `mrp-amcast` crate). `engine` namespaces the
+    /// wire format; `payload` is encoded by that engine's own codec.
+    /// Ring-Paxos nodes ignore these frames.
+    Engine {
+        /// Engine wire id (e.g. `mrp_amcast::wbcast::WBCAST_WIRE_ID`).
+        engine: u8,
+        /// Engine-encoded payload.
+        payload: Bytes,
+    },
 }
 
 impl Message {

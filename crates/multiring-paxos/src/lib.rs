@@ -104,7 +104,5 @@ pub mod prelude {
     pub use crate::event::{Action, Event};
     pub use crate::node::Node;
     pub use crate::replica::Replica;
-    pub use crate::types::{
-        Ballot, GroupId, InstanceId, ProcessId, RingId, Time, Value, ValueId,
-    };
+    pub use crate::types::{Ballot, GroupId, InstanceId, ProcessId, RingId, Time, Value, ValueId};
 }

@@ -135,11 +135,7 @@ impl Merger {
                     if let ConsensusValue::Values(values) = value {
                         for v in values {
                             let key = (group, v.id.proposer);
-                            let fresh = self
-                                .delivered_seq
-                                .entry(key)
-                                .or_default()
-                                .insert(v.id.seq);
+                            let fresh = self.delivered_seq.entry(key).or_default().insert(v.id.seq);
                             if fresh {
                                 out.push(MergeDelivery {
                                     group,
@@ -312,7 +308,16 @@ mod tests {
             .collect();
         assert_eq!(
             order,
-            vec![(0, 1), (0, 2), (1, 1), (1, 2), (0, 3), (0, 4), (1, 3), (1, 4)]
+            vec![
+                (0, 1),
+                (0, 2),
+                (1, 1),
+                (1, 2),
+                (0, 3),
+                (0, 4),
+                (1, 3),
+                (1, 4)
+            ]
         );
     }
 

@@ -16,9 +16,7 @@ use crate::multiring::Merger;
 use crate::paxos::AcceptorRecovery;
 use crate::recovery::{CheckpointId, TrimCoordinator};
 use crate::ring::{Effects, RingState};
-use crate::types::{
-    Ballot, ClientId, GroupId, InstanceId, ProcessId, RingId, Time, ValueId,
-};
+use crate::types::{Ballot, ClientId, GroupId, InstanceId, ProcessId, RingId, Time, ValueId};
 use bytes::Bytes;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -234,7 +232,8 @@ impl Node {
                 .get(&ring_id)
                 .map(RingState::group)
                 .unwrap_or_else(|| GroupId::new(u16::MAX));
-            self.merger.push(group, range.first, range.count, range.value);
+            self.merger
+                .push(group, range.first, range.count, range.value);
         }
         for d in self.merger.poll() {
             out.push(Action::Deliver {
@@ -337,7 +336,10 @@ impl Node {
                 .map(|r| r.acceptors().to_vec())
                 .unwrap_or_default();
             for a in acceptors {
-                let msg = Message::TrimCommand { ring: ring_id, upto };
+                let msg = Message::TrimCommand {
+                    ring: ring_id,
+                    upto,
+                };
                 if a == self.me {
                     self.dispatch_message(now, self.me, msg, out);
                 } else {
@@ -509,13 +511,7 @@ mod tests {
             match action {
                 Action::Send { to, msg } => {
                     let node = nodes.get_mut(&to).expect("known process");
-                    let actions = node.on_event(
-                        now,
-                        Event::Message {
-                            from: origin,
-                            msg,
-                        },
-                    );
+                    let actions = node.on_event(now, Event::Message { from: origin, msg });
                     for a in actions {
                         queue.push((to, a));
                     }
@@ -620,10 +616,8 @@ mod tests {
                 },
             },
         );
-        let delivered = run_to_quiescence(
-            &mut nodes,
-            actions.into_iter().map(|a| (p0, a)).collect(),
-        );
+        let delivered =
+            run_to_quiescence(&mut nodes, actions.into_iter().map(|a| (p0, a)).collect());
         assert_eq!(delivered[&p0].len(), 1);
     }
 }

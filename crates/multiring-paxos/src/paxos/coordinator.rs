@@ -215,11 +215,7 @@ impl Coordinator {
     /// window.
     pub fn submit(&mut self, now: Time, values: Vec<Value>) -> Vec<InstanceRange> {
         for v in values {
-            let fresh = self
-                .seen
-                .entry(v.id.proposer)
-                .or_default()
-                .insert(v.id.seq);
+            let fresh = self.seen.entry(v.id.proposer).or_default().insert(v.id.seq);
             if fresh {
                 self.pending.push_back(v);
             }
@@ -424,7 +420,13 @@ mod tests {
         let mut c = coord();
         let now = Time::ZERO;
         c.start(now, Ballot::ZERO);
-        c.on_phase1b(now, ProcessId::new(0), c.ballot(), vec![], InstanceId::new(100));
+        c.on_phase1b(
+            now,
+            ProcessId::new(0),
+            c.ballot(),
+            vec![],
+            InstanceId::new(100),
+        );
         let props = c.on_phase1b(now, ProcessId::new(1), c.ballot(), vec![], InstanceId::ZERO);
         assert!(props.is_empty());
         assert_eq!(c.next_instance(), InstanceId::new(101));

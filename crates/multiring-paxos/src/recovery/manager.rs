@@ -88,7 +88,7 @@ impl RecoveryManager {
         local: Option<CheckpointId>,
         prefer_local_within: u64,
     ) -> Self {
-        let quorum = (peers.len() + 1) / 2 + 1;
+        let quorum = peers.len().div_ceil(2) + 1;
         Self {
             peers,
             quorum,

@@ -141,7 +141,11 @@ impl CheckpointId {
         }
         // Let r be the number of completed windows of the cursor group.
         let cg = self.cursor_group as usize;
-        let r = (self.marks[cg].1.value().saturating_sub(u64::from(self.cursor_used))) / m;
+        let r = (self.marks[cg]
+            .1
+            .value()
+            .saturating_sub(u64::from(self.cursor_used)))
+            / m;
         for (i, &(_, mark)) in self.marks.iter().enumerate() {
             let expect = match i.cmp(&cg) {
                 Ordering::Less => (r + 1) * m,

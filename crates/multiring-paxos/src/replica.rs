@@ -6,14 +6,10 @@
 
 use crate::app::{Application, Delivery, Reply};
 use crate::config::ClusterConfig;
-use crate::event::{
-    Action, Event, Message, PersistRecord, PersistToken, StateMachine, TimerKind,
-};
+use crate::event::{Action, Event, Message, PersistRecord, PersistToken, StateMachine, TimerKind};
 use crate::node::Node;
 use crate::paxos::AcceptorRecovery;
-use crate::recovery::{
-    CheckpointId, RecoveryManager, RecoveryStep, Resolution, TrimResponder,
-};
+use crate::recovery::{CheckpointId, RecoveryManager, RecoveryStep, Resolution, TrimResponder};
 use crate::types::{ProcessId, RingId, Time};
 use bytes::Bytes;
 use std::collections::{BTreeMap, HashMap};
@@ -349,9 +345,7 @@ impl<A: Application> StateMachine for Replica<A> {
                         if let Some(step) = recovery.on_info(from, seq, checkpoint) {
                             match step {
                                 Ok(step) => self.emit_step(step, &mut out),
-                                Err(resolution) => {
-                                    self.apply_resolution(now, resolution, &mut out)
-                                }
+                                Err(resolution) => self.apply_resolution(now, resolution, &mut out),
                             }
                         }
                     }
@@ -361,9 +355,7 @@ impl<A: Application> StateMachine for Replica<A> {
                         if let Some(step) = recovery.on_data(seq, &id, snapshot) {
                             match step {
                                 Ok(step) => self.emit_step(step, &mut out),
-                                Err(resolution) => {
-                                    self.apply_resolution(now, resolution, &mut out)
-                                }
+                                Err(resolution) => self.apply_resolution(now, resolution, &mut out),
                             }
                         }
                     }
@@ -427,7 +419,13 @@ mod tests {
     }
 
     fn config() -> ClusterConfig {
-        single_ring(1, RingTuning { lambda: 0, ..RingTuning::default() })
+        single_ring(
+            1,
+            RingTuning {
+                lambda: 0,
+                ..RingTuning::default()
+            },
+        )
     }
 
     #[test]
@@ -436,7 +434,10 @@ mod tests {
             ProcessId::new(0),
             config(),
             Echo::default(),
-            CheckpointPolicy { interval_us: 0, sync: true },
+            CheckpointPolicy {
+                interval_us: 0,
+                sync: true,
+            },
         );
         let mut actions = r.on_event(Time::ZERO, Event::Start);
         // Singleton ring: phase 1 completes locally with no sends.
@@ -481,7 +482,10 @@ mod tests {
             ProcessId::new(0),
             config(),
             Echo::default(),
-            CheckpointPolicy { interval_us: 1_000, sync: true },
+            CheckpointPolicy {
+                interval_us: 1_000,
+                sync: true,
+            },
         );
         r.on_event(Time::ZERO, Event::Start);
         r.on_event(
@@ -501,7 +505,10 @@ mod tests {
             Time::ZERO,
             Event::Message {
                 from: ProcessId::new(2),
-                msg: Message::TrimQuery { group: GroupId::new(0), seq: 1 },
+                msg: Message::TrimQuery {
+                    group: GroupId::new(0),
+                    seq: 1,
+                },
             },
         );
         assert!(matches!(
@@ -510,7 +517,10 @@ mod tests {
             if safe == crate::types::InstanceId::ZERO
         ));
         // Checkpoint tick persists, completion makes it durable.
-        let out = r.on_event(Time::from_millis(1), Event::Timer(TimerKind::CheckpointTick));
+        let out = r.on_event(
+            Time::from_millis(1),
+            Event::Timer(TimerKind::CheckpointTick),
+        );
         let token = out
             .iter()
             .find_map(|a| match a {
@@ -531,7 +541,10 @@ mod tests {
             Time::from_millis(3),
             Event::Message {
                 from: ProcessId::new(2),
-                msg: Message::TrimQuery { group: GroupId::new(0), seq: 2 },
+                msg: Message::TrimQuery {
+                    group: GroupId::new(0),
+                    seq: 2,
+                },
             },
         );
         assert!(matches!(
@@ -556,7 +569,10 @@ mod tests {
             Time::from_millis(5),
             Event::Message {
                 from: ProcessId::new(5),
-                msg: Message::CheckpointFetch { seq: 10, id: id.clone() },
+                msg: Message::CheckpointFetch {
+                    seq: 10,
+                    id: id.clone(),
+                },
             },
         );
         assert!(matches!(
@@ -572,10 +588,16 @@ mod tests {
             ProcessId::new(0),
             config(),
             Echo::default(),
-            CheckpointPolicy { interval_us: 1_000, sync: false },
+            CheckpointPolicy {
+                interval_us: 1_000,
+                sync: false,
+            },
         );
         r.on_event(Time::ZERO, Event::Start);
-        let out = r.on_event(Time::from_millis(1), Event::Timer(TimerKind::CheckpointTick));
+        let out = r.on_event(
+            Time::from_millis(1),
+            Event::Timer(TimerKind::CheckpointTick),
+        );
         let token = out.iter().find_map(|a| match a {
             Action::Persist { token, .. } => Some(*token),
             _ => None,
@@ -584,7 +606,10 @@ mod tests {
         let token = token.expect("initial checkpoint");
         r.on_event(Time::from_millis(1), Event::PersistDone(token));
         // No new deliveries: the next tick produces no persist.
-        let out = r.on_event(Time::from_millis(2), Event::Timer(TimerKind::CheckpointTick));
+        let out = r.on_event(
+            Time::from_millis(2),
+            Event::Timer(TimerKind::CheckpointTick),
+        );
         assert!(out.iter().all(|a| !matches!(a, Action::Persist { .. })));
     }
 }

@@ -126,13 +126,10 @@ impl RingLearner {
 
     fn release(&mut self, now: Time) -> Vec<ReleasedRange> {
         let mut out = Vec::new();
-        loop {
-            // A range containing `next_release` may start at or before it.
-            let Some((&first, &(count, ref value))) =
-                self.decided.range(..=self.next_release).next_back()
-            else {
-                break;
-            };
+        // A range containing `next_release` may start at or before it.
+        while let Some((&first, &(count, ref value))) =
+            self.decided.range(..=self.next_release).next_back()
+        {
             let last = first.plus(u64::from(count) - 1);
             if last < self.next_release {
                 break;
@@ -173,11 +170,11 @@ impl RingLearner {
     /// while an earlier one is missing).
     pub fn has_gap(&self) -> bool {
         self.next_release <= self.highest_seen
-            && !self
+            && self
                 .decided
                 .range(..=self.next_release)
                 .next_back()
-                .is_some_and(|(&f, &(c, _))| f.plus(u64::from(c) - 1) >= self.next_release)
+                .is_none_or(|(&f, &(c, _))| f.plus(u64::from(c) - 1) < self.next_release)
     }
 
     /// If the head-of-line gap has persisted for `timeout_us`, returns

@@ -82,12 +82,7 @@ impl Effects {
     /// Runs `build` to collect actions, then either gates them behind a
     /// synchronous persist of `record` or emits them directly, according
     /// to the storage `mode`.
-    fn persist_then(
-        &mut self,
-        mode: StorageMode,
-        record: PersistRecord,
-        follow_ups: Vec<Action>,
-    ) {
+    fn persist_then(&mut self, mode: StorageMode, record: PersistRecord, follow_ups: Vec<Action>) {
         match mode {
             StorageMode::InMemory => self.actions.extend(follow_ups),
             StorageMode::AsyncDisk => {
@@ -300,7 +295,9 @@ impl RingState {
     /// relative to the current coordinator.
     fn on_phase2_arc(&self, p: ProcessId) -> bool {
         self.cfg.distance(self.coordinator_proc, p)
-            <= self.cfg.distance(self.coordinator_proc, self.last_acceptor())
+            <= self
+                .cfg
+                .distance(self.coordinator_proc, self.last_acceptor())
     }
 
     /// Initial activity on process start: if this process is the
@@ -457,10 +454,10 @@ impl RingState {
     /// Handles a ring-scoped message addressed to this process.
     pub fn on_message(&mut self, now: Time, from: ProcessId, msg: Message, fx: &mut Effects) {
         match msg {
-            Message::Forward { values, hops, .. } => {
-                self.submit_or_forward(now, values, hops, fx)
-            }
-            Message::Phase1A { ballot, from: f, .. } => self.handle_phase1a(ballot, f, fx),
+            Message::Forward { values, hops, .. } => self.submit_or_forward(now, values, hops, fx),
+            Message::Phase1A {
+                ballot, from: f, ..
+            } => self.handle_phase1a(ballot, f, fx),
             Message::Phase1B {
                 ballot,
                 accepted,
@@ -679,7 +676,12 @@ impl RingState {
 
     /// Builds the decision message(s) the last acceptor sends to its
     /// successor, stripping the value when the successor saw Phase 2.
-    fn decision_sends(&mut self, first: InstanceId, count: u32, value: &ConsensusValue) -> Vec<Action> {
+    fn decision_sends(
+        &mut self,
+        first: InstanceId,
+        count: u32,
+        value: &ConsensusValue,
+    ) -> Vec<Action> {
         if self.live_len() <= 1 {
             return Vec::new();
         }

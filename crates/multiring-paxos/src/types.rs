@@ -401,7 +401,7 @@ mod tests {
         // Out-of-order overtaking: 56 arrives before 51..55.
         assert!(f.insert(56));
         assert!(f.insert(51));
-        assert!(f.insert(51) == false);
+        assert!(!f.insert(51));
         for s in 52..=55 {
             assert!(f.insert(s), "late seq {s} still accepted once");
         }
@@ -461,8 +461,16 @@ mod tests {
 
     #[test]
     fn consensus_value_accounting() {
-        let v1 = Value::new(ValueId::new(ProcessId::new(0), 1), GroupId::new(0), vec![0u8; 10]);
-        let v2 = Value::new(ValueId::new(ProcessId::new(0), 2), GroupId::new(0), vec![0u8; 22]);
+        let v1 = Value::new(
+            ValueId::new(ProcessId::new(0), 1),
+            GroupId::new(0),
+            vec![0u8; 10],
+        );
+        let v2 = Value::new(
+            ValueId::new(ProcessId::new(0), 2),
+            GroupId::new(0),
+            vec![0u8; 22],
+        );
         let cv = ConsensusValue::Values(vec![v1, v2]);
         assert_eq!(cv.payload_bytes(), 32);
         assert!(!cv.is_skip());
@@ -472,7 +480,11 @@ mod tests {
 
     #[test]
     fn value_len() {
-        let v = Value::new(ValueId::new(ProcessId::new(1), 1), GroupId::new(3), Bytes::new());
+        let v = Value::new(
+            ValueId::new(ProcessId::new(1), 1),
+            GroupId::new(3),
+            Bytes::new(),
+        );
         assert!(v.is_empty());
         assert_eq!(v.len(), 0);
     }

@@ -1,0 +1,243 @@
+//! Minimal vendored shim of the [`proptest`](https://docs.rs/proptest)
+//! crate: the `proptest!` macro, `any::<T>()`, integer-range and
+//! `collection::vec` strategies, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, acceptable for this workspace's
+//! tests: cases are drawn from a fixed deterministic RNG seeded by the
+//! test name (fully reproducible, no persistence files), there is no
+//! shrinking, and `prop_assert*` panics like `assert*` instead of
+//! returning a `TestCaseError`.
+
+#![forbid(unsafe_code)]
+
+/// Number of random cases each `proptest!` test executes.
+pub const NUM_CASES: u32 = 64;
+
+/// Deterministic test RNG (splitmix64).
+pub mod test_runner {
+    /// A small deterministic RNG; every test gets a stream seeded by
+    /// its own name, so runs are reproducible without a persistence
+    /// file.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG seeded by hashing `name` (FNV-1a).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self { state: h | 1 }
+        }
+
+        /// The next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// The strategy abstraction: something that can draw values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The value type drawn.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy for "any value of `T`" — see [`crate::arbitrary::any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    macro_rules! impl_any_uint {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Any<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = u64::from(self.end - self.start);
+                        self.start + rng.below(span) as $t
+                    }
+                }
+
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = u64::from(hi - lo).wrapping_add(1);
+                        if span == 0 {
+                            // Full u64 domain.
+                            rng.next_u64() as $t
+                        } else {
+                            lo + rng.below(span) as $t
+                        }
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_any_uint!(u8, u16, u32, u64);
+
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = (self.end - self.start) as u64;
+            self.start + rng.below(span) as usize
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// A strategy that always yields the same value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len` and
+    /// elements drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Error type kept for API compatibility (unused: `prop_assert*`
+/// panics in this shim).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, executing each body [`NUM_CASES`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Like `assert!` (this shim panics instead of returning an error).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u8..9, y in 10u64..20, v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..20).contains(&y));
+            prop_assert!(v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("seed");
+        let mut b = crate::test_runner::TestRng::deterministic("seed");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -13,7 +13,10 @@ use atomic_multicast::sim::cluster::{Cluster, SimConfig};
 use atomic_multicast::sim::net::Topology;
 
 fn main() {
-    let tuning = RingTuning { lambda: 2_000, ..RingTuning::default() };
+    let tuning = RingTuning {
+        lambda: 2_000,
+        ..RingTuning::default()
+    };
     let deployment = DLogDeployment::build(&DLogTopology::new(2, tuning));
     println!(
         "dLog: {} logs over {} servers, common ring for multi-appends",
@@ -22,18 +25,14 @@ fn main() {
     );
 
     let mut cluster = Cluster::new(SimConfig::default(), Topology::lan(8));
-    cluster.set_protocol(deployment.config.clone());
-    let logs: Vec<u16> = deployment.group_of_log.keys().copied().collect();
-    for &s in &deployment.servers {
-        let app = DLogApp::new(logs.clone(), 200 * 1024 * 1024);
-        let replica = Replica::new(
-            s,
-            deployment.config.clone(),
-            app,
-            CheckpointPolicy { interval_us: 0, sync: false },
-        );
-        cluster.add_actor(s, Hosted::new(replica).boxed());
-    }
+    deployment.spawn_servers(
+        &mut cluster,
+        CheckpointPolicy {
+            interval_us: 0,
+            sync: false,
+        },
+        200 * 1024 * 1024,
+    );
 
     let client_proc = ProcessId::new(900);
     let client_id = ClientId::new(1);
@@ -52,6 +51,7 @@ fn main() {
     );
     // The three servers agree byte-for-byte on every log.
     type Server = Hosted<Replica<DLogApp>>;
+    let logs: Vec<u16> = deployment.group_of_log.keys().copied().collect();
     let mut snaps = Vec::new();
     for &s in &deployment.servers.clone() {
         let server = cluster.actor_as::<Server>(s).expect("server");

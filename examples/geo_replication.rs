@@ -5,9 +5,8 @@
 //! Run with: `cargo run --example geo_replication --release`
 
 use atomic_multicast::core::config::RingTuning;
-use atomic_multicast::core::replica::{CheckpointPolicy, Replica};
+use atomic_multicast::core::replica::CheckpointPolicy;
 use atomic_multicast::core::types::{ClientId, GroupId, ProcessId, Time};
-use atomic_multicast::sim::actor::Hosted;
 use atomic_multicast::sim::cluster::{Cluster, SimConfig};
 use atomic_multicast::sim::net::{Region, Topology};
 use atomic_multicast::sim::rng::Rng;
@@ -24,6 +23,7 @@ fn main() {
         global_ring: true,
         tuning,
         global_tuning: tuning,
+        engine: atomic_multicast::amcast::EngineKind::MultiRing,
     };
     let deployment = StoreDeployment::build(&topo);
 
@@ -39,16 +39,14 @@ fn main() {
     }
 
     let mut cluster = Cluster::new(SimConfig::default(), net);
-    cluster.set_protocol(deployment.config.clone());
-    for (p, partition) in deployment.all_replicas() {
-        let replica = Replica::new(
-            p,
-            deployment.config.clone(),
-            StoreApp::new(partition),
-            CheckpointPolicy { interval_us: 0, sync: false },
-        );
-        cluster.add_actor(p, Hosted::new(replica).boxed());
-    }
+    deployment.spawn_replicas(
+        &mut cluster,
+        CheckpointPolicy {
+            interval_us: 0,
+            sync: false,
+        },
+        StoreApp::new,
+    );
     // One client per region, updating its local partition only.
     for part in 0..4u16 {
         let client_proc = ProcessId::new(900 + u32::from(part));

@@ -5,9 +5,8 @@
 //! Run with: `cargo run --example kv_store`
 
 use atomic_multicast::core::config::RingTuning;
-use atomic_multicast::core::replica::{CheckpointPolicy, Replica};
+use atomic_multicast::core::replica::CheckpointPolicy;
 use atomic_multicast::core::types::{ClientId, ProcessId, Time};
-use atomic_multicast::sim::actor::Hosted;
 use atomic_multicast::sim::cluster::{Cluster, SimConfig};
 use atomic_multicast::sim::net::Topology;
 use atomic_multicast::sim::rng::Rng;
@@ -17,7 +16,10 @@ use atomic_multicast::store::{StoreApp, StoreDeployment, StoreTopology};
 use bytes::Bytes;
 
 fn main() {
-    let tuning = RingTuning { lambda: 2_000, ..RingTuning::default() };
+    let tuning = RingTuning {
+        lambda: 2_000,
+        ..RingTuning::default()
+    };
     let deployment = StoreDeployment::build(&StoreTopology::local(3, tuning));
     println!(
         "MRP-Store: {} partitions x 3 replicas, global ring = {:?}",
@@ -26,24 +28,25 @@ fn main() {
     );
 
     let mut cluster = Cluster::new(SimConfig::default(), Topology::lan(16));
-    cluster.set_protocol(deployment.config.clone());
-    for (p, partition) in deployment.all_replicas() {
-        let mut app = StoreApp::new(partition);
-        // Preload a small database.
-        for i in 0..300 {
-            let key = format!("user{i:06}");
-            if deployment.partition_map.group_of(key.as_bytes()).value() == partition {
-                app.load(Bytes::from(key), Bytes::from(format!("value-{i}")));
+    let map = deployment.partition_map.clone();
+    deployment.spawn_replicas(
+        &mut cluster,
+        CheckpointPolicy {
+            interval_us: 0,
+            sync: false,
+        },
+        |partition| {
+            let mut app = StoreApp::new(partition);
+            // Preload a small database.
+            for i in 0..300 {
+                let key = format!("user{i:06}");
+                if map.group_of(key.as_bytes()).value() == partition {
+                    app.load(Bytes::from(key), Bytes::from(format!("value-{i}")));
+                }
             }
-        }
-        let replica = Replica::new(
-            p,
-            deployment.config.clone(),
-            app,
-            CheckpointPolicy { interval_us: 0, sync: false },
-        );
-        cluster.add_actor(p, Hosted::new(replica).boxed());
-    }
+            app
+        },
+    );
 
     // A client mixing reads, updates and cross-partition scans.
     let client_proc = ProcessId::new(900);
@@ -76,14 +79,21 @@ fn main() {
             },
         }
     };
-    let client = StoreClient::new(StoreClientConfig::new(client_id, 8), deployment.clone(), gen);
+    let client = StoreClient::new(
+        StoreClientConfig::new(client_id, 8),
+        deployment.clone(),
+        gen,
+    );
     cluster.add_actor(client_proc, Box::new(client));
     cluster.register_client(client_id, client_proc);
     cluster.start();
     cluster.run_until(Time::from_secs(5));
 
     let m = cluster.metrics();
-    println!("completed {} operations in 5 simulated seconds", m.counter("store/ops"));
+    println!(
+        "completed {} operations in 5 simulated seconds",
+        m.counter("store/ops")
+    );
     for tag in ["read", "update", "scan"] {
         if let Some(h) = m.histogram(&format!("store/latency_us/{tag}")) {
             println!(

@@ -45,7 +45,13 @@ impl Actor for Burst {
 
 fn main() {
     // One ring, three processes, all of them proposer+acceptor+learner.
-    let config = single_ring(3, RingTuning { lambda: 0, ..RingTuning::default() });
+    let config = single_ring(
+        3,
+        RingTuning {
+            lambda: 0,
+            ..RingTuning::default()
+        },
+    );
     let mut cluster = Cluster::new(SimConfig::default(), Topology::lan(8));
     cluster.set_protocol(config.clone());
     for i in 0..3 {

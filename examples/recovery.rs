@@ -125,7 +125,11 @@ fn main() {
             r.inner().executed(),
             r.inner().app().len(),
             r.inner().checkpoints_taken(),
-            if i == 4 { "   <- crashed & recovered" } else { "" }
+            if i == 4 {
+                "   <- crashed & recovered"
+            } else {
+                ""
+            }
         );
         lens.push(r.inner().app().len());
     }

@@ -49,7 +49,10 @@ fn main() {
             p,
             config.clone(),
             StoreApp::new(0),
-            CheckpointPolicy { interval_us: 0, sync: false },
+            CheckpointPolicy {
+                interval_us: 0,
+                sync: false,
+            },
         );
         handles.push(TcpRuntime::spawn(rc, replica).expect("spawn node"));
     }
@@ -61,7 +64,13 @@ fn main() {
             key: Bytes::from(format!("key{i}")),
             value: Bytes::from(format!("value{i}")),
         };
-        client.request(ProcessId::new(0), ClientId::new(1), i, GroupId::new(0), cmd.encode());
+        client.request(
+            ProcessId::new(0),
+            ClientId::new(1),
+            i,
+            GroupId::new(0),
+            cmd.encode(),
+        );
     }
     // Collect first responses (each of the 3 replicas answers; we count
     // unique request ids).
@@ -74,8 +83,16 @@ fn main() {
         seen.insert(request);
     }
     println!("all inserts acknowledged; reading one back...");
-    let cmd = StoreCommand::Read { key: Bytes::from_static(b"key7") };
-    client.request(ProcessId::new(1), ClientId::new(1), 100, GroupId::new(0), cmd.encode());
+    let cmd = StoreCommand::Read {
+        key: Bytes::from_static(b"key7"),
+    };
+    client.request(
+        ProcessId::new(1),
+        ClientId::new(1),
+        100,
+        GroupId::new(0),
+        cmd.encode(),
+    );
     let value = loop {
         let (_, request, payload) = client
             .responses()

@@ -9,6 +9,11 @@
 //!
 //! * [`core`](multiring_paxos) — the sans-io Multi-Ring Paxos protocol
 //!   (rings, deterministic merge, rate leveling, recovery).
+//! * [`amcast`](mrp_amcast) — the pluggable atomic-multicast engine
+//!   layer: the [`AmcastEngine`](mrp_amcast::AmcastEngine) trait every
+//!   ordering engine implements, engine selection via
+//!   [`EngineKind`](mrp_amcast::EngineKind), and a second, timestamp-
+//!   based Skeen/white-box engine ([`wbcast`](mrp_amcast::wbcast)).
 //! * [`sim`](mrp_sim) — deterministic discrete-event simulator (WAN
 //!   topologies, disk/CPU models, fault injection) used by tests and by
 //!   the benchmark harness that regenerates the paper's figures.
@@ -25,9 +30,24 @@
 //! * [`baselines`](mrp_baselines) — comparison systems used by the
 //!   evaluation.
 //!
+//! ## The engine abstraction
+//!
+//! Everything above the ordering layer — the simulator's cluster,
+//! MRP-Store, dLog, the benchmark harness — is written against
+//! [`amcast::AmcastEngine`](mrp_amcast::AmcastEngine), the explicit
+//! form of the paper's `multicast(group, m)`/`deliver(m)` contract.
+//! Deployments pick an engine with
+//! [`EngineKind`](mrp_amcast::EngineKind) (`MultiRing` is the paper's
+//! protocol; `Wbcast` orders via per-group sequencer timestamps); run
+//! `cargo run --example engine_compare` to see both engines drive the
+//! same workload, and `cargo bench -p mrp-bench --bench fig9_engines`
+//! for the quantitative comparison. How to add a third engine is
+//! documented in [`mrp_amcast`].
+//!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `EXPERIMENTS.md` for the paper-figure reproductions.
 
+pub use mrp_amcast as amcast;
 pub use mrp_baselines as baselines;
 pub use mrp_coord as coord;
 pub use mrp_dlog as dlog;

@@ -2,17 +2,21 @@
 //! (Section 2 of the paper): agreement, validity and acyclic order —
 //! including the global acyclicity of multi-group deliveries, checked by
 //! building the delivery graph and topologically sorting it.
+//!
+//! Every test is parameterized over [`EngineKind::ALL`] through the
+//! [`AmcastEngine`] abstraction: the same invariants must hold for the
+//! Multi-Ring Paxos engine and for the timestamp-based white-box
+//! engine, on the identical workload and simulated network.
 
+use atomic_multicast::amcast::{AnyEngine, EngineKind};
 use atomic_multicast::core::config::{ClusterConfig, RingSpec, RingTuning, Roles};
-use atomic_multicast::core::node::Node;
-use atomic_multicast::core::types::{
-    ClientId, GroupId, ProcessId, RingId, Time, ValueId,
-};
+use atomic_multicast::core::types::{ClientId, GroupId, ProcessId, RingId, Time, ValueId};
 use atomic_multicast::sim::actor::{Actor, ActorCtx, ActorEvent, Hosted, Outbox};
 use atomic_multicast::sim::cluster::{Cluster, SimConfig};
 use atomic_multicast::sim::net::Topology;
 use bytes::Bytes;
 use multiring_paxos::event::Message;
+use proptest::prelude::*;
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -46,11 +50,11 @@ impl Actor for Burst {
     }
 }
 
-/// Records its node's deliveries (wraps a hosted node and captures the
+/// Records its node's deliveries (wraps a hosted engine and captures the
 /// Delivered ops the harness would otherwise only count).
 #[derive(Debug)]
 struct Recorder {
-    node: Hosted<Node>,
+    node: Hosted<AnyEngine>,
     delivered: Vec<(GroupId, ValueId)>,
 }
 
@@ -95,7 +99,7 @@ fn fig2c_config() -> ClusterConfig {
     b.build().expect("fig2c config")
 }
 
-fn run_fig2c(seed: u64) -> BTreeMap<ProcessId, Vec<(GroupId, ValueId)>> {
+fn run_fig2c(seed: u64, kind: EngineKind) -> BTreeMap<ProcessId, Vec<(GroupId, ValueId)>> {
     let config = fig2c_config();
     let mut cluster = Cluster::new(
         SimConfig {
@@ -110,7 +114,7 @@ fn run_fig2c(seed: u64) -> BTreeMap<ProcessId, Vec<(GroupId, ValueId)>> {
         cluster.add_actor(
             pid,
             Box::new(Recorder {
-                node: Hosted::new(Node::new(pid, config.clone())),
+                node: Hosted::new(kind.build(pid, config.clone())),
                 delivered: Vec::new(),
             }),
         );
@@ -142,87 +146,180 @@ fn run_fig2c(seed: u64) -> BTreeMap<ProcessId, Vec<(GroupId, ValueId)>> {
 
 #[test]
 fn agreement_and_validity_per_group() {
-    let delivered = run_fig2c(17);
-    // Validity: all 25 multicasts to each group delivered at its
-    // subscribers.
-    for (p, seq) in &delivered {
-        let g0 = seq.iter().filter(|(g, _)| *g == GroupId::new(0)).count();
-        let g1 = seq.iter().filter(|(g, _)| *g == GroupId::new(1)).count();
-        if *p == ProcessId::new(2) {
-            assert_eq!(g0, 0, "L3 does not subscribe to group 0");
-        } else {
-            assert_eq!(g0, 25, "{p} must deliver all of group 0");
+    for kind in EngineKind::ALL {
+        let delivered = run_fig2c(17, kind);
+        // Validity: all 25 multicasts to each group delivered at its
+        // subscribers.
+        for (p, seq) in &delivered {
+            let g0 = seq.iter().filter(|(g, _)| *g == GroupId::new(0)).count();
+            let g1 = seq.iter().filter(|(g, _)| *g == GroupId::new(1)).count();
+            if *p == ProcessId::new(2) {
+                assert_eq!(g0, 0, "{kind}: L3 does not subscribe to group 0");
+            } else {
+                assert_eq!(g0, 25, "{kind}: {p} must deliver all of group 0");
+            }
+            assert_eq!(g1, 25, "{kind}: {p} must deliver all of group 1");
         }
-        assert_eq!(g1, 25, "{p} must deliver all of group 1");
+        // Agreement + same relative order per group at all subscribers.
+        let filt = |p: u32, g: u16| -> Vec<ValueId> {
+            delivered[&ProcessId::new(p)]
+                .iter()
+                .filter(|(gr, _)| *gr == GroupId::new(g))
+                .map(|(_, id)| *id)
+                .collect()
+        };
+        assert_eq!(filt(0, 0), filt(1, 0), "{kind}");
+        assert_eq!(filt(0, 1), filt(1, 1), "{kind}");
+        assert_eq!(filt(0, 1), filt(2, 1), "{kind}");
     }
-    // Agreement + same relative order per group at all subscribers.
-    let filt = |p: u32, g: u16| -> Vec<ValueId> {
-        delivered[&ProcessId::new(p)]
-            .iter()
-            .filter(|(gr, _)| *gr == GroupId::new(g))
-            .map(|(_, id)| *id)
-            .collect()
-    };
-    assert_eq!(filt(0, 0), filt(1, 0));
-    assert_eq!(filt(0, 1), filt(1, 1));
-    assert_eq!(filt(0, 1), filt(2, 1));
 }
 
 #[test]
 fn multigroup_delivery_order_is_acyclic() {
-    let delivered = run_fig2c(23);
-    // Build the global precedence graph: m -> m' if some process
-    // delivers m before m'. Atomic multicast requires it acyclic.
-    let mut edges: BTreeMap<(GroupId, ValueId), BTreeSet<(GroupId, ValueId)>> = BTreeMap::new();
-    let mut nodes: BTreeSet<(GroupId, ValueId)> = BTreeSet::new();
-    for seq in delivered.values() {
-        for w in seq.windows(2) {
-            edges.entry(w[0]).or_default().insert(w[1]);
-            nodes.insert(w[0]);
-            nodes.insert(w[1]);
+    for kind in EngineKind::ALL {
+        let delivered = run_fig2c(23, kind);
+        // Build the global precedence graph: m -> m' if some process
+        // delivers m before m'. Atomic multicast requires it acyclic.
+        let mut edges: BTreeMap<(GroupId, ValueId), BTreeSet<(GroupId, ValueId)>> = BTreeMap::new();
+        let mut nodes: BTreeSet<(GroupId, ValueId)> = BTreeSet::new();
+        for seq in delivered.values() {
+            for w in seq.windows(2) {
+                edges.entry(w[0]).or_default().insert(w[1]);
+                nodes.insert(w[0]);
+                nodes.insert(w[1]);
+            }
         }
-    }
-    // Kahn's algorithm: a topological order must consume every node.
-    let mut indegree: BTreeMap<(GroupId, ValueId), usize> =
-        nodes.iter().map(|&n| (n, 0)).collect();
-    for succs in edges.values() {
-        for s in succs {
-            *indegree.get_mut(s).expect("known node") += 1;
+        // Kahn's algorithm: a topological order must consume every node.
+        let mut indegree: BTreeMap<(GroupId, ValueId), usize> =
+            nodes.iter().map(|&n| (n, 0)).collect();
+        for succs in edges.values() {
+            for s in succs {
+                *indegree.get_mut(s).expect("known node") += 1;
+            }
         }
-    }
-    let mut queue: VecDeque<(GroupId, ValueId)> = indegree
-        .iter()
-        .filter(|&(_, &d)| d == 0)
-        .map(|(&n, _)| n)
-        .collect();
-    let mut visited = 0;
-    while let Some(n) = queue.pop_front() {
-        visited += 1;
-        if let Some(succs) = edges.get(&n) {
-            for &s in succs {
-                let d = indegree.get_mut(&s).expect("known node");
-                *d -= 1;
-                if *d == 0 {
-                    queue.push_back(s);
+        let mut queue: VecDeque<(GroupId, ValueId)> = indegree
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut visited = 0;
+        while let Some(n) = queue.pop_front() {
+            visited += 1;
+            if let Some(succs) = edges.get(&n) {
+                for &s in succs {
+                    let d = indegree.get_mut(&s).expect("known node");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(s);
+                    }
                 }
             }
         }
+        assert_eq!(
+            visited,
+            nodes.len(),
+            "{kind}: delivery precedence graph has a cycle: atomic multicast order violated"
+        );
     }
-    assert_eq!(
-        visited,
-        nodes.len(),
-        "delivery precedence graph has a cycle: atomic multicast order violated"
-    );
 }
 
 #[test]
 fn deterministic_merge_interleaving_matches_across_learners() {
     // L1 and L2 subscribe to the same two groups: their *interleaved*
-    // sequences (not just per-group projections) must match exactly.
-    let delivered = run_fig2c(31);
-    assert_eq!(
-        delivered[&ProcessId::new(0)],
-        delivered[&ProcessId::new(1)],
-        "learners with identical subscriptions must deliver identical sequences"
+    // sequences (not just per-group projections) must match exactly —
+    // for the ring engine via the deterministic merge, for the
+    // white-box engine via the global (timestamp, group) order.
+    for kind in EngineKind::ALL {
+        let delivered = run_fig2c(31, kind);
+        assert_eq!(
+            delivered[&ProcessId::new(0)],
+            delivered[&ProcessId::new(1)],
+            "{kind}: learners with identical subscriptions must deliver identical sequences"
+        );
+    }
+}
+
+/// Runs a single-group, three-process cluster under `kind` with
+/// `bursts[i]` requests fired at proposer `i`, returning each process's
+/// delivery sequence.
+fn run_single_group(
+    seed: u64,
+    kind: EngineKind,
+    bursts: &[u8],
+) -> BTreeMap<ProcessId, Vec<ValueId>> {
+    let config = atomic_multicast::core::config::single_ring(
+        3,
+        RingTuning {
+            lambda: 3_000,
+            delta_us: 5_000,
+            ..RingTuning::default()
+        },
     );
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+        Topology::lan(8),
+    );
+    cluster.set_protocol(config.clone());
+    for p in 0..3u32 {
+        let pid = ProcessId::new(p);
+        cluster.add_actor(
+            pid,
+            Box::new(Recorder {
+                node: Hosted::new(kind.build(pid, config.clone())),
+                delivered: Vec::new(),
+            }),
+        );
+    }
+    for (i, &n) in bursts.iter().enumerate() {
+        let client_proc = ProcessId::new(100 + i as u32);
+        let client_id = ClientId::new(i as u64);
+        cluster.add_actor(
+            client_proc,
+            Box::new(Burst {
+                target: ProcessId::new(i as u32 % 3),
+                group: GroupId::new(0),
+                client: client_id,
+                n: u64::from(n),
+            }),
+        );
+        cluster.register_client(client_id, client_proc);
+    }
+    cluster.start();
+    cluster.run_until(Time::from_secs(2));
+    (0..3u32)
+        .map(|p| {
+            let pid = ProcessId::new(p);
+            let r = cluster.actor_as::<Recorder>(pid).expect("recorder");
+            (pid, r.delivered.iter().map(|(_, id)| *id).collect())
+        })
+        .collect()
+}
+
+proptest! {
+    /// Cross-engine property: for random burst mixes and schedules,
+    /// single-group delivery is a *legal total order* on every engine —
+    /// all processes deliver the same sequence, with no duplicates, and
+    /// exactly the multicast values in it.
+    #[test]
+    fn single_group_delivery_is_a_legal_total_order(
+        seed in 1u64..1_000_000,
+        bursts in proptest::collection::vec(1u8..8, 2..4),
+    ) {
+        for kind in EngineKind::ALL {
+            let delivered = run_single_group(seed, kind, &bursts);
+            let total: u64 = bursts.iter().map(|&n| u64::from(n)).sum();
+            let reference = &delivered[&ProcessId::new(0)];
+            // Totality: every multicast value is delivered exactly once.
+            prop_assert_eq!(reference.len() as u64, total, "{}: wrong count", kind);
+            let unique: BTreeSet<&ValueId> = reference.iter().collect();
+            prop_assert_eq!(unique.len(), reference.len(), "{}: duplicate delivery", kind);
+            // Total order: identical sequences at every subscriber.
+            for (p, seq) in &delivered {
+                prop_assert_eq!(seq, reference, "{}: {} diverges", kind, p);
+            }
+        }
+    }
 }

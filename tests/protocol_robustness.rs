@@ -2,9 +2,7 @@
 //! batching enabled, with synchronous storage gating votes, and across
 //! coordinator failovers (no duplicate or lost deliveries).
 
-use atomic_multicast::core::config::{
-    single_ring, LinkBatching, RingTuning, StorageMode,
-};
+use atomic_multicast::core::config::{single_ring, LinkBatching, RingTuning, StorageMode};
 use atomic_multicast::core::node::Node;
 use atomic_multicast::core::types::{ClientId, GroupId, ProcessId, Time, ValueId};
 use atomic_multicast::sim::actor::{Actor, ActorCtx, ActorEvent, Hosted, Op, Outbox};
@@ -28,20 +26,18 @@ struct Trickle {
 impl Actor for Trickle {
     fn on_event(&mut self, _now: Time, ev: ActorEvent, out: &mut Outbox, _ctx: &mut ActorCtx<'_>) {
         match ev {
-            ActorEvent::Start | ActorEvent::Wakeup(0) => {
-                if self.sent < self.n {
-                    out.send(
-                        self.target,
-                        Message::Request {
-                            client: self.client,
-                            request: self.sent,
-                            group: GroupId::new(0),
-                            payload: Bytes::from(vec![0u8; 32]),
-                        },
-                    );
-                    self.sent += 1;
-                    out.wakeup(self.gap_us, 0);
-                }
+            ActorEvent::Start | ActorEvent::Wakeup(0) if self.sent < self.n => {
+                out.send(
+                    self.target,
+                    Message::Request {
+                        client: self.client,
+                        request: self.sent,
+                        group: GroupId::new(0),
+                        payload: Bytes::from(vec![0u8; 32]),
+                    },
+                );
+                self.sent += 1;
+                out.wakeup(self.gap_us, 0);
             }
             _ => {}
         }
@@ -140,7 +136,11 @@ fn survives_heavy_message_loss() {
 
     for p in 0..3 {
         let seq = delivered(&mut cluster, p);
-        assert_eq!(seq.len(), 40, "learner {p} delivered everything exactly once");
+        assert_eq!(
+            seq.len(),
+            40,
+            "learner {p} delivered everything exactly once"
+        );
         let mut dedup = seq.clone();
         dedup.sort();
         dedup.dedup();
