@@ -18,17 +18,25 @@ use std::str::FromStr;
 /// engines must provide agreement, validity and acyclic order for the
 /// values they deliver via [`Action::Deliver`].
 pub trait AmcastEngine: StateMachine {
-    /// Atomically multicasts `payload` to `group` from this process,
-    /// returning the assigned value id and the actions to execute.
+    /// Atomically multicasts `payload` to the group set `groups` from
+    /// this process (the paper's `multicast(γ, m)`), returning the
+    /// assigned value id and the actions to execute.
+    ///
+    /// Every correct subscriber of every addressed group delivers the
+    /// message exactly once, in a position consistent with one global
+    /// acyclic order. A *genuine* engine (see [`EngineKind::genuine`])
+    /// involves only the addressed groups' processes; the ring engine
+    /// instead routes multi-group messages through a covering group.
     ///
     /// # Errors
     ///
-    /// Fails if the group is unknown in the configuration or this
-    /// process may not propose to it.
+    /// Fails if the set is empty, a group is unknown in the
+    /// configuration, this process may not propose to it, or (ring
+    /// engine only) no covering group exists for a multi-group set.
     fn multicast(
         &mut self,
         now: Time,
-        group: GroupId,
+        groups: &[GroupId],
         payload: Bytes,
     ) -> Result<(ValueId, Vec<Action>), MulticastError>;
 
@@ -46,10 +54,10 @@ impl AmcastEngine for Node {
     fn multicast(
         &mut self,
         now: Time,
-        group: GroupId,
+        groups: &[GroupId],
         payload: Bytes,
     ) -> Result<(ValueId, Vec<Action>), MulticastError> {
-        Node::multicast(self, now, group, payload)
+        Node::multicast(self, now, groups, payload)
     }
 
     fn engine_name(&self) -> &'static str {
@@ -85,6 +93,36 @@ impl EngineKind {
         }
     }
 
+    /// Whether multi-group messages are *genuine* (only the addressed
+    /// groups' processes do protocol work for them). The ring engine
+    /// instead routes `multicast(γ, m)` with `|γ| > 1` through a
+    /// covering group — typically a deployment's global ring — whose
+    /// whole subscriber set participates.
+    pub fn genuine(self) -> bool {
+        match self {
+            EngineKind::MultiRing => false,
+            EngineKind::Wbcast => true,
+        }
+    }
+
+    /// Reads the engine from the `MRP_ENGINE` environment variable
+    /// (case-insensitive, e.g. `multiring` | `wbcast`), defaulting to
+    /// [`EngineKind::MultiRing`] when unset. Deployment helpers use this
+    /// so benches and examples switch engines without recompiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `MRP_ENGINE` is set to an unknown engine name, so a
+    /// typo fails loudly instead of silently benchmarking the default.
+    pub fn from_env() -> EngineKind {
+        match std::env::var("MRP_ENGINE") {
+            Ok(name) => name
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid MRP_ENGINE: {e}")),
+            Err(_) => EngineKind::default(),
+        }
+    }
+
     /// Builds an engine of this kind for process `me` over `config`.
     ///
     /// Both engines consume the same [`ClusterConfig`]: groups, the
@@ -109,7 +147,7 @@ impl FromStr for EngineKind {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
+        match s.trim().to_ascii_lowercase().as_str() {
             "multiring" | "multi-ring" | "mrp" => Ok(EngineKind::MultiRing),
             "wbcast" | "skeen" | "timestamp" => Ok(EngineKind::Wbcast),
             other => Err(format!("unknown engine kind {other:?}")),
@@ -173,12 +211,12 @@ impl AmcastEngine for AnyEngine {
     fn multicast(
         &mut self,
         now: Time,
-        group: GroupId,
+        groups: &[GroupId],
         payload: Bytes,
     ) -> Result<(ValueId, Vec<Action>), MulticastError> {
         match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::multicast(n, now, group, payload),
-            AnyEngine::Wbcast(n) => AmcastEngine::multicast(n, now, group, payload),
+            AnyEngine::MultiRing(n) => AmcastEngine::multicast(n, now, groups, payload),
+            AnyEngine::Wbcast(n) => AmcastEngine::multicast(n, now, groups, payload),
         }
     }
 
@@ -208,6 +246,24 @@ mod tests {
         assert_eq!("skeen".parse::<EngineKind>().unwrap(), EngineKind::Wbcast);
         assert!("zab".parse::<EngineKind>().is_err());
         assert_eq!(EngineKind::Wbcast.to_string(), "wbcast");
+    }
+
+    #[test]
+    fn kind_parse_is_case_insensitive() {
+        for (s, kind) in [
+            ("MultiRing", EngineKind::MultiRing),
+            ("MULTI-RING", EngineKind::MultiRing),
+            ("  WbCast ", EngineKind::Wbcast),
+            ("SKEEN", EngineKind::Wbcast),
+        ] {
+            assert_eq!(s.parse::<EngineKind>().unwrap(), kind, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn genuineness_flag() {
+        assert!(!EngineKind::MultiRing.genuine());
+        assert!(EngineKind::Wbcast.genuine());
     }
 
     #[test]

@@ -2,10 +2,9 @@
 //!
 //! The paper's thesis is that *atomic multicast* — not atomic broadcast
 //! — is the right communication primitive for global, partitioned
-//! systems, and that Multi-Ring Paxos is one (genuine, scalable)
-//! implementation of it. This crate makes that separation explicit in
-//! the codebase: the `multicast(group, m)` / `deliver(m)` contract that
-//! [`multiring_paxos::node::Node`] implicitly implements becomes the
+//! systems, and that Multi-Ring Paxos is one (scalable) implementation
+//! of it. This crate makes that separation explicit in the codebase:
+//! the `multicast(γ, m)` / `deliver(m)` contract becomes the
 //! [`AmcastEngine`] trait, and everything above it (simulator hosting,
 //! services, benchmarks) is written against the trait instead of the
 //! concrete ring protocol.
@@ -14,22 +13,45 @@
 //!
 //! An engine is a sans-io state machine ([`StateMachine`]: consume
 //! [`Event`]s, emit [`Action`]s) that additionally exposes local
-//! submission ([`AmcastEngine::multicast`]). Every engine must provide
-//! the three atomic-multicast properties of Section 2 of the paper:
+//! submission: [`AmcastEngine::multicast`] takes the paper's destination
+//! **set** γ of groups — a single-element set is the common
+//! partition-local case; a larger set is a cross-partition operation
+//! (a multi-key transaction, a scan, a multi-log append). Every engine
+//! must provide the atomic-multicast properties of Section 2 of the
+//! paper for the values it delivers via `Action::Deliver`:
 //!
-//! * **agreement** — all correct subscribers of a group deliver the
-//!   same messages;
+//! * **agreement** — all correct subscribers of an addressed group
+//!   deliver the same messages;
 //! * **validity** — messages multicast by correct processes are
 //!   delivered;
+//! * **integrity** — every subscriber of γ delivers m exactly once,
+//!   even when it subscribes to several groups of γ;
 //! * **acyclic order** — the global relation "some process delivers m
-//!   before m′" has no cycles.
+//!   before m′" has no cycles, *across* groups included.
 //!
-//! Two engines ship today, selected by [`EngineKind`]:
+//! Engines differ in **genuineness** ([`EngineKind::genuine`]): a
+//! genuine engine involves only the addressed groups' processes in
+//! ordering m. The white-box engine orders multi-group messages
+//! genuinely (each addressed group's sequencer proposes a timestamp,
+//! the initiator distributes the maximum, groups deliver at the final
+//! `(timestamp, id)` position). The ring engine is genuine for
+//! single-group messages only: a multi-group message is routed through
+//! a *covering group* — a configured group, typically a deployment's
+//! global ring, whose subscribers include every addressed group's
+//! subscribers — and fails with `NoCoveringGroup` when none exists.
 //!
-//! | engine | ordering mechanism | trade-off |
-//! |---|---|---|
-//! | [`EngineKind::MultiRing`] | one Ring Paxos instance per group, deterministic merge + rate leveling at learners | high throughput, fault-tolerant ordering, merge adds Δ-bounded latency |
-//! | [`EngineKind::Wbcast`] | per-group sequencer timestamps, delivery at the global `(timestamp, group)` order (Skeen / white-box style) | one less message delay on the ordering path, throughput bound by the sequencer |
+//! Two engines ship today, selected by [`EngineKind`] (or the
+//! `MRP_ENGINE` environment variable via [`EngineKind::from_env`]):
+//!
+//! | engine | ordering mechanism | multi-group messages | trade-off |
+//! |---|---|---|---|
+//! | [`EngineKind::MultiRing`] | one Ring Paxos instance per group, deterministic merge + rate leveling at learners | covering (global) group | high throughput, fault-tolerant ordering, merge adds Δ-bounded latency |
+//! | [`EngineKind::Wbcast`] | per-group sequencer timestamps, delivery in global `(timestamp, id)` order (Skeen / white-box style) | genuine: max-timestamp agreement among addressed groups | one less message delay for single-group, two more for multi-group, throughput bound by the sequencer |
+//!
+//! Backpressure: [`AmcastEngine::backlog`] reports locally submitted,
+//! not-yet-settled values for both engines (ring: proposals not yet
+//! decided; wbcast: submissions to subscribed groups not yet delivered
+//! locally).
 //!
 //! ## Adding a third engine
 //!

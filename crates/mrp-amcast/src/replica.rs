@@ -161,7 +161,7 @@ mod tests {
                     msg: Message::Request {
                         client: ClientId::new(7),
                         request: 3,
-                        group: GroupId::new(0),
+                        groups: vec![GroupId::new(0)],
                         payload: Bytes::from_static(b"x"),
                     },
                 },

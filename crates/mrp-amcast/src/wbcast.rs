@@ -1,4 +1,5 @@
-//! A timestamp-based Skeen-style ("white-box") atomic multicast engine.
+//! A timestamp-based Skeen-style ("white-box") atomic multicast engine
+//! with *genuine* multi-group messages.
 //!
 //! ## Message flow
 //!
@@ -8,46 +9,74 @@
 //! inside the group, as in *White-Box Atomic Multicast*; this engine
 //! models the failure-free ordering path).
 //!
+//! ### Single-group messages (one phase)
+//!
 //! ```text
 //!  proposer            sequencer of g                subscribers of g
-//!     │  Submit(g, v)       │                               │
-//!     ├────────────────────▶│ ts := clock(g)++              │
-//!     │                     ├── Ordered(g, ts, v) ─────────▶│  buffer by ts
-//!     │                     │                               │  deliver in global
-//!     │                     ├── Heartbeat(g, promise) ──···▶│  (ts, g) order
+//!     │  Submit(γ={g})     │                               │
+//!     ├───────────────────▶│ ts := clock(g)++              │
+//!     │                    ├── Ordered(g, ts, γ, v) ──────▶│  buffer by (ts, id)
+//!     │                    ├── Heartbeat(g, promise) ──···▶│  deliver in global
+//!     │                                                    │  (ts, id) order
 //! ```
 //!
-//! 1. **Submit** — a proposer assigns the value its [`ValueId`] and
-//!    forwards it to the group's sequencer (one WAN hop; zero if the
-//!    proposer *is* the sequencer). This is the step that makes the
-//!    engine *genuine*: only the destination group's processes are
-//!    involved.
-//! 2. **Order** — the sequencer assigns the value the next per-group
-//!    timestamp and fans `Ordered(group, ts, value)` out to the group's
-//!    subscribers. Timestamps are Lamport-style hybrid clocks: they
-//!    advance with submissions *and* with elapsed time (in a fixed
-//!    quantum shared by every group, [`CLOCK_QUANTUM_US`]), so
-//!    timestamps of different groups stay loosely aligned without any
-//!    cross-group communication — even when rings configure different
-//!    heartbeat intervals Δ.
-//! 3. **Deliver** — every subscriber delivers buffered values in the
-//!    global lexicographic `(ts, group)` order. A value `(ts, g)` is
-//!    deliverable once no other subscribed group can still produce a
-//!    smaller key, i.e. for every other subscribed group `g'` the
-//!    subscriber has observed a timestamp `≥ ts` (if `g' < g`) or
-//!    `≥ ts − 1` (if `g' > g`). Channels are reliable FIFO (the
-//!    [`Action::Send`] contract), so "observed timestamp" is simply the
-//!    largest received one.
-//! 4. **Heartbeat** — sequencers of idle groups periodically promise
+//! ### Multi-group messages (Skeen phase 2, the paper's `multicast(γ, m)`)
+//!
+//! ```text
+//!  initiator         sequencer of g₁   sequencer of g₂     subscribers of γ
+//!     │  Submit(γ, v)      │                 │                   │
+//!     ├───────────────────▶│ ts₁ := clock₁++ │                   │
+//!     ├─────────────────────────────────────▶│ ts₂ := clock₂++   │
+//!     │◀─ ProposeAck(ts₁) ─┤                 │                   │
+//!     │◀─ ProposeAck(ts₂) ──────────────────-┤                   │
+//!     │  fts := max(ts₁, ts₂)                │                   │
+//!     ├─ Final(fts) ──────▶│                 │                   │
+//!     ├─ Final(fts) ──────────────────────--▶│                   │
+//!     │                    ├── Ordered(g₁, fts, γ, v) ──────────▶│ deliver once at
+//!     │                    │                 ├─ Ordered(g₂,…) ──▶│ global (fts, id)
+//! ```
+//!
+//! 1. **Submit** — the initiator assigns the value its [`ValueId`] and
+//!    sends it to the sequencer of *each* addressed group. This is the
+//!    step that makes the engine *genuine*: only the addressed groups'
+//!    processes are ever involved with the message.
+//! 2. **Propose** — each addressed sequencer assigns the value the next
+//!    per-group timestamp. For a single-group message that timestamp is
+//!    final immediately; for a multi-group message the sequencer holds
+//!    the value as *undecided* and reports the proposal back to the
+//!    initiator.
+//! 3. **Decide** — the initiator collects one proposal per addressed
+//!    group and sends the maximum back as the final timestamp. Each
+//!    sequencer re-keys the value at the final timestamp, advances its
+//!    clock past it (Lamport receive rule), and releases its ordered
+//!    stream strictly in `(timestamp, id)` order — values keyed above a
+//!    still-undecided proposal wait, because that proposal's final
+//!    timestamp may land below them.
+//! 4. **Deliver** — every subscriber buffers `Ordered` values and
+//!    delivers in the global lexicographic `(timestamp, id)` order. A
+//!    buffered value is deliverable once every other subscribed group's
+//!    *frontier* (largest key observed from its sequencer, streams are
+//!    released in key order over reliable FIFO channels) has reached the
+//!    value's key. A subscriber of several addressed groups receives one
+//!    copy per stream and delivers exactly once: only the copy in the
+//!    smallest addressed group it subscribes to enters the buffer, the
+//!    others merely advance frontiers.
+//! 5. **Heartbeat** — sequencers of idle groups periodically promise
 //!    "all my future timestamps exceed X" so that other groups'
 //!    deliveries are never blocked by an idle group: the analogue of
-//!    Multi-Ring Paxos rate leveling, paced by the ring's Δ.
+//!    Multi-Ring Paxos rate leveling, paced by the ring's Δ. A promise
+//!    never overtakes an undecided proposal.
 //!
-//! Compared with the ring engine, the ordering path for a value is
-//! `proposer → sequencer → subscribers` — one message delay fewer than
-//! circulating a ring and merging — at the price of funnelling each
-//! group's traffic through one sequencer and (in this implementation)
-//! no fault-tolerant ordering path.
+//! Timestamps are Lamport-style hybrid clocks: they advance with
+//! submissions *and* with elapsed time (in a fixed quantum shared by
+//! every group, [`CLOCK_QUANTUM_US`]), so timestamps of different groups
+//! stay loosely aligned without any cross-group communication.
+//!
+//! Compared with the ring engine, a multi-group message costs two extra
+//! message delays (propose/decide) but involves *only* the addressed
+//! groups, where Multi-Ring Paxos must route it through a covering
+//! (global) ring that every replica subscribes to — the scalability
+//! bottleneck the paper's Figure 4 measures.
 //!
 //! All engine traffic travels in opaque
 //! [`Message::Engine`](multiring_paxos::event::Message::Engine) frames
@@ -63,7 +92,7 @@ use multiring_paxos::node::MulticastError;
 use multiring_paxos::types::{
     ClientId, GroupId, InstanceId, ProcessId, RingId, Time, Value, ValueId,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Wire id of this engine inside [`Message::Engine`] frames.
@@ -72,16 +101,44 @@ pub const WBCAST_WIRE_ID: u8 = 1;
 const TAG_SUBMIT: u8 = 1;
 const TAG_ORDERED: u8 = 2;
 const TAG_HEARTBEAT: u8 = 3;
+const TAG_PROPOSE_ACK: u8 = 4;
+const TAG_FINAL: u8 = 5;
+
+/// A global delivery key: final timestamp, tie-broken by the value id
+/// (final timestamps of multi-group messages can collide, even within
+/// one group's stream).
+type Key = (u64, ValueId);
 
 /// The engine's private messages, carried inside [`Message::Engine`].
 #[derive(Clone, PartialEq, Debug)]
 enum WbMessage {
-    /// A proposer submits a value to the group's sequencer.
-    Submit { group: GroupId, value: Value },
-    /// The sequencer's ordering decision, fanned out to subscribers.
+    /// The initiator submits a value to the sequencer of `group`, one of
+    /// the addressed groups `groups` (γ).
+    Submit {
+        group: GroupId,
+        groups: Vec<GroupId>,
+        value: Value,
+    },
+    /// A sequencer's timestamp proposal for a multi-group value, sent
+    /// back to the initiator.
+    ProposeAck {
+        group: GroupId,
+        id: ValueId,
+        ts: u64,
+    },
+    /// The initiator's decision: the final (maximum) timestamp for a
+    /// multi-group value, sent to each addressed sequencer.
+    Final {
+        group: GroupId,
+        id: ValueId,
+        ts: u64,
+    },
+    /// A sequencer's ordering decision at the final timestamp, fanned
+    /// out to the group's subscribers in strictly increasing key order.
     Ordered {
         group: GroupId,
         ts: u64,
+        groups: Vec<GroupId>,
         value: Value,
     },
     /// The sequencer's promise that all future timestamps of `group`
@@ -112,20 +169,74 @@ fn get_value(buf: &mut Bytes) -> Option<Value> {
     Some(Value::new(ValueId::new(proposer, seq), group, payload))
 }
 
+fn put_groups(buf: &mut BytesMut, groups: &[GroupId]) {
+    buf.put_u16_le(groups.len() as u16);
+    for g in groups {
+        buf.put_u16_le(g.value());
+    }
+}
+
+fn get_groups(buf: &mut Bytes) -> Option<Vec<GroupId>> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let n = buf.get_u16_le() as usize;
+    if buf.remaining() < 2 * n {
+        return None;
+    }
+    Some((0..n).map(|_| GroupId::new(buf.get_u16_le())).collect())
+}
+
+fn put_id(buf: &mut BytesMut, id: ValueId) {
+    buf.put_u32_le(id.proposer.value());
+    buf.put_u64_le(id.seq);
+}
+
+fn get_id(buf: &mut Bytes) -> Option<ValueId> {
+    if buf.remaining() < 4 + 8 {
+        return None;
+    }
+    let proposer = ProcessId::new(buf.get_u32_le());
+    Some(ValueId::new(proposer, buf.get_u64_le()))
+}
+
 impl WbMessage {
     /// Wraps this message into the shared [`Message`] vocabulary.
     fn into_frame(self) -> Message {
         let mut buf = BytesMut::new();
         match &self {
-            WbMessage::Submit { group, value } => {
+            WbMessage::Submit {
+                group,
+                groups,
+                value,
+            } => {
                 buf.put_u8(TAG_SUBMIT);
                 buf.put_u16_le(group.value());
+                put_groups(&mut buf, groups);
                 put_value(&mut buf, value);
             }
-            WbMessage::Ordered { group, ts, value } => {
+            WbMessage::ProposeAck { group, id, ts } => {
+                buf.put_u8(TAG_PROPOSE_ACK);
+                buf.put_u16_le(group.value());
+                put_id(&mut buf, *id);
+                buf.put_u64_le(*ts);
+            }
+            WbMessage::Final { group, id, ts } => {
+                buf.put_u8(TAG_FINAL);
+                buf.put_u16_le(group.value());
+                put_id(&mut buf, *id);
+                buf.put_u64_le(*ts);
+            }
+            WbMessage::Ordered {
+                group,
+                ts,
+                groups,
+                value,
+            } => {
                 buf.put_u8(TAG_ORDERED);
                 buf.put_u16_le(group.value());
                 buf.put_u64_le(*ts);
+                put_groups(&mut buf, groups);
                 put_value(&mut buf, value);
             }
             WbMessage::Heartbeat { group, ts } => {
@@ -150,8 +261,31 @@ impl WbMessage {
         match tag {
             TAG_SUBMIT => Some(WbMessage::Submit {
                 group,
+                groups: get_groups(&mut payload)?,
                 value: get_value(&mut payload)?,
             }),
+            TAG_PROPOSE_ACK => {
+                let id = get_id(&mut payload)?;
+                if payload.remaining() < 8 {
+                    return None;
+                }
+                Some(WbMessage::ProposeAck {
+                    group,
+                    id,
+                    ts: payload.get_u64_le(),
+                })
+            }
+            TAG_FINAL => {
+                let id = get_id(&mut payload)?;
+                if payload.remaining() < 8 {
+                    return None;
+                }
+                Some(WbMessage::Final {
+                    group,
+                    id,
+                    ts: payload.get_u64_le(),
+                })
+            }
             TAG_ORDERED => {
                 if payload.remaining() < 8 {
                     return None;
@@ -160,6 +294,7 @@ impl WbMessage {
                 Some(WbMessage::Ordered {
                     group,
                     ts,
+                    groups: get_groups(&mut payload)?,
                     value: get_value(&mut payload)?,
                 })
             }
@@ -177,6 +312,35 @@ impl WbMessage {
     }
 }
 
+/// Whether a wbcast [`Message::Engine`] payload carries or references a
+/// multicast value: `Submit`/`Ordered` carry one, `ProposeAck`/`Final`
+/// reference one by id; heartbeats are pure clock traffic. Genuineness
+/// tests use this to assert that processes outside an addressed group
+/// set γ see no protocol traffic for γ's messages.
+pub fn frame_references_value(payload: Bytes) -> bool {
+    matches!(
+        WbMessage::parse(payload),
+        Some(
+            WbMessage::Submit { .. }
+                | WbMessage::Ordered { .. }
+                | WbMessage::ProposeAck { .. }
+                | WbMessage::Final { .. }
+        )
+    )
+}
+
+/// A multi-group value whose final timestamp is still being agreed on
+/// (held by the sequencer that proposed for it).
+#[derive(Debug)]
+struct Proposal {
+    /// The timestamp this sequencer proposed (the final one is ≥ it).
+    ts: u64,
+    /// The value, emitted into the stream once decided.
+    value: Value,
+    /// The full addressed group set γ.
+    groups: Vec<GroupId>,
+}
+
 /// Per-group sequencer state (held by the group's coordinator).
 #[derive(Debug)]
 struct Sequencer {
@@ -192,6 +356,12 @@ struct Sequencer {
     /// every `Ordered`/`Heartbeat`, resolved once instead of scanning
     /// the subscription map per message.
     subscribers: Vec<ProcessId>,
+    /// Undecided multi-group proposals, by value id.
+    pending: BTreeMap<ValueId, Proposal>,
+    /// Decided values not yet released to the stream: a value keyed
+    /// above an undecided proposal waits, because that proposal's final
+    /// timestamp (≥ its proposed one) may still land below.
+    outq: BTreeMap<Key, (Value, Vec<GroupId>)>,
 }
 
 /// The shared time unit of the hybrid clocks, microseconds. Every
@@ -229,22 +399,69 @@ impl Sequencer {
     fn observe(&mut self, ts: u64) {
         self.next_ts = self.next_ts.max(ts + 1);
     }
+
+    /// The smallest key an undecided proposal could still finalize at
+    /// (its final timestamp is ≥ its proposed one, so keys strictly
+    /// below this bound are settled).
+    fn undecided_bound(&self) -> Option<Key> {
+        self.pending.iter().map(|(&id, p)| (p.ts, id)).min()
+    }
+
+    /// The highest timestamp this sequencer may promise: everything
+    /// below `next_ts`, capped by undecided proposals (their final
+    /// timestamps may equal the proposal) and by unreleased decided
+    /// values.
+    fn safe_promise(&self) -> u64 {
+        let mut promise = self.next_ts - 1;
+        if let Some((ts, _)) = self.undecided_bound() {
+            promise = promise.min(ts - 1);
+        }
+        if let Some((&(ts, _), _)) = self.outq.first_key_value() {
+            promise = promise.min(ts - 1);
+        }
+        promise
+    }
+}
+
+/// Frontier position a heartbeat promise translates to: anything at the
+/// promised timestamp (any id) has been ruled out for the future.
+fn promise_key(ts: u64) -> Key {
+    (ts, ValueId::new(ProcessId::new(u32::MAX), u64::MAX))
 }
 
 /// Per-subscribed-group delivery state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Subscription {
-    /// Largest timestamp observed from the group's sequencer. FIFO
-    /// channels make this a frontier: everything at or below it has
-    /// been received.
-    horizon: u64,
-    /// Ordered-but-not-yet-deliverable values, keyed by timestamp.
-    pending: BTreeMap<u64, Value>,
+    /// Largest key observed from the group's sequencer. The sequencer
+    /// releases its stream in strictly increasing key order over a
+    /// reliable FIFO channel, so every future arrival is strictly
+    /// greater.
+    frontier: Key,
+    /// Ordered-but-not-yet-deliverable values, keyed by `(ts, id)`.
+    pending: BTreeMap<Key, Value>,
+}
+
+impl Default for Subscription {
+    fn default() -> Self {
+        Self {
+            frontier: (0, ValueId::new(ProcessId::new(0), 0)),
+            pending: BTreeMap::new(),
+        }
+    }
+}
+
+/// The state an initiator keeps per in-flight multi-group value while
+/// collecting one timestamp proposal per addressed group.
+#[derive(Debug)]
+struct Collect {
+    groups: Vec<GroupId>,
+    acks: BTreeMap<GroupId, u64>,
 }
 
 /// The per-process state machine of the white-box engine: sequencer
-/// roles for the groups this process coordinates, plus the delivery
-/// buffer over its subscribed groups.
+/// roles for the groups this process coordinates, the initiator state
+/// for in-flight multi-group submissions, plus the delivery buffer over
+/// its subscribed groups.
 pub struct WbcastNode {
     me: ProcessId,
     config: ClusterConfig,
@@ -252,6 +469,11 @@ pub struct WbcastNode {
     led: BTreeMap<GroupId, Sequencer>,
     /// Groups this process subscribes to.
     subs: BTreeMap<GroupId, Subscription>,
+    /// Multi-group submissions initiated here, awaiting proposals.
+    collecting: BTreeMap<ValueId, Collect>,
+    /// Locally submitted values addressed to a subscribed group, not
+    /// yet delivered locally (the backpressure signal).
+    inflight: BTreeSet<ValueId>,
     /// Per-proposer sequence numbers for [`ValueId`] assignment.
     next_seq: u64,
     /// Values delivered (progress metric).
@@ -285,6 +507,8 @@ impl WbcastNode {
                         next_ts: 1,
                         promised: 0,
                         subscribers: config.subscribers_of(group),
+                        pending: BTreeMap::new(),
+                        outq: BTreeMap::new(),
                     },
                 );
             }
@@ -299,6 +523,8 @@ impl WbcastNode {
             config,
             led,
             subs,
+            collecting: BTreeMap::new(),
+            inflight: BTreeSet::new(),
             next_seq: 0,
             delivered: 0,
         }
@@ -322,7 +548,7 @@ impl WbcastNode {
     /// The timestamp frontier per subscribed group (inspection: equal
     /// frontiers on two subscribers of a group mean equal histories).
     pub fn horizons(&self) -> BTreeMap<GroupId, u64> {
-        self.subs.iter().map(|(&g, s)| (g, s.horizon)).collect()
+        self.subs.iter().map(|(&g, s)| (g, s.frontier.0)).collect()
     }
 
     /// Ordered-but-undeliverable values buffered (backpressure metric).
@@ -348,38 +574,150 @@ impl WbcastNode {
         }
     }
 
-    /// Sequencer side: assigns the next timestamp and fans out. The
-    /// frame is encoded once and shared across subscribers (`Message`
-    /// clones are cheap: the payload is a reference-counted `Bytes`).
-    fn order_value(&mut self, now: Time, group: GroupId, value: Value, out: &mut Vec<Action>) {
-        let me = self.me;
-        let Some(seq) = self.led.get_mut(&group) else {
-            // Stale submission (this process no longer sequences the
-            // group); the proposer's client will retry elsewhere.
+    /// Sequencer side: a submission for `group`, one of the addressed
+    /// groups γ. Single-group values take their timestamp as final and
+    /// enter the stream directly; multi-group values become undecided
+    /// proposals reported back to the initiator.
+    fn on_submit(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        groups: Vec<GroupId>,
+        value: Value,
+        out: &mut Vec<Action>,
+    ) {
+        let id = value.id;
+        let (ack, release) = {
+            let Some(seq) = self.led.get_mut(&group) else {
+                // Stale submission (this process no longer sequences the
+                // group); the proposer's client will retry elsewhere.
+                return;
+            };
+            seq.bump_clock(now);
+            let ts = seq.next_ts;
+            seq.next_ts += 1;
+            if groups.len() > 1 {
+                seq.pending.insert(id, Proposal { ts, value, groups });
+                (Some(ts), false)
+            } else {
+                seq.outq.insert((ts, id), (value, groups));
+                (None, true)
+            }
+        };
+        if let Some(ts) = ack {
+            self.route(
+                now,
+                id.proposer,
+                WbMessage::ProposeAck { group, id, ts },
+                out,
+            );
+        }
+        if release {
+            self.flush_group(group, out);
+        }
+    }
+
+    /// Initiator side: collects one timestamp proposal per addressed
+    /// group; once complete, the maximum becomes the final timestamp and
+    /// is sent to every addressed sequencer.
+    fn on_propose_ack(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        id: ValueId,
+        ts: u64,
+        out: &mut Vec<Action>,
+    ) {
+        self.observe_ts(group, ts);
+        let Some(c) = self.collecting.get_mut(&id) else {
             return;
         };
-        seq.bump_clock(now);
-        let ts = seq.next_ts;
-        seq.next_ts += 1;
-        let frame = WbMessage::Ordered {
-            group,
-            ts,
-            value: value.clone(),
+        c.acks.insert(group, ts);
+        if c.acks.len() < c.groups.len() {
+            return;
         }
-        .into_frame();
-        let mut deliver_locally = false;
-        for &to in &seq.subscribers {
-            if to == me {
-                deliver_locally = true;
-            } else {
-                out.push(Action::Send {
-                    to,
-                    msg: frame.clone(),
-                });
+        let c = self.collecting.remove(&id).expect("checked above");
+        let fts = c.acks.values().copied().max().expect("non-empty acks");
+        for &g in &c.groups {
+            let Some(sequencer) = self.sequencer_of(g) else {
+                continue;
+            };
+            self.route(
+                now,
+                sequencer,
+                WbMessage::Final {
+                    group: g,
+                    id,
+                    ts: fts,
+                },
+                out,
+            );
+        }
+    }
+
+    /// Sequencer side: the final timestamp for an undecided proposal
+    /// arrived; re-key the value at it and release what became settled.
+    fn on_final(&mut self, group: GroupId, id: ValueId, fts: u64, out: &mut Vec<Action>) {
+        self.observe_ts(group, fts);
+        {
+            let Some(seq) = self.led.get_mut(&group) else {
+                return;
+            };
+            let Some(p) = seq.pending.remove(&id) else {
+                return;
+            };
+            // The final timestamp orders this group's future assignments
+            // after the value (Lamport receive rule on the group clock).
+            seq.next_ts = seq.next_ts.max(fts + 1);
+            seq.outq.insert((fts, id), (p.value, p.groups));
+        }
+        self.flush_group(group, out);
+    }
+
+    /// Releases the settled prefix of a led group's stream: decided
+    /// values strictly below every undecided proposal, fanned out to the
+    /// subscribers in increasing `(ts, id)` order. The frame is encoded
+    /// once and shared across subscribers (`Message` clones are cheap:
+    /// the payload is a reference-counted `Bytes`).
+    fn flush_group(&mut self, group: GroupId, out: &mut Vec<Action>) {
+        let me = self.me;
+        loop {
+            let released = {
+                let Some(seq) = self.led.get_mut(&group) else {
+                    return;
+                };
+                let Some((&key, _)) = seq.outq.first_key_value() else {
+                    return;
+                };
+                if seq.undecided_bound().is_some_and(|bound| key > bound) {
+                    return;
+                }
+                let (value, groups) = seq.outq.remove(&key).expect("head key present");
+                // Future assignments must key above everything released.
+                seq.next_ts = seq.next_ts.max(key.0 + 1);
+                let frame = WbMessage::Ordered {
+                    group,
+                    ts: key.0,
+                    groups: groups.clone(),
+                    value: value.clone(),
+                }
+                .into_frame();
+                let mut local = false;
+                for &to in &seq.subscribers {
+                    if to == me {
+                        local = true;
+                    } else {
+                        out.push(Action::Send {
+                            to,
+                            msg: frame.clone(),
+                        });
+                    }
+                }
+                local.then_some((key.0, groups, value))
+            };
+            if let Some((ts, groups, value)) = released {
+                self.on_ordered(group, ts, groups, value, out);
             }
-        }
-        if deliver_locally {
-            self.on_ordered(group, ts, value, out);
         }
     }
 
@@ -394,14 +732,33 @@ impl WbcastNode {
         }
     }
 
-    /// Subscriber side: buffers and drains in global `(ts, group)` order.
-    fn on_ordered(&mut self, group: GroupId, ts: u64, value: Value, out: &mut Vec<Action>) {
+    /// Subscriber side: buffers and drains in global `(ts, id)` order.
+    /// A multi-group value arrives once per subscribed addressed group;
+    /// only the copy in the smallest such group enters the delivery
+    /// buffer — the others advance their stream's frontier, which is
+    /// exactly what the delivery condition waits for.
+    fn on_ordered(
+        &mut self,
+        group: GroupId,
+        ts: u64,
+        groups: Vec<GroupId>,
+        value: Value,
+        out: &mut Vec<Action>,
+    ) {
         self.observe_ts(group, ts);
+        let delivery_group = groups
+            .iter()
+            .copied()
+            .filter(|g| self.subs.contains_key(g))
+            .min();
         let Some(sub) = self.subs.get_mut(&group) else {
             return;
         };
-        sub.horizon = sub.horizon.max(ts);
-        sub.pending.insert(ts, value);
+        let key = (ts, value.id);
+        sub.frontier = sub.frontier.max(key);
+        if delivery_group == Some(group) {
+            sub.pending.insert(key, value);
+        }
         self.drain(out);
     }
 
@@ -410,33 +767,33 @@ impl WbcastNode {
         let Some(sub) = self.subs.get_mut(&group) else {
             return;
         };
-        if ts <= sub.horizon {
+        let key = promise_key(ts);
+        if key <= sub.frontier {
             return;
         }
-        sub.horizon = ts;
+        sub.frontier = key;
         self.drain(out);
     }
 
-    /// Delivers every buffered value whose `(ts, group)` key can no
-    /// longer be preceded: for each other subscribed group the observed
-    /// frontier must reach `ts` (groups ordered before `group` at equal
-    /// timestamps) or `ts − 1` (groups ordered after).
+    /// Delivers every buffered value whose `(ts, id)` key can no longer
+    /// be preceded: every other subscribed group's frontier must have
+    /// reached the key (streams arrive in strictly increasing key order,
+    /// so nothing smaller can still arrive from a group at or past it).
     fn drain(&mut self, out: &mut Vec<Action>) {
         loop {
-            let mut best: Option<(u64, GroupId)> = None;
+            let mut best: Option<(Key, GroupId)> = None;
             for (&g, s) in &self.subs {
-                if let Some((&ts, _)) = s.pending.iter().next() {
-                    let key = (ts, g);
-                    if best.is_none_or(|b| key < b) {
-                        best = Some(key);
+                if let Some((&key, _)) = s.pending.first_key_value() {
+                    if best.is_none_or(|b| (key, g) < b) {
+                        best = Some((key, g));
                     }
                 }
             }
-            let Some((ts, g)) = best else { break };
+            let Some((key, g)) = best else { break };
             let releasable = self
                 .subs
                 .iter()
-                .all(|(&g2, s2)| g2 == g || s2.horizon >= if g2 < g { ts } else { ts - 1 });
+                .all(|(&g2, s2)| g2 == g || s2.frontier >= key);
             if !releasable {
                 break;
             }
@@ -445,12 +802,13 @@ impl WbcastNode {
                 .get_mut(&g)
                 .expect("candidate group is subscribed")
                 .pending
-                .remove(&ts)
-                .expect("candidate timestamp is pending");
+                .remove(&key)
+                .expect("candidate key is pending");
             self.delivered += 1;
+            self.inflight.remove(&value.id);
             out.push(Action::Deliver {
                 group: g,
-                instance: InstanceId::new(ts),
+                instance: InstanceId::new(key.0),
                 value,
             });
         }
@@ -458,8 +816,21 @@ impl WbcastNode {
 
     fn on_wb_message(&mut self, now: Time, msg: WbMessage, out: &mut Vec<Action>) {
         match msg {
-            WbMessage::Submit { group, value } => self.order_value(now, group, value, out),
-            WbMessage::Ordered { group, ts, value } => self.on_ordered(group, ts, value, out),
+            WbMessage::Submit {
+                group,
+                groups,
+                value,
+            } => self.on_submit(now, group, groups, value, out),
+            WbMessage::ProposeAck { group, id, ts } => {
+                self.on_propose_ack(now, group, id, ts, out);
+            }
+            WbMessage::Final { group, id, ts } => self.on_final(group, id, ts, out),
+            WbMessage::Ordered {
+                group,
+                ts,
+                groups,
+                value,
+            } => self.on_ordered(group, ts, groups, value, out),
             WbMessage::Heartbeat { group, ts } => self.on_heartbeat(group, ts, out),
         }
     }
@@ -472,12 +843,12 @@ impl WbcastNode {
         now: Time,
         client: ClientId,
         request: u64,
-        group: GroupId,
+        groups: &[GroupId],
         payload: Bytes,
         out: &mut Vec<Action>,
     ) {
         let framed = encode_command(client, request, &payload);
-        if let Ok((_, actions)) = AmcastEngine::multicast(self, now, group, framed) {
+        if let Ok((_, actions)) = AmcastEngine::multicast(self, now, groups, framed) {
             out.extend(actions);
         }
         // Not a proposer / unknown group: drop; the client retries
@@ -499,9 +870,9 @@ impl WbcastNode {
             Message::Request {
                 client,
                 request,
-                group,
+                groups,
                 payload,
-            } => self.on_request(now, client, request, group, payload, out),
+            } => self.on_request(now, client, request, &groups, payload, out),
             // Ring traffic, trim/checkpoint protocol and foreign engine
             // frames do not concern this engine.
             _ => {}
@@ -521,7 +892,7 @@ impl WbcastNode {
             let (promise, heartbeat_locally) = {
                 let seq = self.led.get_mut(&group).expect("led group");
                 seq.bump_clock(now);
-                let promise = seq.next_ts - 1;
+                let promise = seq.safe_promise();
                 let fresh = promise > seq.promised;
                 if fresh {
                     seq.promised = promise;
@@ -603,22 +974,55 @@ impl AmcastEngine for WbcastNode {
     fn multicast(
         &mut self,
         now: Time,
-        group: GroupId,
+        groups: &[GroupId],
         payload: Bytes,
     ) -> Result<(ValueId, Vec<Action>), MulticastError> {
-        let Some(ring_id) = self.config.ring_of_group(group) else {
-            return Err(MulticastError::UnknownGroup(group));
-        };
-        let ring = self.config.ring(ring_id).expect("validated config");
-        if !ring.roles_of(self.me).is_proposer() {
-            return Err(MulticastError::NotAProposer(group));
+        if groups.is_empty() {
+            return Err(MulticastError::NoDestination);
+        }
+        let mut gamma = groups.to_vec();
+        gamma.sort_unstable();
+        gamma.dedup();
+        let mut proposer_somewhere = false;
+        for &g in &gamma {
+            let Some(ring_id) = self.config.ring_of_group(g) else {
+                return Err(MulticastError::UnknownGroup(g));
+            };
+            let ring = self.config.ring(ring_id).expect("validated config");
+            proposer_somewhere |= ring.roles_of(self.me).is_proposer();
+        }
+        if !proposer_somewhere {
+            return Err(MulticastError::NotAProposer(gamma[0]));
         }
         self.next_seq += 1;
         let id = ValueId::new(self.me, self.next_seq);
-        let value = Value::new(id, group, payload);
-        let sequencer = self.sequencer_of(group).expect("group has a ring");
+        let value = Value::new(id, gamma[0], payload);
+        if gamma.iter().any(|g| self.subs.contains_key(g)) {
+            self.inflight.insert(id);
+        }
+        if gamma.len() > 1 {
+            self.collecting.insert(
+                id,
+                Collect {
+                    groups: gamma.clone(),
+                    acks: BTreeMap::new(),
+                },
+            );
+        }
         let mut out = Vec::new();
-        self.route(now, sequencer, WbMessage::Submit { group, value }, &mut out);
+        for &g in &gamma {
+            let sequencer = self.sequencer_of(g).expect("group has a ring");
+            self.route(
+                now,
+                sequencer,
+                WbMessage::Submit {
+                    group: g,
+                    groups: gamma.clone(),
+                    value: value.clone(),
+                },
+                &mut out,
+            );
+        }
         Ok((id, out))
     }
 
@@ -626,10 +1030,13 @@ impl AmcastEngine for WbcastNode {
         "wbcast"
     }
 
-    // `backlog` keeps its default of 0: the trait defines it as values
-    // *submitted locally* and not yet ordered, which this engine does
-    // not track (submissions are fire-and-forget to the sequencer).
-    // Subscriber-side buffering is exposed as [`WbcastNode::pending_len`].
+    /// Locally submitted values addressed to at least one subscribed
+    /// group that have not yet been delivered locally. Submissions to
+    /// entirely foreign groups are fire-and-forget (no local delivery
+    /// ever confirms them) and are not counted.
+    fn backlog(&self) -> usize {
+        self.inflight.len()
+    }
 }
 
 #[cfg(test)]
@@ -639,59 +1046,97 @@ mod tests {
     use std::collections::BTreeMap as Map;
 
     /// Executes all Send actions at zero latency (in-order), collecting
-    /// deliveries per process.
-    fn pump(
-        nodes: &mut Map<ProcessId, WbcastNode>,
-        mut queue: Vec<(ProcessId, Action)>,
-    ) -> Map<ProcessId, Vec<(GroupId, u64, ValueId)>> {
-        let mut delivered: Map<ProcessId, Vec<(GroupId, u64, ValueId)>> = Map::new();
+    /// deliveries per process and counting received engine frames that
+    /// reference a value (for genuineness assertions).
+    struct Pumped {
+        delivered: Map<ProcessId, Vec<(GroupId, u64, ValueId)>>,
+        value_frames_at: Map<ProcessId, u64>,
+    }
+
+    fn pump(nodes: &mut Map<ProcessId, WbcastNode>, queue: Vec<(ProcessId, Action)>) -> Pumped {
+        // FIFO processing: the Action::Send contract promises reliable
+        // in-order channels, and the engine's stream frontiers build on
+        // exactly that promise.
+        let mut queue: std::collections::VecDeque<(ProcessId, Action)> = queue.into();
+        let mut result = Pumped {
+            delivered: Map::new(),
+            value_frames_at: Map::new(),
+        };
         let mut steps = 0;
-        while let Some((origin, action)) = queue.pop() {
+        while let Some((origin, action)) = queue.pop_front() {
             steps += 1;
             assert!(steps < 100_000, "no quiescence");
             match action {
                 Action::Send { to, msg } => {
+                    if let Message::Engine { payload, .. } = &msg {
+                        if frame_references_value(payload.clone()) {
+                            *result.value_frames_at.entry(to).or_default() += 1;
+                        }
+                    }
                     let node = nodes.get_mut(&to).expect("known process");
                     for a in node.on_event(Time::ZERO, Event::Message { from: origin, msg }) {
-                        queue.push((to, a));
+                        queue.push_back((to, a));
                     }
                 }
                 Action::Deliver {
                     group,
                     instance,
                     value,
-                } => delivered
-                    .entry(origin)
-                    .or_default()
-                    .push((group, instance.value(), value.id)),
+                } => result.delivered.entry(origin).or_default().push((
+                    group,
+                    instance.value(),
+                    value.id,
+                )),
                 _ => {}
             }
         }
-        delivered
+        result
+    }
+
+    /// `n_groups` groups; group `g` is served by a dedicated ring whose
+    /// members (and subscribers) are `processes[g]`.
+    fn disjoint_config(members: &[&[u32]]) -> ClusterConfig {
+        let mut b = ClusterConfig::builder();
+        for (g, ps) in members.iter().enumerate() {
+            let mut spec = RingSpec::new(RingId::new(g as u16));
+            for &p in *ps {
+                spec = spec.member(ProcessId::new(p), Roles::ALL);
+            }
+            b = b
+                .ring(spec)
+                .group(GroupId::new(g as u16), RingId::new(g as u16));
+            for &p in *ps {
+                b = b.subscribe(ProcessId::new(p), GroupId::new(g as u16));
+            }
+        }
+        b.build().expect("disjoint config")
+    }
+
+    fn spawn(config: &ClusterConfig) -> Map<ProcessId, WbcastNode> {
+        config
+            .processes()
+            .into_iter()
+            .map(|p| (p, WbcastNode::new(p, config.clone())))
+            .collect()
     }
 
     #[test]
     fn single_group_delivers_in_submission_order_everywhere() {
         let config = single_ring(3, RingTuning::default());
-        let mut nodes: Map<ProcessId, WbcastNode> = (0..3)
-            .map(|i| {
-                let p = ProcessId::new(i);
-                (p, WbcastNode::new(p, config.clone()))
-            })
-            .collect();
+        let mut nodes = spawn(&config);
         let mut queue = Vec::new();
         for proposer in [1u32, 2, 0] {
             let p = ProcessId::new(proposer);
             let (_, actions) = AmcastEngine::multicast(
                 nodes.get_mut(&p).unwrap(),
                 Time::ZERO,
-                GroupId::new(0),
+                &[GroupId::new(0)],
                 Bytes::from(vec![proposer as u8]),
             )
             .unwrap();
             queue.extend(actions.into_iter().map(|a| (p, a)));
         }
-        let delivered = pump(&mut nodes, queue);
+        let delivered = pump(&mut nodes, queue).delivered;
         assert_eq!(delivered.len(), 3, "all three subscribers deliver");
         let reference = &delivered[&ProcessId::new(0)];
         assert_eq!(reference.len(), 3);
@@ -707,9 +1152,11 @@ mod tests {
     fn multicast_to_unknown_group_fails() {
         let config = single_ring(2, RingTuning::default());
         let mut n = WbcastNode::new(ProcessId::new(0), config);
-        let err =
-            AmcastEngine::multicast(&mut n, Time::ZERO, GroupId::new(7), Bytes::new()).unwrap_err();
+        let err = AmcastEngine::multicast(&mut n, Time::ZERO, &[GroupId::new(7)], Bytes::new())
+            .unwrap_err();
         assert_eq!(err, MulticastError::UnknownGroup(GroupId::new(7)));
+        let err = AmcastEngine::multicast(&mut n, Time::ZERO, &[], Bytes::new()).unwrap_err();
+        assert_eq!(err, MulticastError::NoDestination);
     }
 
     #[test]
@@ -723,7 +1170,7 @@ mod tests {
                 msg: Message::Request {
                     client: ClientId::new(4),
                     request: 1,
-                    group: GroupId::new(0),
+                    groups: vec![GroupId::new(0)],
                     payload: Bytes::from_static(b"cmd"),
                 },
             },
@@ -783,12 +1230,7 @@ mod tests {
             }
         }
         let config = b.build().expect("two-group config");
-        let mut nodes: Map<ProcessId, WbcastNode> = (0..2)
-            .map(|i| {
-                let p = ProcessId::new(i);
-                (p, WbcastNode::new(p, config.clone()))
-            })
-            .collect();
+        let mut nodes = spawn(&config);
         // 40 submissions to group 0 only, all at t=0 (time-based clock
         // floor stays at 1, so timestamps run ahead on counts alone).
         let mut queue = Vec::new();
@@ -797,13 +1239,13 @@ mod tests {
             let (_, actions) = AmcastEngine::multicast(
                 nodes.get_mut(&p0).unwrap(),
                 Time::ZERO,
-                GroupId::new(0),
+                &[GroupId::new(0)],
                 Bytes::from(vec![i]),
             )
             .unwrap();
             queue.extend(actions.into_iter().map(|a| (p0, a)));
         }
-        let delivered = pump(&mut nodes, queue);
+        let delivered = pump(&mut nodes, queue).delivered;
         // One group-1 heartbeat at t=0 must now promise past the burst
         // (clock observed ts=40) and release everything at once.
         let hb = nodes
@@ -812,13 +1254,180 @@ mod tests {
             .on_event(Time::ZERO, Event::Timer(TimerKind::Delta(RingId::new(1))));
         let mut queue: Vec<(ProcessId, Action)> = hb.into_iter().map(|a| (p0, a)).collect();
         queue.retain(|(_, a)| !matches!(a, Action::SetTimer { .. }));
-        let late = pump(&mut nodes, queue);
+        let late = pump(&mut nodes, queue).delivered;
         let total: usize = [&delivered, &late]
             .iter()
             .flat_map(|d| d.get(&p0))
             .map(|v| v.len())
             .sum();
         assert_eq!(total, 40, "idle group 1 must not throttle group 0's burst");
+    }
+
+    /// Three disjoint two-process groups. A message addressed to groups
+    /// {0, 1} must be delivered by exactly their four subscribers, in
+    /// one consistent position, and group 2's processes must receive no
+    /// frame referencing any value — the genuineness property.
+    #[test]
+    fn multigroup_is_genuine_and_delivered_by_addressed_groups_only() {
+        let config = disjoint_config(&[&[0, 1], &[2, 3], &[4, 5]]);
+        let mut nodes = spawn(&config);
+        let p0 = ProcessId::new(0);
+        // A few single-group messages on each addressed group, plus the
+        // multi-group message, all initiated by p0 / p2.
+        let mut queue = Vec::new();
+        for (proposer, groups) in [
+            (0u32, vec![GroupId::new(0)]),
+            (2, vec![GroupId::new(1)]),
+            (0, vec![GroupId::new(0), GroupId::new(1)]),
+            (0, vec![GroupId::new(0)]),
+            (2, vec![GroupId::new(1)]),
+        ] {
+            let p = ProcessId::new(proposer);
+            let (_, actions) = AmcastEngine::multicast(
+                nodes.get_mut(&p).unwrap(),
+                Time::ZERO,
+                &groups,
+                Bytes::from(vec![proposer as u8]),
+            )
+            .unwrap();
+            queue.extend(actions.into_iter().map(|a| (p, a)));
+        }
+        let multi_id = ValueId::new(p0, 2); // p0's second submission
+        let result = pump(&mut nodes, queue);
+
+        // Genuineness: the outsiders saw no value traffic at all.
+        for outsider in [4u32, 5] {
+            let p = ProcessId::new(outsider);
+            assert_eq!(
+                result.value_frames_at.get(&p).copied().unwrap_or(0),
+                0,
+                "process {p} is outside γ but received value frames"
+            );
+            assert!(result.delivered.get(&p).is_none_or(|d| d.is_empty()));
+        }
+
+        // Exactly the four subscribers of groups 0 and 1 deliver the
+        // multi-group message, exactly once each.
+        for p in [0u32, 1, 2, 3] {
+            let seq = &result.delivered[&ProcessId::new(p)];
+            let copies = seq.iter().filter(|(_, _, id)| *id == multi_id).count();
+            assert_eq!(copies, 1, "process {p} must deliver the multicast once");
+        }
+
+        // Consistent relative order: every process orders the multi
+        // message against its group's singles at the same timestamp
+        // position, so the (ts, id) keys must agree across groups.
+        let key_of = |p: u32| {
+            result.delivered[&ProcessId::new(p)]
+                .iter()
+                .find(|(_, _, id)| *id == multi_id)
+                .map(|(_, ts, id)| (*ts, *id))
+                .expect("delivered")
+        };
+        assert_eq!(key_of(0), key_of(2), "same final timestamp in both groups");
+        assert_eq!(key_of(0), key_of(1));
+        assert_eq!(key_of(2), key_of(3));
+    }
+
+    /// Two groups over overlapping subscribers: everyone subscribed to
+    /// both groups must deliver the *interleaved* sequence identically,
+    /// with multi-group messages appearing exactly once.
+    #[test]
+    fn multigroup_interleaves_in_one_total_order_at_shared_subscribers() {
+        let mut b = ClusterConfig::builder();
+        for ring in 0..2u16 {
+            let mut spec = RingSpec::new(RingId::new(ring));
+            for p in 0..3u32 {
+                spec = spec.member(ProcessId::new((p + u32::from(ring)) % 3), Roles::ALL);
+            }
+            b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+        }
+        for p in 0..3u32 {
+            for g in 0..2u16 {
+                b = b.subscribe(ProcessId::new(p), GroupId::new(g));
+            }
+        }
+        let config = b.build().expect("overlapping config");
+        let mut nodes = spawn(&config);
+        let mut queue = Vec::new();
+        let mut expected = 0usize;
+        for (proposer, groups) in [
+            (0u32, vec![GroupId::new(0)]),
+            (1, vec![GroupId::new(1)]),
+            (2, vec![GroupId::new(0), GroupId::new(1)]),
+            (0, vec![GroupId::new(1)]),
+            (1, vec![GroupId::new(0), GroupId::new(1)]),
+            (2, vec![GroupId::new(0)]),
+        ] {
+            let p = ProcessId::new(proposer);
+            let (_, actions) = AmcastEngine::multicast(
+                nodes.get_mut(&p).unwrap(),
+                Time::ZERO,
+                &groups,
+                Bytes::from(vec![proposer as u8]),
+            )
+            .unwrap();
+            queue.extend(actions.into_iter().map(|a| (p, a)));
+            expected += 1;
+        }
+        let mut delivered = pump(&mut nodes, queue).delivered;
+        // One heartbeat round: without it a tail value can legitimately
+        // stay buffered, waiting for the other group's idle promise
+        // (runtimes re-fire Δ timers; the unit pump must do it once).
+        let mut queue = Vec::new();
+        for (&p, node) in nodes.iter_mut() {
+            for ring in 0..2u16 {
+                let hb = node.on_event(
+                    Time::from_millis(10),
+                    Event::Timer(TimerKind::Delta(RingId::new(ring))),
+                );
+                queue.extend(
+                    hb.into_iter()
+                        .filter(|a| !matches!(a, Action::SetTimer { .. }))
+                        .map(|a| (p, a)),
+                );
+            }
+        }
+        for (p, seq) in pump(&mut nodes, queue).delivered {
+            delivered.entry(p).or_default().extend(seq);
+        }
+        let reference = &delivered[&ProcessId::new(0)];
+        assert_eq!(reference.len(), expected, "all messages delivered once");
+        let unique: BTreeSet<ValueId> = reference.iter().map(|(_, _, id)| *id).collect();
+        assert_eq!(unique.len(), expected, "no duplicate deliveries");
+        for p in 1..3u32 {
+            assert_eq!(
+                &delivered[&ProcessId::new(p)],
+                reference,
+                "identical interleaved sequences at shared subscribers"
+            );
+        }
+    }
+
+    #[test]
+    fn backlog_counts_local_submissions_until_delivery() {
+        let config = single_ring(3, RingTuning::default());
+        let mut nodes = spawn(&config);
+        let p1 = ProcessId::new(1);
+        // p1 submits but the network has not run yet: one value in
+        // flight (p1 subscribes to the group, so delivery will settle
+        // it).
+        let (_, actions) = AmcastEngine::multicast(
+            nodes.get_mut(&p1).unwrap(),
+            Time::ZERO,
+            &[GroupId::new(0)],
+            Bytes::from_static(b"v"),
+        )
+        .unwrap();
+        assert_eq!(AmcastEngine::backlog(nodes.get_mut(&p1).unwrap()), 1);
+        let queue = actions.into_iter().map(|a| (p1, a)).collect();
+        let delivered = pump(&mut nodes, queue).delivered;
+        assert_eq!(delivered[&p1].len(), 1);
+        assert_eq!(
+            AmcastEngine::backlog(nodes.get_mut(&p1).unwrap()),
+            0,
+            "delivery settles the backlog"
+        );
     }
 
     #[test]
@@ -828,14 +1437,27 @@ mod tests {
             GroupId::new(1),
             Bytes::from_static(b"payload"),
         );
+        let gamma = vec![GroupId::new(0), GroupId::new(1)];
         for msg in [
             WbMessage::Submit {
                 group: GroupId::new(1),
+                groups: gamma.clone(),
                 value: value.clone(),
+            },
+            WbMessage::ProposeAck {
+                group: GroupId::new(0),
+                id: value.id,
+                ts: 17,
+            },
+            WbMessage::Final {
+                group: GroupId::new(1),
+                id: value.id,
+                ts: 18,
             },
             WbMessage::Ordered {
                 group: GroupId::new(1),
                 ts: 42,
+                groups: gamma,
                 value,
             },
             WbMessage::Heartbeat {
@@ -847,6 +1469,8 @@ mod tests {
                 panic!("expected engine frame");
             };
             assert_eq!(engine, WBCAST_WIRE_ID);
+            let carries = !matches!(msg, WbMessage::Heartbeat { .. });
+            assert_eq!(frame_references_value(payload.clone()), carries);
             assert_eq!(WbMessage::parse(payload), Some(msg));
         }
         assert_eq!(WbMessage::parse(Bytes::from_static(b"")), None);

@@ -118,7 +118,7 @@ impl Actor for EventualServer {
                     Message::Request {
                         client: REPLICATION_CLIENT,
                         request: 0,
-                        group: GroupId::new(self.partition),
+                        groups: vec![GroupId::new(self.partition)],
                         payload: payload.clone(),
                     },
                 );
@@ -242,7 +242,7 @@ impl BaselineClient {
                 Message::Request {
                     client: self.client,
                     request,
-                    group: GroupId::new(0),
+                    groups: vec![GroupId::new(0)],
                     payload: payload.clone(),
                 },
             );

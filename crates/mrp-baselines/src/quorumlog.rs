@@ -239,7 +239,7 @@ impl QuorumLogClient {
                 Message::Request {
                     client: self.client,
                     request,
-                    group: GroupId::new(0),
+                    groups: vec![GroupId::new(0)],
                     payload: payload.clone(),
                 },
             );

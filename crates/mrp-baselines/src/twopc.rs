@@ -248,7 +248,7 @@ impl TwoPcClient {
                 Message::Request {
                     client: self.client,
                     request: self.next_request,
-                    group: GroupId::new(0),
+                    groups: vec![GroupId::new(0)],
                     payload: encode_msg(M_PREPARE, txn, keys),
                 },
             );
@@ -273,7 +273,7 @@ impl TwoPcClient {
                 Message::Request {
                     client: self.client,
                     request: self.next_request,
-                    group: GroupId::new(0),
+                    groups: vec![GroupId::new(0)],
                     payload: encode_msg(tag, txn, &[]),
                 },
             );

@@ -1,0 +1,68 @@
+//! Multi-group multicast comparison (extension figure): the fraction of
+//! multi-group messages on the x-axis, both atomic-multicast engines on
+//! the identical mixed workload — genuine max-timestamp ordering
+//! (wbcast) vs covering-group routing (Multi-Ring Paxos).
+//!
+//! Prints the table and writes the rows as `BENCH_multigroup.json` for
+//! downstream tooling.
+
+use mrp_bench::figures::MultigroupRow;
+use mrp_bench::table::{fmt_f, Table};
+use mrp_bench::{figures, Scale};
+
+/// Hand-rolled JSON (the workspace is offline-hermetic: no serde).
+fn to_json(rows: &[MultigroupRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"engine\": \"{}\", \"multi_per_mille\": {}, \"ops_per_sec\": {:.1}, \
+             \"latency_ms\": {:.3}, \"single_ms\": {:.3}, \"multi_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.engine,
+            r.multi_per_mille,
+            r.ops_per_sec,
+            r.latency_ms,
+            r.single_ms,
+            r.multi_ms,
+            r.p99_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = figures::fig_multigroup(scale);
+    let mut t = Table::new(
+        "Multi-group multicast — genuine (wbcast) vs covering group (multiring); \
+         3 groups x 3 processes, 24 sessions, 512 B requests",
+        &[
+            "engine",
+            "multi_permille",
+            "ops_per_sec",
+            "latency_ms",
+            "single_ms",
+            "multi_ms",
+            "p99_ms",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.engine.to_string(),
+            r.multi_per_mille.to_string(),
+            fmt_f(r.ops_per_sec),
+            fmt_f(r.latency_ms),
+            fmt_f(r.single_ms),
+            fmt_f(r.multi_ms),
+            fmt_f(r.p99_ms),
+        ]);
+    }
+    t.print();
+    let json = to_json(&rows);
+    let path = "BENCH_multigroup.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} rows)", rows.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -231,11 +231,14 @@ fn run_mrp_ycsb(
         lambda: 9_000,
         ..RingTuning::default()
     };
+    // Pinned to the paper's engine: these rows are labeled as
+    // Multi-Ring Paxos results, so MRP_ENGINE must not flip them.
     let topo = if independent {
         StoreTopology::independent(3, tuning)
     } else {
         StoreTopology::local(3, tuning)
-    };
+    }
+    .engine(mrp_amcast::EngineKind::MultiRing);
     let deployment = StoreDeployment::build(&topo);
     let mut cluster = Cluster::new(
         SimConfig {
@@ -461,7 +464,9 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
             lambda: 1_000,
             ..RingTuning::default()
         };
-        let deployment = DLogDeployment::build(&DLogTopology::new(2, tuning));
+        let deployment = DLogDeployment::build(
+            &DLogTopology::new(2, tuning).engine(mrp_amcast::EngineKind::MultiRing),
+        );
         let mut cluster = Cluster::new(
             SimConfig {
                 seed: 5,
@@ -584,7 +589,9 @@ pub fn fig6(scale: Scale) -> Vec<Fig6Row> {
             lambda: 2_000,
             ..RingTuning::default()
         };
-        let deployment = DLogDeployment::build(&DLogTopology::new(rings, tuning));
+        let deployment = DLogDeployment::build(
+            &DLogTopology::new(rings, tuning).engine(mrp_amcast::EngineKind::MultiRing),
+        );
         let mut cluster = Cluster::new(
             SimConfig {
                 seed: 6,
@@ -990,7 +997,9 @@ pub fn ablation_2pc(scale: Scale) -> Vec<Ablation2pcRow> {
             lambda: 2_000,
             ..RingTuning::default()
         };
-        let deployment = StoreDeployment::build(&StoreTopology::local(2, tuning));
+        let deployment = StoreDeployment::build(
+            &StoreTopology::local(2, tuning).engine(mrp_amcast::EngineKind::MultiRing),
+        );
         let mut cluster = Cluster::new(SimConfig::default(), Topology::lan(16));
         cluster.set_protocol(deployment.config.clone());
         for (p, partition) in deployment.all_replicas() {
@@ -1226,6 +1235,97 @@ pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
                 ops_per_sec: cluster.metrics().counter("fig9/ops") as f64 / run_s as f64,
                 latency_ms: h.map_or(0.0, |h| h.mean() / 1000.0),
                 p50_ms: h.map_or(0.0, |h| h.quantile(0.5) as f64 / 1000.0),
+                p99_ms: h.map_or(0.0, |h| h.quantile(0.99) as f64 / 1000.0),
+            });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------------- fig multigroup
+
+/// One row of the multi-group multicast comparison: the same mixed
+/// workload with a growing fraction of multi-group messages, ordered by
+/// each engine. The white-box engine orders them genuinely among the
+/// addressed groups; Multi-Ring Paxos routes them through a covering
+/// (global-ring-shaped) group.
+#[derive(Clone, Debug)]
+pub struct MultigroupRow {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Fraction of multi-group messages, per mille.
+    pub multi_per_mille: u32,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+    /// Mean client latency in milliseconds, all operations.
+    pub latency_ms: f64,
+    /// Mean latency of single-group operations, milliseconds.
+    pub single_ms: f64,
+    /// Mean latency of multi-group operations, milliseconds.
+    pub multi_ms: f64,
+    /// 99th-percentile client latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Extension figure: genuine multi-group multicast vs covering-group
+/// routing, as the fraction of multi-group messages grows (x-axis).
+/// Three groups over three processes, every process subscribing to
+/// every group — so the ring engine has a covering group available and
+/// both engines run the identical workload behind the identical
+/// engine-generic replica.
+pub fn fig_multigroup(scale: Scale) -> Vec<MultigroupRow> {
+    use crate::harness::MixedGroupClient;
+    use mrp_amcast::{EngineKind, EngineReplica};
+    let fractions: &[u32] = scale.pick(&[0, 50, 200, 500, 1000], &[0, 500]);
+    let warmup_s = scale.pick(2, 1);
+    let run_s = scale.pick(10, 2);
+    let n = 3u32;
+    let groups = 3u16;
+    let mut rows = Vec::new();
+    for kind in EngineKind::ALL {
+        for &multi_per_mille in fractions {
+            let tuning = RingTuning {
+                lambda: 3_000,
+                delta_us: 5_000,
+                ..RingTuning::default()
+            };
+            let config = engines_config(groups, n, tuning);
+            let mut cluster = Cluster::new(
+                SimConfig {
+                    seed: 11,
+                    ..SimConfig::default()
+                },
+                Topology::lan(16),
+            );
+            cluster.set_protocol(config.clone());
+            for p in 0..n {
+                let pid = ProcessId::new(p);
+                let replica = EngineReplica::new(kind, pid, config.clone(), EchoApp::new());
+                cluster.add_actor(pid, Hosted::new(replica).boxed());
+                cluster.set_cpu(pid, proto_cpu());
+            }
+            let targets: Vec<(ProcessId, GroupId)> = (0..groups)
+                .map(|g| (ProcessId::new(u32::from(g) % n), GroupId::new(g)))
+                .collect();
+            let client_proc = ProcessId::new(950);
+            let client_id = ClientId::new(1);
+            let client =
+                MixedGroupClient::new(client_id, 24, targets, multi_per_mille, 512, "multigroup")
+                    .warmup_until(Time::from_secs(warmup_s));
+            cluster.add_actor(client_proc, Box::new(client));
+            cluster.register_client(client_id, client_proc);
+            cluster.start();
+            cluster.run_until(Time::from_secs(warmup_s + run_s));
+            let h = cluster.metrics().histogram("multigroup/latency_us");
+            let single = cluster.metrics().histogram("multigroup/latency_us/single");
+            let multi = cluster.metrics().histogram("multigroup/latency_us/multi");
+            rows.push(MultigroupRow {
+                engine: kind.name(),
+                multi_per_mille,
+                ops_per_sec: cluster.metrics().counter("multigroup/ops") as f64 / run_s as f64,
+                latency_ms: h.map_or(0.0, |h| h.mean() / 1000.0),
+                single_ms: single.map_or(0.0, |h| h.mean() / 1000.0),
+                multi_ms: multi.map_or(0.0, |h| h.mean() / 1000.0),
                 p99_ms: h.map_or(0.0, |h| h.quantile(0.99) as f64 / 1000.0),
             });
         }

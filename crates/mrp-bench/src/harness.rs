@@ -156,7 +156,7 @@ impl PingClient {
             Message::Request {
                 client: self.client,
                 request: self.next_request,
-                group: self.group,
+                groups: vec![self.group],
                 payload: self.payload.clone(),
             },
         );
@@ -188,6 +188,132 @@ impl Actor for PingClient {
                     ctx.metrics.series_add(&format!("{prefix}/ops"), now, 1.0);
                 }
                 self.issue(session, now, out);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A closed-loop client mixing single-group and multi-group requests:
+/// with probability `multi_per_mille / 1000` an operation is multicast
+/// to *all* configured groups (the cross-partition shape — a scan, a
+/// multi-log append), otherwise to one group round-robin. Latencies are
+/// recorded separately under `<prefix>/latency_us/{single,multi}`.
+pub struct MixedGroupClient {
+    client: ClientId,
+    sessions: u32,
+    /// One (proposer, group) pair per group; single-group requests
+    /// rotate over them, multi-group requests address every group and
+    /// go to the first proposer.
+    targets: Vec<(ProcessId, GroupId)>,
+    multi_per_mille: u32,
+    payload: Bytes,
+    next_request: u64,
+    round_robin: u64,
+    pending: BTreeMap<u64, (u32, Time, bool)>,
+    warmup_until: Time,
+    prefix: String,
+}
+
+impl std::fmt::Debug for MixedGroupClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixedGroupClient")
+            .field("client", &self.client)
+            .field("multi_per_mille", &self.multi_per_mille)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MixedGroupClient {
+    /// A client with `sessions` closed loops over `targets`, sending
+    /// `payload_bytes` requests, `multi_per_mille`/1000 of them
+    /// multi-group.
+    pub fn new(
+        client: ClientId,
+        sessions: u32,
+        targets: Vec<(ProcessId, GroupId)>,
+        multi_per_mille: u32,
+        payload_bytes: usize,
+        prefix: impl Into<String>,
+    ) -> Self {
+        assert!(!targets.is_empty());
+        Self {
+            client,
+            sessions,
+            targets,
+            multi_per_mille,
+            payload: Bytes::from(vec![0x6Bu8; payload_bytes]),
+            next_request: 0,
+            round_robin: 0,
+            pending: BTreeMap::new(),
+            warmup_until: Time::ZERO,
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Discards samples before `t`.
+    pub fn warmup_until(mut self, t: Time) -> Self {
+        self.warmup_until = t;
+        self
+    }
+
+    fn issue(&mut self, session: u32, now: Time, out: &mut Outbox, rng: &mut mrp_sim::rng::Rng) {
+        let multi = self.multi_per_mille > 0 && rng.below(1000) < u64::from(self.multi_per_mille);
+        self.next_request += 1;
+        self.pending
+            .insert(self.next_request, (session, now, multi));
+        let (target, groups) = if multi {
+            (
+                self.targets[0].0,
+                self.targets.iter().map(|&(_, g)| g).collect(),
+            )
+        } else {
+            self.round_robin += 1;
+            let (p, g) = self.targets[(self.round_robin % self.targets.len() as u64) as usize];
+            (p, vec![g])
+        };
+        out.send(
+            target,
+            Message::Request {
+                client: self.client,
+                request: self.next_request,
+                groups,
+                payload: self.payload.clone(),
+            },
+        );
+    }
+}
+
+impl Actor for MixedGroupClient {
+    fn on_event(&mut self, now: Time, event: ActorEvent, out: &mut Outbox, ctx: &mut ActorCtx<'_>) {
+        match event {
+            ActorEvent::Start => {
+                for s in 0..self.sessions {
+                    self.issue(s, now, out, ctx.rng);
+                }
+            }
+            ActorEvent::Message {
+                msg: Message::Response { request, .. },
+                ..
+            } => {
+                let Some((session, issued_at, multi)) = self.pending.remove(&request) else {
+                    return; // duplicate replica response
+                };
+                if now >= self.warmup_until {
+                    let prefix = &self.prefix;
+                    let latency = now.since(issued_at);
+                    let tag = if multi { "multi" } else { "single" };
+                    ctx.metrics.record(&format!("{prefix}/latency_us"), latency);
+                    ctx.metrics
+                        .record(&format!("{prefix}/latency_us/{tag}"), latency);
+                    ctx.metrics.incr(&format!("{prefix}/ops"), 1);
+                    ctx.metrics.series_add(&format!("{prefix}/ops"), now, 1.0);
+                }
+                self.issue(session, now, out, ctx.rng);
             }
             _ => {}
         }
@@ -267,7 +393,7 @@ impl OpenLoopClient {
             Message::Request {
                 client: self.client,
                 request: self.next_request,
-                group: self.group,
+                groups: vec![self.group],
                 payload,
             },
         );

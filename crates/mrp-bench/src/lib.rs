@@ -13,6 +13,7 @@
 //! | `fig8_recovery` | Fig. 8 — recovery impact timeline |
 //! | `ablation_2pc` | §3 — 2PC aborts vs atomic-multicast ordering |
 //! | `ablation_merge` | §4 — rate-leveling (Δ, λ) sensitivity |
+//! | `fig_multigroup` | extension — genuine multi-group multicast vs global-ring routing as the multi-group fraction grows (emits `BENCH_multigroup.json`) |
 //! | `micro` | Criterion micro-benchmarks of the hot paths |
 //!
 //! Every harness prints the same rows/series the paper reports and is
@@ -26,5 +27,5 @@ pub mod figures;
 pub mod harness;
 pub mod table;
 
-pub use harness::{EchoApp, OpenLoopClient, PingClient, Scale};
+pub use harness::{EchoApp, MixedGroupClient, OpenLoopClient, PingClient, Scale};
 pub use table::Table;

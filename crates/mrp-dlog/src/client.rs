@@ -87,9 +87,13 @@ impl DLogClient {
 
     fn issue(&mut self, session: u32, now: Time, out: &mut Outbox, rng: &mut mrp_sim::rng::Rng) {
         let logs: Vec<LogId> = self.deployment.group_of_log.keys().copied().collect();
+        // A genuine engine addresses the destination logs directly; the
+        // ring engine needs the common ring for multi-appends.
+        let multi_possible =
+            self.deployment.engine.genuine() || self.deployment.common_group.is_some();
         let multi = self.cfg.multi_append_per_mille > 0
             && rng.below(1000) < u64::from(self.cfg.multi_append_per_mille)
-            && self.deployment.common_group.is_some();
+            && multi_possible;
         let (cmd, log) = if multi {
             (
                 DLogCommand::MultiAppend {
@@ -109,14 +113,15 @@ impl DLogClient {
                 Some(log),
             )
         };
-        let Some(group) = self.deployment.route(&cmd) else {
+        let Some(groups) = self.deployment.route(&cmd) else {
             return;
         };
+        let Some(&first) = groups.first() else { return };
         let proposer = self
             .cfg
             .proposer_override
-            .get(&group)
-            .or_else(|| self.deployment.proposer_of.get(&group))
+            .get(&first)
+            .or_else(|| self.deployment.proposer_of.get(&first))
             .copied();
         let Some(proposer) = proposer else { return };
         self.next_request += 1;
@@ -133,7 +138,7 @@ impl DLogClient {
             Message::Request {
                 client: self.cfg.client,
                 request: self.next_request,
-                group,
+                groups,
                 payload: cmd.encode(),
             },
         );

@@ -29,14 +29,16 @@ pub struct DLogTopology {
 
 impl DLogTopology {
     /// The paper's setup: `logs` rings over 3 servers with a common
-    /// ring, ordered by Multi-Ring Paxos.
+    /// ring. The engine defaults to the `MRP_ENGINE` environment
+    /// variable (Multi-Ring Paxos when unset);
+    /// [`engine`](Self::engine) overrides it.
     pub fn new(logs: u16, tuning: RingTuning) -> Self {
         Self {
             logs,
             servers: 3,
             common_ring: true,
             tuning,
-            engine: EngineKind::MultiRing,
+            engine: EngineKind::from_env(),
         }
     }
 
@@ -152,14 +154,26 @@ impl DLogDeployment {
         }
     }
 
-    /// The group a command must be multicast to.
-    pub fn route(&self, cmd: &crate::command::DLogCommand) -> Option<GroupId> {
+    /// The group set γ a command must be multicast to. Single-log
+    /// commands address their log's group. Multi-appends address
+    /// exactly the destination logs' groups when the engine orders
+    /// multi-group messages genuinely; the ring engine routes them
+    /// through the common ring instead (`None` without one).
+    pub fn route(&self, cmd: &crate::command::DLogCommand) -> Option<Vec<GroupId>> {
         use crate::command::DLogCommand as C;
         match cmd {
             C::Append { log, .. } | C::Read { log, .. } | C::Trim { log, .. } => {
-                self.group_of_log.get(log).copied()
+                self.group_of_log.get(log).map(|&g| vec![g])
             }
-            C::MultiAppend { .. } => self.common_group,
+            C::MultiAppend { logs, .. } => {
+                if self.engine.genuine() {
+                    logs.iter()
+                        .map(|l| self.group_of_log.get(l).copied())
+                        .collect()
+                } else {
+                    self.common_group.map(|g| vec![g])
+                }
+            }
         }
     }
 }
@@ -191,20 +205,20 @@ mod tests {
 
     #[test]
     fn routes_by_log_and_common() {
-        let d = DLogDeployment::build(&DLogTopology::new(3, quiet()));
+        let d = DLogDeployment::build(&DLogTopology::new(3, quiet()).engine(EngineKind::MultiRing));
         assert_eq!(
             d.route(&DLogCommand::Append {
                 log: 2,
                 data: Bytes::new()
             }),
-            Some(GroupId::new(2))
+            Some(vec![GroupId::new(2)])
         );
         assert_eq!(
             d.route(&DLogCommand::MultiAppend {
                 logs: vec![0, 2],
                 data: Bytes::new()
             }),
-            Some(GroupId::new(3))
+            Some(vec![GroupId::new(3)])
         );
         assert_eq!(
             d.route(&DLogCommand::Append {
@@ -212,6 +226,28 @@ mod tests {
                 data: Bytes::new()
             }),
             None
+        );
+    }
+
+    /// A genuine engine addresses multi-appends to exactly the
+    /// destination logs' groups — the common ring is not involved.
+    #[test]
+    fn genuine_engine_routes_multi_append_to_destination_logs() {
+        let d = DLogDeployment::build(&DLogTopology::new(3, quiet()).engine(EngineKind::Wbcast));
+        assert_eq!(
+            d.route(&DLogCommand::MultiAppend {
+                logs: vec![0, 2],
+                data: Bytes::new()
+            }),
+            Some(vec![GroupId::new(0), GroupId::new(2)])
+        );
+        assert_eq!(
+            d.route(&DLogCommand::MultiAppend {
+                logs: vec![0, 9],
+                data: Bytes::new()
+            }),
+            None,
+            "unknown destination log"
         );
     }
 }

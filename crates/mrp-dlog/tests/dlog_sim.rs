@@ -30,7 +30,9 @@ fn spawn_dlog(cluster: &mut Cluster, deployment: &DLogDeployment) {
 
 #[test]
 fn appends_and_multi_appends_complete_and_servers_agree() {
-    let deployment = DLogDeployment::build(&DLogTopology::new(2, tuning()));
+    let deployment = DLogDeployment::build(
+        &DLogTopology::new(2, tuning()).engine(mrp_amcast::EngineKind::MultiRing),
+    );
     let mut cluster = Cluster::new(
         SimConfig {
             seed: 21,
@@ -99,6 +101,50 @@ fn wbcast_engine_serves_dlog_and_servers_agree() {
 
     let ops = cluster.metrics().counter("dlog/ops");
     assert!(ops > 100, "appends progressed under wbcast: {ops}");
+
+    type WbServer = Hosted<mrp_amcast::EngineReplica<DLogApp>>;
+    let mut snaps = Vec::new();
+    for &s in &deployment.servers.clone() {
+        let server = cluster.actor_as::<WbServer>(s).expect("wbcast server");
+        assert!(server.inner().app().appended() > 0);
+        snaps.push(server.inner().app().snapshot());
+    }
+    assert_eq!(snaps[0], snaps[1]);
+    assert_eq!(snaps[1], snaps[2]);
+}
+
+#[test]
+fn wbcast_multi_appends_need_no_common_ring() {
+    // Genuine multi-group multicast: multi-appends address exactly the
+    // destination logs' groups, so the common ring is not deployed at
+    // all.
+    let mut topology = DLogTopology::new(3, tuning()).engine(mrp_amcast::EngineKind::Wbcast);
+    topology.common_ring = false;
+    let deployment = DLogDeployment::build(&topology);
+    assert_eq!(deployment.common_group, None);
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed: 29,
+            ..SimConfig::default()
+        },
+        Topology::lan(8),
+    );
+    spawn_dlog(&mut cluster, &deployment);
+
+    let client_proc = ProcessId::new(900);
+    let client_id = ClientId::new(1);
+    let mut cfg = DLogClientConfig::new(client_id, 8);
+    cfg.append_bytes = 512;
+    cfg.multi_append_per_mille = 200; // 20% multi-appends
+    let client = DLogClient::new(cfg, deployment.clone());
+    cluster.add_actor(client_proc, Box::new(client));
+    cluster.register_client(client_id, client_proc);
+    cluster.start();
+    cluster.schedule_crash(Time::from_secs(10), client_proc);
+    cluster.run_until(Time::from_secs(11));
+
+    let ops = cluster.metrics().counter("dlog/ops");
+    assert!(ops > 100, "appends progressed without a common ring: {ops}");
 
     type WbServer = Hosted<mrp_amcast::EngineReplica<DLogApp>>;
     let mut snaps = Vec::new();

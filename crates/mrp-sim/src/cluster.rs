@@ -783,7 +783,7 @@ mod tests {
                         Message::Request {
                             client: self.client,
                             request: i,
-                            group: self.group,
+                            groups: vec![self.group],
                             payload: Bytes::from_static(b"ping"),
                         },
                     );

@@ -270,17 +270,38 @@ impl StoreClient {
             },
         );
         let payload = cmd.encode();
-        for g in groups {
-            if let Some(proposer) = self.proposer_for(g) {
+        if self.deployment.atomic_multicast(&groups) {
+            // One multicast addressed to the whole group set: the
+            // engine orders the command consistently across every
+            // involved partition (genuinely, or via the global ring
+            // `route` collapsed the set to).
+            if let Some(proposer) = groups.first().and_then(|&g| self.proposer_for(g)) {
                 out.send(
                     proposer,
                     Message::Request {
                         client: self.cfg.client,
                         request,
-                        group: g,
-                        payload: payload.clone(),
+                        groups,
+                        payload,
                     },
                 );
+            }
+        } else {
+            // Independent rings without cross-partition ordering
+            // (Figure 4's "independent" configuration): one unordered
+            // request per covering partition.
+            for g in groups {
+                if let Some(proposer) = self.proposer_for(g) {
+                    out.send(
+                        proposer,
+                        Message::Request {
+                            client: self.cfg.client,
+                            request,
+                            groups: vec![g],
+                            payload: payload.clone(),
+                        },
+                    );
+                }
             }
         }
     }
@@ -324,7 +345,7 @@ impl StoreClient {
                 Message::Request {
                     client: self.cfg.client,
                     request,
-                    group,
+                    groups: vec![group],
                     payload: cmd.encode(),
                 },
             );

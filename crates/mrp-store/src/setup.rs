@@ -32,7 +32,10 @@ pub struct StoreTopology {
 
 impl StoreTopology {
     /// The paper's local setup: `partitions` rings of 3 replicas with a
-    /// global ring, ordered by Multi-Ring Paxos.
+    /// global ring. The engine defaults to the `MRP_ENGINE` environment
+    /// variable (Multi-Ring Paxos when unset), so benches and examples
+    /// switch engines without recompiling; [`engine`](Self::engine)
+    /// overrides it.
     pub fn local(partitions: u16, tuning: RingTuning) -> Self {
         Self {
             partitions,
@@ -40,7 +43,7 @@ impl StoreTopology {
             global_ring: true,
             tuning,
             global_tuning: tuning,
-            engine: EngineKind::MultiRing,
+            engine: EngineKind::from_env(),
         }
     }
 
@@ -176,19 +179,28 @@ impl StoreDeployment {
             .collect()
     }
 
-    /// The groups a command must be multicast to: the owning partition
-    /// group for single-key commands; for scans, the global group if
-    /// present, otherwise every covering partition group.
+    /// The group set γ a command must be multicast to: the owning
+    /// partition group for single-key commands; for scans (the
+    /// multi-partition commands), exactly the covering partition groups
+    /// when the engine orders multi-group messages genuinely, otherwise
+    /// the global group if present, otherwise every covering partition
+    /// group as independent (unordered) per-group requests.
     pub fn route(&self, cmd: &crate::command::StoreCommand) -> Vec<GroupId> {
         use crate::command::StoreCommand as C;
         match cmd {
             C::Read { key } | C::Update { key, .. } | C::Insert { key, .. } | C::Delete { key } => {
                 vec![self.partition_map.group_of(key)]
             }
-            C::Scan { from, to, .. } => match self.global_group {
-                Some(g) => vec![g],
-                None => self.partition_map.groups_for_range(from, to),
-            },
+            C::Scan { from, to, .. } => {
+                if self.engine.genuine() {
+                    self.partition_map.groups_for_range(from, to)
+                } else {
+                    match self.global_group {
+                        Some(g) => vec![g],
+                        None => self.partition_map.groups_for_range(from, to),
+                    }
+                }
+            }
             C::Batch(cmds) => {
                 // A batch is routed by its first command; the client
                 // builder only groups commands of one partition.
@@ -197,15 +209,31 @@ impl StoreDeployment {
         }
     }
 
+    /// Whether [`route`](Self::route)'s group set travels as *one*
+    /// atomic multicast (the engine orders it as a single message
+    /// across the set) instead of one independent request per group.
+    /// Single-group sets are trivially atomic; larger sets require a
+    /// genuine engine — with the ring engine a deployment expresses
+    /// cross-partition ordering through its global ring, which `route`
+    /// already collapsed to a single group.
+    pub fn atomic_multicast(&self, groups: &[GroupId]) -> bool {
+        groups.len() <= 1 || self.engine.genuine()
+    }
+
     /// How many distinct partition responses a command needs before the
     /// client can complete it.
     pub fn responses_needed(&self, cmd: &crate::command::StoreCommand) -> usize {
         use crate::command::StoreCommand as C;
         match cmd {
-            C::Scan { from, to, .. } => match self.global_group {
-                Some(_) => usize::from(self.partition_map.partitions()),
-                None => self.partition_map.groups_for_range(from, to).len(),
-            },
+            C::Scan { from, to, .. } => {
+                if self.engine.genuine() || self.global_group.is_none() {
+                    self.partition_map.groups_for_range(from, to).len()
+                } else {
+                    // Ordered through the global ring: every partition's
+                    // replicas deliver and answer.
+                    usize::from(self.partition_map.partitions())
+                }
+            }
             _ => 1,
         }
     }
@@ -250,7 +278,9 @@ mod tests {
 
     #[test]
     fn routing_single_key_and_scan() {
-        let d = StoreDeployment::build(&StoreTopology::local(3, quiet()));
+        // Pin the engine so the assertions hold regardless of MRP_ENGINE.
+        let d =
+            StoreDeployment::build(&StoreTopology::local(3, quiet()).engine(EngineKind::MultiRing));
         let read = StoreCommand::Read {
             key: Bytes::from_static(b"alpha"),
         };
@@ -266,9 +296,42 @@ mod tests {
         };
         assert_eq!(d.route(&scan), vec![GroupId::new(3)]);
         assert_eq!(d.responses_needed(&scan), 3);
+        assert!(d.atomic_multicast(&d.route(&scan)));
 
-        let indep = StoreDeployment::build(&StoreTopology::independent(3, quiet()));
+        let indep = StoreDeployment::build(
+            &StoreTopology::independent(3, quiet()).engine(EngineKind::MultiRing),
+        );
         assert_eq!(indep.route(&scan).len(), 3);
         assert_eq!(indep.responses_needed(&scan), 3);
+        // Ring engine without a global ring: independent per-group
+        // requests, no cross-partition ordering.
+        assert!(!indep.atomic_multicast(&indep.route(&scan)));
+    }
+
+    /// With a genuine engine, scans address exactly the involved
+    /// partition groups as one atomic multicast — no global ring needed.
+    #[test]
+    fn genuine_engine_routes_scans_to_involved_partitions() {
+        let topo = StoreTopology::independent(3, quiet()).engine(EngineKind::Wbcast);
+        let d = StoreDeployment::build(&topo);
+        assert_eq!(d.global_group, None);
+        let scan = StoreCommand::Scan {
+            from: Bytes::from_static(b"a"),
+            to: Bytes::from_static(b"z"),
+            limit: 10,
+        };
+        let groups = d.route(&scan);
+        assert_eq!(groups.len(), 3, "every covering partition is addressed");
+        assert!(d.atomic_multicast(&groups), "one multicast, not a fan-out");
+        assert_eq!(d.responses_needed(&scan), 3);
+
+        // Even with a global ring configured, the genuine engine
+        // bypasses it and addresses the involved partitions directly.
+        let topo = StoreTopology::local(3, quiet()).engine(EngineKind::Wbcast);
+        let d = StoreDeployment::build(&topo);
+        let groups = d.route(&scan);
+        assert_eq!(groups.len(), 3);
+        assert!(!groups.contains(&d.global_group.unwrap()));
+        assert!(d.atomic_multicast(&groups));
     }
 }

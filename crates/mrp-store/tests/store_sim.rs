@@ -44,7 +44,9 @@ fn spawn_store(cluster: &mut Cluster, deployment: &StoreDeployment, preload: u32
 
 #[test]
 fn mixed_workload_completes_operations() {
-    let deployment = StoreDeployment::build(&StoreTopology::local(3, tuning()));
+    let deployment = StoreDeployment::build(
+        &StoreTopology::local(3, tuning()).engine(mrp_amcast::EngineKind::MultiRing),
+    );
     let mut cluster = Cluster::new(
         SimConfig {
             seed: 11,
@@ -118,7 +120,9 @@ fn mixed_workload_completes_operations() {
 
 #[test]
 fn replicas_of_a_partition_converge() {
-    let deployment = StoreDeployment::build(&StoreTopology::local(2, tuning()));
+    let deployment = StoreDeployment::build(
+        &StoreTopology::local(2, tuning()).engine(mrp_amcast::EngineKind::MultiRing),
+    );
     let mut cluster = Cluster::new(
         SimConfig {
             seed: 5,
@@ -174,7 +178,9 @@ fn replicas_of_a_partition_converge() {
 
 #[test]
 fn batching_reduces_requests_but_completes_all_ops() {
-    let deployment = StoreDeployment::build(&StoreTopology::local(2, tuning()));
+    let deployment = StoreDeployment::build(
+        &StoreTopology::local(2, tuning()).engine(mrp_amcast::EngineKind::MultiRing),
+    );
     let mut cluster = Cluster::new(
         SimConfig {
             seed: 8,
@@ -273,4 +279,90 @@ fn wbcast_engine_serves_store_and_replicas_converge() {
         }
     }
     assert!(cluster.metrics().counter("store/ops") > 50);
+}
+
+#[test]
+fn wbcast_scans_need_no_global_ring() {
+    // The acceptance shape of genuine multi-group multicast: a store
+    // with *no* global ring, ordered by the white-box engine. Scans —
+    // the multi-partition commands — are multicast once to exactly the
+    // covering partition groups and still complete with one response
+    // per involved partition, consistently ordered against writes.
+    let deployment = StoreDeployment::build(
+        &StoreTopology::independent(3, tuning()).engine(mrp_amcast::EngineKind::Wbcast),
+    );
+    assert_eq!(deployment.global_group, None);
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed: 13,
+            ..SimConfig::default()
+        },
+        Topology::lan(16),
+    );
+    spawn_store(&mut cluster, &deployment, 200);
+
+    let client_proc = ProcessId::new(900);
+    let client_id = ClientId::new(1);
+    let mut op_rng = Rng::new(4242);
+    let gen = move |_r: &mut Rng| {
+        let k = op_rng.below(200);
+        let key = Bytes::from(format!("user{k:06}"));
+        match op_rng.below(3) {
+            0 => ClientOp::Single {
+                cmd: StoreCommand::Scan {
+                    from: key.clone(),
+                    to: Bytes::from(format!("user{:06}", k + 30)),
+                    limit: 30,
+                },
+                tag: "scan",
+            },
+            1 => ClientOp::Single {
+                cmd: StoreCommand::Update {
+                    key,
+                    value: Bytes::from(vec![5u8; 64]),
+                },
+                tag: "update",
+            },
+            _ => ClientOp::Single {
+                cmd: StoreCommand::Read { key },
+                tag: "read",
+            },
+        }
+    };
+    let client = StoreClient::new(
+        StoreClientConfig::new(client_id, 8),
+        deployment.clone(),
+        gen,
+    );
+    cluster.add_actor(client_proc, Box::new(client));
+    cluster.register_client(client_id, client_proc);
+    cluster.start();
+    cluster.schedule_crash(Time::from_secs(8), client_proc);
+    cluster.run_until(Time::from_secs(9));
+
+    let scans = cluster
+        .metrics()
+        .histogram("store/latency_us/scan")
+        .map_or(0, |h| h.count());
+    assert!(scans > 10, "cross-partition scans completed: {scans}");
+
+    // Replicas of each partition converge despite the interleaved
+    // multi-group scans (which every involved partition must order
+    // identically against its writes).
+    type WbReplica = Hosted<mrp_amcast::EngineReplica<StoreApp>>;
+    for (&partition, members) in deployment.replicas.clone().iter() {
+        let mut snapshots = Vec::new();
+        for &p in members {
+            let replica = cluster
+                .actor_as::<WbReplica>(p)
+                .expect("wbcast replica present");
+            snapshots.push(replica.inner().app().snapshot());
+        }
+        for pair in snapshots.windows(2) {
+            assert_eq!(
+                pair[0], pair[1],
+                "wbcast replicas of partition {partition} diverge"
+            );
+        }
+    }
 }

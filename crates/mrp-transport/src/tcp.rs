@@ -107,14 +107,21 @@ impl std::fmt::Debug for RuntimeHandle {
 
 impl RuntimeHandle {
     /// Injects a client request as if it arrived from `client`'s
-    /// session: the hosted node frames and multicasts it.
-    pub fn request(&self, client: ClientId, request: u64, group: GroupId, payload: bytes::Bytes) {
+    /// session: the hosted node frames and multicasts it to the
+    /// addressed group set.
+    pub fn request(
+        &self,
+        client: ClientId,
+        request: u64,
+        groups: Vec<GroupId>,
+        payload: bytes::Bytes,
+    ) {
         let _ = self.cmd_tx.send(Inbound::Cmd(Cmd::Inject(Event::Message {
             from: ProcessId::new(u32::MAX),
             msg: Message::Request {
                 client,
                 request,
-                group,
+                groups,
                 payload,
             },
         })));
@@ -540,19 +547,20 @@ impl ClientPort {
         })
     }
 
-    /// Sends a request to process `to`.
+    /// Sends a request addressed to the group set `groups` to process
+    /// `to`.
     pub fn request(
         &self,
         to: ProcessId,
         client: ClientId,
         request: u64,
-        group: GroupId,
+        groups: Vec<GroupId>,
         payload: bytes::Bytes,
     ) {
         let msg = Message::Request {
             client,
             request,
-            group,
+            groups,
             payload,
         };
         let mut writers = self.writers.lock();

@@ -48,7 +48,7 @@ fn three_nodes_total_order_over_loopback_tcp() {
             ProcessId::new(1),
             ClientId::new(1),
             r,
-            GroupId::new(0),
+            vec![GroupId::new(0)],
             Bytes::from(format!("req-{r}")),
         );
     }
@@ -99,7 +99,7 @@ fn acceptor_state_is_durable_across_runtime_restart() {
         h.request(
             ClientId::new(9),
             1,
-            GroupId::new(0),
+            vec![GroupId::new(0)],
             Bytes::from_static(b"durable"),
         );
         // Wait for the delivery (implies the sync write completed).

@@ -206,13 +206,16 @@ pub fn encode(msg: &Message, buf: &mut BytesMut) {
         Message::Request {
             client,
             request,
-            group,
+            groups,
             payload,
         } => {
             buf.put_u8(TAG_REQUEST);
             buf.put_u64_le(client.value());
             buf.put_u64_le(*request);
-            buf.put_u16_le(group.value());
+            buf.put_u16_le(groups.len() as u16);
+            for g in groups {
+                buf.put_u16_le(g.value());
+            }
             put_bytes(buf, payload);
         }
         Message::Response {
@@ -289,7 +292,9 @@ pub fn encoded_len(msg: &Message) -> usize {
         Message::CheckpointData { id, snapshot, .. } => {
             1 + 8 + ckpt_len(id) + 1 + snapshot.as_ref().map_or(0, |s| 4 + s.len())
         }
-        Message::Request { payload, .. } => 1 + 8 + 8 + 2 + 4 + payload.len(),
+        Message::Request {
+            groups, payload, ..
+        } => 1 + 8 + 8 + 2 + 2 * groups.len() + 4 + payload.len(),
         Message::Response { payload, .. } => 1 + 8 + 8 + 4 + payload.len(),
         Message::Batch(msgs) => 1 + 4 + msgs.iter().map(encoded_len).sum::<usize>(),
         Message::Engine { payload, .. } => 1 + 1 + 4 + payload.len(),
@@ -426,12 +431,21 @@ pub fn decode(buf: &mut impl Buf) -> Result<Message, CodecError> {
             };
             Ok(Message::CheckpointData { seq, id, snapshot })
         }
-        TAG_REQUEST => Ok(Message::Request {
-            client: ClientId::new(get_u64(buf)?),
-            request: get_u64(buf)?,
-            group: GroupId::new(get_u16(buf)?),
-            payload: get_bytes(buf)?,
-        }),
+        TAG_REQUEST => {
+            let client = ClientId::new(get_u64(buf)?);
+            let request = get_u64(buf)?;
+            let n = get_u16(buf)? as usize;
+            let mut groups = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                groups.push(GroupId::new(get_u16(buf)?));
+            }
+            Ok(Message::Request {
+                client,
+                request,
+                groups,
+                payload: get_bytes(buf)?,
+            })
+        }
         TAG_RESPONSE => Ok(Message::Response {
             client: ClientId::new(get_u64(buf)?),
             request: get_u64(buf)?,
@@ -801,8 +815,14 @@ mod tests {
             Message::Request {
                 client: ClientId::new(8),
                 request: 55,
-                group: GroupId::new(1),
+                groups: vec![GroupId::new(1)],
                 payload: Bytes::from_static(b"cmd"),
+            },
+            Message::Request {
+                client: ClientId::new(9),
+                request: 56,
+                groups: vec![GroupId::new(0), GroupId::new(2), GroupId::new(5)],
+                payload: Bytes::from_static(b"scan"),
             },
             Message::Response {
                 client: ClientId::new(8),
@@ -868,6 +888,7 @@ mod tests {
         buf.put_u8(TAG_REQUEST);
         buf.put_u64_le(1);
         buf.put_u64_le(1);
+        buf.put_u16_le(1);
         buf.put_u16_le(0);
         buf.put_u32_le(u32::MAX);
         let mut frozen = buf.freeze();
@@ -877,11 +898,12 @@ mod tests {
     proptest! {
         #[test]
         fn prop_request_roundtrip(client in any::<u64>(), request in any::<u64>(),
-                                  group in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+                                  groups in proptest::collection::vec(any::<u16>(), 1..6),
+                                  payload in proptest::collection::vec(any::<u8>(), 0..512)) {
             let msg = Message::Request {
                 client: ClientId::new(client),
                 request,
-                group: GroupId::new(group),
+                groups: groups.into_iter().map(GroupId::new).collect(),
                 payload: Bytes::from(payload),
             };
             let mut buf = BytesMut::new();

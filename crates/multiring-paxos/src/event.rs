@@ -174,14 +174,19 @@ pub enum Message {
         /// Serialized application state.
         snapshot: Option<Bytes>,
     },
-    /// A client submits a command to a proposer.
+    /// A client submits a command to a proposer, addressed to a *set*
+    /// of groups (the paper's `multicast(γ, m)`; a single-element set is
+    /// the common single-group case). The proposer hands the set to its
+    /// ordering engine, which either orders the message genuinely among
+    /// the addressed groups (wbcast) or routes it through a group whose
+    /// subscribers cover them all (Multi-Ring Paxos).
     Request {
         /// Requesting client session.
         client: ClientId,
         /// Client-local request number.
         request: u64,
-        /// Destination group.
-        group: GroupId,
+        /// Destination group set γ (non-empty).
+        groups: Vec<GroupId>,
         /// Service command payload.
         payload: Bytes,
     },

@@ -28,6 +28,13 @@ pub enum MulticastError {
     UnknownGroup(GroupId),
     /// This process has no proposer role in the group's ring.
     NotAProposer(GroupId),
+    /// The destination group set was empty.
+    NoDestination,
+    /// A multi-group message was submitted but no configured group's
+    /// subscribers cover every addressed group's subscribers, so the
+    /// ring engine has no single ring that reaches them all (deploy a
+    /// global ring, or use a genuine engine).
+    NoCoveringGroup(Vec<GroupId>),
 }
 
 impl fmt::Display for MulticastError {
@@ -36,6 +43,10 @@ impl fmt::Display for MulticastError {
             MulticastError::UnknownGroup(g) => write!(f, "unknown group {g}"),
             MulticastError::NotAProposer(g) => {
                 write!(f, "process is not a proposer for group {g}")
+            }
+            MulticastError::NoDestination => write!(f, "empty destination group set"),
+            MulticastError::NoCoveringGroup(gs) => {
+                write!(f, "no configured group covers the subscribers of {gs:?}")
             }
         }
     }
@@ -54,6 +65,9 @@ pub struct Node {
     gated: HashMap<PersistToken, Vec<Action>>,
     token_seed: u64,
     need_checkpoint: Option<(RingId, InstanceId)>,
+    /// Memoized covering-group resolutions, keyed by the sorted,
+    /// deduplicated multi-group destination set.
+    covering: BTreeMap<Vec<GroupId>, GroupId>,
 }
 
 impl fmt::Debug for Node {
@@ -108,6 +122,7 @@ impl Node {
             gated: HashMap::new(),
             token_seed: 0,
             need_checkpoint: None,
+            covering: BTreeMap::new(),
         }
     }
 
@@ -180,19 +195,48 @@ impl Node {
         self.need_checkpoint.take()
     }
 
-    /// Atomically multicasts `payload` to `group` via the local proposer
-    /// role. Returns the assigned value id plus the actions to execute.
+    /// Atomically multicasts `payload` to the group set `groups` via the
+    /// local proposer role (the paper's `multicast(γ, m)`). Returns the
+    /// assigned value id plus the actions to execute.
+    ///
+    /// A single-group message is ordered on that group's ring. A
+    /// multi-group message is routed through a *covering group*: a
+    /// configured group whose subscribers include every subscriber of
+    /// every addressed group (deployments realize this as their global
+    /// ring), preserving the engine's ordering semantics at the cost of
+    /// involving the covering group's whole subscriber set.
     ///
     /// # Errors
     ///
-    /// Fails if the group is unknown or this process cannot propose to
-    /// the group's ring.
+    /// Fails if the set is empty, a group is unknown, this process
+    /// cannot propose to the serving ring, or no covering group exists.
     pub fn multicast(
         &mut self,
         now: Time,
-        group: GroupId,
+        groups: &[GroupId],
         payload: Bytes,
     ) -> Result<(ValueId, Vec<Action>), MulticastError> {
+        let group = match groups {
+            [] => return Err(MulticastError::NoDestination),
+            [one] => *one,
+            many => {
+                // Memoized per deduped set: the answer is a pure
+                // function of the (immutable) configuration, and
+                // multi-group traffic tends to repeat the same sets
+                // (a store's scan range, a dlog's destination logs).
+                let mut key = many.to_vec();
+                key.sort_unstable();
+                key.dedup();
+                match self.covering.get(&key) {
+                    Some(&g) => g,
+                    None => {
+                        let g = self.covering_group(&key)?;
+                        self.covering.insert(key, g);
+                        g
+                    }
+                }
+            }
+        };
         let ring_id = self
             .config
             .ring_of_group(group)
@@ -208,6 +252,35 @@ impl Node {
         let mut out = Vec::new();
         self.finish(now, fx, &mut out);
         Ok((id, out))
+    }
+
+    /// Resolves the group whose ring orders a multi-group message: the
+    /// smallest configured group (fewest subscribers, then lowest id)
+    /// whose subscriber set contains every subscriber of every addressed
+    /// group.
+    fn covering_group(&self, groups: &[GroupId]) -> Result<GroupId, MulticastError> {
+        let mut union: Vec<ProcessId> = Vec::new();
+        for &g in groups {
+            if !self.config.groups().contains_key(&g) {
+                return Err(MulticastError::UnknownGroup(g));
+            }
+            union.extend(self.config.subscribers_of(g));
+        }
+        union.sort_unstable();
+        union.dedup();
+        self.config
+            .groups()
+            .keys()
+            .filter_map(|&candidate| {
+                let subs = self.config.subscribers_of(candidate);
+                union
+                    .iter()
+                    .all(|p| subs.contains(p))
+                    .then_some((subs.len(), candidate))
+            })
+            .min()
+            .map(|(_, g)| g)
+            .ok_or_else(|| MulticastError::NoCoveringGroup(groups.to_vec()))
     }
 
     /// Values proposed locally and not yet acknowledged as decided.
@@ -272,10 +345,10 @@ impl Node {
             Message::Request {
                 client,
                 request,
-                group,
+                groups,
                 payload,
             } => {
-                self.on_request(now, client, request, group, payload, out);
+                self.on_request(now, client, request, &groups, payload, out);
             }
             msg => {
                 if let Some(ring_id) = msg.ring() {
@@ -300,16 +373,16 @@ impl Node {
         now: Time,
         client: ClientId,
         request: u64,
-        group: GroupId,
+        groups: &[GroupId],
         payload: Bytes,
         out: &mut Vec<Action>,
     ) {
         let framed = crate::app::encode_command(client, request, &payload);
-        match self.multicast(now, group, framed) {
+        match self.multicast(now, groups, framed) {
             Ok((_, actions)) => out.extend(actions),
             Err(_) => {
-                // Not a proposer for this group: drop; the client will
-                // time out and retry against a correct proposer.
+                // Not a proposer for this group set: drop; the client
+                // will time out and retry against a correct proposer.
             }
         }
     }
@@ -562,7 +635,7 @@ mod tests {
             let (_, actions) = nodes
                 .get_mut(&p)
                 .unwrap()
-                .multicast(Time::ZERO, GroupId::new(0), Bytes::from(vec![i as u8]))
+                .multicast(Time::ZERO, &[GroupId::new(0)], Bytes::from(vec![i as u8]))
                 .unwrap();
             for a in actions {
                 queue.push((p, a));
@@ -582,9 +655,75 @@ mod tests {
         let config = single_ring(3, quiet_tuning());
         let mut node = Node::new(ProcessId::new(0), config);
         let err = node
-            .multicast(Time::ZERO, GroupId::new(9), Bytes::new())
+            .multicast(Time::ZERO, &[GroupId::new(9)], Bytes::new())
             .unwrap_err();
         assert_eq!(err, MulticastError::UnknownGroup(GroupId::new(9)));
+        let err = node.multicast(Time::ZERO, &[], Bytes::new()).unwrap_err();
+        assert_eq!(err, MulticastError::NoDestination);
+    }
+
+    /// Two partition rings over disjoint learners plus a "global" ring
+    /// everyone subscribes to: a multi-group message must be routed
+    /// through the global group; without it, there is no covering group.
+    #[test]
+    fn multigroup_routes_through_covering_group() {
+        use crate::config::{ClusterConfig, RingSpec, Roles};
+        let mut b = ClusterConfig::builder();
+        for ring in 0..2u16 {
+            let mut spec = RingSpec::new(RingId::new(ring)).tuning(quiet_tuning());
+            for p in 0..2u32 {
+                spec = spec.member(ProcessId::new(u32::from(ring) * 2 + p), Roles::ALL);
+            }
+            b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+        }
+        let mut global = RingSpec::new(RingId::new(2)).tuning(quiet_tuning());
+        for p in 0..4u32 {
+            global = global.member(ProcessId::new(p), Roles::ALL);
+        }
+        b = b.ring(global).group(GroupId::new(2), RingId::new(2));
+        for p in 0..4u32 {
+            b = b
+                .subscribe(ProcessId::new(p), GroupId::new(p as u16 / 2))
+                .subscribe(ProcessId::new(p), GroupId::new(2));
+        }
+        let config = b.build().expect("covering config");
+        let node = Node::new(ProcessId::new(0), config.clone());
+        assert_eq!(
+            node.covering_group(&[GroupId::new(0), GroupId::new(1)]),
+            Ok(GroupId::new(2))
+        );
+        // Degenerate covering: a set within one partition is covered by
+        // the partition group itself (2 subscribers beat the global 4).
+        assert_eq!(
+            node.covering_group(&[GroupId::new(0), GroupId::new(0)]),
+            Ok(GroupId::new(0))
+        );
+
+        // Without the global ring no group covers {0, 1}.
+        let mut b = ClusterConfig::builder();
+        for ring in 0..2u16 {
+            let mut spec = RingSpec::new(RingId::new(ring)).tuning(quiet_tuning());
+            for p in 0..2u32 {
+                spec = spec.member(ProcessId::new(u32::from(ring) * 2 + p), Roles::ALL);
+            }
+            b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+        }
+        for p in 0..4u32 {
+            b = b.subscribe(ProcessId::new(p), GroupId::new(p as u16 / 2));
+        }
+        let independent = b.build().expect("independent config");
+        let mut node = Node::new(ProcessId::new(0), independent);
+        let err = node
+            .multicast(
+                Time::ZERO,
+                &[GroupId::new(0), GroupId::new(1)],
+                Bytes::new(),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MulticastError::NoCoveringGroup(vec![GroupId::new(0), GroupId::new(1)])
+        );
     }
 
     #[test]
@@ -611,7 +750,7 @@ mod tests {
                 msg: Message::Request {
                     client: ClientId::new(5),
                     request: 1,
-                    group: GroupId::new(0),
+                    groups: vec![GroupId::new(0)],
                     payload: Bytes::from_static(b"cmd"),
                 },
             },

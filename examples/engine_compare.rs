@@ -63,7 +63,7 @@ impl Actor for Burst {
                     Message::Request {
                         client: self.client,
                         request: i,
-                        group: self.group,
+                        groups: vec![self.group],
                         payload: Bytes::from(vec![0u8; 64]),
                     },
                 );

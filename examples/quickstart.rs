@@ -31,7 +31,7 @@ impl Actor for Burst {
                     Message::Request {
                         client: self.client,
                         request: i,
-                        group: GroupId::new(0),
+                        groups: vec![GroupId::new(0)],
                         payload: Bytes::from(format!("client{}-msg{}", self.client.value(), i)),
                     },
                 );

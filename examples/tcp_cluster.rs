@@ -68,7 +68,7 @@ fn main() {
             ProcessId::new(0),
             ClientId::new(1),
             i,
-            GroupId::new(0),
+            vec![GroupId::new(0)],
             cmd.encode(),
         );
     }
@@ -90,7 +90,7 @@ fn main() {
         ProcessId::new(1),
         ClientId::new(1),
         100,
-        GroupId::new(0),
+        vec![GroupId::new(0)],
         cmd.encode(),
     );
     let value = loop {

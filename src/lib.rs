@@ -35,10 +35,13 @@
 //! Everything above the ordering layer — the simulator's cluster,
 //! MRP-Store, dLog, the benchmark harness — is written against
 //! [`amcast::AmcastEngine`](mrp_amcast::AmcastEngine), the explicit
-//! form of the paper's `multicast(group, m)`/`deliver(m)` contract.
-//! Deployments pick an engine with
+//! form of the paper's set-addressed `multicast(γ, m)`/`deliver(m)`
+//! contract. Deployments pick an engine with
 //! [`EngineKind`](mrp_amcast::EngineKind) (`MultiRing` is the paper's
-//! protocol; `Wbcast` orders via per-group sequencer timestamps); run
+//! protocol, routing multi-group messages through a covering/global
+//! ring; `Wbcast` orders via per-group sequencer timestamps and handles
+//! multi-group messages genuinely — only the addressed groups do
+//! work); run
 //! `cargo run --example engine_compare` to see both engines drive the
 //! same workload, and `cargo bench -p mrp-bench --bench fig9_engines`
 //! for the quantitative comparison. How to add a third engine is

@@ -20,11 +20,12 @@ use proptest::prelude::*;
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-/// Client that sends `n` requests to `target` for `group`.
+/// Client that sends `n` requests to `target`, each addressed to the
+/// group set `groups` (one element = the classic single-group case).
 #[derive(Debug)]
 struct Burst {
     target: ProcessId,
-    group: GroupId,
+    groups: Vec<GroupId>,
     client: ClientId,
     n: u64,
 }
@@ -38,7 +39,7 @@ impl Actor for Burst {
                     Message::Request {
                         client: self.client,
                         request: i,
-                        group: self.group,
+                        groups: self.groups.clone(),
                         payload: Bytes::from(vec![0u8; 16]),
                     },
                 );
@@ -51,15 +52,37 @@ impl Actor for Burst {
 }
 
 /// Records its node's deliveries (wraps a hosted engine and captures the
-/// Delivered ops the harness would otherwise only count).
+/// Delivered ops the harness would otherwise only count), plus every
+/// received engine frame that carries or references a value — the
+/// observable genuineness tests assert on.
 #[derive(Debug)]
 struct Recorder {
     node: Hosted<AnyEngine>,
     delivered: Vec<(GroupId, ValueId)>,
+    value_frames: u64,
+}
+
+impl Recorder {
+    fn new(node: AnyEngine) -> Self {
+        Self {
+            node: Hosted::new(node),
+            delivered: Vec::new(),
+            value_frames: 0,
+        }
+    }
 }
 
 impl Actor for Recorder {
     fn on_event(&mut self, now: Time, ev: ActorEvent, out: &mut Outbox, ctx: &mut ActorCtx<'_>) {
+        if let ActorEvent::Message {
+            msg: Message::Engine { payload, .. },
+            ..
+        } = &ev
+        {
+            if atomic_multicast::amcast::wbcast::frame_references_value(payload.clone()) {
+                self.value_frames += 1;
+            }
+        }
         let mut inner_out = Outbox::new();
         self.node.on_event(now, ev, &mut inner_out, ctx);
         for op in inner_out.take() {
@@ -113,10 +136,7 @@ fn run_fig2c(seed: u64, kind: EngineKind) -> BTreeMap<ProcessId, Vec<(GroupId, V
         let pid = ProcessId::new(p);
         cluster.add_actor(
             pid,
-            Box::new(Recorder {
-                node: Hosted::new(kind.build(pid, config.clone())),
-                delivered: Vec::new(),
-            }),
+            Box::new(Recorder::new(kind.build(pid, config.clone()))),
         );
     }
     for (i, group) in [(0u32, 0u16), (1, 1)] {
@@ -126,7 +146,7 @@ fn run_fig2c(seed: u64, kind: EngineKind) -> BTreeMap<ProcessId, Vec<(GroupId, V
             client_proc,
             Box::new(Burst {
                 target: ProcessId::new(i),
-                group: GroupId::new(group),
+                groups: vec![GroupId::new(group)],
                 client: client_id,
                 n: 25,
             }),
@@ -239,22 +259,44 @@ fn deterministic_merge_interleaving_matches_across_learners() {
     }
 }
 
-/// Runs a single-group, three-process cluster under `kind` with
-/// `bursts[i]` requests fired at proposer `i`, returning each process's
+/// Two groups over the same three processes, everyone subscribing to
+/// both: the deployment where single- and multi-group messages share
+/// every subscriber, so their interleaving is fully observable. Any
+/// group covers both, so the ring engine can order multi-group
+/// messages here too (through the covering-group path).
+fn shared_two_group_config() -> ClusterConfig {
+    let tuning = RingTuning {
+        lambda: 3_000,
+        delta_us: 5_000,
+        ..RingTuning::default()
+    };
+    let mut b = ClusterConfig::builder();
+    for ring in 0..2u16 {
+        let mut spec = RingSpec::new(RingId::new(ring)).tuning(tuning);
+        for p in 0..3u32 {
+            spec = spec.member(ProcessId::new((p + u32::from(ring)) % 3), Roles::ALL);
+        }
+        b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+    }
+    for p in 0..3u32 {
+        for g in 0..2u16 {
+            b = b.subscribe(ProcessId::new(p), GroupId::new(g));
+        }
+    }
+    b.build().expect("shared two-group config")
+}
+
+/// Runs a two-group, three-process cluster under `kind`: `bursts[i]`
+/// single-group requests fired at proposer `i` for group `i % 2`, plus
+/// `multi` requests addressed to *both* groups. Returns each process's
 /// delivery sequence.
-fn run_single_group(
+fn run_mixed(
     seed: u64,
     kind: EngineKind,
     bursts: &[u8],
+    multi: u8,
 ) -> BTreeMap<ProcessId, Vec<ValueId>> {
-    let config = atomic_multicast::core::config::single_ring(
-        3,
-        RingTuning {
-            lambda: 3_000,
-            delta_us: 5_000,
-            ..RingTuning::default()
-        },
-    );
+    let config = shared_two_group_config();
     let mut cluster = Cluster::new(
         SimConfig {
             seed,
@@ -267,10 +309,7 @@ fn run_single_group(
         let pid = ProcessId::new(p);
         cluster.add_actor(
             pid,
-            Box::new(Recorder {
-                node: Hosted::new(kind.build(pid, config.clone())),
-                delivered: Vec::new(),
-            }),
+            Box::new(Recorder::new(kind.build(pid, config.clone()))),
         );
     }
     for (i, &n) in bursts.iter().enumerate() {
@@ -280,9 +319,23 @@ fn run_single_group(
             client_proc,
             Box::new(Burst {
                 target: ProcessId::new(i as u32 % 3),
-                group: GroupId::new(0),
+                groups: vec![GroupId::new(i as u16 % 2)],
                 client: client_id,
                 n: u64::from(n),
+            }),
+        );
+        cluster.register_client(client_id, client_proc);
+    }
+    if multi > 0 {
+        let client_proc = ProcessId::new(200);
+        let client_id = ClientId::new(99);
+        cluster.add_actor(
+            client_proc,
+            Box::new(Burst {
+                target: ProcessId::new(2),
+                groups: vec![GroupId::new(0), GroupId::new(1)],
+                client: client_id,
+                n: u64::from(multi),
             }),
         );
         cluster.register_client(client_id, client_proc);
@@ -298,19 +351,158 @@ fn run_single_group(
         .collect()
 }
 
+/// A multi-group message addressed to both groups interleaves with
+/// single-group traffic in one total order: every process delivers the
+/// identical sequence, each message exactly once — on both engines
+/// (genuinely for wbcast, via the covering group for Multi-Ring Paxos).
+#[test]
+fn multigroup_and_single_group_share_one_total_order() {
+    for kind in EngineKind::ALL {
+        let delivered = run_mixed(41, kind, &[10, 10], 5);
+        let reference = &delivered[&ProcessId::new(0)];
+        assert_eq!(reference.len(), 25, "{kind}: all messages delivered");
+        let unique: BTreeSet<&ValueId> = reference.iter().collect();
+        assert_eq!(
+            unique.len(),
+            reference.len(),
+            "{kind}: multi-group message delivered twice at one process"
+        );
+        for (p, seq) in &delivered {
+            assert_eq!(seq, reference, "{kind}: {p} diverges");
+        }
+    }
+}
+
+/// Genuineness (wbcast): three disjoint two-process groups; traffic —
+/// single- and multi-group — addressed to groups 0 and 1 only. Group
+/// 2's processes must receive *no* engine frame carrying or referencing
+/// a value (their own group's heartbeats are the only permitted
+/// traffic), and deliver nothing.
+#[test]
+fn wbcast_nonaddressed_groups_see_no_engine_traffic() {
+    let tuning = RingTuning {
+        lambda: 3_000,
+        delta_us: 5_000,
+        ..RingTuning::default()
+    };
+    let mut b = ClusterConfig::builder();
+    for ring in 0..3u16 {
+        let mut spec = RingSpec::new(RingId::new(ring)).tuning(tuning);
+        for p in 0..2u32 {
+            spec = spec.member(ProcessId::new(u32::from(ring) * 2 + p), Roles::ALL);
+        }
+        b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+        for p in 0..2u32 {
+            b = b.subscribe(ProcessId::new(u32::from(ring) * 2 + p), GroupId::new(ring));
+        }
+    }
+    let config = b.build().expect("disjoint three-group config");
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed: 7,
+            ..SimConfig::default()
+        },
+        Topology::lan(8),
+    );
+    cluster.set_protocol(config.clone());
+    for p in 0..6u32 {
+        let pid = ProcessId::new(p);
+        cluster.add_actor(
+            pid,
+            Box::new(Recorder::new(EngineKind::Wbcast.build(pid, config.clone()))),
+        );
+    }
+    for (i, groups) in [
+        vec![GroupId::new(0)],
+        vec![GroupId::new(1)],
+        vec![GroupId::new(0), GroupId::new(1)],
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let client_proc = ProcessId::new(100 + i as u32);
+        let client_id = ClientId::new(i as u64);
+        // Target a proposer inside the first addressed group.
+        let target = ProcessId::new(u32::from(groups[0].value()) * 2);
+        cluster.add_actor(
+            client_proc,
+            Box::new(Burst {
+                target,
+                groups,
+                client: client_id,
+                n: 10,
+            }),
+        );
+        cluster.register_client(client_id, client_proc);
+    }
+    cluster.start();
+    cluster.run_until(Time::from_secs(5));
+    // The addressed groups' subscribers deliver everything addressed to
+    // them: 10 singles + 10 multis each.
+    for p in 0..4u32 {
+        let r = cluster.actor_as::<Recorder>(ProcessId::new(p)).unwrap();
+        assert_eq!(r.delivered.len(), 20, "process {p}");
+        let unique: BTreeSet<ValueId> = r.delivered.iter().map(|(_, id)| *id).collect();
+        assert_eq!(unique.len(), 20, "process {p}: duplicate delivery");
+    }
+    // Acyclic cross-group order: the messages delivered on both sides
+    // (exactly the multi-group ones) appear in the same relative order
+    // at a group-0 subscriber and a group-1 subscriber.
+    let seq_of = |cluster: &mut Cluster, p: u32| -> Vec<ValueId> {
+        cluster
+            .actor_as::<Recorder>(ProcessId::new(p))
+            .unwrap()
+            .delivered
+            .iter()
+            .map(|(_, id)| *id)
+            .collect()
+    };
+    let g0_seq = seq_of(&mut cluster, 0);
+    let g1_seq = seq_of(&mut cluster, 2);
+    let shared: BTreeSet<ValueId> = g0_seq
+        .iter()
+        .copied()
+        .filter(|id| g1_seq.contains(id))
+        .collect();
+    assert_eq!(shared.len(), 10, "the ten multi-group messages");
+    let project = |seq: &[ValueId]| -> Vec<ValueId> {
+        seq.iter()
+            .copied()
+            .filter(|id| shared.contains(id))
+            .collect()
+    };
+    assert_eq!(
+        project(&g0_seq),
+        project(&g1_seq),
+        "multi-group messages must be ordered identically across groups"
+    );
+    // Genuineness: group 2's processes saw zero value-bearing frames.
+    for p in 4..6u32 {
+        let r = cluster.actor_as::<Recorder>(ProcessId::new(p)).unwrap();
+        assert_eq!(
+            r.value_frames, 0,
+            "process {p} is outside every addressed γ but received value traffic"
+        );
+        assert!(r.delivered.is_empty(), "process {p} delivered a value");
+    }
+}
+
 proptest! {
-    /// Cross-engine property: for random burst mixes and schedules,
-    /// single-group delivery is a *legal total order* on every engine —
-    /// all processes deliver the same sequence, with no duplicates, and
-    /// exactly the multicast values in it.
+    /// Cross-engine property: for random mixes of single-group bursts
+    /// and multi-group messages under random schedules, delivery is a
+    /// *legal total order* on every engine — all processes deliver the
+    /// same sequence, with no duplicates, and exactly the multicast
+    /// values in it.
     #[test]
-    fn single_group_delivery_is_a_legal_total_order(
+    fn mixed_group_delivery_is_a_legal_total_order(
         seed in 1u64..1_000_000,
         bursts in proptest::collection::vec(1u8..8, 2..4),
+        multi in 0u8..5,
     ) {
         for kind in EngineKind::ALL {
-            let delivered = run_single_group(seed, kind, &bursts);
-            let total: u64 = bursts.iter().map(|&n| u64::from(n)).sum();
+            let delivered = run_mixed(seed, kind, &bursts, multi);
+            let total: u64 =
+                bursts.iter().map(|&n| u64::from(n)).sum::<u64>() + u64::from(multi);
             let reference = &delivered[&ProcessId::new(0)];
             // Totality: every multicast value is delivered exactly once.
             prop_assert_eq!(reference.len() as u64, total, "{}: wrong count", kind);

@@ -32,7 +32,7 @@ impl Actor for Trickle {
                     Message::Request {
                         client: self.client,
                         request: self.sent,
-                        group: GroupId::new(0),
+                        groups: vec![GroupId::new(0)],
                         payload: Bytes::from(vec![0u8; 32]),
                     },
                 );
