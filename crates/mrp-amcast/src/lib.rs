@@ -48,6 +48,14 @@
 //! | [`EngineKind::MultiRing`] | one Ring Paxos instance per group, deterministic merge + rate leveling at learners | covering (global) group | high throughput, fault-tolerant ordering, merge adds Δ-bounded latency |
 //! | [`EngineKind::Wbcast`] | per-group sequencer timestamps, delivery in global `(timestamp, id)` order (Skeen / white-box style) | genuine: max-timestamp agreement among addressed groups | one less message delay for single-group, two more for multi-group, throughput bound by the sequencer |
 //!
+//! Both engines survive coordinator crashes: the ring engine re-runs
+//! Phase 1 under the re-elected coordinator, and the wbcast engine
+//! treats [`Event::CoordinatorChange`](multiring_paxos::event::Event)
+//! as sequencer handover (epoch-stamped streams, initiator retries
+//! with receiver-side dedup, subscriber re-anchoring — see [`wbcast`]).
+//! `tests/ordering_invariants.rs` exercises the crash path for every
+//! [`EngineKind`].
+//!
 //! Backpressure: [`AmcastEngine::backlog`] reports locally submitted,
 //! not-yet-settled values for both engines (ring: proposals not yet
 //! decided; wbcast: submissions to subscribed groups not yet delivered

@@ -4,10 +4,10 @@
 //! ## Message flow
 //!
 //! Each multicast group has one *sequencer*: the coordinator of the
-//! ring the group maps to in the [`ClusterConfig`] (in a full
-//! deployment the sequencer's counter would itself be Paxos-replicated
-//! inside the group, as in *White-Box Atomic Multicast*; this engine
-//! models the failure-free ordering path).
+//! ring the group maps to in the [`ClusterConfig`]. The sequencer role
+//! is **fault-tolerant**: when the coordination service designates a
+//! new ring coordinator ([`Event::CoordinatorChange`]), the group's
+//! sequencer moves with it — see *Sequencer failover* below.
 //!
 //! ### Single-group messages (one phase)
 //!
@@ -66,6 +66,54 @@
 //!    deliveries are never blocked by an idle group: the analogue of
 //!    Multi-Ring Paxos rate leveling, paced by the ring's Δ. A promise
 //!    never overtakes an undecided proposal.
+//! 6. **Release acknowledgement** — when a sequencer emits a value into
+//!    its ordered stream it also sends the initiator a `FinalAck`.
+//!    Released frames are never lost (reliable FIFO channels), so a
+//!    `FinalAck` from every addressed group means the value is safe and
+//!    the initiator can stop tracking it.
+//!
+//! ## Sequencer failover
+//!
+//! A crashed sequencer must not stall the groups it ordered, nor the
+//! multi-group rounds it participated in. Three mechanisms cooperate
+//! (the failover protocol of *White-Box Atomic Multicast* (Gotsman et
+//! al., DSN 2019), adapted to this engine's single-process sequencers):
+//!
+//! * **Takeover / resign.** On [`Event::CoordinatorChange`] the named
+//!   process adopts the sequencer role for the ring's groups, resuming
+//!   each group's clock at a safe point: past every key and promise it
+//!   has *observed* for the group, and past the hybrid-clock floor.
+//!   Frames carry a **sequencer epoch** (bumped per takeover) so
+//!   subscribers re-anchor their frontier to the new stream and fence
+//!   frames from deposed sequencers. The deposed process (if alive)
+//!   drops its sequencer state. A fresh sequencer holds releases and
+//!   promises for a short recovery window ([`TAKEOVER_GRACE_DELTAS`] ×
+//!   Δ) so that recovered values — whose already-decided timestamps may
+//!   be small — re-enter the stream *before* the frontier advances past
+//!   them, keeping the released-in-key-order invariant.
+//! * **Initiator retries.** Every local submission is tracked until
+//!   each addressed group confirms release. Unconfirmed groups are
+//!   probed with retransmitted `Submit`s every [`RETRY_DELTAS`] × Δ,
+//!   routed to the *current* sequencer; a `CoordinatorChange` voids
+//!   acks obtained from the previous sequencer and re-runs the round
+//!   immediately. Receivers deduplicate: a retransmitted `Submit` never
+//!   gets a second timestamp (the pending proposal or decided value is
+//!   re-acknowledged instead) and a duplicate `Final` is idempotent. A
+//!   decided final timestamp is immutable — a post-failover re-proposal
+//!   is answered by re-issuing the original `Final`.
+//! * **Subscriber dedup.** Subscribers remember delivered value ids, so
+//!   a value re-released by a new sequencer (because the initiator
+//!   could not know the old one had already released it) is delivered
+//!   exactly once; extra copies only advance frontiers.
+//!
+//! The model's remaining assumptions: the takeover resume point exceeds
+//! every timestamp the crashed sequencer exposed (guaranteed by the
+//! hybrid clock whenever the election timeout exceeds the count-driven
+//! clock skew — in a full deployment the counter is Paxos-replicated
+//! inside the group instead), and initiators of in-flight multi-group
+//! rounds stay alive (an initiator crash mid-round still stalls its
+//! message; replicating the initiator role is future work, tracked in
+//! the ROADMAP).
 //!
 //! Timestamps are Lamport-style hybrid clocks: they advance with
 //! submissions *and* with elapsed time (in a fixed quantum shared by
@@ -90,7 +138,7 @@ use multiring_paxos::config::ClusterConfig;
 use multiring_paxos::event::{Action, Event, Message, StateMachine, TimerKind};
 use multiring_paxos::node::MulticastError;
 use multiring_paxos::types::{
-    ClientId, GroupId, InstanceId, ProcessId, RingId, Time, Value, ValueId,
+    Ballot, ClientId, GroupId, InstanceId, ProcessId, RingId, Time, Value, ValueId,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -103,6 +151,18 @@ const TAG_ORDERED: u8 = 2;
 const TAG_HEARTBEAT: u8 = 3;
 const TAG_PROPOSE_ACK: u8 = 4;
 const TAG_FINAL: u8 = 5;
+const TAG_FINAL_ACK: u8 = 6;
+
+/// Initiator retry pacing: unconfirmed `Submit`/`Final` rounds are
+/// re-probed every this-many Δ of the addressed group's ring.
+pub const RETRY_DELTAS: u64 = 4;
+
+/// A fresh sequencer's recovery window, in Δ of its ring: releases and
+/// heartbeat promises are held this long after takeover so initiators
+/// can re-run interrupted rounds before the group's frontier moves.
+/// Two retry periods cover a full Submit → ProposeAck → Final exchange
+/// even when the first retransmission raced the election announcement.
+pub const TAKEOVER_GRACE_DELTAS: u64 = 2 * RETRY_DELTAS;
 
 /// A global delivery key: final timestamp, tie-broken by the value id
 /// (final timestamps of multi-group messages can collide, even within
@@ -133,17 +193,29 @@ enum WbMessage {
         id: ValueId,
         ts: u64,
     },
+    /// The sequencer's confirmation to the initiator that the value was
+    /// released into `group`'s ordered stream at timestamp `ts`
+    /// (single-group values confirm at release too). Stops the
+    /// initiator's retransmissions for that group.
+    FinalAck {
+        group: GroupId,
+        id: ValueId,
+        ts: u64,
+    },
     /// A sequencer's ordering decision at the final timestamp, fanned
     /// out to the group's subscribers in strictly increasing key order.
+    /// `epoch` identifies the sequencer generation (bumped on
+    /// takeover), fencing deposed sequencers at subscribers.
     Ordered {
         group: GroupId,
+        epoch: u32,
         ts: u64,
         groups: Vec<GroupId>,
         value: Value,
     },
     /// The sequencer's promise that all future timestamps of `group`
-    /// are strictly greater than `ts`.
-    Heartbeat { group: GroupId, ts: u64 },
+    /// are strictly greater than `ts`, stamped with its epoch.
+    Heartbeat { group: GroupId, epoch: u32, ts: u64 },
 }
 
 fn put_value(buf: &mut BytesMut, v: &Value) {
@@ -227,21 +299,30 @@ impl WbMessage {
                 put_id(&mut buf, *id);
                 buf.put_u64_le(*ts);
             }
+            WbMessage::FinalAck { group, id, ts } => {
+                buf.put_u8(TAG_FINAL_ACK);
+                buf.put_u16_le(group.value());
+                put_id(&mut buf, *id);
+                buf.put_u64_le(*ts);
+            }
             WbMessage::Ordered {
                 group,
+                epoch,
                 ts,
                 groups,
                 value,
             } => {
                 buf.put_u8(TAG_ORDERED);
                 buf.put_u16_le(group.value());
+                buf.put_u32_le(*epoch);
                 buf.put_u64_le(*ts);
                 put_groups(&mut buf, groups);
                 put_value(&mut buf, value);
             }
-            WbMessage::Heartbeat { group, ts } => {
+            WbMessage::Heartbeat { group, epoch, ts } => {
                 buf.put_u8(TAG_HEARTBEAT);
                 buf.put_u16_le(group.value());
+                buf.put_u32_le(*epoch);
                 buf.put_u64_le(*ts);
             }
         }
@@ -286,24 +367,39 @@ impl WbMessage {
                     ts: payload.get_u64_le(),
                 })
             }
-            TAG_ORDERED => {
+            TAG_FINAL_ACK => {
+                let id = get_id(&mut payload)?;
                 if payload.remaining() < 8 {
                     return None;
                 }
+                Some(WbMessage::FinalAck {
+                    group,
+                    id,
+                    ts: payload.get_u64_le(),
+                })
+            }
+            TAG_ORDERED => {
+                if payload.remaining() < 4 + 8 {
+                    return None;
+                }
+                let epoch = payload.get_u32_le();
                 let ts = payload.get_u64_le();
                 Some(WbMessage::Ordered {
                     group,
+                    epoch,
                     ts,
                     groups: get_groups(&mut payload)?,
                     value: get_value(&mut payload)?,
                 })
             }
             TAG_HEARTBEAT => {
-                if payload.remaining() < 8 {
+                if payload.remaining() < 4 + 8 {
                     return None;
                 }
+                let epoch = payload.get_u32_le();
                 Some(WbMessage::Heartbeat {
                     group,
+                    epoch,
                     ts: payload.get_u64_le(),
                 })
             }
@@ -313,10 +409,11 @@ impl WbMessage {
 }
 
 /// Whether a wbcast [`Message::Engine`] payload carries or references a
-/// multicast value: `Submit`/`Ordered` carry one, `ProposeAck`/`Final`
-/// reference one by id; heartbeats are pure clock traffic. Genuineness
-/// tests use this to assert that processes outside an addressed group
-/// set γ see no protocol traffic for γ's messages.
+/// multicast value: `Submit`/`Ordered` carry one,
+/// `ProposeAck`/`Final`/`FinalAck` reference one by id; heartbeats are
+/// pure clock traffic. Genuineness tests use this to assert that
+/// processes outside an addressed group set γ see no protocol traffic
+/// for γ's messages.
 pub fn frame_references_value(payload: Bytes) -> bool {
     matches!(
         WbMessage::parse(payload),
@@ -325,6 +422,7 @@ pub fn frame_references_value(payload: Bytes) -> bool {
                 | WbMessage::Ordered { .. }
                 | WbMessage::ProposeAck { .. }
                 | WbMessage::Final { .. }
+                | WbMessage::FinalAck { .. }
         )
     )
 }
@@ -348,10 +446,18 @@ struct Sequencer {
     ring: RingId,
     /// Heartbeat interval, microseconds.
     delta_us: u64,
+    /// Sequencer generation: 0 for the configured coordinator, bumped
+    /// on every takeover. Stamped into `Ordered`/`Heartbeat` frames so
+    /// subscribers can fence deposed sequencers.
+    epoch: u32,
     /// Next timestamp to assign (timestamps start at 1).
     next_ts: u64,
     /// Highest promise already heartbeated (avoids redundant sends).
     promised: u64,
+    /// While set, releases and heartbeat promises are held: the
+    /// takeover recovery window, during which initiators re-inject
+    /// values whose decided timestamps may sort below the new clock.
+    resume_at: Option<Time>,
     /// The group's subscribers, precomputed: the fan-out target of
     /// every `Ordered`/`Heartbeat`, resolved once instead of scanning
     /// the subscription map per message.
@@ -362,6 +468,13 @@ struct Sequencer {
     /// above an undecided proposal waits, because that proposal's final
     /// timestamp (≥ its proposed one) may still land below.
     outq: BTreeMap<Key, (Value, Vec<GroupId>)>,
+    /// Every value this sequencer has decided, id → final timestamp
+    /// (single-group values decide at submission, multi-group at
+    /// `Final`). Retransmission dedup: a duplicate `Submit` or `Final`
+    /// is re-acknowledged from here instead of getting a second
+    /// timestamp. Grows with the group's history; a production
+    /// deployment would prune it below the stable checkpoint watermark.
+    done: BTreeMap<ValueId, u64>,
 }
 
 /// The shared time unit of the hybrid clocks, microseconds. Every
@@ -432,10 +545,15 @@ fn promise_key(ts: u64) -> Key {
 /// Per-subscribed-group delivery state.
 #[derive(Debug)]
 struct Subscription {
+    /// Highest sequencer epoch observed on this group's stream. Frames
+    /// from strictly lower epochs are fenced (a deposed sequencer must
+    /// not advance the frontier the new one rebuilds).
+    epoch: u32,
     /// Largest key observed from the group's sequencer. The sequencer
     /// releases its stream in strictly increasing key order over a
     /// reliable FIFO channel, so every future arrival is strictly
-    /// greater.
+    /// greater — except recovery re-releases, which only dedup against
+    /// it.
     frontier: Key,
     /// Ordered-but-not-yet-deliverable values, keyed by `(ts, id)`.
     pending: BTreeMap<Key, Value>,
@@ -444,18 +562,36 @@ struct Subscription {
 impl Default for Subscription {
     fn default() -> Self {
         Self {
+            epoch: 0,
             frontier: (0, ValueId::new(ProcessId::new(0), 0)),
             pending: BTreeMap::new(),
         }
     }
 }
 
-/// The state an initiator keeps per in-flight multi-group value while
-/// collecting one timestamp proposal per addressed group.
+/// The state an initiator keeps per locally submitted value until every
+/// addressed group has confirmed its release (and, when a subscribed
+/// group is addressed, until local delivery): the retry machinery's
+/// unit of work.
 #[derive(Debug)]
-struct Collect {
+struct Inflight {
+    /// The addressed group set γ, sorted and deduplicated.
     groups: Vec<GroupId>,
+    /// The submitted value, kept for retransmission.
+    value: Value,
+    /// Timestamp proposals collected so far (multi-group round).
     acks: BTreeMap<GroupId, u64>,
+    /// The decided final timestamp. Immutable once set: post-failover
+    /// re-proposals are answered by re-issuing this decision.
+    final_ts: Option<u64>,
+    /// Groups that confirmed release (`FinalAck`). A `CoordinatorChange`
+    /// voids the confirmation of that ring's groups.
+    released: BTreeSet<GroupId>,
+    /// Whether γ contains a locally subscribed group (the value then
+    /// counts toward `backlog()` until delivered locally).
+    local: bool,
+    /// Whether the value was delivered locally.
+    delivered: bool,
 }
 
 /// The per-process state machine of the white-box engine: sequencer
@@ -469,11 +605,25 @@ pub struct WbcastNode {
     led: BTreeMap<GroupId, Sequencer>,
     /// Groups this process subscribes to.
     subs: BTreeMap<GroupId, Subscription>,
-    /// Multi-group submissions initiated here, awaiting proposals.
-    collecting: BTreeMap<ValueId, Collect>,
-    /// Locally submitted values addressed to a subscribed group, not
-    /// yet delivered locally (the backpressure signal).
-    inflight: BTreeSet<ValueId>,
+    /// The believed current coordinator (= sequencer host) per ring,
+    /// maintained from [`Event::CoordinatorChange`] notifications.
+    coordinators: BTreeMap<RingId, ProcessId>,
+    /// Highest sequencer epoch known per ring (observed on frames or
+    /// used by a local takeover); a takeover uses the next epoch.
+    ring_epochs: BTreeMap<RingId, u32>,
+    /// Highest timestamp observed per group, from any frame touching
+    /// that group's clock: the takeover resume point.
+    observed: BTreeMap<GroupId, u64>,
+    /// Ids delivered locally: exactly-once across failover re-releases.
+    /// Grows with history; production would prune below checkpoints.
+    delivered_ids: BTreeSet<ValueId>,
+    /// Locally submitted values still being tracked (retries, backlog).
+    inflight: BTreeMap<ValueId, Inflight>,
+    /// Rings with a live Δ heartbeat timer (avoids double-arming when a
+    /// resigned ring is re-acquired before its old timer fired).
+    delta_armed: BTreeSet<RingId>,
+    /// Rings with a live retry timer.
+    retry_armed: BTreeSet<RingId>,
     /// Per-proposer sequence numbers for [`ValueId`] assignment.
     next_seq: u64,
     /// Values delivered (progress metric).
@@ -496,19 +646,24 @@ impl WbcastNode {
     /// subscriptions are the config's learner subscriptions.
     pub fn new(me: ProcessId, config: ClusterConfig) -> Self {
         let mut led = BTreeMap::new();
+        let mut coordinators = BTreeMap::new();
         for (&group, &ring_id) in config.groups() {
             let ring = config.ring(ring_id).expect("validated config");
+            coordinators.insert(ring_id, ring.coordinator());
             if ring.coordinator() == me {
                 led.insert(
                     group,
                     Sequencer {
                         ring: ring_id,
                         delta_us: ring.tuning().delta_us,
+                        epoch: 0,
                         next_ts: 1,
                         promised: 0,
+                        resume_at: None,
                         subscribers: config.subscribers_of(group),
                         pending: BTreeMap::new(),
                         outq: BTreeMap::new(),
+                        done: BTreeMap::new(),
                     },
                 );
             }
@@ -523,8 +678,13 @@ impl WbcastNode {
             config,
             led,
             subs,
-            collecting: BTreeMap::new(),
-            inflight: BTreeSet::new(),
+            coordinators,
+            ring_epochs: BTreeMap::new(),
+            observed: BTreeMap::new(),
+            delivered_ids: BTreeSet::new(),
+            inflight: BTreeMap::new(),
+            delta_armed: BTreeSet::new(),
+            retry_armed: BTreeSet::new(),
             next_seq: 0,
             delivered: 0,
         }
@@ -556,9 +716,42 @@ impl WbcastNode {
         self.subs.values().map(|s| s.pending.len()).sum()
     }
 
+    /// The believed current sequencer of `group`: the coordinator the
+    /// coordination service last announced for the group's ring.
     fn sequencer_of(&self, group: GroupId) -> Option<ProcessId> {
         let ring = self.config.ring_of_group(group)?;
-        Some(self.config.ring(ring)?.coordinator())
+        self.coordinators.get(&ring).copied()
+    }
+
+    /// Records a timestamp exposed for `group` (the takeover resume
+    /// point: a new sequencer never assigns at or below it).
+    fn note_observed(&mut self, group: GroupId, ts: u64) {
+        let o = self.observed.entry(group).or_insert(0);
+        *o = (*o).max(ts);
+    }
+
+    /// Records a sequencer epoch seen for `group`'s ring.
+    fn note_epoch(&mut self, group: GroupId, epoch: u32) {
+        if let Some(ring) = self.config.ring_of_group(group) {
+            self.note_ring_epoch(ring, epoch);
+        }
+    }
+
+    /// Records an epoch floor for `ring` (observed on a frame, or the
+    /// coordination service's election round).
+    fn note_ring_epoch(&mut self, ring: RingId, epoch: u32) {
+        let e = self.ring_epochs.entry(ring).or_insert(0);
+        *e = (*e).max(epoch);
+    }
+
+    /// The retransmission interval for submissions routed to `ring`.
+    fn retry_interval(&self, ring: RingId) -> u64 {
+        let delta = self
+            .config
+            .ring(ring)
+            .map(|r| r.tuning().delta_us)
+            .unwrap_or(1_000);
+        (delta * RETRY_DELTAS).max(1)
     }
 
     /// Routes an engine message to a peer, or handles it inline when
@@ -577,7 +770,9 @@ impl WbcastNode {
     /// Sequencer side: a submission for `group`, one of the addressed
     /// groups γ. Single-group values take their timestamp as final and
     /// enter the stream directly; multi-group values become undecided
-    /// proposals reported back to the initiator.
+    /// proposals reported back to the initiator. Retransmissions never
+    /// get a second timestamp: a pending proposal is re-acknowledged
+    /// and a decided value re-confirmed (once released).
     fn on_submit(
         &mut self,
         now: Time,
@@ -587,39 +782,57 @@ impl WbcastNode {
         out: &mut Vec<Action>,
     ) {
         let id = value.id;
-        let (ack, release) = {
+        let (reply, release) = {
             let Some(seq) = self.led.get_mut(&group) else {
                 // Stale submission (this process no longer sequences the
-                // group); the proposer's client will retry elsewhere.
+                // group); the initiator re-routes on CoordinatorChange.
                 return;
             };
-            seq.bump_clock(now);
-            let ts = seq.next_ts;
-            seq.next_ts += 1;
-            if groups.len() > 1 {
-                seq.pending.insert(id, Proposal { ts, value, groups });
-                (Some(ts), false)
+            if let Some(p) = seq.pending.get(&id) {
+                // Duplicate of an undecided proposal: same timestamp.
+                (
+                    Some(WbMessage::ProposeAck {
+                        group,
+                        id,
+                        ts: p.ts,
+                    }),
+                    false,
+                )
+            } else if let Some(&fts) = seq.done.get(&id) {
+                // Already decided; confirm only once released (a gated
+                // value confirms via flush_group when it releases).
+                let released = !seq.outq.contains_key(&(fts, id));
+                (
+                    released.then_some(WbMessage::FinalAck { group, id, ts: fts }),
+                    false,
+                )
             } else {
-                seq.outq.insert((ts, id), (value, groups));
-                (None, true)
+                seq.bump_clock(now);
+                let ts = seq.next_ts;
+                seq.next_ts += 1;
+                if groups.len() > 1 {
+                    seq.pending.insert(id, Proposal { ts, value, groups });
+                    (Some(WbMessage::ProposeAck { group, id, ts }), false)
+                } else {
+                    seq.done.insert(id, ts);
+                    seq.outq.insert((ts, id), (value, groups));
+                    (None, true)
+                }
             }
         };
-        if let Some(ts) = ack {
-            self.route(
-                now,
-                id.proposer,
-                WbMessage::ProposeAck { group, id, ts },
-                out,
-            );
+        if let Some(msg) = reply {
+            self.route(now, id.proposer, msg, out);
         }
         if release {
-            self.flush_group(group, out);
+            self.flush_group(now, group, out);
         }
     }
 
     /// Initiator side: collects one timestamp proposal per addressed
     /// group; once complete, the maximum becomes the final timestamp and
-    /// is sent to every addressed sequencer.
+    /// is sent to every addressed sequencer. Once decided, the final
+    /// timestamp is immutable: a later ack (a re-proposal by a
+    /// post-failover sequencer) is answered by re-issuing the decision.
     fn on_propose_ack(
         &mut self,
         now: Time,
@@ -628,17 +841,29 @@ impl WbcastNode {
         ts: u64,
         out: &mut Vec<Action>,
     ) {
+        self.note_observed(group, ts);
         self.observe_ts(group, ts);
-        let Some(c) = self.collecting.get_mut(&id) else {
+        let Some(entry) = self.inflight.get_mut(&id) else {
             return;
         };
-        c.acks.insert(group, ts);
-        if c.acks.len() < c.groups.len() {
+        // A stray or duplicated ack for a group outside γ must not
+        // enter the round: it could complete the collection with a
+        // bogus maximum.
+        if !entry.groups.contains(&group) {
             return;
         }
-        let c = self.collecting.remove(&id).expect("checked above");
-        let fts = c.acks.values().copied().max().expect("non-empty acks");
-        for &g in &c.groups {
+        let (fts, groups) = if let Some(fts) = entry.final_ts {
+            (fts, vec![group])
+        } else {
+            entry.acks.insert(group, ts);
+            if entry.acks.len() < entry.groups.len() {
+                return;
+            }
+            let fts = entry.acks.values().copied().max().expect("non-empty acks");
+            entry.final_ts = Some(fts);
+            (fts, entry.groups.clone())
+        };
+        for g in groups {
             let Some(sequencer) = self.sequencer_of(g) else {
                 continue;
             };
@@ -657,21 +882,71 @@ impl WbcastNode {
 
     /// Sequencer side: the final timestamp for an undecided proposal
     /// arrived; re-key the value at it and release what became settled.
-    fn on_final(&mut self, group: GroupId, id: ValueId, fts: u64, out: &mut Vec<Action>) {
+    /// A duplicate `Final` is idempotent: re-confirm if released.
+    fn on_final(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        id: ValueId,
+        fts: u64,
+        out: &mut Vec<Action>,
+    ) {
+        self.note_observed(group, fts);
         self.observe_ts(group, fts);
-        {
+        let reack = {
             let Some(seq) = self.led.get_mut(&group) else {
                 return;
             };
-            let Some(p) = seq.pending.remove(&id) else {
-                return;
-            };
-            // The final timestamp orders this group's future assignments
-            // after the value (Lamport receive rule on the group clock).
-            seq.next_ts = seq.next_ts.max(fts + 1);
-            seq.outq.insert((fts, id), (p.value, p.groups));
+            match seq.pending.remove(&id) {
+                Some(p) => {
+                    // The final timestamp orders this group's future
+                    // assignments after the value (Lamport receive rule
+                    // on the group clock).
+                    seq.next_ts = seq.next_ts.max(fts + 1);
+                    seq.done.insert(id, fts);
+                    seq.outq.insert((fts, id), (p.value, p.groups));
+                    None
+                }
+                None => seq
+                    .done
+                    .get(&id)
+                    .copied()
+                    .filter(|&done_ts| !seq.outq.contains_key(&(done_ts, id))),
+            }
+        };
+        if let Some(done_ts) = reack {
+            self.route(
+                now,
+                id.proposer,
+                WbMessage::FinalAck {
+                    group,
+                    id,
+                    ts: done_ts,
+                },
+                out,
+            );
+            return;
         }
-        self.flush_group(group, out);
+        self.flush_group(now, group, out);
+    }
+
+    /// Initiator side: `group`'s sequencer released the value into its
+    /// stream; stop retransmitting toward it. Once every addressed
+    /// group has confirmed (and the value was delivered locally, when a
+    /// subscribed group is addressed), the tracking entry retires.
+    fn on_final_ack(&mut self, group: GroupId, id: ValueId, ts: u64) {
+        self.note_observed(group, ts);
+        self.observe_ts(group, ts);
+        let Some(entry) = self.inflight.get_mut(&id) else {
+            return;
+        };
+        if !entry.groups.contains(&group) {
+            return;
+        }
+        entry.released.insert(group);
+        if entry.released.len() == entry.groups.len() && (!entry.local || entry.delivered) {
+            self.inflight.remove(&id);
+        }
     }
 
     /// Releases the settled prefix of a led group's stream: decided
@@ -679,13 +954,19 @@ impl WbcastNode {
     /// subscribers in increasing `(ts, id)` order. The frame is encoded
     /// once and shared across subscribers (`Message` clones are cheap:
     /// the payload is a reference-counted `Bytes`).
-    fn flush_group(&mut self, group: GroupId, out: &mut Vec<Action>) {
+    fn flush_group(&mut self, now: Time, group: GroupId, out: &mut Vec<Action>) {
         let me = self.me;
         loop {
             let released = {
                 let Some(seq) = self.led.get_mut(&group) else {
                     return;
                 };
+                // Takeover recovery window: hold the stream so values
+                // re-injected by initiators (at their already-decided,
+                // possibly small timestamps) sort in before release.
+                if seq.resume_at.is_some_and(|t| now < t) {
+                    return;
+                }
                 let Some((&key, _)) = seq.outq.first_key_value() else {
                     return;
                 };
@@ -697,6 +978,7 @@ impl WbcastNode {
                 seq.next_ts = seq.next_ts.max(key.0 + 1);
                 let frame = WbMessage::Ordered {
                     group,
+                    epoch: seq.epoch,
                     ts: key.0,
                     groups: groups.clone(),
                     value: value.clone(),
@@ -713,10 +995,23 @@ impl WbcastNode {
                         });
                     }
                 }
-                local.then_some((key.0, groups, value))
+                (key.0, seq.epoch, groups, value, local)
             };
-            if let Some((ts, groups, value)) = released {
-                self.on_ordered(group, ts, groups, value, out);
+            let (ts, epoch, groups, value, local) = released;
+            // Release confirmation: the value is now in the group's
+            // stream and can no longer be lost with this sequencer.
+            self.route(
+                now,
+                value.id.proposer,
+                WbMessage::FinalAck {
+                    group,
+                    id: value.id,
+                    ts,
+                },
+                out,
+            );
+            if local {
+                self.on_ordered(group, epoch, ts, groups, value, out);
             }
         }
     }
@@ -740,33 +1035,51 @@ impl WbcastNode {
     fn on_ordered(
         &mut self,
         group: GroupId,
+        epoch: u32,
         ts: u64,
         groups: Vec<GroupId>,
         value: Value,
         out: &mut Vec<Action>,
     ) {
+        self.note_observed(group, ts);
+        self.note_epoch(group, epoch);
         self.observe_ts(group, ts);
         let delivery_group = groups
             .iter()
             .copied()
             .filter(|g| self.subs.contains_key(g))
             .min();
+        let duplicate = self.delivered_ids.contains(&value.id);
         let Some(sub) = self.subs.get_mut(&group) else {
             return;
         };
+        if epoch < sub.epoch {
+            // A deposed sequencer's frame arriving after the new
+            // stream anchored; its releases were re-run by initiators.
+            return;
+        }
+        sub.epoch = epoch;
         let key = (ts, value.id);
         sub.frontier = sub.frontier.max(key);
-        if delivery_group == Some(group) {
+        if delivery_group == Some(group) && !duplicate {
             sub.pending.insert(key, value);
         }
         self.drain(out);
     }
 
-    fn on_heartbeat(&mut self, group: GroupId, ts: u64, out: &mut Vec<Action>) {
+    fn on_heartbeat(&mut self, group: GroupId, epoch: u32, ts: u64, out: &mut Vec<Action>) {
+        self.note_observed(group, ts);
+        self.note_epoch(group, epoch);
         self.observe_ts(group, ts);
         let Some(sub) = self.subs.get_mut(&group) else {
             return;
         };
+        if epoch < sub.epoch {
+            return;
+        }
+        // Re-anchor: the first heartbeat of a higher epoch adopts the
+        // new sequencer's stream (the frontier itself only ever grows).
+        sub.epoch = epoch;
         let key = promise_key(ts);
         if key <= sub.frontier {
             return;
@@ -804,8 +1117,21 @@ impl WbcastNode {
                 .pending
                 .remove(&key)
                 .expect("candidate key is pending");
+            if self.delivered_ids.contains(&value.id) {
+                // A failover re-release of a value this process already
+                // delivered (or also holds at its original key): the
+                // insert-time check only covers ids delivered *before*
+                // the copy arrived, so dedup again at delivery time.
+                continue;
+            }
             self.delivered += 1;
-            self.inflight.remove(&value.id);
+            self.delivered_ids.insert(value.id);
+            if let Some(entry) = self.inflight.get_mut(&value.id) {
+                entry.delivered = true;
+                if entry.released.len() == entry.groups.len() {
+                    self.inflight.remove(&value.id);
+                }
+            }
             out.push(Action::Deliver {
                 group: g,
                 instance: InstanceId::new(key.0),
@@ -824,14 +1150,16 @@ impl WbcastNode {
             WbMessage::ProposeAck { group, id, ts } => {
                 self.on_propose_ack(now, group, id, ts, out);
             }
-            WbMessage::Final { group, id, ts } => self.on_final(group, id, ts, out),
+            WbMessage::Final { group, id, ts } => self.on_final(now, group, id, ts, out),
+            WbMessage::FinalAck { group, id, ts } => self.on_final_ack(group, id, ts),
             WbMessage::Ordered {
                 group,
+                epoch,
                 ts,
                 groups,
                 value,
-            } => self.on_ordered(group, ts, groups, value, out),
-            WbMessage::Heartbeat { group, ts } => self.on_heartbeat(group, ts, out),
+            } => self.on_ordered(group, epoch, ts, groups, value, out),
+            WbMessage::Heartbeat { group, epoch, ts } => self.on_heartbeat(group, epoch, ts, out),
         }
     }
 
@@ -879,29 +1207,36 @@ impl WbcastNode {
         }
     }
 
-    fn heartbeat(&mut self, now: Time, ring: RingId, out: &mut Vec<Action>) {
+    /// Emits fresh heartbeat promises for the led groups of `ring`
+    /// (skipping groups still inside their takeover recovery window,
+    /// whose windows end lazily here).
+    fn emit_heartbeats(&mut self, now: Time, ring: RingId, out: &mut Vec<Action>) {
         let groups: Vec<GroupId> = self
             .led
             .iter()
             .filter(|(_, s)| s.ring == ring)
             .map(|(&g, _)| g)
             .collect();
-        let mut delta_us = None;
         let me = self.me;
         for group in groups {
-            let (promise, heartbeat_locally) = {
+            let (promise, epoch, heartbeat_locally) = {
                 let seq = self.led.get_mut(&group).expect("led group");
-                seq.bump_clock(now);
-                let promise = seq.safe_promise();
-                let fresh = promise > seq.promised;
-                if fresh {
-                    seq.promised = promise;
-                }
-                delta_us = Some(seq.delta_us);
-                if !fresh {
+                if seq.resume_at.is_some_and(|t| now < t) {
                     continue;
                 }
-                let frame = WbMessage::Heartbeat { group, ts: promise }.into_frame();
+                seq.resume_at = None;
+                seq.bump_clock(now);
+                let promise = seq.safe_promise();
+                if promise <= seq.promised {
+                    continue;
+                }
+                seq.promised = promise;
+                let frame = WbMessage::Heartbeat {
+                    group,
+                    epoch: seq.epoch,
+                    ts: promise,
+                }
+                .into_frame();
                 let mut heartbeat_locally = false;
                 for &to in &seq.subscribers {
                     if to == me {
@@ -913,19 +1248,202 @@ impl WbcastNode {
                         });
                     }
                 }
-                (promise, heartbeat_locally)
+                (promise, seq.epoch, heartbeat_locally)
             };
             if heartbeat_locally {
-                self.on_heartbeat(group, promise, out);
+                self.on_heartbeat(group, epoch, promise, out);
             }
         }
+    }
+
+    fn heartbeat_tick(&mut self, now: Time, ring: RingId, out: &mut Vec<Action>) {
+        let groups: Vec<GroupId> = self
+            .led
+            .iter()
+            .filter(|(_, s)| s.ring == ring)
+            .map(|(&g, _)| g)
+            .collect();
+        if groups.is_empty() {
+            // Resigned between arming and firing: let the timer lapse.
+            self.delta_armed.remove(&ring);
+            return;
+        }
+        // Release anything a just-ended recovery window was holding
+        // before promising past it.
+        for &g in &groups {
+            self.flush_group(now, g, out);
+        }
+        self.emit_heartbeats(now, ring, out);
         // Exactly one re-arm per ring, regardless of how many led
         // groups share it: runtimes do not dedupe timers, so one
         // SetTimer per group would multiply live timers every Δ.
-        if let Some(delta_us) = delta_us {
+        let delta_us = self.led[&groups[0]].delta_us;
+        out.push(Action::SetTimer {
+            after_us: delta_us.max(1),
+            timer: TimerKind::Delta(ring),
+        });
+    }
+
+    /// Re-runs the unconfirmed parts of in-flight submissions routed to
+    /// `ring`: a `Submit` probe to the current sequencer of every
+    /// addressed group that has neither confirmed release nor holds a
+    /// live proposal. Receiver-side dedup makes probes idempotent.
+    fn retry_ring(&mut self, now: Time, ring: RingId, out: &mut Vec<Action>) {
+        self.retry_armed.remove(&ring);
+        let mut probes: Vec<(GroupId, Vec<GroupId>, Value)> = Vec::new();
+        let mut unconfirmed = false;
+        for entry in self.inflight.values() {
+            for &g in &entry.groups {
+                if self.config.ring_of_group(g) != Some(ring) || entry.released.contains(&g) {
+                    continue;
+                }
+                unconfirmed = true;
+                // A live proposal needs no probe: the Final settles it,
+                // or a CoordinatorChange voids the ack and re-probes.
+                if entry.final_ts.is_none() && entry.acks.contains_key(&g) {
+                    continue;
+                }
+                probes.push((g, entry.groups.clone(), entry.value.clone()));
+            }
+        }
+        for (g, groups, value) in probes {
+            if let Some(sequencer) = self.sequencer_of(g) {
+                self.route(
+                    now,
+                    sequencer,
+                    WbMessage::Submit {
+                        group: g,
+                        groups,
+                        value,
+                    },
+                    out,
+                );
+            }
+        }
+        if unconfirmed && self.retry_armed.insert(ring) {
             out.push(Action::SetTimer {
-                after_us: delta_us.max(1),
-                timer: TimerKind::Delta(ring),
+                after_us: self.retry_interval(ring),
+                timer: TimerKind::ProposalResend(ring),
+            });
+        }
+    }
+
+    /// The coordination service designated `coordinator` for `ring`:
+    /// sequencer handover. The named process adopts every group of the
+    /// ring at a safe resume point; everyone else drops any sequencer
+    /// state it held for them, voids acks obtained from the previous
+    /// sequencer, and re-runs its interrupted rounds.
+    fn on_coordinator_change(
+        &mut self,
+        now: Time,
+        ring: RingId,
+        coordinator: ProcessId,
+        supersedes: Ballot,
+        out: &mut Vec<Action>,
+    ) {
+        // The election round is the authoritative epoch floor: two
+        // successive coordinators that never observed each other's
+        // frames would otherwise mint colliding epochs.
+        self.note_ring_epoch(ring, supersedes.round());
+        self.coordinators.insert(ring, coordinator);
+        let groups: Vec<GroupId> = self
+            .config
+            .groups()
+            .iter()
+            .filter(|&(_, &r)| r == ring)
+            .map(|(&g, _)| g)
+            .collect();
+        if groups.is_empty() {
+            return;
+        }
+        if coordinator == self.me {
+            let fresh: Vec<GroupId> = groups
+                .iter()
+                .copied()
+                .filter(|g| !self.led.contains_key(g))
+                .collect();
+            if !fresh.is_empty() {
+                let Some(ringcfg) = self.config.ring(ring) else {
+                    return;
+                };
+                let delta_us = ringcfg.tuning().delta_us;
+                let epoch = self.ring_epochs.get(&ring).copied().unwrap_or(0) + 1;
+                self.ring_epochs.insert(ring, epoch);
+                let resume_at = now.plus((delta_us * TAKEOVER_GRACE_DELTAS).max(1));
+                for g in fresh {
+                    // Resume past everything the previous sequencer is
+                    // known to have exposed, and past the hybrid-clock
+                    // floor (which covers unobserved assignments as
+                    // long as the election outlasts count-driven skew).
+                    let mut seq = Sequencer {
+                        ring,
+                        delta_us,
+                        epoch,
+                        next_ts: self.observed.get(&g).copied().unwrap_or(0) + 1,
+                        promised: 0,
+                        resume_at: Some(resume_at),
+                        subscribers: self.config.subscribers_of(g),
+                        pending: BTreeMap::new(),
+                        outq: BTreeMap::new(),
+                        done: BTreeMap::new(),
+                    };
+                    seq.bump_clock(now);
+                    self.led.insert(g, seq);
+                }
+                if self.delta_armed.insert(ring) {
+                    out.push(Action::SetTimer {
+                        after_us: delta_us.max(1),
+                        timer: TimerKind::Delta(ring),
+                    });
+                }
+            }
+        } else {
+            for &g in &groups {
+                if let Some(seq) = self.led.remove(&g) {
+                    // Fold the resigned clock into the observation
+                    // record so a later re-takeover resumes above
+                    // everything this incarnation assigned or promised.
+                    let top = seq.next_ts.saturating_sub(1).max(seq.promised);
+                    self.note_observed(g, top);
+                    // Undelivered pending/outq state is dropped: the
+                    // initiators' retries re-run those rounds against
+                    // the new sequencer.
+                }
+            }
+        }
+        // Initiator side: acknowledgements from the deposed sequencer
+        // are void. Re-run each affected round against the new one
+        // immediately (and keep the retry timer as backstop).
+        let mut probes: Vec<(GroupId, Vec<GroupId>, Value)> = Vec::new();
+        for entry in self.inflight.values_mut() {
+            for &g in &groups {
+                if !entry.groups.contains(&g) {
+                    continue;
+                }
+                entry.released.remove(&g);
+                if entry.final_ts.is_none() {
+                    entry.acks.remove(&g);
+                }
+                probes.push((g, entry.groups.clone(), entry.value.clone()));
+            }
+        }
+        let any = !probes.is_empty();
+        for (g, gamma, value) in probes {
+            self.route(
+                now,
+                coordinator,
+                WbMessage::Submit {
+                    group: g,
+                    groups: gamma,
+                    value,
+                },
+                out,
+            );
+        }
+        if any && self.retry_armed.insert(ring) {
+            out.push(Action::SetTimer {
+                after_us: self.retry_interval(ring),
+                timer: TimerKind::ProposalResend(ring),
             });
         }
     }
@@ -938,6 +1456,7 @@ impl WbcastNode {
             rings.entry(seq.ring).or_insert(seq.delta_us);
         }
         for (ring, delta_us) in rings {
+            self.delta_armed.insert(ring);
             out.push(Action::SetTimer {
                 after_us: delta_us.max(1),
                 timer: TimerKind::Delta(ring),
@@ -952,15 +1471,17 @@ impl StateMachine for WbcastNode {
         match event {
             Event::Start => self.on_start(&mut out),
             Event::Message { msg, .. } => self.dispatch_message(now, msg, &mut out),
-            Event::Timer(TimerKind::Delta(ring)) => self.heartbeat(now, ring, &mut out),
-            // The engine keeps no stable storage and (in this
-            // implementation) a static sequencer assignment; other
-            // timers, persistence completions and membership events
-            // are ring-engine concerns.
-            Event::Timer(_)
-            | Event::PersistDone(_)
-            | Event::CoordinatorChange { .. }
-            | Event::MembershipChange { .. } => {}
+            Event::Timer(TimerKind::Delta(ring)) => self.heartbeat_tick(now, ring, &mut out),
+            Event::Timer(TimerKind::ProposalResend(ring)) => self.retry_ring(now, ring, &mut out),
+            Event::CoordinatorChange {
+                ring,
+                coordinator,
+                supersedes,
+            } => self.on_coordinator_change(now, ring, coordinator, supersedes, &mut out),
+            // The engine keeps no stable storage; other timers,
+            // persistence completions and membership events are
+            // ring-engine concerns.
+            Event::Timer(_) | Event::PersistDone(_) | Event::MembershipChange { .. } => {}
         }
         out
     }
@@ -997,20 +1518,23 @@ impl AmcastEngine for WbcastNode {
         self.next_seq += 1;
         let id = ValueId::new(self.me, self.next_seq);
         let value = Value::new(id, gamma[0], payload);
-        if gamma.iter().any(|g| self.subs.contains_key(g)) {
-            self.inflight.insert(id);
-        }
-        if gamma.len() > 1 {
-            self.collecting.insert(
-                id,
-                Collect {
-                    groups: gamma.clone(),
-                    acks: BTreeMap::new(),
-                },
-            );
-        }
+        let local = gamma.iter().any(|g| self.subs.contains_key(g));
+        self.inflight.insert(
+            id,
+            Inflight {
+                groups: gamma.clone(),
+                value: value.clone(),
+                acks: BTreeMap::new(),
+                final_ts: None,
+                released: BTreeSet::new(),
+                local,
+                delivered: false,
+            },
+        );
         let mut out = Vec::new();
+        let mut rings: BTreeSet<RingId> = BTreeSet::new();
         for &g in &gamma {
+            rings.extend(self.config.ring_of_group(g));
             let sequencer = self.sequencer_of(g).expect("group has a ring");
             self.route(
                 now,
@@ -1023,6 +1547,18 @@ impl AmcastEngine for WbcastNode {
                 &mut out,
             );
         }
+        // Retransmission backstop until every addressed group confirms
+        // release (a fast path may already have confirmed inline).
+        if self.inflight.contains_key(&id) {
+            for ring in rings {
+                if self.retry_armed.insert(ring) {
+                    out.push(Action::SetTimer {
+                        after_us: self.retry_interval(ring),
+                        timer: TimerKind::ProposalResend(ring),
+                    });
+                }
+            }
+        }
         Ok((id, out))
     }
 
@@ -1032,10 +1568,14 @@ impl AmcastEngine for WbcastNode {
 
     /// Locally submitted values addressed to at least one subscribed
     /// group that have not yet been delivered locally. Submissions to
-    /// entirely foreign groups are fire-and-forget (no local delivery
-    /// ever confirms them) and are not counted.
+    /// entirely foreign groups are tracked (and retried) until every
+    /// addressed group confirms release, but are not counted here: no
+    /// local delivery ever confirms them.
     fn backlog(&self) -> usize {
-        self.inflight.len()
+        self.inflight
+            .values()
+            .filter(|e| e.local && !e.delivered)
+            .count()
     }
 }
 
@@ -1454,14 +1994,21 @@ mod tests {
                 id: value.id,
                 ts: 18,
             },
+            WbMessage::FinalAck {
+                group: GroupId::new(1),
+                id: value.id,
+                ts: 18,
+            },
             WbMessage::Ordered {
                 group: GroupId::new(1),
+                epoch: 3,
                 ts: 42,
                 groups: gamma,
                 value,
             },
             WbMessage::Heartbeat {
                 group: GroupId::new(0),
+                epoch: 2,
                 ts: 7,
             },
         ] {
@@ -1475,5 +2022,344 @@ mod tests {
         }
         assert_eq!(WbMessage::parse(Bytes::from_static(b"")), None);
         assert_eq!(WbMessage::parse(Bytes::from_static(&[9, 0, 0])), None);
+    }
+
+    /// Satellite regression: a submission that reaches a dead (or
+    /// stale) sequencer must not leak in `backlog()` forever. After the
+    /// coordination service hands the ring to this process, its own
+    /// retransmission self-routes, the value is ordered by the new
+    /// sequencer and delivered locally, and the backlog drains to zero.
+    #[test]
+    fn backlog_settles_after_sequencer_failover() {
+        let config = disjoint_config(&[&[0, 1]]);
+        let mut n1 = WbcastNode::new(ProcessId::new(1), config);
+        let (_, actions) = AmcastEngine::multicast(
+            &mut n1,
+            Time::ZERO,
+            &[GroupId::new(0)],
+            Bytes::from_static(b"v"),
+        )
+        .unwrap();
+        // The Submit went to p0, which crashed: drop everything.
+        assert!(actions
+            .iter()
+            .any(|a| a.send_to() == Some(ProcessId::new(0))));
+        assert_eq!(AmcastEngine::backlog(&n1), 1);
+        // Election: p1 becomes the coordinator. The takeover retransmits
+        // inline, but the fresh sequencer holds its stream for the
+        // recovery window, so the value is not yet delivered.
+        let out = n1.on_event(
+            Time::from_millis(100),
+            Event::CoordinatorChange {
+                ring: RingId::new(0),
+                coordinator: ProcessId::new(1),
+                supersedes: multiring_paxos::types::Ballot::ZERO,
+            },
+        );
+        assert_eq!(AmcastEngine::backlog(&n1), 1, "held by the grace window");
+        assert!(!out.iter().any(|a| matches!(a, Action::Deliver { .. })));
+        // First Δ tick past the window releases, delivers locally and
+        // settles the backlog.
+        let out = n1.on_event(
+            Time::from_secs(2),
+            Event::Timer(TimerKind::Delta(RingId::new(0))),
+        );
+        assert!(out.iter().any(|a| matches!(a, Action::Deliver { .. })));
+        assert_eq!(AmcastEngine::backlog(&n1), 0, "failover settles the leak");
+        assert_eq!(n1.delivered(), 1);
+    }
+
+    /// Satellite regression: a stray or duplicated `ProposeAck` for a
+    /// group outside the value's γ must not enter the collection — it
+    /// could otherwise complete the round with a bogus maximum.
+    #[test]
+    fn stray_propose_ack_from_foreign_group_is_ignored() {
+        let config = disjoint_config(&[&[0, 1], &[2, 3], &[4, 5]]);
+        let mut n0 = WbcastNode::new(ProcessId::new(0), config);
+        let (id, _) = AmcastEngine::multicast(
+            &mut n0,
+            Time::ZERO,
+            &[GroupId::new(0), GroupId::new(1)],
+            Bytes::from_static(b"m"),
+        )
+        .unwrap();
+        // g0's sequencer is n0 itself, so one genuine ack is already
+        // collected. A stray ack for non-addressed g2 must be ignored…
+        let stray = WbMessage::ProposeAck {
+            group: GroupId::new(2),
+            id,
+            ts: 999,
+        }
+        .into_frame();
+        let out = n0.on_event(
+            Time::ZERO,
+            Event::Message {
+                from: ProcessId::new(4),
+                msg: stray,
+            },
+        );
+        let finals = |actions: &[Action]| {
+            actions
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Send {
+                        msg: Message::Engine { payload, .. },
+                        ..
+                    } => match WbMessage::parse(payload.clone()) {
+                        Some(WbMessage::Final { ts, .. }) => Some(ts),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect::<Vec<u64>>()
+        };
+        assert!(
+            finals(&out).is_empty(),
+            "stray ack must not close the round"
+        );
+        // …while the genuine g1 ack completes it with the true maximum.
+        let genuine = WbMessage::ProposeAck {
+            group: GroupId::new(1),
+            id,
+            ts: 5,
+        }
+        .into_frame();
+        let out = n0.on_event(
+            Time::ZERO,
+            Event::Message {
+                from: ProcessId::new(2),
+                msg: genuine,
+            },
+        );
+        assert_eq!(finals(&out), vec![5], "final is max(1, 5), not 999");
+    }
+
+    /// A retransmitted `Submit` must not get a second timestamp, and a
+    /// duplicate `Final` is idempotent.
+    #[test]
+    fn retransmissions_deduplicate_at_the_sequencer() {
+        let config = disjoint_config(&[&[0, 1], &[2, 3]]);
+        let mut n2 = WbcastNode::new(ProcessId::new(2), config);
+        let value = Value::new(
+            ValueId::new(ProcessId::new(0), 1),
+            GroupId::new(0),
+            Bytes::from_static(b"m"),
+        );
+        let submit = WbMessage::Submit {
+            group: GroupId::new(1),
+            groups: vec![GroupId::new(0), GroupId::new(1)],
+            value,
+        }
+        .into_frame();
+        let ack_ts = |actions: &[Action]| {
+            actions.iter().find_map(|a| match a {
+                Action::Send {
+                    msg: Message::Engine { payload, .. },
+                    ..
+                } => match WbMessage::parse(payload.clone()) {
+                    Some(WbMessage::ProposeAck { ts, .. }) => Some(ts),
+                    _ => None,
+                },
+                _ => None,
+            })
+        };
+        let from0 = ProcessId::new(0);
+        let ev = |msg: Message| Event::Message { from: from0, msg };
+        let first = n2.on_event(Time::ZERO, ev(submit.clone()));
+        let ts1 = ack_ts(&first).expect("proposal acknowledged");
+        let clock_after = n2.led[&GroupId::new(1)].next_ts;
+        let dup = n2.on_event(Time::ZERO, ev(submit));
+        assert_eq!(ack_ts(&dup), Some(ts1), "same proposal re-acknowledged");
+        assert_eq!(
+            n2.led[&GroupId::new(1)].next_ts,
+            clock_after,
+            "no second timestamp assigned"
+        );
+        let fin = WbMessage::Final {
+            group: GroupId::new(1),
+            id: ValueId::new(from0, 1),
+            ts: ts1 + 3,
+        }
+        .into_frame();
+        let released = n2.on_event(Time::ZERO, ev(fin.clone()));
+        let ordered = |actions: &[Action]| {
+            actions
+                .iter()
+                .filter(|a| match a {
+                    Action::Send {
+                        msg: Message::Engine { payload, .. },
+                        ..
+                    } => matches!(
+                        WbMessage::parse(payload.clone()),
+                        Some(WbMessage::Ordered { .. })
+                    ),
+                    _ => false,
+                })
+                .count()
+        };
+        assert!(ordered(&released) > 0, "final releases the value");
+        let dup_fin = n2.on_event(Time::ZERO, ev(fin));
+        assert_eq!(ordered(&dup_fin), 0, "duplicate final re-releases nothing");
+        assert!(
+            dup_fin.iter().any(|a| match a {
+                Action::Send {
+                    to,
+                    msg: Message::Engine { payload, .. },
+                } => {
+                    *to == from0
+                        && matches!(
+                            WbMessage::parse(payload.clone()),
+                            Some(WbMessage::FinalAck { .. })
+                        )
+                }
+                _ => false,
+            }),
+            "duplicate final is re-acknowledged idempotently"
+        );
+    }
+
+    /// A value that is still *pending* (not yet deliverable) at a
+    /// subscriber when a failover re-release of the same value arrives
+    /// at a different key must be delivered exactly once: the dedup
+    /// cannot rely on the delivered-id set alone, because neither copy
+    /// has been delivered when the second one is buffered.
+    #[test]
+    fn failover_rerelease_of_pending_value_delivers_once() {
+        // Two groups over the same two processes; p0 sequences both,
+        // p1 is a pure subscriber of both.
+        let mut b = ClusterConfig::builder();
+        for ring in 0..2u16 {
+            let mut spec = RingSpec::new(RingId::new(ring));
+            for p in 0..2u32 {
+                spec = spec.member(ProcessId::new(p), Roles::ALL);
+            }
+            b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+        }
+        for p in 0..2u32 {
+            for g in 0..2u16 {
+                b = b.subscribe(ProcessId::new(p), GroupId::new(g));
+            }
+        }
+        let config = b.build().expect("two-group config");
+        let mut n1 = WbcastNode::new(ProcessId::new(1), config);
+        let value = Value::new(
+            ValueId::new(ProcessId::new(0), 1),
+            GroupId::new(0),
+            Bytes::from_static(b"v"),
+        );
+        let ev = |msg: WbMessage| Event::Message {
+            from: ProcessId::new(0),
+            msg: msg.into_frame(),
+        };
+        let mut deliveries = 0usize;
+        // Original release: parks in pending (group 1's frontier is 0).
+        let out = n1.on_event(
+            Time::ZERO,
+            ev(WbMessage::Ordered {
+                group: GroupId::new(0),
+                epoch: 0,
+                ts: 41,
+                groups: vec![GroupId::new(0)],
+                value: value.clone(),
+            }),
+        );
+        deliveries += out
+            .iter()
+            .filter(|a| matches!(a, Action::Deliver { .. }))
+            .count();
+        // Failover re-release of the same value at a fresh timestamp.
+        let out = n1.on_event(
+            Time::ZERO,
+            ev(WbMessage::Ordered {
+                group: GroupId::new(0),
+                epoch: 1,
+                ts: 50_000,
+                groups: vec![GroupId::new(0)],
+                value: value.clone(),
+            }),
+        );
+        deliveries += out
+            .iter()
+            .filter(|a| matches!(a, Action::Deliver { .. }))
+            .count();
+        // Group 1's promise unblocks everything buffered.
+        let out = n1.on_event(
+            Time::ZERO,
+            ev(WbMessage::Heartbeat {
+                group: GroupId::new(1),
+                epoch: 0,
+                ts: 60_000,
+            }),
+        );
+        deliveries += out
+            .iter()
+            .filter(|a| matches!(a, Action::Deliver { .. }))
+            .count();
+        assert_eq!(deliveries, 1, "both copies pending must dedup to one");
+        assert_eq!(n1.delivered(), 1);
+    }
+
+    /// The coordination service's election round (the `supersedes`
+    /// ballot) is the authoritative epoch floor: a new coordinator that
+    /// never observed the previous incarnation's frames must still mint
+    /// a strictly greater epoch.
+    #[test]
+    fn takeover_epoch_supersedes_election_round() {
+        let config = disjoint_config(&[&[0, 1]]);
+        let mut n1 = WbcastNode::new(ProcessId::new(1), config);
+        n1.on_event(
+            Time::ZERO,
+            Event::CoordinatorChange {
+                ring: RingId::new(0),
+                coordinator: ProcessId::new(1),
+                supersedes: multiring_paxos::types::Ballot::new(4, ProcessId::new(0)),
+            },
+        );
+        assert_eq!(
+            n1.led[&GroupId::new(0)].epoch,
+            5,
+            "epoch must exceed the election round even with no frames observed"
+        );
+    }
+
+    /// A takeover resumes the group clock past every key and promise
+    /// the new sequencer observed from the previous one, and stamps a
+    /// fresh epoch.
+    #[test]
+    fn takeover_resumes_above_observed_keys() {
+        let config = disjoint_config(&[&[0, 1]]);
+        let mut n1 = WbcastNode::new(ProcessId::new(1), config);
+        let value = Value::new(
+            ValueId::new(ProcessId::new(0), 1),
+            GroupId::new(0),
+            Bytes::from_static(b"x"),
+        );
+        let ordered = WbMessage::Ordered {
+            group: GroupId::new(0),
+            epoch: 0,
+            ts: 41,
+            groups: vec![GroupId::new(0)],
+            value,
+        }
+        .into_frame();
+        n1.on_event(
+            Time::ZERO,
+            Event::Message {
+                from: ProcessId::new(0),
+                msg: ordered,
+            },
+        );
+        n1.on_event(
+            Time::ZERO,
+            Event::CoordinatorChange {
+                ring: RingId::new(0),
+                coordinator: ProcessId::new(1),
+                supersedes: multiring_paxos::types::Ballot::ZERO,
+            },
+        );
+        let seq = &n1.led[&GroupId::new(0)];
+        assert!(seq.next_ts > 41, "clock resumed past the observed key");
+        assert_eq!(seq.epoch, 1, "fresh sequencer epoch");
+        assert!(seq.resume_at.is_some(), "recovery window armed");
     }
 }

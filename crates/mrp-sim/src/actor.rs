@@ -40,6 +40,13 @@ pub enum ActorEvent {
         ring: RingId,
         /// New coordinator.
         coordinator: ProcessId,
+        /// The highest ballot known to be in use for the ring: the
+        /// service's monotonic per-ring election round. The ring engine
+        /// starts Phase 1 above it; the wbcast engine derives globally
+        /// unique sequencer epochs from it (two successive coordinators
+        /// that never observed each other's frames would otherwise mint
+        /// colliding epochs).
+        supersedes: Ballot,
     },
     /// The (simulated) coordination service reports the down members of
     /// a ring.
@@ -271,10 +278,14 @@ impl<S: StateMachine + 'static> Actor for Hosted<S> {
             ActorEvent::Message { from, msg } => Event::Message { from, msg },
             ActorEvent::ProtoTimer(kind) => Event::Timer(kind),
             ActorEvent::PersistDone(token) => Event::PersistDone(token),
-            ActorEvent::CoordinatorChange { ring, coordinator } => Event::CoordinatorChange {
+            ActorEvent::CoordinatorChange {
                 ring,
                 coordinator,
-                supersedes: Ballot::ZERO,
+                supersedes,
+            } => Event::CoordinatorChange {
+                ring,
+                coordinator,
+                supersedes,
             },
             ActorEvent::MembershipChange { ring, down } => Event::MembershipChange { ring, down },
             // Protocol nodes take no custom wakeups or raw disk ops.

@@ -15,7 +15,7 @@ use multiring_paxos::codec;
 use multiring_paxos::config::ClusterConfig;
 use multiring_paxos::event::{Message, PersistRecord, PersistToken};
 use multiring_paxos::replica::{CheckpointPolicy, Replica};
-use multiring_paxos::types::{ClientId, ProcessId, RingId, Time};
+use multiring_paxos::types::{Ballot, ClientId, ProcessId, RingId, Time};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -114,6 +114,10 @@ pub struct Cluster {
     clients: BTreeMap<ClientId, ProcessId>,
     protocol: Option<ClusterConfig>,
     ring_coordinator: BTreeMap<RingId, ProcessId>,
+    /// Monotonic election round per ring (the coordination service's
+    /// zxid analogue), carried as the `supersedes` ballot of every
+    /// `CoordinatorChange` it announces.
+    election_round: BTreeMap<RingId, u32>,
     metrics: Metrics,
     rng: Rng,
     started: bool,
@@ -146,6 +150,7 @@ impl Cluster {
             clients: BTreeMap::new(),
             protocol: None,
             ring_coordinator: BTreeMap::new(),
+            election_round: BTreeMap::new(),
             metrics,
             rng,
             started: false,
@@ -683,6 +688,7 @@ impl Cluster {
         if let Some(config) = self.protocol.clone() {
             for ring_id in config.rings_of(p) {
                 if let Some(&coordinator) = self.ring_coordinator.get(&ring_id) {
+                    let round = self.election_round.get(&ring_id).copied().unwrap_or(0);
                     self.push(
                         self.now,
                         What::ActorEv {
@@ -690,6 +696,7 @@ impl Cluster {
                             ev: ActorEvent::CoordinatorChange {
                                 ring: ring_id,
                                 coordinator,
+                                supersedes: Ballot::new(round, coordinator),
                             },
                         },
                     );
@@ -723,20 +730,33 @@ impl Cluster {
             return;
         };
         self.ring_coordinator.insert(ring_id, new);
+        let round = self.election_round.entry(ring_id).or_insert(0);
+        *round += 1;
+        let supersedes = Ballot::new(*round, new);
         self.metrics.incr("elections", 1);
-        for m in ring.members() {
-            if self.slots.get(&m.process).is_some_and(|s| s.up) {
-                self.push(
-                    self.now,
-                    What::ActorEv {
-                        p: m.process,
-                        ev: ActorEvent::CoordinatorChange {
-                            ring: ring_id,
-                            coordinator: new,
-                        },
+        // The coordination service's configuration watch fires at every
+        // live process, not only the ring's members: ring members re-run
+        // Phase 1, while engine actors re-route in-flight submissions
+        // and adopt or resign the sequencer role (wbcast failover).
+        // Processes the event does not concern ignore it.
+        let live: Vec<ProcessId> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.up)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in live {
+            self.push(
+                self.now,
+                What::ActorEv {
+                    p,
+                    ev: ActorEvent::CoordinatorChange {
+                        ring: ring_id,
+                        coordinator: new,
+                        supersedes,
                     },
-                );
-            }
+                },
+            );
         }
     }
 }
@@ -915,5 +935,55 @@ mod tests {
         // values (delivered ≥ 40; p2 may or may not replay the old 10
         // depending on what acceptors retained).
         assert!(cluster.metrics().counter("delivered_values") >= 40);
+    }
+
+    /// The crash/re-election machinery is engine-generic: killing the
+    /// wbcast sequencer (the ring coordinator) hands the group to the
+    /// next live acceptor, and traffic submitted afterwards is ordered
+    /// by the new sequencer and delivered to the surviving subscribers.
+    #[test]
+    fn wbcast_sequencer_crash_triggers_failover_and_progress_resumes() {
+        let config = single_ring(3, quiet());
+        let mut cluster = Cluster::new(
+            SimConfig {
+                seed: 11,
+                election_timeout_us: 100_000,
+                ..SimConfig::default()
+            },
+            Topology::lan(4),
+        );
+        cluster.add_engine_actors(&config, EngineKind::Wbcast);
+        let client = ProcessId::new(100);
+        cluster.add_actor(
+            client,
+            Box::new(Pulse {
+                target: ProcessId::new(1),
+                group: GroupId::new(0),
+                n: 10,
+                client: ClientId::new(1),
+            }),
+        );
+        cluster.register_client(ClientId::new(1), client);
+        cluster.start();
+        cluster.run_until(Time::from_secs(1));
+        assert_eq!(cluster.metrics().counter("delivered_values"), 30);
+        // Kill the sequencer (p0, the ring coordinator).
+        cluster.schedule_crash(Time::from_millis(1100), ProcessId::new(0));
+        cluster.run_until(Time::from_millis(1500));
+        assert_eq!(cluster.metrics().counter("elections"), 1);
+        assert!(!cluster.is_up(ProcessId::new(0)));
+        let late_client = ProcessId::new(101);
+        cluster.add_actor(
+            late_client,
+            Box::new(Pulse {
+                target: ProcessId::new(1),
+                group: GroupId::new(0),
+                n: 5,
+                client: ClientId::new(2),
+            }),
+        );
+        cluster.run_until(Time::from_secs(4));
+        // 30 before the crash + 5 × 2 surviving subscribers.
+        assert_eq!(cluster.metrics().counter("delivered_values"), 40);
     }
 }

@@ -244,7 +244,10 @@ pub enum TimerKind {
     GapCheck(RingId),
     /// Run the coordinated trim protocol for a ring (coordinator only).
     TrimTick(RingId),
-    /// Resend unacknowledged proposals (proposer only).
+    /// Resend unacknowledged proposals: the ring engine's proposer
+    /// retransmissions, and the wbcast engine's initiator-side retries
+    /// of unconfirmed `Submit`/`Final` rounds toward the ring's current
+    /// sequencer.
     ProposalResend(RingId),
     /// Take a periodic application checkpoint (replica only).
     CheckpointTick,
@@ -322,7 +325,10 @@ pub enum Event {
     PersistDone(PersistToken),
     /// The runtime (via the coordination service) designates a new
     /// coordinator for a ring. The named process starts Phase 1 with a
-    /// ballot greater than `supersedes`.
+    /// ballot greater than `supersedes`; engines that derive other
+    /// roles from the coordinator react too (the wbcast engine treats
+    /// this as sequencer handover for the ring's groups and re-routes
+    /// its in-flight submissions).
     CoordinatorChange {
         /// Ring affected.
         ring: RingId,

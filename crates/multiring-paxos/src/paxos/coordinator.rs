@@ -164,10 +164,19 @@ impl Coordinator {
                 // values so duplicate-suppression survives failover.
                 if let ConsensusValue::Values(vs) = &v {
                     for value in vs {
-                        self.seen
+                        let fresh = self
+                            .seen
                             .entry(value.id.proposer)
                             .or_default()
                             .insert(value.id.seq);
+                        if !fresh {
+                            // The proposer resent the value while Phase 1
+                            // was in flight and it queued: drop the
+                            // queued copy, or the re-proposal at the
+                            // original instance plus the queued one at a
+                            // fresh instance would decide it twice.
+                            self.pending.retain(|p| p.id != value.id);
+                        }
                     }
                 }
                 proposals.push(InstanceRange {
@@ -413,6 +422,39 @@ mod tests {
         // Sequence learned from the recovered value suppresses the resend.
         assert!(c.submit(now, vec![mkval(7, 3)]).is_empty());
         assert_eq!(c.pending_len(), 0);
+    }
+
+    /// A proposer resend that arrives while Phase 1 is still collecting
+    /// promises queues the value; if Phase 1B then recovers the same
+    /// value at its original instance, the queued copy must be dropped —
+    /// otherwise the value is decided at two instances and delivered
+    /// twice.
+    #[test]
+    fn resend_queued_during_phase1_is_purged_by_recovery() {
+        let mut c = coord();
+        let now = Time::ZERO;
+        c.start(now, Ballot::ZERO);
+        // The resend lands mid-Phase-1 and queues.
+        assert!(c.submit(now, vec![mkval(7, 3)]).is_empty());
+        assert_eq!(c.pending_len(), 1);
+        // Recovery returns the same value, accepted at instance 2.
+        let old = Ballot::new(1, ProcessId::new(9));
+        let v2 = ConsensusValue::Values(vec![mkval(7, 3)]);
+        c.on_phase1b(
+            now,
+            ProcessId::new(0),
+            c.ballot(),
+            vec![(InstanceId::new(2), old, v2.clone())],
+            InstanceId::ZERO,
+        );
+        let props = c.on_phase1b(now, ProcessId::new(1), c.ballot(), vec![], InstanceId::ZERO);
+        // Hole 1 skipped, instance 2 re-proposed — and nothing else: the
+        // queued duplicate must not surface at a fresh instance.
+        assert_eq!(props.len(), 2);
+        assert_eq!(props[1].first, InstanceId::new(2));
+        assert_eq!(props[1].value, v2);
+        assert_eq!(c.pending_len(), 0, "queued duplicate purged");
+        assert_eq!(c.in_flight_len(), 2);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --example distributed_log`
 
+use atomic_multicast::amcast::EngineReplica;
 use atomic_multicast::core::app::Application;
 use atomic_multicast::core::config::RingTuning;
 use atomic_multicast::core::replica::{CheckpointPolicy, Replica};
@@ -49,21 +50,37 @@ fn main() {
         "completed {} appends in 5 simulated seconds",
         cluster.metrics().counter("dlog/ops")
     );
-    // The three servers agree byte-for-byte on every log.
-    type Server = Hosted<Replica<DLogApp>>;
+    // Quiesce before comparing: stop the appender and drain in-flight
+    // work. The servers converge once traffic stops (the wbcast
+    // engine's subscribers settle on heartbeats rather than in
+    // lockstep, so an arbitrary cutoff catches them mid-drain).
+    cluster.schedule_crash(Time::from_secs(5), client_proc);
+    cluster.run_until(Time::from_secs(6));
+    // The three servers agree byte-for-byte on every log. Depending on
+    // MRP_ENGINE the deployment spawns the ring engine's checkpointing
+    // Replica or the engine-generic EngineReplica — inspect whichever
+    // is hosted.
     let logs: Vec<u16> = deployment.group_of_log.keys().copied().collect();
+    let snapshot_of = |cluster: &mut Cluster, s: ProcessId, logs: &[u16]| {
+        if let Some(server) = cluster.actor_as::<Hosted<Replica<DLogApp>>>(s) {
+            let app = server.inner().app();
+            let lens: Vec<u64> = logs.iter().map(|&l| app.len_of(l).unwrap_or(0)).collect();
+            return (lens, app.snapshot());
+        }
+        let server = cluster
+            .actor_as::<Hosted<EngineReplica<DLogApp>>>(s)
+            .expect("server");
+        let app = server.inner().app();
+        let lens: Vec<u64> = logs.iter().map(|&l| app.len_of(l).unwrap_or(0)).collect();
+        (lens, app.snapshot())
+    };
     let mut snaps = Vec::new();
     for &s in &deployment.servers.clone() {
-        let server = cluster.actor_as::<Server>(s).expect("server");
-        for &log in &logs {
-            println!(
-                "  server {} log {}: next position {}",
-                s.value(),
-                log,
-                server.inner().app().len_of(log).unwrap_or(0)
-            );
+        let (lens, snap) = snapshot_of(&mut cluster, s, &logs);
+        for (&log, len) in logs.iter().zip(&lens) {
+            println!("  server {} log {}: next position {}", s.value(), log, len);
         }
-        snaps.push(server.inner().app().snapshot());
+        snaps.push(snap);
     }
     assert!(snaps.windows(2).all(|w| w[0] == w[1]));
     println!("all servers agree on all positions — multi-appends were atomic.");

@@ -8,7 +8,7 @@
 //! Multi-Ring Paxos engine and for the timestamp-based white-box
 //! engine, on the identical workload and simulated network.
 
-use atomic_multicast::amcast::{AnyEngine, EngineKind};
+use atomic_multicast::amcast::{AmcastEngine, AnyEngine, EngineKind};
 use atomic_multicast::core::config::{ClusterConfig, RingSpec, RingTuning, Roles};
 use atomic_multicast::core::types::{ClientId, GroupId, ProcessId, RingId, Time, ValueId};
 use atomic_multicast::sim::actor::{Actor, ActorCtx, ActorEvent, Hosted, Outbox};
@@ -484,6 +484,163 @@ fn wbcast_nonaddressed_groups_see_no_engine_traffic() {
             "process {p} is outside every addressed γ but received value traffic"
         );
         assert!(r.delivered.is_empty(), "process {p} delivered a value");
+    }
+}
+
+/// Like [`shared_two_group_config`], tuned for crash tests: faster
+/// proposer retransmission so the ring engine recovers in-flight
+/// proposals lost with the coordinator within the test horizon.
+fn failover_config() -> ClusterConfig {
+    let tuning = RingTuning {
+        lambda: 3_000,
+        delta_us: 5_000,
+        proposal_resend_us: 50_000,
+        ..RingTuning::default()
+    };
+    let mut b = ClusterConfig::builder();
+    for ring in 0..2u16 {
+        let mut spec = RingSpec::new(RingId::new(ring)).tuning(tuning);
+        for p in 0..3u32 {
+            spec = spec.member(ProcessId::new((p + u32::from(ring)) % 3), Roles::ALL);
+        }
+        b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+    }
+    for p in 0..3u32 {
+        for g in 0..2u16 {
+            b = b.subscribe(ProcessId::new(p), GroupId::new(g));
+        }
+    }
+    b.build().expect("failover config")
+}
+
+/// Crashes p0 — the sequencer of group 0 for the white-box engine, the
+/// ring-0 Paxos coordinator for the ring engine — at `crash_us`, with
+/// single- and multi-group messages still in flight, then submits a
+/// post-election wave. Returns the survivors' delivery sequences and
+/// their residual engine backlogs.
+fn run_failover(
+    seed: u64,
+    kind: EngineKind,
+    crash_us: u64,
+) -> (BTreeMap<ProcessId, Vec<ValueId>>, Vec<usize>) {
+    let config = failover_config();
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed,
+            election_timeout_us: 50_000,
+            ..SimConfig::default()
+        },
+        Topology::lan(8),
+    );
+    cluster.set_protocol(config.clone());
+    for p in 0..3u32 {
+        let pid = ProcessId::new(p);
+        cluster.add_actor(
+            pid,
+            Box::new(Recorder::new(kind.build(pid, config.clone()))),
+        );
+    }
+    // In-flight at crash time: singles on both groups plus multi-group
+    // messages, all initiated at the survivors. Each proposer sticks to
+    // one ring (p1: group 0 + multis through the covering group 0; p2:
+    // group 1): the ring engine's value ids are per-ring proposer
+    // sequences, so a proposer splitting traffic across rings would
+    // reuse ids and defeat the exactly-once accounting below.
+    for (i, (target, groups, n)) in [
+        (1u32, vec![GroupId::new(0)], 6u64),
+        (2, vec![GroupId::new(1)], 6),
+        (1, vec![GroupId::new(0), GroupId::new(1)], 5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let client_proc = ProcessId::new(100 + i as u32);
+        let client_id = ClientId::new(i as u64);
+        cluster.add_actor(
+            client_proc,
+            Box::new(Burst {
+                target: ProcessId::new(target),
+                groups,
+                client: client_id,
+                n,
+            }),
+        );
+        cluster.register_client(client_id, client_proc);
+    }
+    cluster.schedule_crash(Time::ZERO.plus(crash_us), ProcessId::new(0));
+    cluster.start();
+    cluster.run_until(Time::from_secs(1));
+    // Post-election wave: the new sequencer must order fresh traffic.
+    for (i, (target, groups, n)) in [
+        (1u32, vec![GroupId::new(0), GroupId::new(1)], 3u64),
+        (2, vec![GroupId::new(1)], 3),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let client_proc = ProcessId::new(200 + i as u32);
+        let client_id = ClientId::new(10 + i as u64);
+        cluster.add_actor(
+            client_proc,
+            Box::new(Burst {
+                target: ProcessId::new(target),
+                groups,
+                client: client_id,
+                n,
+            }),
+        );
+        cluster.register_client(client_id, client_proc);
+    }
+    cluster.run_until(Time::from_secs(3));
+    let mut delivered = BTreeMap::new();
+    let mut backlogs = Vec::new();
+    for p in 1..3u32 {
+        let pid = ProcessId::new(p);
+        let r = cluster.actor_as::<Recorder>(pid).expect("survivor");
+        delivered.insert(pid, r.delivered.iter().map(|(_, id)| *id).collect());
+        backlogs.push(r.node.inner().backlog());
+    }
+    (delivered, backlogs)
+}
+
+/// Coordinator-crash-and-resume liveness (the ROADMAP's former top open
+/// item): crashing the process that sequences an addressed group while
+/// single- and multi-group messages are undecided must not stall the
+/// engine. After re-election, every message — submitted before the
+/// crash or after the election — is delivered exactly once by both
+/// survivors, in one identical total order, with zero residual
+/// initiator backlog. Parameterized over every engine and over crash
+/// instants that catch the protocol in different phases.
+#[test]
+fn sequencer_failover_delivers_every_message_exactly_once() {
+    for kind in EngineKind::ALL {
+        for crash_us in [400u64, 2_000, 12_000] {
+            let (delivered, backlogs) = run_failover(47, kind, crash_us);
+            let total = 6 + 6 + 5 + 3 + 3;
+            let reference = &delivered[&ProcessId::new(1)];
+            assert_eq!(
+                reference.len(),
+                total,
+                "{kind}/crash@{crash_us}µs: every message delivered"
+            );
+            let unique: BTreeSet<&ValueId> = reference.iter().collect();
+            assert_eq!(
+                unique.len(),
+                total,
+                "{kind}/crash@{crash_us}µs: duplicate delivery"
+            );
+            assert_eq!(
+                reference,
+                &delivered[&ProcessId::new(2)],
+                "{kind}/crash@{crash_us}µs: survivors diverge"
+            );
+            for (i, b) in backlogs.iter().enumerate() {
+                assert_eq!(
+                    *b, 0,
+                    "{kind}/crash@{crash_us}µs: residual backlog at survivor {i}"
+                );
+            }
+        }
     }
 }
 
