@@ -7,9 +7,33 @@ use bytes::Bytes;
 use multiring_paxos::config::ClusterConfig;
 use multiring_paxos::event::{Action, Event, StateMachine};
 use multiring_paxos::node::{MulticastError, Node};
-use multiring_paxos::types::{GroupId, ProcessId, Time, ValueId};
+use multiring_paxos::paxos::AcceptorRecovery;
+use multiring_paxos::types::{GroupId, ProcessId, RingId, Time, ValueId};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
+
+/// The engine-generic **delivery watermark**: for every subscribed
+/// group, a position in that group's delivery stream such that every
+/// value at or below it has been delivered (and executed) locally, and
+/// no value at or below it will ever be delivered again.
+///
+/// The unit of a mark is engine-specific — the ring engine reports the
+/// consensus *instance* of the group's ring, the white-box engine the
+/// final *timestamp* of the group's sequencer stream — but the contract
+/// is shared: a watermark plus an application snapshot taken at the same
+/// instant form a **checkpoint**, and [`AmcastEngine::trim`] lets the
+/// engine discard protocol state (dedup records, retained history,
+/// acceptor log entries) below a durable watermark.
+///
+/// Structurally this is the ring engine's checkpoint identifier
+/// ([`CheckpointId`](multiring_paxos::recovery::CheckpointId)): per-group
+/// marks plus the deterministic-merge cursor, which only the ring engine
+/// uses (other engines leave it zero). Reusing the type keeps watermarks
+/// storable through the existing
+/// [`PersistRecord::Checkpoint`](multiring_paxos::event::PersistRecord)
+/// record and comparable with the coordinated trim protocol.
+pub use multiring_paxos::recovery::CheckpointId as Watermark;
 
 /// A sans-io atomic-multicast ordering engine.
 ///
@@ -48,7 +72,75 @@ pub trait AmcastEngine: StateMachine {
     fn backlog(&self) -> usize {
         0
     }
+
+    // --- the checkpoint/trim surface -------------------------------
+    //
+    // A replica checkpoints by snapshotting its application at the
+    // engine's current `watermark()` (plus the engine's own
+    // `checkpoint_state()`), persisting all three together. Once the
+    // checkpoint is durable it calls `trim(watermark)` so the engine
+    // can discard protocol state below it; after a crash it rebuilds
+    // the engine, calls `install_checkpoint(watermark, state)` with the
+    // restored blob, and `resume(now)` on the first `Event::Start` to
+    // re-fetch everything the checkpoint does not cover.
+
+    /// The engine's current delivery watermark: the stable prefix of
+    /// its per-group delivery streams (see [`Watermark`]).
+    ///
+    /// Everything at or below the returned marks has been delivered to
+    /// this process exactly once and is reflected in any application
+    /// state snapshot taken in the same instant; nothing at or below
+    /// them will be delivered again. Engines with no checkpoint support
+    /// report an empty watermark.
+    fn watermark(&self) -> Watermark {
+        Watermark::default()
+    }
+
+    /// Engine-private recovery state to store *inside* a checkpoint,
+    /// alongside the application snapshot (e.g. the white-box engine's
+    /// residual delivered-id dedup records above the watermark, which
+    /// make recovery exact when several values share a timestamp).
+    /// Engines without such state return an empty buffer.
+    fn checkpoint_state(&self) -> Bytes {
+        Bytes::new()
+    }
+
+    /// Restores a freshly built engine from a durable checkpoint:
+    /// `watermark` is the checkpoint's delivery watermark and `state`
+    /// the blob a previous incarnation returned from
+    /// [`checkpoint_state`](Self::checkpoint_state). Deliveries at or
+    /// below the watermark are suppressed from now on (the restored
+    /// application snapshot already contains them).
+    fn install_checkpoint(&mut self, _watermark: &Watermark, _state: &Bytes) {}
+
+    /// The checkpoint identified by `watermark` became durable: discard
+    /// protocol state at or below it (dedup records, retained history)
+    /// and notify whatever remote state the engine keeps per subscriber
+    /// (the white-box engine reports the mark to each group's sequencer
+    /// so it can prune its decided-id map and released-value history;
+    /// the ring engine's acceptor logs are trimmed by the coordinated
+    /// quorum protocol instead, fed by the replica's `TrimQuery`
+    /// answers). Returns the actions to execute.
+    fn trim(&mut self, _now: Time, _watermark: &Watermark) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Called once on the first `Event::Start` after a crash-restart,
+    /// after [`install_checkpoint`](Self::install_checkpoint): returns
+    /// the actions that re-fetch the deliveries between the restored
+    /// watermark and the live streams (ring engine: instance backfill
+    /// from the acceptors; white-box engine: a `Resync` request to each
+    /// subscribed group's sequencer, answered from its retained
+    /// released-value history).
+    fn resume(&mut self, _now: Time) -> Vec<Action> {
+        Vec::new()
+    }
 }
+
+/// Instances per ring requested in one backfill batch when a ring-engine
+/// replica resumes from a checkpoint (matches the full `Replica`'s
+/// recovery chunking).
+const RING_BACKFILL_CHUNK: u64 = 10_000;
 
 impl AmcastEngine for Node {
     fn multicast(
@@ -66,6 +158,31 @@ impl AmcastEngine for Node {
 
     fn backlog(&self) -> usize {
         self.proposer_backlog()
+    }
+
+    /// The deterministic merge's per-group instance watermarks plus the
+    /// merge cursor — exactly the ring engine's checkpoint identifier.
+    fn watermark(&self) -> Watermark {
+        self.watermarks()
+    }
+
+    fn install_checkpoint(&mut self, watermark: &Watermark, _state: &Bytes) {
+        self.install_watermarks(watermark);
+    }
+
+    /// Nothing engine-local to prune: learner state below the merge
+    /// watermark is dropped as it is consumed, and the acceptor logs
+    /// are trimmed by the coordinated quorum protocol (Predicate 2 of
+    /// the paper), which the replica layer feeds by answering
+    /// `TrimQuery` with its durable watermark.
+    fn trim(&mut self, _now: Time, _watermark: &Watermark) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Backfills the instances between the installed watermark and the
+    /// live rings from the acceptors.
+    fn resume(&mut self, now: Time) -> Vec<Action> {
+        self.request_backfill(now, RING_BACKFILL_CHUNK)
     }
 }
 
@@ -114,12 +231,27 @@ impl EngineKind {
     ///
     /// Panics when `MRP_ENGINE` is set to an unknown engine name, so a
     /// typo fails loudly instead of silently benchmarking the default.
+    /// Callers that prefer to handle the error themselves (servers,
+    /// long-running tools) use [`EngineKind::try_from_env`].
     pub fn from_env() -> EngineKind {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The non-panicking form of [`EngineKind::from_env`]: `Ok` with the
+    /// selected engine (the default when `MRP_ENGINE` is unset), or a
+    /// descriptive error naming the variable, the rejected value and the
+    /// accepted spellings when it is set to something unparseable — so a
+    /// deployment surfaces a configuration typo instead of silently
+    /// running the wrong engine.
+    pub fn try_from_env() -> Result<EngineKind, String> {
         match std::env::var("MRP_ENGINE") {
-            Ok(name) => name
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid MRP_ENGINE: {e}")),
-            Err(_) => EngineKind::default(),
+            Ok(name) => name.parse().map_err(|e| {
+                format!(
+                    "invalid MRP_ENGINE value {name:?}: {e} \
+                     (expected one of: multiring | wbcast)"
+                )
+            }),
+            Err(_) => Ok(EngineKind::default()),
         }
     }
 
@@ -133,6 +265,29 @@ impl EngineKind {
         match self {
             EngineKind::MultiRing => AnyEngine::MultiRing(Node::new(me, config)),
             EngineKind::Wbcast => AnyEngine::Wbcast(WbcastNode::new(me, config)),
+        }
+    }
+
+    /// Builds an engine of this kind for a process restarting after a
+    /// crash, restoring whatever per-ring stable state the engine keeps:
+    /// the ring engine reloads its acceptor logs; the white-box engine
+    /// (which keeps no stable protocol state of its own) starts fresh —
+    /// with every sequencer role *relinquished* until the coordination
+    /// service confirms it, since its pre-crash ordering state died with
+    /// it — and relies on
+    /// [`install_checkpoint`](AmcastEngine::install_checkpoint) /
+    /// [`resume`](AmcastEngine::resume) to rejoin its streams.
+    pub fn build_recovering(
+        self,
+        me: ProcessId,
+        config: ClusterConfig,
+        acceptor_logs: BTreeMap<RingId, AcceptorRecovery>,
+    ) -> AnyEngine {
+        match self {
+            EngineKind::MultiRing => {
+                AnyEngine::MultiRing(Node::with_recovery(me, config, acceptor_logs))
+            }
+            EngineKind::Wbcast => AnyEngine::Wbcast(WbcastNode::recovering(me, config)),
         }
     }
 }
@@ -230,6 +385,41 @@ impl AmcastEngine for AnyEngine {
             AnyEngine::Wbcast(n) => AmcastEngine::backlog(n),
         }
     }
+
+    fn watermark(&self) -> Watermark {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::watermark(n),
+            AnyEngine::Wbcast(n) => AmcastEngine::watermark(n),
+        }
+    }
+
+    fn checkpoint_state(&self) -> Bytes {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::checkpoint_state(n),
+            AnyEngine::Wbcast(n) => AmcastEngine::checkpoint_state(n),
+        }
+    }
+
+    fn install_checkpoint(&mut self, watermark: &Watermark, state: &Bytes) {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::install_checkpoint(n, watermark, state),
+            AnyEngine::Wbcast(n) => AmcastEngine::install_checkpoint(n, watermark, state),
+        }
+    }
+
+    fn trim(&mut self, now: Time, watermark: &Watermark) -> Vec<Action> {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::trim(n, now, watermark),
+            AnyEngine::Wbcast(n) => AmcastEngine::trim(n, now, watermark),
+        }
+    }
+
+    fn resume(&mut self, now: Time) -> Vec<Action> {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::resume(n, now),
+            AnyEngine::Wbcast(n) => AmcastEngine::resume(n, now),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +454,33 @@ mod tests {
     fn genuineness_flag() {
         assert!(!EngineKind::MultiRing.genuine());
         assert!(EngineKind::Wbcast.genuine());
+    }
+
+    /// Satellite regression: an unparseable `MRP_ENGINE` value must
+    /// surface a descriptive error (and `from_env` must panic with it),
+    /// never silently fall back to the default engine. One test covers
+    /// every case serially — the environment is process-global, so
+    /// splitting these into parallel tests would race.
+    #[test]
+    fn env_selection_rejects_unknown_engine_names() {
+        // `MRP_ENGINE` is only read by this test within this crate's
+        // test binary, so mutating it here is safe.
+        std::env::remove_var("MRP_ENGINE");
+        assert_eq!(EngineKind::try_from_env(), Ok(EngineKind::default()));
+
+        std::env::set_var("MRP_ENGINE", "WbCast");
+        assert_eq!(EngineKind::try_from_env(), Ok(EngineKind::Wbcast));
+        assert_eq!(EngineKind::from_env(), EngineKind::Wbcast);
+
+        std::env::set_var("MRP_ENGINE", "zab");
+        let err = EngineKind::try_from_env().unwrap_err();
+        assert!(err.contains("MRP_ENGINE"), "names the variable: {err}");
+        assert!(err.contains("zab"), "names the rejected value: {err}");
+        assert!(err.contains("multiring"), "lists the options: {err}");
+        let panic = std::panic::catch_unwind(EngineKind::from_env);
+        assert!(panic.is_err(), "from_env must fail loudly on a typo");
+
+        std::env::remove_var("MRP_ENGINE");
     }
 
     #[test]

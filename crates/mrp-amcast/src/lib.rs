@@ -61,6 +61,38 @@
 //! decided; wbcast: submissions to subscribed groups not yet delivered
 //! locally).
 //!
+//! ## Checkpointing and recovery
+//!
+//! The trait also carries the engine-generic **checkpoint/trim
+//! surface** (the paper's Section 5, generalized beyond the ring
+//! engine):
+//!
+//! * [`AmcastEngine::watermark`] reports the stable prefix of the
+//!   engine's per-group delivery streams as a [`Watermark`]
+//!   — consensus instances for the ring engine, sequencer timestamps
+//!   for wbcast;
+//! * a replica checkpoints by persisting that watermark together with
+//!   the application snapshot and the engine's own
+//!   [`checkpoint_state`](AmcastEngine::checkpoint_state);
+//! * once durable, [`AmcastEngine::trim`] discards protocol state below
+//!   the watermark — wbcast prunes its delivered-id dedup records and
+//!   tells each group's sequencer to prune its decided-id map and
+//!   released-value history (min over all subscribers' reports); the
+//!   ring engine's acceptor logs are trimmed by the coordinated quorum
+//!   protocol instead;
+//! * after a crash, [`AmcastEngine::install_checkpoint`] restores the
+//!   watermark into a freshly built engine and
+//!   [`AmcastEngine::resume`] re-fetches the gap up to the live streams
+//!   (ring: acceptor backfill; wbcast: a `Resync` replay of the
+//!   retained history, with deliveries held until the replay
+//!   terminates so the recovered sequence is byte-identical to the
+//!   survivors').
+//!
+//! [`EngineReplica`] drives the whole cycle for any engine; the
+//! recovery test `replica_crash_and_restart_recovers_from_checkpoint`
+//! in `tests/ordering_invariants.rs` exercises it for every
+//! [`EngineKind`].
+//!
 //! ## Adding a third engine
 //!
 //! 1. Implement the engine as a sans-io state machine and give it a
@@ -69,7 +101,12 @@
 //!    frames (see [`wbcast`] for the pattern). Engines share the
 //!    [`Event`]/[`Action`] vocabulary, so every existing runtime
 //!    (simulator, TCP transport) hosts them unchanged.
-//! 2. Implement [`AmcastEngine`] for it.
+//! 2. Implement [`AmcastEngine`] for it: `multicast`/`engine_name` are
+//!    mandatory; implement `backlog` if the engine can track in-flight
+//!    submissions, and the checkpoint surface (`watermark`,
+//!    `checkpoint_state`, `install_checkpoint`, `trim`, `resume`) if it
+//!    should support bounded state and crash recovery — the defaults
+//!    are safe no-ops, so a minimal engine still runs everywhere.
 //! 3. Add a variant to [`EngineKind`]/[`AnyEngine`] so configuration
 //!    can select it, and run `tests/ordering_invariants.rs` (which is
 //!    parameterized over every [`EngineKind`]) against it.
@@ -86,6 +123,6 @@ pub mod engine;
 pub mod replica;
 pub mod wbcast;
 
-pub use engine::{AmcastEngine, AnyEngine, EngineKind};
+pub use engine::{AmcastEngine, AnyEngine, EngineKind, Watermark};
 pub use replica::EngineReplica;
 pub use wbcast::WbcastNode;

@@ -1,25 +1,103 @@
 //! Engine-generic state-machine replication: couples any
-//! [`AmcastEngine`] with an [`Application`], executing deliveries and
-//! routing replies to client sessions.
+//! [`AmcastEngine`] with an [`Application`], executing deliveries,
+//! routing replies to client sessions, taking periodic checkpoints
+//! through the engine's watermark surface, trimming engine state once a
+//! checkpoint is durable, and rejoining the streams from the latest
+//! local checkpoint after a crash.
 //!
-//! This is the engine-agnostic subset of
-//! [`multiring_paxos::replica::Replica`]: services that need the full
-//! checkpoint/trim/recovery machinery (which is white-box coupled to
-//! the ring engine's merge watermarks) keep using `Replica`; services
-//! that only need ordered execution over a selectable engine use this.
+//! ## Checkpoint lifecycle
+//!
+//! 1. On every `CheckpointTick` the replica reads the engine's
+//!    [`delivery watermark`](AmcastEngine::watermark), snapshots the
+//!    application, packs the engine's own
+//!    [`checkpoint_state`](AmcastEngine::checkpoint_state) in front of
+//!    the snapshot and persists all of it as one
+//!    [`PersistRecord::Checkpoint`].
+//! 2. When the write completes durably ([`Event::PersistDone`]) the
+//!    checkpoint becomes *stable*: trim queries are answered from it,
+//!    and the engine gets to [`trim`](AmcastEngine::trim) protocol state
+//!    below the watermark (the white-box engine prunes dedup records and
+//!    reports the marks to its sequencers; the ring engine's acceptor
+//!    logs are trimmed by the coordinated quorum protocol fed by the
+//!    `TrimQuery` answers below).
+//! 3. After a crash, the runtime rebuilds the replica with
+//!    [`EngineReplica::recovering`], handing it the engine's per-ring
+//!    stable state (acceptor logs, ring engine only) and the latest
+//!    local checkpoint. The application restores the snapshot, the
+//!    engine [`install`](AmcastEngine::install_checkpoint)s the
+//!    watermark, and the first [`Event::Start`] issues the engine's
+//!    [`resume`](AmcastEngine::resume) actions to re-fetch everything
+//!    between the watermark and the live streams.
+//!
+//! Compared with the ring-specific
+//! [`multiring_paxos::replica::Replica`], this replica recovers from its
+//! *local* checkpoint only — fetching a fresher checkpoint from a
+//! partition peer (Section 5.2's `Q_R` query) remains `Replica`-only.
+//! It does serve `TrimQuery` (so acceptor-log trimming works with any
+//! hosted engine) and `CheckpointQuery`/`CheckpointFetch` (so recovering
+//! full `Replica` peers can fetch its checkpoints).
 
-use crate::engine::{AmcastEngine, AnyEngine, EngineKind};
+use crate::engine::{AmcastEngine, AnyEngine, EngineKind, Watermark};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use multiring_paxos::app::{Application, Delivery, Reply};
 use multiring_paxos::config::ClusterConfig;
-use multiring_paxos::event::{Action, Event, StateMachine};
-use multiring_paxos::types::{ProcessId, Time};
+use multiring_paxos::event::{
+    Action, Event, Message, PersistRecord, PersistToken, StateMachine, TimerKind,
+};
+use multiring_paxos::paxos::AcceptorRecovery;
+use multiring_paxos::recovery::TrimResponder;
+use multiring_paxos::replica::CheckpointPolicy;
+use multiring_paxos::types::{ProcessId, RingId, Time};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
-/// A replicated service endpoint over a configurable ordering engine.
+/// Packs a checkpoint blob: the engine's private recovery state in
+/// front of the application snapshot, so both travel in one
+/// [`PersistRecord::Checkpoint`].
+fn pack_checkpoint(engine_state: &Bytes, app_snapshot: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + engine_state.len() + app_snapshot.len());
+    buf.put_u64_le(engine_state.len() as u64);
+    buf.put_slice(engine_state);
+    buf.put_slice(app_snapshot);
+    buf.freeze()
+}
+
+/// Splits a blob produced by [`pack_checkpoint`] back into
+/// `(engine_state, app_snapshot)`; `None` on a malformed blob.
+fn unpack_checkpoint(blob: &Bytes) -> Option<(Bytes, Bytes)> {
+    let mut buf = blob.clone();
+    if buf.remaining() < 8 {
+        return None;
+    }
+    let engine_len = buf.get_u64_le() as usize;
+    if buf.remaining() < engine_len {
+        return None;
+    }
+    let engine_state = buf.copy_to_bytes(engine_len);
+    Some((engine_state, buf))
+}
+
+/// A replicated service endpoint over a configurable ordering engine,
+/// with engine-generic checkpointing and crash recovery.
 pub struct EngineReplica<A> {
     engine: AnyEngine,
     app: A,
+    policy: CheckpointPolicy,
+    /// Answers the coordinated trim protocol from the stable watermark.
+    responder: TrimResponder,
+    /// Last durable checkpoint: watermark + packed blob, served to
+    /// recovering `Replica` peers and used to answer trim queries.
+    stable: Option<(Watermark, Bytes)>,
+    /// Checkpoints written but not yet durable, keyed by persist token.
+    pending_ckpt: HashMap<PersistToken, (Watermark, Bytes)>,
+    ckpt_token_seed: u64,
+    /// Whether the next `Event::Start` must issue the engine's resume
+    /// actions (set by [`EngineReplica::recovering`]).
+    resume_pending: bool,
+    /// Statistics: commands executed since start.
     executed: u64,
+    /// Statistics: checkpoints completed since start.
+    checkpoints_taken: u64,
 }
 
 impl<A: fmt::Debug> fmt::Debug for EngineReplica<A> {
@@ -27,18 +105,74 @@ impl<A: fmt::Debug> fmt::Debug for EngineReplica<A> {
         f.debug_struct("EngineReplica")
             .field("engine", &self.engine.engine_name())
             .field("app", &self.app)
+            .field("stable", &self.stable.as_ref().map(|(w, _)| w))
             .finish_non_exhaustive()
     }
 }
 
 impl<A: Application> EngineReplica<A> {
-    /// A fresh replica running `app` over an engine of `kind`.
-    pub fn new(kind: EngineKind, me: ProcessId, config: ClusterConfig, app: A) -> Self {
+    /// A fresh replica (first boot) running `app` over an engine of
+    /// `kind`, checkpointing per `policy`.
+    pub fn new(
+        kind: EngineKind,
+        me: ProcessId,
+        config: ClusterConfig,
+        app: A,
+        policy: CheckpointPolicy,
+    ) -> Self {
         Self {
             engine: kind.build(me, config),
             app,
+            policy,
+            responder: TrimResponder::new(),
+            stable: None,
+            pending_ckpt: HashMap::new(),
+            // Disjoint from the tokens the hosted engine mints itself.
+            ckpt_token_seed: u64::MAX / 2,
+            resume_pending: false,
             executed: 0,
+            checkpoints_taken: 0,
         }
+    }
+
+    /// A replica restarting after a crash: `acceptor_logs` is the
+    /// engine's per-ring stable state (ring engine; empty for engines
+    /// without one) and `checkpoint` the latest durable local checkpoint
+    /// — the watermark plus the packed blob previously persisted via
+    /// [`PersistRecord::Checkpoint`] — both loaded by the runtime from
+    /// stable storage. The application snapshot is restored immediately;
+    /// the engine's catch-up ([`AmcastEngine::resume`]) runs on
+    /// [`Event::Start`].
+    pub fn recovering(
+        kind: EngineKind,
+        me: ProcessId,
+        config: ClusterConfig,
+        app: A,
+        policy: CheckpointPolicy,
+        acceptor_logs: BTreeMap<RingId, AcceptorRecovery>,
+        checkpoint: Option<(Watermark, Bytes)>,
+    ) -> Self {
+        let mut replica = Self {
+            engine: kind.build_recovering(me, config, acceptor_logs),
+            app,
+            policy,
+            responder: TrimResponder::new(),
+            stable: None,
+            pending_ckpt: HashMap::new(),
+            ckpt_token_seed: u64::MAX / 2,
+            resume_pending: true,
+            executed: 0,
+            checkpoints_taken: 0,
+        };
+        if let Some((watermark, blob)) = checkpoint {
+            if let Some((engine_state, app_snapshot)) = unpack_checkpoint(&blob) {
+                replica.app.restore(&app_snapshot);
+                replica.engine.install_checkpoint(&watermark, &engine_state);
+                replica.responder.set_stable(watermark.clone());
+                replica.stable = Some((watermark, blob));
+            }
+        }
+        replica
     }
 
     /// The ordering engine.
@@ -54,6 +188,46 @@ impl<A: Application> EngineReplica<A> {
     /// Commands executed since start.
     pub fn executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Checkpoints completed since start.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// The watermark of the last durable checkpoint, if any.
+    pub fn stable_watermark(&self) -> Option<&Watermark> {
+        self.stable.as_ref().map(|(w, _)| w)
+    }
+
+    fn take_checkpoint(&mut self, out: &mut Vec<Action>) {
+        let watermark = self.engine.watermark();
+        if self
+            .stable
+            .as_ref()
+            .is_some_and(|(stable_w, _)| *stable_w == watermark)
+        {
+            return; // nothing new to checkpoint
+        }
+        if self.pending_ckpt.values().any(|(w, _)| *w == watermark) {
+            // The same watermark is already on its way to disk (a slow
+            // sync write can outlast the checkpoint interval): queueing
+            // another full-snapshot write buys nothing.
+            return;
+        }
+        let blob = pack_checkpoint(&self.engine.checkpoint_state(), &self.app.snapshot());
+        self.ckpt_token_seed += 1;
+        let token = PersistToken(self.ckpt_token_seed);
+        self.pending_ckpt
+            .insert(token, (watermark.clone(), blob.clone()));
+        out.push(Action::Persist {
+            record: PersistRecord::Checkpoint {
+                id: watermark,
+                snapshot: blob,
+            },
+            sync: self.policy.sync,
+            token,
+        });
     }
 
     /// Executes deliveries against the application, turning them into
@@ -94,8 +268,89 @@ impl<A: Application> EngineReplica<A> {
 impl<A: Application> StateMachine for EngineReplica<A> {
     fn on_event(&mut self, now: Time, event: Event) -> Vec<Action> {
         let mut out = Vec::new();
-        let actions = self.engine.on_event(now, event);
-        self.post_process(actions, &mut out);
+        match event {
+            Event::Start => {
+                if self.resume_pending {
+                    self.resume_pending = false;
+                    let actions = self.engine.resume(now);
+                    self.post_process(actions, &mut out);
+                }
+                let actions = self.engine.on_event(now, Event::Start);
+                self.post_process(actions, &mut out);
+                if self.policy.interval_us > 0 {
+                    out.push(Action::SetTimer {
+                        after_us: self.policy.interval_us,
+                        timer: TimerKind::CheckpointTick,
+                    });
+                }
+            }
+            Event::Timer(TimerKind::CheckpointTick) => {
+                self.take_checkpoint(&mut out);
+                if self.policy.interval_us > 0 {
+                    out.push(Action::SetTimer {
+                        after_us: self.policy.interval_us,
+                        timer: TimerKind::CheckpointTick,
+                    });
+                }
+            }
+            Event::PersistDone(token) if self.pending_ckpt.contains_key(&token) => {
+                let (watermark, blob) = self
+                    .pending_ckpt
+                    .remove(&token)
+                    .expect("checked contains_key");
+                self.checkpoints_taken += 1;
+                self.responder.set_stable(watermark.clone());
+                self.stable = Some((watermark.clone(), blob));
+                let actions = self.engine.trim(now, &watermark);
+                self.post_process(actions, &mut out);
+            }
+            Event::Message { from, msg } => match msg {
+                Message::TrimQuery { group, seq } => {
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Message::TrimReply {
+                            group,
+                            seq,
+                            safe: self.responder.safe_instance(group),
+                        },
+                    });
+                }
+                Message::CheckpointQuery { seq } => {
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Message::CheckpointInfo {
+                            seq,
+                            checkpoint: self.stable.as_ref().map(|(w, _)| w.clone()),
+                        },
+                    });
+                }
+                Message::CheckpointFetch { seq, id } => {
+                    // Serve the raw application-snapshot half only: a
+                    // recovering full `Replica` peer installs
+                    // `CheckpointData` straight into `app.restore`, so
+                    // it must never see this replica's private
+                    // engine-state framing.
+                    let snapshot = self
+                        .stable
+                        .as_ref()
+                        .filter(|(stable_w, _)| *stable_w == id)
+                        .and_then(|(_, blob)| unpack_checkpoint(blob))
+                        .map(|(_, app_snapshot)| app_snapshot);
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Message::CheckpointData { seq, id, snapshot },
+                    });
+                }
+                msg => {
+                    let actions = self.engine.on_event(now, Event::Message { from, msg });
+                    self.post_process(actions, &mut out);
+                }
+            },
+            event => {
+                let actions = self.engine.on_event(now, event);
+                self.post_process(actions, &mut out);
+            }
+        }
         out
     }
 
@@ -107,11 +362,10 @@ impl<A: Application> StateMachine for EngineReplica<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use multiring_paxos::app::decode_command;
     use multiring_paxos::config::{single_ring, RingTuning};
     use multiring_paxos::event::Message;
-    use multiring_paxos::types::{ClientId, GroupId};
+    use multiring_paxos::types::{ClientId, GroupId, InstanceId};
 
     /// Echoes every command back to its client.
     #[derive(Default, Debug)]
@@ -142,30 +396,47 @@ mod tests {
         }
     }
 
+    fn config() -> ClusterConfig {
+        single_ring(
+            1,
+            RingTuning {
+                lambda: 0,
+                ..RingTuning::default()
+            },
+        )
+    }
+
+    fn disabled() -> CheckpointPolicy {
+        CheckpointPolicy {
+            interval_us: 0,
+            sync: true,
+        }
+    }
+
+    fn request(payload: &'static [u8], request: u64) -> Event {
+        Event::Message {
+            from: ProcessId::new(9),
+            msg: Message::Request {
+                client: ClientId::new(7),
+                request,
+                groups: vec![GroupId::new(0)],
+                payload: Bytes::from_static(payload),
+            },
+        }
+    }
+
     #[test]
     fn singleton_replica_executes_and_responds_on_both_engines() {
         for kind in EngineKind::ALL {
-            let config = single_ring(
-                1,
-                RingTuning {
-                    lambda: 0,
-                    ..RingTuning::default()
-                },
+            let mut r = EngineReplica::new(
+                kind,
+                ProcessId::new(0),
+                config(),
+                Echo::default(),
+                disabled(),
             );
-            let mut r = EngineReplica::new(kind, ProcessId::new(0), config, Echo::default());
             r.on_event(Time::ZERO, Event::Start);
-            let out = r.on_event(
-                Time::ZERO,
-                Event::Message {
-                    from: ProcessId::new(9),
-                    msg: Message::Request {
-                        client: ClientId::new(7),
-                        request: 3,
-                        groups: vec![GroupId::new(0)],
-                        payload: Bytes::from_static(b"x"),
-                    },
-                },
-            );
+            let out = r.on_event(Time::ZERO, request(b"x", 3));
             let responds: Vec<&Action> = out
                 .iter()
                 .filter(|a| matches!(a, Action::Respond { .. }))
@@ -174,5 +445,167 @@ mod tests {
             assert_eq!(r.executed(), 1, "{kind}");
             assert_eq!(r.app().log, vec![b'x'], "{kind}");
         }
+    }
+
+    #[test]
+    fn checkpoint_lifecycle_trim_reply_and_recovery_on_both_engines() {
+        for kind in EngineKind::ALL {
+            let policy = CheckpointPolicy {
+                interval_us: 1_000,
+                sync: true,
+            };
+            let mut r =
+                EngineReplica::new(kind, ProcessId::new(0), config(), Echo::default(), policy);
+            r.on_event(Time::ZERO, Event::Start);
+            r.on_event(Time::ZERO, request(b"y", 1));
+            // A second delivery pushes the first below the wbcast
+            // boundary exclusion, so both engines' watermarks cover at
+            // least one value. Then: checkpoint tick persists, the
+            // completion makes it durable and lets the engine trim.
+            r.on_event(Time::ZERO, request(b"z", 2));
+            let out = r.on_event(
+                Time::from_millis(1),
+                Event::Timer(TimerKind::CheckpointTick),
+            );
+            let (token, blob) = out
+                .iter()
+                .find_map(|a| match a {
+                    Action::Persist {
+                        token,
+                        sync,
+                        record: PersistRecord::Checkpoint { snapshot, .. },
+                    } => {
+                        assert!(*sync, "{kind}");
+                        Some((*token, snapshot.clone()))
+                    }
+                    _ => None,
+                })
+                .expect("checkpoint persisted");
+            assert_eq!(r.checkpoints_taken(), 0, "{kind}");
+            r.on_event(Time::from_millis(2), Event::PersistDone(token));
+            assert_eq!(r.checkpoints_taken(), 1, "{kind}");
+            let watermark = r.stable_watermark().expect("stable").clone();
+            assert!(
+                watermark.mark_of(GroupId::new(0)).value() >= 1,
+                "{kind}: the delivery is covered"
+            );
+            // Trim queries are answered from the durable watermark.
+            let out = r.on_event(
+                Time::from_millis(3),
+                Event::Message {
+                    from: ProcessId::new(2),
+                    msg: Message::TrimQuery {
+                        group: GroupId::new(0),
+                        seq: 2,
+                    },
+                },
+            );
+            assert!(matches!(
+                out[0],
+                Action::Send { msg: Message::TrimReply { safe, .. }, .. }
+                if safe > InstanceId::ZERO
+            ));
+            // An unchanged watermark produces no second persist.
+            let out = r.on_event(
+                Time::from_millis(4),
+                Event::Timer(TimerKind::CheckpointTick),
+            );
+            assert!(
+                out.iter().all(|a| !matches!(a, Action::Persist { .. })),
+                "{kind}: unchanged state skips the checkpoint"
+            );
+            // Crash: rebuild from the persisted checkpoint. The restored
+            // application already holds the executed command.
+            let recovered = EngineReplica::recovering(
+                kind,
+                ProcessId::new(0),
+                config(),
+                Echo::default(),
+                policy,
+                BTreeMap::new(),
+                Some((watermark.clone(), blob)),
+            );
+            assert_eq!(
+                recovered.app().log,
+                b"yz".to_vec(),
+                "{kind}: snapshot restored"
+            );
+            assert_eq!(
+                recovered.stable_watermark(),
+                Some(&watermark),
+                "{kind}: watermark reinstalled"
+            );
+        }
+    }
+
+    #[test]
+    fn recovered_replica_does_not_reexecute_covered_commands() {
+        // Singleton wbcast replica: deliver two commands, checkpoint,
+        // crash, restart — the resync replay of the boundary value must
+        // not re-execute anything the snapshot already contains.
+        let policy = CheckpointPolicy {
+            interval_us: 1_000,
+            sync: true,
+        };
+        let kind = EngineKind::Wbcast;
+        let mut r = EngineReplica::new(kind, ProcessId::new(0), config(), Echo::default(), policy);
+        r.on_event(Time::ZERO, Event::Start);
+        r.on_event(Time::ZERO, request(b"a", 1));
+        r.on_event(Time::ZERO, request(b"b", 2));
+        let out = r.on_event(
+            Time::from_millis(1),
+            Event::Timer(TimerKind::CheckpointTick),
+        );
+        let token = out
+            .iter()
+            .find_map(|a| match a {
+                Action::Persist { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("checkpoint persisted");
+        r.on_event(Time::from_millis(2), Event::PersistDone(token));
+        let (watermark, blob) = (
+            r.stable_watermark().unwrap().clone(),
+            r.stable.as_ref().unwrap().1.clone(),
+        );
+        let mut recovered = EngineReplica::recovering(
+            kind,
+            ProcessId::new(0),
+            config(),
+            Echo::default(),
+            policy,
+            BTreeMap::new(),
+            Some((watermark, blob)),
+        );
+        assert_eq!(recovered.app().log, b"ab".to_vec());
+        // Start issues the resume request, but a recovering node does
+        // not assume its statically-configured sequencer role: nothing
+        // answers until the coordination service confirms it.
+        recovered.on_event(Time::from_millis(3), Event::Start);
+        assert_eq!(recovered.executed(), 0, "no covered command re-executes");
+        assert_eq!(recovered.app().log, b"ab".to_vec());
+        // The coordination service re-confirms this process as the
+        // ring's coordinator (runtimes deliver this right after the
+        // restart's Start): it re-acquires the sequencer role and the
+        // self-routed resync terminates, without re-executing anything
+        // the snapshot already contains.
+        recovered.on_event(
+            Time::from_millis(4),
+            Event::CoordinatorChange {
+                ring: multiring_paxos::types::RingId::new(0),
+                coordinator: ProcessId::new(0),
+                supersedes: multiring_paxos::types::Ballot::ZERO,
+            },
+        );
+        assert_eq!(recovered.executed(), 0, "no covered command re-executes");
+        // New traffic flows again; the fresh sequencer holds releases
+        // for its takeover grace window, which the next Δ tick past it
+        // flushes.
+        recovered.on_event(Time::from_millis(5), request(b"c", 3));
+        recovered.on_event(
+            Time::from_secs(2),
+            Event::Timer(TimerKind::Delta(multiring_paxos::types::RingId::new(0))),
+        );
+        assert_eq!(recovered.app().log, b"abc".to_vec());
     }
 }

@@ -106,14 +106,53 @@
 //!   could not know the old one had already released it) is delivered
 //!   exactly once; extra copies only advance frontiers.
 //!
+//! ## Checkpointing, resync and bounded state
+//!
+//! The engine implements the generic checkpoint/trim surface of
+//! [`AmcastEngine`] (see the crate docs), which both bounds the
+//! protocol's per-key bookkeeping and gives crashed subscribers an
+//! exact rejoin path:
+//!
+//! * **Watermark.** Per subscribed group, the *delivery mark*: the
+//!   largest timestamp whose whole prefix has been delivered locally
+//!   (the frontier, capped below any still-pending value and excluding
+//!   a possibly-tied boundary timestamp). The engine's
+//!   `checkpoint_state` adds the residual delivered-id records above
+//!   the marks plus the local id-sequence floor, making restores exact
+//!   even at timestamp ties.
+//! * **Resync.** A restarted subscriber installs its latest durable
+//!   checkpoint and asks each subscribed group's sequencer to replay
+//!   its released stream above the restored mark (`Resync`: the
+//!   sequencer retains every released value above the collective
+//!   checkpoint watermark exactly for this). Deliveries stay
+//!   **held** until the replay's `ResyncDone` terminator arrives: live
+//!   frames received before the replay advance frontiers past keys the
+//!   replay still carries, so only the terminator restores the
+//!   frontier's "nothing smaller can arrive" meaning — this is what
+//!   makes the recovered delivery sequence byte-identical to the
+//!   survivors', not merely the same set.
+//! * **Trim.** After a checkpoint becomes durable, the subscriber
+//!   prunes its delivered-id dedup below the watermark and reports the
+//!   marks (`CkptMark`) to the sequencers, which prune their decided-id
+//!   maps and released history below the *minimum over all
+//!   subscribers* — conservative (no quorum), so any subscriber can
+//!   still resync from its own latest durable checkpoint.
+//!
 //! The model's remaining assumptions: the takeover resume point exceeds
 //! every timestamp the crashed sequencer exposed (guaranteed by the
 //! hybrid clock whenever the election timeout exceeds the count-driven
 //! clock skew — in a full deployment the counter is Paxos-replicated
-//! inside the group instead), and initiators of in-flight multi-group
+//! inside the group instead); initiators of in-flight multi-group
 //! rounds stay alive (an initiator crash mid-round still stalls its
 //! message; replicating the initiator role is future work, tracked in
-//! the ROADMAP).
+//! the ROADMAP); a *sequencer* crash also loses its released-value
+//! history, so subscribers that crash while the replacement leads can
+//! only resync what the replacement released itself (replicating the
+//! history inside the group goes together with counter replication);
+//! and dedup pruning assumes a failover re-release of an old value
+//! lands within one checkpoint interval of its re-probe (the takeover
+//! grace window is orders of magnitude shorter than any sensible
+//! checkpoint interval).
 //!
 //! Timestamps are Lamport-style hybrid clocks: they advance with
 //! submissions *and* with elapsed time (in a fixed quantum shared by
@@ -127,7 +166,7 @@
 //! bottleneck the paper's Figure 4 measures.
 //!
 //! All engine traffic travels in opaque
-//! [`Message::Engine`](multiring_paxos::event::Message::Engine) frames
+//! [`Message::Engine`] frames
 //! with wire id [`WBCAST_WIRE_ID`], so every existing runtime
 //! (simulator, TCP transport) carries it unchanged.
 
@@ -152,6 +191,9 @@ const TAG_HEARTBEAT: u8 = 3;
 const TAG_PROPOSE_ACK: u8 = 4;
 const TAG_FINAL: u8 = 5;
 const TAG_FINAL_ACK: u8 = 6;
+const TAG_RESYNC: u8 = 7;
+const TAG_CKPT_MARK: u8 = 8;
+const TAG_RESYNC_DONE: u8 = 9;
 
 /// Initiator retry pacing: unconfirmed `Submit`/`Final` rounds are
 /// re-probed every this-many Δ of the addressed group's ring.
@@ -163,6 +205,18 @@ pub const RETRY_DELTAS: u64 = 4;
 /// Two retry periods cover a full Submit → ProposeAck → Final exchange
 /// even when the first retransmission raced the election announcement.
 pub const TAKEOVER_GRACE_DELTAS: u64 = 2 * RETRY_DELTAS;
+
+/// Cap on a sequencer's retained released-value history while **not**
+/// every subscriber of the group participates in checkpointing (has
+/// sent at least one `CkptMark`): without the reports, nothing ever
+/// authorizes a prune, and retaining the full stream would grow memory
+/// with uptime in deployments that never checkpoint (bare engine nodes,
+/// benches). A resync against a capped history replays best-effort —
+/// a subscriber that never checkpointed could not have been made whole
+/// before this PR either (no replay path existed at all). Checkpointing
+/// deployments are unaffected once every subscriber has reported:
+/// pruning then follows the collective watermark exactly.
+pub const UNREPORTED_HISTORY_CAP: usize = 4096;
 
 /// A global delivery key: final timestamp, tie-broken by the value id
 /// (final timestamps of multi-group messages can collide, even within
@@ -216,6 +270,28 @@ enum WbMessage {
     /// The sequencer's promise that all future timestamps of `group`
     /// are strictly greater than `ts`, stamped with its epoch.
     Heartbeat { group: GroupId, epoch: u32, ts: u64 },
+    /// A subscriber restarting from a checkpoint asks `group`'s
+    /// sequencer to replay its released stream above `from_ts` (the
+    /// restored checkpoint's delivery mark) from the retained
+    /// released-value history.
+    Resync { group: GroupId, from_ts: u64 },
+    /// A subscriber reports the delivery mark of its latest **durable**
+    /// checkpoint for `group`. Once every subscriber of the group has
+    /// reported, the sequencer prunes its decided-id map and released
+    /// history below the minimum — the engine-generic analogue of the
+    /// ring engine's coordinated trim (Predicate 2), conservative (min
+    /// over *all* subscribers, not a quorum) so a lagging or crashed
+    /// subscriber can always still resync.
+    CkptMark { group: GroupId, ts: u64 },
+    /// Terminates a [`WbMessage::Resync`] replay: everything the
+    /// sequencer had released for `group` has been retransmitted, and
+    /// its promise stands at `ts`. Until this frame arrives, the
+    /// restarting subscriber must not deliver — frames received before
+    /// the replay (live releases, heartbeats with post-crash promises)
+    /// advance frontiers past keys the replay still carries, so the
+    /// frontiers only regain their "nothing smaller can arrive" meaning
+    /// here.
+    ResyncDone { group: GroupId, epoch: u32, ts: u64 },
 }
 
 fn put_value(buf: &mut BytesMut, v: &Value) {
@@ -325,6 +401,22 @@ impl WbMessage {
                 buf.put_u32_le(*epoch);
                 buf.put_u64_le(*ts);
             }
+            WbMessage::Resync { group, from_ts } => {
+                buf.put_u8(TAG_RESYNC);
+                buf.put_u16_le(group.value());
+                buf.put_u64_le(*from_ts);
+            }
+            WbMessage::CkptMark { group, ts } => {
+                buf.put_u8(TAG_CKPT_MARK);
+                buf.put_u16_le(group.value());
+                buf.put_u64_le(*ts);
+            }
+            WbMessage::ResyncDone { group, epoch, ts } => {
+                buf.put_u8(TAG_RESYNC_DONE);
+                buf.put_u16_le(group.value());
+                buf.put_u32_le(*epoch);
+                buf.put_u64_le(*ts);
+            }
         }
         Message::Engine {
             engine: WBCAST_WIRE_ID,
@@ -403,6 +495,35 @@ impl WbMessage {
                     ts: payload.get_u64_le(),
                 })
             }
+            TAG_RESYNC => {
+                if payload.remaining() < 8 {
+                    return None;
+                }
+                Some(WbMessage::Resync {
+                    group,
+                    from_ts: payload.get_u64_le(),
+                })
+            }
+            TAG_CKPT_MARK => {
+                if payload.remaining() < 8 {
+                    return None;
+                }
+                Some(WbMessage::CkptMark {
+                    group,
+                    ts: payload.get_u64_le(),
+                })
+            }
+            TAG_RESYNC_DONE => {
+                if payload.remaining() < 4 + 8 {
+                    return None;
+                }
+                let epoch = payload.get_u32_le();
+                Some(WbMessage::ResyncDone {
+                    group,
+                    epoch,
+                    ts: payload.get_u64_le(),
+                })
+            }
             _ => None,
         }
     }
@@ -410,10 +531,11 @@ impl WbMessage {
 
 /// Whether a wbcast [`Message::Engine`] payload carries or references a
 /// multicast value: `Submit`/`Ordered` carry one,
-/// `ProposeAck`/`Final`/`FinalAck` reference one by id; heartbeats are
-/// pure clock traffic. Genuineness tests use this to assert that
-/// processes outside an addressed group set γ see no protocol traffic
-/// for γ's messages.
+/// `ProposeAck`/`Final`/`FinalAck` reference one by id; heartbeats and
+/// the checkpoint traffic (`Resync`/`CkptMark`, which travel only
+/// between a group's subscribers and its sequencer) are pure control
+/// traffic. Genuineness tests use this to assert that processes outside
+/// an addressed group set γ see no protocol traffic for γ's messages.
 pub fn frame_references_value(payload: Bytes) -> bool {
     matches!(
         WbMessage::parse(payload),
@@ -472,9 +594,27 @@ struct Sequencer {
     /// (single-group values decide at submission, multi-group at
     /// `Final`). Retransmission dedup: a duplicate `Submit` or `Final`
     /// is re-acknowledged from here instead of getting a second
-    /// timestamp. Grows with the group's history; a production
-    /// deployment would prune it below the stable checkpoint watermark.
+    /// timestamp. Pruned below the collective checkpoint watermark
+    /// (see [`WbMessage::CkptMark`]); grows only with the un-checkpointed
+    /// window.
     done: BTreeMap<ValueId, u64>,
+    /// Released values retained to serve subscriber resyncs after a
+    /// crash-restart ([`WbMessage::Resync`]): the group's ordered stream
+    /// above the collective checkpoint watermark. Pruned together with
+    /// `done` — this is the "retired backlog" a checkpoint lets the
+    /// sequencer discard.
+    history: BTreeMap<Key, (Value, Vec<GroupId>)>,
+    /// The latest durable checkpoint mark each subscriber reported
+    /// (`CkptMark`). `done`/`history` are pruned below the minimum once
+    /// every subscriber has reported; a subscriber that has never
+    /// checkpointed keeps the full history available (it would resync
+    /// from the very beginning). A subscriber that reported once and
+    /// then died permanently freezes the prune floor at its last mark —
+    /// the deliberate cost of guaranteeing it can resync after any
+    /// restart; evicting the dead (quorum-based trim plus peer
+    /// checkpoint transfer, as the ring engine does) is tracked in the
+    /// ROADMAP.
+    reported: BTreeMap<ProcessId, u64>,
 }
 
 /// The shared time unit of the hybrid clocks, microseconds. Every
@@ -487,8 +627,8 @@ struct Sequencer {
 /// The quantum also bounds cross-group release: when a busy group's
 /// count-driven timestamps outrun an idle group's time-driven promise,
 /// the busy group's deliveries at shared subscribers drain at most
-/// `1 / CLOCK_QUANTUM_US` values per second (the [`Sequencer::observe`]
-/// rule lifts this cap entirely when the idle sequencer's process also
+/// `1 / CLOCK_QUANTUM_US` values per second (the sequencer's Lamport
+/// receive rule lifts this cap entirely when the idle sequencer's process also
 /// subscribes to the busy group). One microsecond puts that floor at
 /// 10⁶ values/s/group — above any workload this simulator drives — at
 /// no cost: timestamps are u64 and their magnitude carries no meaning.
@@ -518,6 +658,16 @@ impl Sequencer {
     /// below this bound are settled).
     fn undecided_bound(&self) -> Option<Key> {
         self.pending.iter().map(|(&id, p)| (p.ts, id)).min()
+    }
+
+    /// Whether every subscriber of the group has reported a durable
+    /// checkpoint mark at least once (the precondition for pruning the
+    /// released history by the collective watermark; until then the
+    /// history is bounded by [`UNREPORTED_HISTORY_CAP`] instead).
+    fn all_reported(&self) -> bool {
+        self.subscribers
+            .iter()
+            .all(|p| self.reported.contains_key(p))
     }
 
     /// The highest timestamp this sequencer may promise: everything
@@ -555,6 +705,16 @@ struct Subscription {
     /// greater — except recovery re-releases, which only dedup against
     /// it.
     frontier: Key,
+    /// Checkpoint floor: values keyed at or below this timestamp are
+    /// covered by a restored (or durable) checkpoint and are never
+    /// delivered again — a resync replay or stale re-release below it
+    /// only advances the frontier.
+    floor: u64,
+    /// A [`WbMessage::Resync`] is outstanding for this stream: frames
+    /// keep buffering and frontiers keep advancing, but nothing is
+    /// *delivered* until the [`WbMessage::ResyncDone`] marker restores
+    /// the frontier's prefix-completeness guarantee.
+    resyncing: bool,
     /// Ordered-but-not-yet-deliverable values, keyed by `(ts, id)`.
     pending: BTreeMap<Key, Value>,
 }
@@ -564,8 +724,43 @@ impl Default for Subscription {
         Self {
             epoch: 0,
             frontier: (0, ValueId::new(ProcessId::new(0), 0)),
+            floor: 0,
+            resyncing: false,
             pending: BTreeMap::new(),
         }
+    }
+}
+
+impl Subscription {
+    /// The group's current **delivery mark**: the largest timestamp `t`
+    /// such that every value of this stream keyed at or below `t` has
+    /// been delivered locally (directly or deduplicated against another
+    /// subscribed stream) and none will arrive anymore.
+    ///
+    /// The frontier's own timestamp is excluded unless the frontier is a
+    /// heartbeat promise — a future release may still share it with a
+    /// larger id — and anything from the first still-pending value
+    /// onward is excluded because it has not been executed yet.
+    fn delivery_mark(&self) -> u64 {
+        // While a resync is outstanding the frontier may stand past
+        // values only the pending replay can supply (live heartbeats
+        // keep arriving during the hold): the stream's stable prefix is
+        // still exactly the restored checkpoint floor. Reporting the
+        // frontier here would let a checkpoint claim values the
+        // application never executed — and the subsequent trim would
+        // floor the replay out, losing them permanently.
+        if self.resyncing {
+            return self.floor;
+        }
+        let mut mark = if self.frontier.1 == promise_key(self.frontier.0).1 {
+            self.frontier.0
+        } else {
+            self.frontier.0.saturating_sub(1)
+        };
+        if let Some((&(ts, _), _)) = self.pending.first_key_value() {
+            mark = mark.min(ts.saturating_sub(1));
+        }
+        mark.max(self.floor)
     }
 }
 
@@ -614,9 +809,13 @@ pub struct WbcastNode {
     /// Highest timestamp observed per group, from any frame touching
     /// that group's clock: the takeover resume point.
     observed: BTreeMap<GroupId, u64>,
-    /// Ids delivered locally: exactly-once across failover re-releases.
-    /// Grows with history; production would prune below checkpoints.
-    delivered_ids: BTreeSet<ValueId>,
+    /// Ids delivered locally, with the timestamp they delivered at:
+    /// exactly-once across failover re-releases and resync replays.
+    /// Pruned below the checkpoint watermark on [`AmcastEngine::trim`];
+    /// the entries above the watermark travel inside the checkpoint
+    /// ([`AmcastEngine::checkpoint_state`]) so recovery stays exact even
+    /// when several values share the boundary timestamp.
+    delivered_ids: BTreeMap<ValueId, u64>,
     /// Locally submitted values still being tracked (retries, backlog).
     inflight: BTreeMap<ValueId, Inflight>,
     /// Rings with a live Δ heartbeat timer (avoids double-arming when a
@@ -645,12 +844,33 @@ impl WbcastNode {
     /// sequencer of each group is the coordinator of the group's ring;
     /// subscriptions are the config's learner subscriptions.
     pub fn new(me: ProcessId, config: ClusterConfig) -> Self {
+        Self::build(me, config, true)
+    }
+
+    /// Creates the engine for a process **restarting after a crash**.
+    ///
+    /// Identical to [`WbcastNode::new`] except that the process does
+    /// *not* assume the sequencer role for the rings it statically
+    /// coordinates: its pre-crash ordering state (clock, undecided
+    /// proposals, released history) died with it, and a replacement may
+    /// have been elected while it was down. Until the coordination
+    /// service confirms the role via `Event::CoordinatorChange` — which
+    /// runtimes deliver right after the restart's `Event::Start` — the
+    /// node neither orders submissions nor answers resyncs for those
+    /// groups, so a post-resume [`AmcastEngine::resume`] request stays
+    /// outstanding (and is re-issued to whoever the service names)
+    /// instead of being answered from a spuriously empty history.
+    pub fn recovering(me: ProcessId, config: ClusterConfig) -> Self {
+        Self::build(me, config, false)
+    }
+
+    fn build(me: ProcessId, config: ClusterConfig, assume_led: bool) -> Self {
         let mut led = BTreeMap::new();
         let mut coordinators = BTreeMap::new();
         for (&group, &ring_id) in config.groups() {
             let ring = config.ring(ring_id).expect("validated config");
             coordinators.insert(ring_id, ring.coordinator());
-            if ring.coordinator() == me {
+            if assume_led && ring.coordinator() == me {
                 led.insert(
                     group,
                     Sequencer {
@@ -664,6 +884,8 @@ impl WbcastNode {
                         pending: BTreeMap::new(),
                         outq: BTreeMap::new(),
                         done: BTreeMap::new(),
+                        history: BTreeMap::new(),
+                        reported: BTreeMap::new(),
                     },
                 );
             }
@@ -681,7 +903,7 @@ impl WbcastNode {
             coordinators,
             ring_epochs: BTreeMap::new(),
             observed: BTreeMap::new(),
-            delivered_ids: BTreeSet::new(),
+            delivered_ids: BTreeMap::new(),
             inflight: BTreeMap::new(),
             delta_armed: BTreeSet::new(),
             retry_armed: BTreeSet::new(),
@@ -714,6 +936,31 @@ impl WbcastNode {
     /// Ordered-but-undeliverable values buffered (backpressure metric).
     pub fn pending_len(&self) -> usize {
         self.subs.values().map(|s| s.pending.len()).sum()
+    }
+
+    /// Delivered-id dedup entries currently retained — the per-key
+    /// bookkeeping the checkpoint/trim cycle keeps bounded (it grows
+    /// only with the window above the last durable checkpoint).
+    pub fn dedup_len(&self) -> usize {
+        self.delivered_ids.len()
+    }
+
+    /// Dedup entries retained for deliveries at or below timestamp
+    /// `ts`. After [`AmcastEngine::trim`] at a watermark whose smallest
+    /// mark is `ts`, this is zero — the invariant the bounded-state
+    /// regression tests assert.
+    pub fn dedup_retained_at_or_below(&self, ts: u64) -> usize {
+        self.delivered_ids.values().filter(|&&t| t <= ts).count()
+    }
+
+    /// Sequencer-side bookkeeping retained for the groups this process
+    /// leads: `(decided-id entries, released-history entries)`. Both are
+    /// pruned below the collective checkpoint watermark reported by the
+    /// groups' subscribers.
+    pub fn sequencer_footprint(&self) -> (usize, usize) {
+        self.led.values().fold((0, 0), |(d, h), seq| {
+            (d + seq.done.len(), h + seq.history.len())
+        })
     }
 
     /// The believed current sequencer of `group`: the coordinator the
@@ -758,7 +1005,7 @@ impl WbcastNode {
     /// addressed to this process itself.
     fn route(&mut self, now: Time, to: ProcessId, msg: WbMessage, out: &mut Vec<Action>) {
         if to == self.me {
-            self.on_wb_message(now, msg, out);
+            self.on_wb_message(now, self.me, msg, out);
         } else {
             out.push(Action::Send {
                 to,
@@ -976,6 +1223,17 @@ impl WbcastNode {
                 let (value, groups) = seq.outq.remove(&key).expect("head key present");
                 // Future assignments must key above everything released.
                 seq.next_ts = seq.next_ts.max(key.0 + 1);
+                // Retain the released value for subscriber resyncs; the
+                // clones are cheap (`Bytes` payload) and the entry is
+                // pruned once every subscriber's durable checkpoint
+                // covers it — or, while some subscriber has never
+                // checkpointed, bounded by the cap (best-effort resync
+                // beats unbounded memory in never-checkpointing
+                // deployments).
+                seq.history.insert(key, (value.clone(), groups.clone()));
+                if seq.history.len() > UNREPORTED_HISTORY_CAP && !seq.all_reported() {
+                    seq.history.pop_first();
+                }
                 let frame = WbMessage::Ordered {
                     group,
                     epoch: seq.epoch,
@@ -1049,7 +1307,7 @@ impl WbcastNode {
             .copied()
             .filter(|g| self.subs.contains_key(g))
             .min();
-        let duplicate = self.delivered_ids.contains(&value.id);
+        let duplicate = self.delivered_ids.contains_key(&value.id);
         let Some(sub) = self.subs.get_mut(&group) else {
             return;
         };
@@ -1061,7 +1319,10 @@ impl WbcastNode {
         sub.epoch = epoch;
         let key = (ts, value.id);
         sub.frontier = sub.frontier.max(key);
-        if delivery_group == Some(group) && !duplicate {
+        // Values at or below the checkpoint floor are already reflected
+        // in the restored snapshot: a resync replay (or stale
+        // re-release) of them only advances the frontier.
+        if delivery_group == Some(group) && !duplicate && ts > sub.floor {
             sub.pending.insert(key, value);
         }
         self.drain(out);
@@ -1093,6 +1354,13 @@ impl WbcastNode {
     /// reached the key (streams arrive in strictly increasing key order,
     /// so nothing smaller can still arrive from a group at or past it).
     fn drain(&mut self, out: &mut Vec<Action>) {
+        // While any stream is being resynced, its frontier may stand
+        // past keys the replay has not retransmitted yet, so no frontier
+        // comparison is conclusive: hold all deliveries until every
+        // outstanding replay has terminated.
+        if self.subs.values().any(|s| s.resyncing) {
+            return;
+        }
         loop {
             let mut best: Option<(Key, GroupId)> = None;
             for (&g, s) in &self.subs {
@@ -1117,7 +1385,7 @@ impl WbcastNode {
                 .pending
                 .remove(&key)
                 .expect("candidate key is pending");
-            if self.delivered_ids.contains(&value.id) {
+            if self.delivered_ids.contains_key(&value.id) {
                 // A failover re-release of a value this process already
                 // delivered (or also holds at its original key): the
                 // insert-time check only covers ids delivered *before*
@@ -1125,7 +1393,7 @@ impl WbcastNode {
                 continue;
             }
             self.delivered += 1;
-            self.delivered_ids.insert(value.id);
+            self.delivered_ids.insert(value.id, key.0);
             if let Some(entry) = self.inflight.get_mut(&value.id) {
                 entry.delivered = true;
                 if entry.released.len() == entry.groups.len() {
@@ -1140,7 +1408,108 @@ impl WbcastNode {
         }
     }
 
-    fn on_wb_message(&mut self, now: Time, msg: WbMessage, out: &mut Vec<Action>) {
+    /// Sequencer side: a subscriber restarted from a checkpoint whose
+    /// delivery mark for this group is `from_ts` — replay the retained
+    /// released stream above it (in key order; the per-channel FIFO
+    /// guarantee then keeps subsequent live releases behind the replay)
+    /// and re-anchor the requester's frontier with the current promise.
+    fn on_resync(
+        &mut self,
+        now: Time,
+        from: ProcessId,
+        group: GroupId,
+        from_ts: u64,
+        out: &mut Vec<Action>,
+    ) {
+        let Some(seq) = self.led.get(&group) else {
+            // Not this group's sequencer (anymore): the restarted
+            // subscriber re-anchors to whatever the current sequencer
+            // streams; values only the deposed incarnation held are
+            // re-run by their initiators' retries.
+            return;
+        };
+        let mut frames: Vec<Message> = seq
+            .history
+            .range((
+                std::ops::Bound::Excluded(promise_key(from_ts)),
+                std::ops::Bound::Unbounded,
+            ))
+            .map(|(&(ts, _), (value, groups))| {
+                WbMessage::Ordered {
+                    group,
+                    epoch: seq.epoch,
+                    ts,
+                    groups: groups.clone(),
+                    value: value.clone(),
+                }
+                .into_frame()
+            })
+            .collect();
+        // The replay terminator: releases the requester's delivery hold
+        // and republishes the current promise over the same channel, so
+        // its frontier is prefix-complete from here on.
+        frames.push(
+            WbMessage::ResyncDone {
+                group,
+                epoch: seq.epoch,
+                ts: seq.promised,
+            }
+            .into_frame(),
+        );
+        if from == self.me {
+            // A sequencer that also subscribes resyncs against itself
+            // (only meaningful when its own state survived, i.e. never
+            // after a real crash — then history is empty anyway).
+            for frame in frames {
+                self.dispatch_message(now, self.me, frame, out);
+            }
+        } else {
+            out.extend(frames.into_iter().map(|msg| Action::Send { to: from, msg }));
+        }
+    }
+
+    /// Subscriber side: the replay for `group` has fully arrived — the
+    /// stream's frontier is prefix-complete again, deliveries may
+    /// proceed (once no other stream is still resyncing).
+    fn on_resync_done(&mut self, group: GroupId, epoch: u32, ts: u64, out: &mut Vec<Action>) {
+        self.note_observed(group, ts);
+        self.note_epoch(group, epoch);
+        self.observe_ts(group, ts);
+        let Some(sub) = self.subs.get_mut(&group) else {
+            return;
+        };
+        if epoch < sub.epoch {
+            // Answered by a deposed sequencer; the CoordinatorChange
+            // that deposed it re-issued the resync to its successor.
+            return;
+        }
+        sub.epoch = epoch;
+        sub.resyncing = false;
+        sub.frontier = sub.frontier.max(promise_key(ts.max(sub.floor)));
+        self.drain(out);
+    }
+
+    /// Sequencer side: a subscriber's durable checkpoint covers `group`
+    /// up to `ts`. Once every subscriber has reported, protocol state
+    /// below the minimum mark is unreachable — no retry can resurrect it
+    /// (initiators stop at `FinalAck`) and no resync can start below a
+    /// durable checkpoint — so the decided-id map and the released
+    /// history are pruned to the un-checkpointed window.
+    fn on_ckpt_mark(&mut self, from: ProcessId, group: GroupId, ts: u64) {
+        let Some(seq) = self.led.get_mut(&group) else {
+            return;
+        };
+        let mark = seq.reported.entry(from).or_insert(0);
+        *mark = (*mark).max(ts);
+        if !seq.all_reported() {
+            return;
+        }
+        let floor = seq.reported.values().copied().min().unwrap_or(0);
+        seq.done.retain(|_, fts| *fts > floor);
+        seq.history.retain(|&(ts, _), _| ts > floor);
+    }
+
+    fn on_wb_message(&mut self, now: Time, from: ProcessId, msg: WbMessage, out: &mut Vec<Action>) {
         match msg {
             WbMessage::Submit {
                 group,
@@ -1160,6 +1529,11 @@ impl WbcastNode {
                 value,
             } => self.on_ordered(group, epoch, ts, groups, value, out),
             WbMessage::Heartbeat { group, epoch, ts } => self.on_heartbeat(group, epoch, ts, out),
+            WbMessage::Resync { group, from_ts } => self.on_resync(now, from, group, from_ts, out),
+            WbMessage::CkptMark { group, ts } => self.on_ckpt_mark(from, group, ts),
+            WbMessage::ResyncDone { group, epoch, ts } => {
+                self.on_resync_done(group, epoch, ts, out);
+            }
         }
     }
 
@@ -1183,16 +1557,22 @@ impl WbcastNode {
         // against a correct proposer (same policy as the ring engine).
     }
 
-    fn dispatch_message(&mut self, now: Time, msg: Message, out: &mut Vec<Action>) {
+    fn dispatch_message(
+        &mut self,
+        now: Time,
+        from: ProcessId,
+        msg: Message,
+        out: &mut Vec<Action>,
+    ) {
         match msg {
             Message::Engine { engine, payload } if engine == WBCAST_WIRE_ID => {
                 if let Some(wb) = WbMessage::parse(payload) {
-                    self.on_wb_message(now, wb, out);
+                    self.on_wb_message(now, from, wb, out);
                 }
             }
             Message::Batch(msgs) => {
                 for m in msgs {
-                    self.dispatch_message(now, m, out);
+                    self.dispatch_message(now, from, m, out);
                 }
             }
             Message::Request {
@@ -1386,6 +1766,14 @@ impl WbcastNode {
                         pending: BTreeMap::new(),
                         outq: BTreeMap::new(),
                         done: BTreeMap::new(),
+                        // A fresh sequencer has no released history to
+                        // serve: subscribers that crash while this
+                        // incarnation leads can only resync values it
+                        // released itself (replicating the history
+                        // inside the group is future work, with the
+                        // per-group counter replication).
+                        history: BTreeMap::new(),
+                        reported: BTreeMap::new(),
                     };
                     seq.bump_clock(now);
                     self.led.insert(g, seq);
@@ -1410,6 +1798,27 @@ impl WbcastNode {
                     // the new sequencer.
                 }
             }
+        }
+        // Subscriber side: an unanswered resync addressed to the
+        // deposed sequencer would hold deliveries forever — re-issue it
+        // to the new one (which answers from whatever history it has,
+        // then terminates the hold).
+        let resyncs: Vec<(GroupId, u64)> = groups
+            .iter()
+            .filter_map(|&g| {
+                self.subs
+                    .get(&g)
+                    .filter(|s| s.resyncing)
+                    .map(|s| (g, s.floor))
+            })
+            .collect();
+        for (g, from_ts) in resyncs {
+            self.route(
+                now,
+                coordinator,
+                WbMessage::Resync { group: g, from_ts },
+                out,
+            );
         }
         // Initiator side: acknowledgements from the deposed sequencer
         // are void. Re-run each affected round against the new one
@@ -1470,7 +1879,7 @@ impl StateMachine for WbcastNode {
         let mut out = Vec::new();
         match event {
             Event::Start => self.on_start(&mut out),
-            Event::Message { msg, .. } => self.dispatch_message(now, msg, &mut out),
+            Event::Message { from, msg } => self.dispatch_message(now, from, msg, &mut out),
             Event::Timer(TimerKind::Delta(ring)) => self.heartbeat_tick(now, ring, &mut out),
             Event::Timer(TimerKind::ProposalResend(ring)) => self.retry_ring(now, ring, &mut out),
             Event::CoordinatorChange {
@@ -1576,6 +1985,121 @@ impl AmcastEngine for WbcastNode {
             .values()
             .filter(|e| e.local && !e.delivered)
             .count()
+    }
+
+    /// Per subscribed group, the stream's delivery mark — the largest
+    /// timestamp whose whole prefix has been delivered locally; the
+    /// merge-cursor fields are unused by this engine.
+    fn watermark(&self) -> crate::engine::Watermark {
+        crate::engine::Watermark {
+            marks: self
+                .subs
+                .iter()
+                .map(|(&g, s)| (g, InstanceId::new(s.delivery_mark())))
+                .collect(),
+            cursor_group: 0,
+            cursor_used: 0,
+        }
+    }
+
+    /// The engine's recovery records: the local [`ValueId`] sequence
+    /// floor, plus every delivered id above the watermark with its
+    /// delivery timestamp. The dedup records are needed because marks
+    /// are plain timestamps while delivery keys are `(ts, id)` — at a
+    /// tie on the boundary timestamp, some ids are already executed and
+    /// some are not, and only the id set makes the restore exact. The
+    /// sequence floor keeps post-restart submissions from minting ids a
+    /// previous incarnation already used (which the restored dedup
+    /// records would silently swallow).
+    fn checkpoint_state(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(self.next_seq);
+        buf.put_u64_le(self.delivered_ids.len() as u64);
+        for (&id, &ts) in &self.delivered_ids {
+            put_id(&mut buf, id);
+            buf.put_u64_le(ts);
+        }
+        buf.freeze()
+    }
+
+    fn install_checkpoint(&mut self, watermark: &crate::engine::Watermark, state: &Bytes) {
+        let mut buf = state.clone();
+        if buf.remaining() >= 16 {
+            self.next_seq = self.next_seq.max(buf.get_u64_le());
+            let n = buf.get_u64_le();
+            for _ in 0..n {
+                let Some(id) = get_id(&mut buf) else { break };
+                if buf.remaining() < 8 {
+                    break;
+                }
+                let ts = buf.get_u64_le();
+                self.delivered_ids.insert(id, ts);
+            }
+        }
+        for (&g, sub) in self.subs.iter_mut() {
+            let floor = sub.floor.max(watermark.mark_of(g).value());
+            sub.floor = floor;
+            // Nothing at or below the floor will be replayed (resync
+            // starts above it), so the frontier can anchor there.
+            sub.frontier = sub.frontier.max(promise_key(floor));
+            sub.pending.retain(|&(ts, _), _| ts > floor);
+        }
+    }
+
+    /// Prunes the local dedup records below the durable watermark and
+    /// reports the per-group marks to the groups' sequencers
+    /// (`CkptMark` frames) so they can prune their decided-id maps and
+    /// released-value history in turn.
+    fn trim(&mut self, now: Time, watermark: &crate::engine::Watermark) -> Vec<Action> {
+        let mut out = Vec::new();
+        let mut min_mark = u64::MAX;
+        let mut reports: Vec<(GroupId, u64)> = Vec::new();
+        for (&g, sub) in self.subs.iter_mut() {
+            let mark = watermark.mark_of(g).value();
+            sub.floor = sub.floor.max(mark);
+            min_mark = min_mark.min(mark);
+            reports.push((g, mark));
+        }
+        if min_mark != u64::MAX {
+            self.delivered_ids.retain(|_, ts| *ts > min_mark);
+        }
+        for (g, ts) in reports {
+            if let Some(sequencer) = self.sequencer_of(g) {
+                self.route(
+                    now,
+                    sequencer,
+                    WbMessage::CkptMark { group: g, ts },
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    /// Asks each subscribed group's sequencer to replay its released
+    /// stream above the restored checkpoint floor. Also floors the local
+    /// [`ValueId`] sequence at the restart's wall-clock microsecond so
+    /// ids minted by this incarnation cannot collide with submissions
+    /// the previous incarnation made *after* its last checkpoint (the
+    /// same elapsed-time argument the hybrid clock rests on).
+    fn resume(&mut self, now: Time) -> Vec<Action> {
+        self.next_seq = self.next_seq.max(now.as_micros());
+        let mut out = Vec::new();
+        let requests: Vec<(GroupId, u64)> = self.subs.iter().map(|(&g, s)| (g, s.floor)).collect();
+        for (g, from_ts) in requests {
+            if let Some(sequencer) = self.sequencer_of(g) {
+                // Hold deliveries until this stream's replay terminates
+                // (a self-routed resync clears the flag inline).
+                self.subs.get_mut(&g).expect("subscribed group").resyncing = true;
+                self.route(
+                    now,
+                    sequencer,
+                    WbMessage::Resync { group: g, from_ts },
+                    &mut out,
+                );
+            }
+        }
+        out
     }
 }
 
@@ -2011,12 +2535,31 @@ mod tests {
                 epoch: 2,
                 ts: 7,
             },
+            WbMessage::Resync {
+                group: GroupId::new(1),
+                from_ts: 12,
+            },
+            WbMessage::CkptMark {
+                group: GroupId::new(0),
+                ts: 11,
+            },
+            WbMessage::ResyncDone {
+                group: GroupId::new(1),
+                epoch: 4,
+                ts: 13,
+            },
         ] {
             let Message::Engine { engine, payload } = msg.clone().into_frame() else {
                 panic!("expected engine frame");
             };
             assert_eq!(engine, WBCAST_WIRE_ID);
-            let carries = !matches!(msg, WbMessage::Heartbeat { .. });
+            let carries = !matches!(
+                msg,
+                WbMessage::Heartbeat { .. }
+                    | WbMessage::Resync { .. }
+                    | WbMessage::CkptMark { .. }
+                    | WbMessage::ResyncDone { .. }
+            );
             assert_eq!(frame_references_value(payload.clone()), carries);
             assert_eq!(WbMessage::parse(payload), Some(msg));
         }
@@ -2319,6 +2862,297 @@ mod tests {
             n1.led[&GroupId::new(0)].epoch,
             5,
             "epoch must exceed the election round even with no frames observed"
+        );
+    }
+
+    /// Satellite regression: the per-key dedup/bookkeeping state —
+    /// subscriber-side delivered-id records, sequencer-side decided-id
+    /// map and released history — is bounded by the checkpoint window,
+    /// not by total delivered history (the unbounded-growth bug the
+    /// checkpoint/trim surface fixes).
+    #[test]
+    fn checkpoint_trim_bounds_dedup_and_sequencer_state() {
+        let config = single_ring(1, RingTuning::default());
+        let mut n = WbcastNode::new(ProcessId::new(0), config);
+        let submit_round = |n: &mut WbcastNode, base: u8| {
+            for i in 0..100u8 {
+                AmcastEngine::multicast(
+                    n,
+                    Time::ZERO,
+                    &[GroupId::new(0)],
+                    Bytes::from(vec![base, i]),
+                )
+                .unwrap();
+            }
+        };
+        submit_round(&mut n, 0);
+        assert_eq!(n.delivered(), 100);
+        assert_eq!(n.dedup_len(), 100, "one dedup record per delivery");
+        assert_eq!(n.sequencer_footprint(), (100, 100));
+        // One checkpoint cycle: report the watermark, trim below it.
+        let w = AmcastEngine::watermark(&n);
+        let mark = w.mark_of(GroupId::new(0)).value();
+        assert!(mark >= 99, "watermark tracks the delivered prefix: {mark}");
+        let actions = AmcastEngine::trim(&mut n, Time::ZERO, &w);
+        assert!(actions.is_empty(), "singleton: the mark self-routes");
+        assert_eq!(
+            n.dedup_retained_at_or_below(mark),
+            0,
+            "no dedup record survives at or below the watermark"
+        );
+        // Only the boundary value (excluded from the mark because a
+        // future release could share its timestamp) may remain.
+        assert!(n.dedup_len() <= 1, "dedup bounded: {}", n.dedup_len());
+        let (done, history) = n.sequencer_footprint();
+        assert!(
+            done <= 1 && history <= 1,
+            "sequencer bookkeeping bounded: {done}/{history}"
+        );
+        // A second window: sizes stay at the window bound, proving the
+        // state scales with the checkpoint interval, not uptime.
+        submit_round(&mut n, 1);
+        let w = AmcastEngine::watermark(&n);
+        AmcastEngine::trim(&mut n, Time::ZERO, &w);
+        assert!(n.dedup_len() <= 1);
+        let (done, history) = n.sequencer_footprint();
+        assert!(done <= 1 && history <= 1);
+        assert_eq!(n.delivered(), 200, "trimming never affects delivery");
+    }
+
+    /// A subscriber that restarts from a checkpoint resyncs the released
+    /// stream above its watermark from the sequencer's retained history:
+    /// nothing covered by the checkpoint (or by the residual dedup
+    /// records above the boundary) is delivered twice, and new traffic
+    /// reaches the restarted process exactly once.
+    #[test]
+    fn restarted_subscriber_resyncs_from_checkpoint() {
+        let config = single_ring(3, RingTuning::default());
+        let mut nodes = spawn(&config);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let submit = |nodes: &mut Map<ProcessId, WbcastNode>, k: u8| {
+            let (_, actions) = AmcastEngine::multicast(
+                nodes.get_mut(&p0).unwrap(),
+                Time::ZERO,
+                &[GroupId::new(0)],
+                Bytes::from(vec![k]),
+            )
+            .unwrap();
+            pump(nodes, actions.into_iter().map(|a| (p0, a)).collect());
+        };
+        for k in 0..5 {
+            submit(&mut nodes, k);
+        }
+        assert_eq!(nodes[&p1].delivered(), 5);
+        // p1 checkpoints (watermark + engine recovery state), then
+        // crashes: the process state is rebuilt from scratch.
+        let w = AmcastEngine::watermark(&nodes[&p1]);
+        let state = AmcastEngine::checkpoint_state(&nodes[&p1]);
+        assert_eq!(
+            w.mark_of(GroupId::new(0)).value(),
+            4,
+            "the boundary value stays above the mark (a future release could tie its timestamp)"
+        );
+        let mut fresh = WbcastNode::recovering(p1, config.clone());
+        AmcastEngine::install_checkpoint(&mut fresh, &w, &state);
+        nodes.insert(p1, fresh);
+        // Restart: resync replays the history above the mark — the
+        // boundary value arrives again but is deduplicated against the
+        // restored residual records.
+        let actions = AmcastEngine::resume(nodes.get_mut(&p1).unwrap(), Time::ZERO);
+        assert!(!actions.is_empty(), "a resync request is issued");
+        pump(&mut nodes, actions.into_iter().map(|a| (p1, a)).collect());
+        assert_eq!(
+            nodes[&p1].delivered(),
+            0,
+            "everything before the crash is covered by checkpoint + dedup"
+        );
+        // New traffic is delivered exactly once and the restarted
+        // subscriber's stream position matches the others'.
+        for k in 5..8 {
+            submit(&mut nodes, k);
+        }
+        assert_eq!(nodes[&p1].delivered(), 3);
+        assert_eq!(
+            nodes[&p1].horizons()[&GroupId::new(0)],
+            nodes[&p0].horizons()[&GroupId::new(0)],
+            "frontier re-anchored to the live stream"
+        );
+    }
+
+    /// Review regression: while a resync is outstanding, the delivery
+    /// watermark must stay at the restored checkpoint floor — live
+    /// heartbeats advance the frontier past values only the pending
+    /// replay can supply, and a checkpoint taken at that frontier would
+    /// claim (and, after trim, permanently drop) values the
+    /// application never executed.
+    #[test]
+    fn watermark_holds_at_floor_while_resyncing() {
+        let config = single_ring(3, RingTuning::default());
+        let p1 = ProcessId::new(1);
+        let g = GroupId::new(0);
+        let mut fresh = WbcastNode::recovering(p1, config);
+        let restored = crate::engine::Watermark {
+            marks: vec![(g, InstanceId::new(4))],
+            cursor_group: 0,
+            cursor_used: 0,
+        };
+        AmcastEngine::install_checkpoint(&mut fresh, &restored, &Bytes::new());
+        let resume = AmcastEngine::resume(&mut fresh, Time::from_secs(1));
+        assert!(!resume.is_empty(), "resync issued to the sequencer");
+        // A live heartbeat with a far-future promise arrives before the
+        // replay: the frontier moves, the watermark must not.
+        fresh.on_event(
+            Time::from_secs(1),
+            Event::Message {
+                from: ProcessId::new(0),
+                msg: WbMessage::Heartbeat {
+                    group: g,
+                    epoch: 0,
+                    ts: 10_000,
+                }
+                .into_frame(),
+            },
+        );
+        assert_eq!(
+            AmcastEngine::watermark(&fresh).mark_of(g).value(),
+            4,
+            "watermark pinned to the restored floor while resyncing"
+        );
+        // The replay terminator restores the frontier's meaning and
+        // with it the watermark.
+        fresh.on_event(
+            Time::from_secs(1),
+            Event::Message {
+                from: ProcessId::new(0),
+                msg: WbMessage::ResyncDone {
+                    group: g,
+                    epoch: 0,
+                    ts: 9_000,
+                }
+                .into_frame(),
+            },
+        );
+        assert!(
+            AmcastEngine::watermark(&fresh).mark_of(g).value() >= 9_000,
+            "watermark tracks the live stream again after ResyncDone"
+        );
+    }
+
+    /// Review regression: a restarted process that *statically*
+    /// coordinates a group it subscribes to must not answer its own
+    /// resync from its freshly empty history — that would clear the
+    /// delivery hold and permanently skip everything a replacement
+    /// sequencer released while it was down. A recovering node
+    /// relinquishes the role until the coordination service speaks; the
+    /// `CoordinatorChange` then re-routes the still-outstanding resync
+    /// to the actual sequencer.
+    #[test]
+    fn restarted_configured_sequencer_resyncs_from_replacement() {
+        let config = disjoint_config(&[&[0, 1]]);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let g = GroupId::new(0);
+        let ring = RingId::new(0);
+        let mut nodes = spawn(&config);
+        // Three values ordered by the configured sequencer p0.
+        let mut queue = Vec::new();
+        for k in 0..3u8 {
+            let (_, actions) = AmcastEngine::multicast(
+                nodes.get_mut(&p0).unwrap(),
+                Time::ZERO,
+                &[g],
+                Bytes::from(vec![k]),
+            )
+            .unwrap();
+            queue.extend(actions.into_iter().map(|a| (p0, a)));
+        }
+        pump(&mut nodes, queue);
+        assert_eq!(nodes[&p0].delivered(), 3);
+        // p0 checkpoints, then crashes. p1 is elected sequencer and
+        // orders two more values; frames toward the dead p0 are lost.
+        let w = AmcastEngine::watermark(&nodes[&p0]);
+        let state = AmcastEngine::checkpoint_state(&nodes[&p0]);
+        nodes.remove(&p0);
+        let election = Event::CoordinatorChange {
+            ring,
+            coordinator: p1,
+            supersedes: multiring_paxos::types::Ballot::new(1, p1),
+        };
+        let drive =
+            |nodes: &mut Map<ProcessId, WbcastNode>, from: ProcessId, t: Time, ev: Event| {
+                let mut queue: std::collections::VecDeque<(ProcessId, Action)> = nodes
+                    .get_mut(&from)
+                    .unwrap()
+                    .on_event(t, ev)
+                    .into_iter()
+                    .map(|a| (from, a))
+                    .collect();
+                while let Some((origin, action)) = queue.pop_front() {
+                    if let Action::Send { to, msg } = action {
+                        let Some(node) = nodes.get_mut(&to) else {
+                            continue; // p0 is down: the frame is lost
+                        };
+                        for a in node.on_event(t, Event::Message { from: origin, msg }) {
+                            queue.push_back((to, a));
+                        }
+                    }
+                }
+            };
+        drive(&mut nodes, p1, Time::from_millis(100), election.clone());
+        for k in 3..5u8 {
+            let (_, actions) = AmcastEngine::multicast(
+                nodes.get_mut(&p1).unwrap(),
+                Time::from_millis(100),
+                &[g],
+                Bytes::from(vec![k]),
+            )
+            .unwrap();
+            for (from, a) in actions.into_iter().map(|a| (p1, a)) {
+                if let Action::Send { to, msg } = a {
+                    if nodes.contains_key(&to) {
+                        nodes
+                            .get_mut(&to)
+                            .unwrap()
+                            .on_event(Time::from_millis(100), Event::Message { from, msg });
+                    }
+                }
+            }
+        }
+        // Past the takeover grace window, p1's Δ tick releases both.
+        drive(
+            &mut nodes,
+            p1,
+            Time::from_millis(900),
+            Event::Timer(TimerKind::Delta(ring)),
+        );
+        assert_eq!(nodes[&p1].delivered(), 5);
+        // p0 restarts from its checkpoint. Its resume self-routes the
+        // resync (the static config names itself), but a recovering
+        // node holds no sequencer role: the request stays outstanding
+        // and nothing is delivered.
+        let mut fresh = WbcastNode::recovering(p0, config.clone());
+        AmcastEngine::install_checkpoint(&mut fresh, &w, &state);
+        nodes.insert(p0, fresh);
+        let resume_actions = AmcastEngine::resume(nodes.get_mut(&p0).unwrap(), Time::from_secs(1));
+        assert!(
+            resume_actions.is_empty(),
+            "the self-addressed resync is swallowed, not answered from an empty history"
+        );
+        assert_eq!(nodes[&p0].delivered(), 0);
+        // The coordination service announces the actual sequencer: the
+        // still-outstanding resync is re-issued to p1, whose history
+        // replays exactly the two values released during the downtime.
+        drive(&mut nodes, p0, Time::from_secs(2), election);
+        assert_eq!(
+            nodes[&p0].delivered(),
+            2,
+            "the downtime gap is replayed from the replacement sequencer"
+        );
+        assert_eq!(
+            nodes[&p0].horizons()[&g],
+            nodes[&p1].horizons()[&g],
+            "frontier re-anchored to the live stream"
         );
     }
 

@@ -1,26 +1,78 @@
 //! Figure 8: impact of recovery on performance — throughput and latency
-//! over a 300 s run with a replica kill at 20 s and restart at 240 s.
+//! over a 300 s run with a replica kill at 20 s and restart at 240 s,
+//! swept over **both** atomic-multicast engines (the ring engine
+//! recovers via checkpoint + acceptor-log retransmission, the white-box
+//! engine via checkpoint + sequencer stream resync).
+//!
+//! Prints one table per engine and writes the runs as
+//! `BENCH_fig8.json` for downstream tooling (see the bench-artifact
+//! schema in the `mrp-bench` crate docs).
 
+use mrp_amcast::EngineKind;
+use mrp_bench::figures::Fig8Result;
 use mrp_bench::table::{fmt_f, Table};
 use mrp_bench::{figures, Scale};
 
+/// Hand-rolled JSON (the workspace is offline-hermetic: no serde).
+fn to_json(results: &[Fig8Result]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"engine\": \"{}\", \"checkpoints\": {}, \"trims\": {}, \"events\": [",
+            r.engine, r.checkpoints, r.trims
+        ));
+        for (j, (t_s, what)) in r.events.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"t_s\": {t_s}, \"what\": \"{what}\"}}{}",
+                if j + 1 < r.events.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str("], \"timeline\": [");
+        for (j, p) in r.timeline.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"t_s\": {}, \"ops_per_sec\": {:.1}, \"latency_ms\": {:.3}}}{}",
+                p.t_s,
+                p.ops_per_sec,
+                p.latency_ms,
+                if j + 1 < r.timeline.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
 fn main() {
     let scale = Scale::from_env();
-    let result = figures::fig8(scale);
-    let mut t = Table::new(
-        "Figure 8 — recovery timeline (replica killed / restarted)",
-        &["t_s", "ops_per_sec", "latency_ms"],
-    );
-    for p in &result.timeline {
-        t.row(&[p.t_s.to_string(), fmt_f(p.ops_per_sec), fmt_f(p.latency_ms)]);
+    let mut results = Vec::new();
+    for kind in EngineKind::ALL {
+        let result = figures::fig8(scale, kind);
+        let mut t = Table::new(
+            format!("Figure 8 — recovery timeline, {kind} engine (replica killed / restarted)"),
+            &["t_s", "ops_per_sec", "latency_ms"],
+        );
+        for p in &result.timeline {
+            t.row(&[p.t_s.to_string(), fmt_f(p.ops_per_sec), fmt_f(p.latency_ms)]);
+        }
+        t.print();
+        println!("\nevents:");
+        for (t_s, what) in &result.events {
+            println!("  t={t_s:>4}s  {what}");
+        }
+        println!(
+            "  checkpoints taken: {}   acceptor log trims: {}\n",
+            result.checkpoints, result.trims
+        );
+        results.push(result);
     }
-    t.print();
-    println!("\nevents:");
-    for (t_s, what) in &result.events {
-        println!("  t={t_s:>4}s  {what}");
+    let json = to_json(&results);
+    let path = "BENCH_fig8.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} runs)", results.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
-    println!(
-        "  checkpoints taken: {}   acceptor log trims: {}",
-        result.checkpoints, result.trims
-    );
 }

@@ -5,7 +5,7 @@
 //! results; the bench targets print them as tables/series. Absolute
 //! numbers depend on the calibrated CPU/disk/network models — the
 //! *shape* (who wins, scaling factors, crossovers) is the reproduction
-//! target (see `EXPERIMENTS.md`).
+//! target (see the repository `README.md`).
 
 use crate::harness::{EchoApp, OpenLoopClient, PingClient, Scale};
 use bytes::Bytes;
@@ -20,13 +20,11 @@ use mrp_sim::cluster::{Cluster, SimConfig};
 use mrp_sim::cpu::CpuModel;
 use mrp_sim::disk::DiskModel;
 use mrp_sim::net::{Region, Topology};
-use mrp_storage::NodeStorage;
 use mrp_store::client::{ClientOp, StoreClient, StoreClientConfig};
 use mrp_store::command::StoreCommand;
 use mrp_store::{StoreApp, StoreDeployment, StoreTopology};
 use mrp_ycsb::{Workload, WorkloadKind, YcsbOp};
 use multiring_paxos::config::{ClusterConfig, RingSpec, RingTuning, Roles, StorageMode};
-use multiring_paxos::node::Node;
 use multiring_paxos::replica::{CheckpointPolicy, Replica};
 use multiring_paxos::types::{ClientId, GroupId, ProcessId, RingId, Time};
 use std::collections::BTreeMap;
@@ -809,21 +807,28 @@ pub struct Fig8Point {
 /// The Figure 8 result: the timeline plus event annotations.
 #[derive(Clone, Debug)]
 pub struct Fig8Result {
+    /// The atomic-multicast engine the run used.
+    pub engine: &'static str,
     /// Per-window points.
     pub timeline: Vec<Fig8Point>,
     /// `(time s, event)` annotations.
     pub events: Vec<(u64, &'static str)>,
     /// Checkpoints taken by the replicas.
     pub checkpoints: u64,
-    /// Acceptor log trims executed.
+    /// Acceptor log trims executed (ring engine only; the white-box
+    /// engine prunes sequencer history instead, which the simulator does
+    /// not count as a storage trim).
     pub trims: u64,
 }
 
 /// Figure 8: impact of recovery — a replica is killed at 20 s and
 /// restarts at 240 s of a 300 s run; replicas checkpoint synchronously
 /// every 30 s, acceptors trim after checkpoints; the system runs at
-/// roughly 75 % of its peak load.
-pub fn fig8(scale: Scale) -> Fig8Result {
+/// roughly 75 % of its peak load. Parameterized over the ordering
+/// engine: the ring engine recovers through checkpoint + acceptor-log
+/// retransmission, the white-box engine through checkpoint + sequencer
+/// stream resync — both behind the same engine-generic replica surface.
+pub fn fig8(scale: Scale, kind: mrp_amcast::EngineKind) -> Fig8Result {
     let total_s = scale.pick(300u64, 30);
     let kill_s = scale.pick(20u64, 4);
     let restart_s = scale.pick(240u64, 18);
@@ -863,7 +868,7 @@ pub fn fig8(scale: Scale) -> Fig8Result {
     cluster.set_protocol(config.clone());
     for i in 0..3 {
         let p = ProcessId::new(i);
-        cluster.add_actor(p, Hosted::new(Node::new(p, config.clone())).boxed());
+        cluster.add_actor(p, Hosted::new(kind.build(p, config.clone())).boxed());
         cluster.set_cpu(p, server_cpu());
         cluster.add_disk(p, DiskModel::hdd());
     }
@@ -873,25 +878,9 @@ pub fn fig8(scale: Scale) -> Fig8Result {
     };
     for i in 3..6 {
         let p = ProcessId::new(i);
-        let replica = Replica::new(p, config.clone(), StoreApp::new(0), policy);
-        cluster.add_actor(p, Hosted::new(replica).boxed());
+        cluster.add_recoverable_replica_actor(kind, p, config.clone(), policy, || StoreApp::new(0));
         cluster.set_cpu(p, server_cpu());
         cluster.add_disk(p, DiskModel::ssd());
-        let cfg = config.clone();
-        cluster.set_factory(
-            p,
-            Box::new(move |storage: &NodeStorage| {
-                Hosted::new(Replica::recovering(
-                    p,
-                    cfg.clone(),
-                    StoreApp::new(0),
-                    policy,
-                    storage.acceptor_recovery(),
-                    storage.checkpoint_cloned(),
-                ))
-                .boxed()
-            }),
-        );
     }
     // Open-loop load at ~75% of the CPU-bound peak.
     let client_proc = ProcessId::new(900);
@@ -934,16 +923,24 @@ pub fn fig8(scale: Scale) -> Fig8Result {
     }
     let mut checkpoints = 0;
     type StoreReplica = Hosted<Replica<StoreApp>>;
+    type StoreEngineReplica = Hosted<mrp_amcast::EngineReplica<StoreApp>>;
     for i in 3..6 {
-        if let Some(r) = cluster.actor_as::<StoreReplica>(ProcessId::new(i)) {
+        let p = ProcessId::new(i);
+        if let Some(r) = cluster.actor_as::<StoreReplica>(p) {
+            checkpoints += r.inner().checkpoints_taken();
+        } else if let Some(r) = cluster.actor_as::<StoreEngineReplica>(p) {
             checkpoints += r.inner().checkpoints_taken();
         }
     }
     Fig8Result {
+        engine: kind.name(),
         timeline,
         events: vec![
             (kill_s, "replica terminated"),
-            (restart_s, "replica restarts (checkpoint + retransmission)"),
+            (
+                restart_s,
+                "replica restarts (checkpoint + resync/retransmission)",
+            ),
         ],
         checkpoints,
         trims: cluster.metrics().counter("trim_storage"),
@@ -1211,7 +1208,16 @@ pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
             cluster.set_protocol(config.clone());
             for p in 0..n {
                 let pid = ProcessId::new(p);
-                let replica = EngineReplica::new(kind, pid, config.clone(), EchoApp::new());
+                let replica = EngineReplica::new(
+                    kind,
+                    pid,
+                    config.clone(),
+                    EchoApp::new(),
+                    CheckpointPolicy {
+                        interval_us: 0,
+                        sync: false,
+                    },
+                );
                 cluster.add_actor(pid, Hosted::new(replica).boxed());
                 cluster.set_cpu(pid, proto_cpu());
             }
@@ -1300,7 +1306,16 @@ pub fn fig_multigroup(scale: Scale) -> Vec<MultigroupRow> {
             cluster.set_protocol(config.clone());
             for p in 0..n {
                 let pid = ProcessId::new(p);
-                let replica = EngineReplica::new(kind, pid, config.clone(), EchoApp::new());
+                let replica = EngineReplica::new(
+                    kind,
+                    pid,
+                    config.clone(),
+                    EchoApp::new(),
+                    CheckpointPolicy {
+                        interval_us: 0,
+                        sync: false,
+                    },
+                );
                 cluster.add_actor(pid, Hosted::new(replica).boxed());
                 cluster.set_cpu(pid, proto_cpu());
             }

@@ -19,6 +19,42 @@
 //! Every harness prints the same rows/series the paper reports and is
 //! parameterized by [`Scale`] so the test suite can run a fast smoke
 //! version of the exact same code (`MRP_BENCH_SCALE=smoke`).
+//!
+//! ## Bench artifacts: the `BENCH_*.json` schema
+//!
+//! Benches that feed cross-PR trajectory comparisons additionally write
+//! hand-rolled JSON (the workspace is offline-hermetic — no serde) into
+//! the bench binary's working directory, which `cargo bench` sets to
+//! `crates/mrp-bench/`. CI runs them at smoke scale and uploads the
+//! files as artifacts, so numbers are comparable PR-over-PR as long as
+//! they come from the same scale.
+//!
+//! `BENCH_multigroup.json` — an array with one row per
+//! (engine, multi-group fraction) cell of the sweep:
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `engine` | engine name (`multiring` \| `wbcast`) |
+//! | `multi_per_mille` | multi-group messages per 1000 client requests |
+//! | `ops_per_sec` | completed client operations per second |
+//! | `latency_ms` | mean end-to-end latency over all operations |
+//! | `single_ms` / `multi_ms` | mean latency split by message class |
+//! | `p99_ms` | 99th-percentile latency |
+//!
+//! `BENCH_fig8.json` — an array with one object per engine run of the
+//! recovery timeline:
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `engine` | engine name the run used |
+//! | `checkpoints` | replica checkpoints completed during the run |
+//! | `trims` | acceptor-log trim commands executed (ring engine only; wbcast prunes sequencer history instead) |
+//! | `events` | `{t_s, what}` annotations: the replica kill and restart instants |
+//! | `timeline` | `{t_s, ops_per_sec, latency_ms}` per throughput window |
+//!
+//! The recovery dip and the post-restart catch-up are what to look at
+//! in `timeline`; `checkpoints > 0` is what makes the restart recover
+//! from a snapshot rather than replaying history from genesis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -134,12 +134,13 @@ impl DLogDeployment {
     }
 
     /// Spawns one server actor per process on `cluster`, hosted by the
-    /// deployment's ordering engine (the checkpoint-capable
+    /// deployment's ordering engine (the full trim/peer-recovery-capable
     /// [`Replica`](multiring_paxos::replica::Replica) for Multi-Ring
-    /// Paxos, [`EngineReplica`](mrp_amcast::EngineReplica) otherwise).
-    /// Each server
-    /// hosts every log with `wal_capacity` bytes of in-memory log
-    /// budget.
+    /// Paxos, [`EngineReplica`](mrp_amcast::EngineReplica) otherwise —
+    /// both checkpointing per `policy`), with a restart factory so
+    /// crashed servers recover from their latest durable checkpoint.
+    /// Each server hosts every log with `wal_capacity` bytes of
+    /// in-memory log budget.
     pub fn spawn_servers(
         &self,
         cluster: &mut Cluster,
@@ -149,8 +150,14 @@ impl DLogDeployment {
         cluster.set_protocol(self.config.clone());
         let logs: Vec<LogId> = self.group_of_log.keys().copied().collect();
         for &s in &self.servers {
-            let app = DLogApp::new(logs.clone(), wal_capacity);
-            cluster.add_replica_actor(self.engine, s, self.config.clone(), app, policy);
+            let logs = logs.clone();
+            cluster.add_recoverable_replica_actor(
+                self.engine,
+                s,
+                self.config.clone(),
+                policy,
+                move || DLogApp::new(logs.clone(), wal_capacity),
+            );
         }
     }
 

@@ -207,11 +207,11 @@ impl Cluster {
     }
 
     /// Adds one replicated-service actor for `p` running `app` over the
-    /// selected engine: the checkpoint/trim-capable [`Replica`] when
-    /// the engine is Multi-Ring Paxos (honoring `policy`), the
-    /// engine-generic [`EngineReplica`] otherwise (no checkpointing
-    /// yet; `policy` is ignored). Service deployment helpers
-    /// (MRP-Store, dLog) all funnel through here.
+    /// selected engine: the full trim/peer-recovery-capable [`Replica`]
+    /// when the engine is Multi-Ring Paxos, the engine-generic
+    /// [`EngineReplica`] otherwise — both honoring `policy` for
+    /// periodic checkpoints. Service deployment helpers (MRP-Store,
+    /// dLog) all funnel through here.
     pub fn add_replica_actor<A: Application + 'static>(
         &mut self,
         kind: EngineKind,
@@ -227,7 +227,65 @@ impl Cluster {
             kind => {
                 self.add_actor(
                     p,
-                    Hosted::new(EngineReplica::new(kind, p, config, app)).boxed(),
+                    Hosted::new(EngineReplica::new(kind, p, config, app, policy)).boxed(),
+                );
+            }
+        }
+    }
+
+    /// Like [`Cluster::add_replica_actor`], but also registers the
+    /// restart factory that rebuilds the replica from its stable
+    /// storage after [`Cluster::schedule_crash`] /
+    /// [`Cluster::schedule_restart`]: the acceptor logs plus the latest
+    /// durable checkpoint feed [`Replica::recovering`] (ring engine,
+    /// which additionally runs the Section 5.2 peer-checkpoint query) or
+    /// [`EngineReplica::recovering`] (any other engine, which restores
+    /// the local checkpoint and resyncs its streams). `mk_app` builds a
+    /// fresh application instance on every (re)start.
+    pub fn add_recoverable_replica_actor<A, F>(
+        &mut self,
+        kind: EngineKind,
+        p: ProcessId,
+        config: ClusterConfig,
+        policy: CheckpointPolicy,
+        mut mk_app: F,
+    ) where
+        A: Application + 'static,
+        F: FnMut() -> A + 'static,
+    {
+        self.add_replica_actor(kind, p, config.clone(), mk_app(), policy);
+        match kind {
+            EngineKind::MultiRing => {
+                self.set_factory(
+                    p,
+                    Box::new(move |storage: &NodeStorage| {
+                        Hosted::new(Replica::recovering(
+                            p,
+                            config.clone(),
+                            mk_app(),
+                            policy,
+                            storage.acceptor_recovery(),
+                            storage.checkpoint_cloned(),
+                        ))
+                        .boxed()
+                    }),
+                );
+            }
+            kind => {
+                self.set_factory(
+                    p,
+                    Box::new(move |storage: &NodeStorage| {
+                        Hosted::new(EngineReplica::recovering(
+                            kind,
+                            p,
+                            config.clone(),
+                            mk_app(),
+                            policy,
+                            storage.acceptor_recovery(),
+                            storage.checkpoint_cloned(),
+                        ))
+                        .boxed()
+                    }),
                 );
             }
         }

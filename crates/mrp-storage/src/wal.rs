@@ -1,5 +1,5 @@
 //! A real file-backed write-ahead log and the directory layout that
-//! persists a process's [`NodeStorage`](crate::NodeStorage) across
+//! persists a process's [`NodeStorage`] across
 //! restarts (the TCP runtime's equivalent of the paper's Berkeley DB).
 //!
 //! Layout of a storage directory:

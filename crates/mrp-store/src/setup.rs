@@ -148,25 +148,30 @@ impl StoreDeployment {
     }
 
     /// Spawns one replica actor per process on `cluster`, hosted by the
-    /// deployment's ordering engine: the full checkpoint/trim-capable
+    /// deployment's ordering engine: the full trim/peer-recovery-capable
     /// [`Replica`](multiring_paxos::replica::Replica) for Multi-Ring
     /// Paxos, the engine-generic [`EngineReplica`](mrp_amcast::EngineReplica)
-    /// otherwise. `mk_app` builds (and may preload) each replica's
-    /// application from its partition number.
+    /// otherwise — both checkpointing per `policy`. Every replica also
+    /// gets a restart factory, so `cluster.schedule_crash` /
+    /// `schedule_restart` recover it from its stable storage (latest
+    /// durable checkpoint + acceptor logs). `mk_app` builds (and may
+    /// preload) a replica's application from its partition number; it
+    /// runs again on every restart to rebuild the pre-checkpoint state.
     pub fn spawn_replicas(
         &self,
         cluster: &mut Cluster,
         policy: CheckpointPolicy,
-        mut mk_app: impl FnMut(u16) -> StoreApp,
+        mk_app: impl Fn(u16) -> StoreApp + Clone + 'static,
     ) {
         cluster.set_protocol(self.config.clone());
         for (p, partition) in self.all_replicas() {
-            cluster.add_replica_actor(
+            let mk = mk_app.clone();
+            cluster.add_recoverable_replica_actor(
                 self.engine,
                 p,
                 self.config.clone(),
-                mk_app(partition),
                 policy,
+                move || mk(partition),
             );
         }
     }

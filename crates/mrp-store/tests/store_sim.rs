@@ -29,7 +29,7 @@ fn spawn_store(cluster: &mut Cluster, deployment: &StoreDeployment, preload: u32
             interval_us: 0,
             sync: true,
         },
-        |partition| {
+        move |partition| {
             let mut app = StoreApp::new(partition);
             for i in 0..preload {
                 let key = format!("user{i:06}");

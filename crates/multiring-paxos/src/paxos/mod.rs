@@ -4,10 +4,10 @@
 //! all communication follows a unidirectional ring. The role logic is
 //! still classic Paxos:
 //!
-//! * the [`Acceptor`](acceptor::Acceptor) promises ballots (Phase 1) and
+//! * the [`Acceptor`] promises ballots (Phase 1) and
 //!   votes on values (Phase 2), persisting both before answering so it
 //!   can serve retransmissions after a crash;
-//! * the [`Coordinator`](coordinator::Coordinator) — an elected acceptor —
+//! * the [`Coordinator`] — an elected acceptor —
 //!   pre-executes Phase 1 for an open-ended instance range, assigns
 //!   consensus instances to incoming values, pipelines Phase 2 rounds,
 //!   and implements *rate leveling* by proposing `Skip` ranges when the

@@ -35,7 +35,7 @@ fn main() {
             interval_us: 0,
             sync: false,
         },
-        |partition| {
+        move |partition| {
             let mut app = StoreApp::new(partition);
             // Preload a small database.
             for i in 0..300 {

@@ -7,34 +7,34 @@
 //!
 //! It re-exports the workspace crates under stable paths:
 //!
-//! * [`core`](multiring_paxos) — the sans-io Multi-Ring Paxos protocol
+//! * [`core`] — the sans-io Multi-Ring Paxos protocol
 //!   (rings, deterministic merge, rate leveling, recovery).
-//! * [`amcast`](mrp_amcast) — the pluggable atomic-multicast engine
+//! * [`amcast`] — the pluggable atomic-multicast engine
 //!   layer: the [`AmcastEngine`](mrp_amcast::AmcastEngine) trait every
 //!   ordering engine implements, engine selection via
 //!   [`EngineKind`](mrp_amcast::EngineKind), and a second, timestamp-
 //!   based Skeen/white-box engine ([`wbcast`](mrp_amcast::wbcast)).
-//! * [`sim`](mrp_sim) — deterministic discrete-event simulator (WAN
+//! * [`sim`] — deterministic discrete-event simulator (WAN
 //!   topologies, disk/CPU models, fault injection) used by tests and by
 //!   the benchmark harness that regenerates the paper's figures.
-//! * [`transport`](mrp_transport) — wire codec and a real TCP runtime.
-//! * [`storage`](mrp_storage) — acceptor write-ahead logs and checkpoint
+//! * [`transport`] — wire codec and a real TCP runtime.
+//! * [`storage`] — acceptor write-ahead logs and checkpoint
 //!   storage.
-//! * [`coord`](mrp_coord) — coordination service (membership, ring
+//! * [`coord`] — coordination service (membership, ring
 //!   configuration, coordinator election).
-//! * [`store`](mrp_store) — MRP-Store, the partitioned strongly
+//! * [`store`] — MRP-Store, the partitioned strongly
 //!   consistent key-value store of Section 6.1.
-//! * [`dlog`](mrp_dlog) — dLog, the distributed shared log of
+//! * [`dlog`] — dLog, the distributed shared log of
 //!   Section 6.2.
-//! * [`ycsb`](mrp_ycsb) — YCSB-style workload generator.
-//! * [`baselines`](mrp_baselines) — comparison systems used by the
+//! * [`ycsb`] — YCSB-style workload generator.
+//! * [`baselines`] — comparison systems used by the
 //!   evaluation.
 //!
 //! ## The engine abstraction
 //!
 //! Everything above the ordering layer — the simulator's cluster,
 //! MRP-Store, dLog, the benchmark harness — is written against
-//! [`amcast::AmcastEngine`](mrp_amcast::AmcastEngine), the explicit
+//! [`amcast::AmcastEngine`], the explicit
 //! form of the paper's set-addressed `multicast(γ, m)`/`deliver(m)`
 //! contract. Deployments pick an engine with
 //! [`EngineKind`](mrp_amcast::EngineKind) (`MultiRing` is the paper's
@@ -48,7 +48,7 @@
 //! documented in [`mrp_amcast`].
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
-//! `EXPERIMENTS.md` for the paper-figure reproductions.
+//! the repository `README.md` for the paper-figure reproductions.
 
 pub use mrp_amcast as amcast;
 pub use mrp_baselines as baselines;
