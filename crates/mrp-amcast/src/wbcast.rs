@@ -106,6 +106,61 @@
 //!   could not know the old one had already released it) is delivered
 //!   exactly once; extra copies only advance frontiers.
 //!
+//! ## Initiator crash recovery
+//!
+//! A multi-group round is driven by its initiator, and an initiator
+//! that crashes before distributing the final timestamp would leave an
+//! *orphan*: an undecided proposal that gates every later key of each
+//! addressed group's stream forever. The group recovers the round
+//! itself — the in-flight state is replicated across the addressed
+//! sequencers, so any of them can finish what the initiator started
+//! (the failover idea of *White-Box Atomic Multicast*, applied to the
+//! initiator role):
+//!
+//! * **Detection.** A sequencer presumes a proposal orphaned when the
+//!   coordination service reports its initiator crashed
+//!   ([`Event::MembershipChange`] down-sets; a `CoordinatorChange`
+//!   deposing the initiator's process counts too) — or, as a backstop
+//!   that needs no failure detector, when the initiator shows no sign
+//!   of life (no `Final`, no retransmitted `Submit`) for
+//!   [`ORPHAN_DELTAS`] × Δ.
+//! * **Recovery exchange.** The detecting sequencer assumes the
+//!   initiator role for the round: it asks every addressed group's
+//!   current sequencer for its state (`OrphanQuery` → `OrphanState`:
+//!   decided at some timestamp / proposed at some timestamp / never
+//!   seen). If some group never saw the `Submit`, the recoverer
+//!   re-submits the orphan's value there on its behalf — id-based
+//!   dedup guarantees the round is never forked — and re-queries. Once
+//!   every group holds the value, the recoverer completes the round
+//!   deterministically (`OrphanFinal`): an already-decided timestamp
+//!   wins (decided timestamps are immutable), otherwise the maximum
+//!   over the proposals — byte-for-byte the decision the initiator
+//!   would have made. The round is then tracked until every addressed
+//!   group reports the value *released* into its stream (from where it
+//!   can no longer be lost) — the recoverer's analogue of the
+//!   `FinalAck` a live initiator retries toward: a decision frame that
+//!   dies with an addressed sequencer is re-driven on the next
+//!   Δ-paced re-probe, re-seeding an empty-handed replacement and
+//!   re-deciding at the recorded timestamp, never losing the round in
+//!   one group while another delivers it.
+//! * **Convergence.** Several sequencers may recover the same orphan
+//!   concurrently, and a falsely-suspected (or revived) initiator may
+//!   keep retrying its own round: all of them compute the same final
+//!   timestamp from the same immutable proposals, every frame is
+//!   deduplicated exactly like initiator retries (`OrphanFinal` is a
+//!   `Final`: first decide wins, duplicates re-acknowledge), and
+//!   `OrphanState` replies are fenced by a per-attempt counter so
+//!   answers stranded at a deposed sequencer cannot leak into a later
+//!   collection. Once a sequencer has *answered* an `OrphanQuery` for a
+//!   pending proposal, recovery owns that round: the proposal is
+//!   **fenced** — a plain `Final` from the suspected initiator is
+//!   dropped (its view may predate a sequencer failover that
+//!   re-proposed the value elsewhere, so letting it race the recoverer
+//!   could decide two different timestamps in two groups), and only an
+//!   `OrphanFinal` decides. A round is therefore never aborted in one
+//!   group and delivered in another — it is always *completed*,
+//!   exactly once.
+//!
 //! ## Checkpointing, resync and bounded state
 //!
 //! The engine implements the generic checkpoint/trim surface of
@@ -134,25 +189,47 @@
 //! * **Trim.** After a checkpoint becomes durable, the subscriber
 //!   prunes its delivered-id dedup below the watermark and reports the
 //!   marks (`CkptMark`) to the sequencers, which prune their decided-id
-//!   maps and released history below the *minimum over all
-//!   subscribers* — conservative (no quorum), so any subscriber can
-//!   still resync from its own latest durable checkpoint.
+//!   maps and released history below the *minimum over the live
+//!   subscribers* — conservative (no quorum), so any live subscriber
+//!   can still resync from its own latest durable checkpoint.
+//!   Subscribers the coordination service reports crashed are dropped
+//!   from the minimum, so one permanent death does not freeze the
+//!   floor and grow sequencer state forever.
+//! * **Truncation is loud.** Whenever a sequencer's retained history
+//!   no longer reaches back to a resync's requested position — the
+//!   [`UNREPORTED_HISTORY_CAP`] eviction in never-checkpointing
+//!   deployments, or pruning that advanced past a dead subscriber's
+//!   stale mark before it revived — the replay terminator carries the
+//!   gap's extent, and the recovering subscriber **re-anchors past the
+//!   hole** and counts the event
+//!   ([`WbcastNode::resync_truncations`]) instead of delivering a
+//!   gapped stream behind a terminator that claims completeness.
 //!
 //! The model's remaining assumptions: the takeover resume point exceeds
 //! every timestamp the crashed sequencer exposed (guaranteed by the
 //! hybrid clock whenever the election timeout exceeds the count-driven
 //! clock skew — in a full deployment the counter is Paxos-replicated
-//! inside the group instead); initiators of in-flight multi-group
-//! rounds stay alive (an initiator crash mid-round still stalls its
-//! message; replicating the initiator role is future work, tracked in
-//! the ROADMAP); a *sequencer* crash also loses its released-value
-//! history, so subscribers that crash while the replacement leads can
-//! only resync what the replacement released itself (replicating the
-//! history inside the group goes together with counter replication);
-//! and dedup pruning assumes a failover re-release of an old value
-//! lands within one checkpoint interval of its re-probe (the takeover
-//! grace window is orders of magnitude shorter than any sensible
-//! checkpoint interval).
+//! inside the group instead); a *sequencer* crash also loses its
+//! released-value history, so subscribers that crash while the
+//! replacement leads can only resync what the replacement released
+//! itself (replicating the history inside the group goes together with
+//! counter replication); dedup pruning assumes a failover re-release
+//! or orphan-recovery re-submission of an old value lands within one
+//! checkpoint interval of its re-probe (the takeover grace window and
+//! the orphan timeout are orders of magnitude shorter than any
+//! sensible checkpoint interval); a decided-wins re-injection into a
+//! group whose proposal died with its previous sequencer lands inside
+//! the replacement's takeover hold ([`TAKEOVER_GRACE_DELTAS`] exceeds
+//! the orphan timeout exactly for this) — only if the recovery signal
+//! itself is delayed past that window (e.g. lost membership events)
+//! can the re-keyed release land below the new stream's frontier; and
+//! while the fence serializes the initiator against recovery, two
+//! *concurrent recoverers* whose state snapshots were split by a
+//! second sequencer failover in the middle of recovery can still race
+//! their decisions. Making those last two windows exact needs the
+//! final timestamp agreed inside the group, i.e. the paper's full
+//! in-group replication of the initiator state, which goes together
+//! with the counter/history replication above.
 //!
 //! Timestamps are Lamport-style hybrid clocks: they advance with
 //! submissions *and* with elapsed time (in a fixed quantum shared by
@@ -194,17 +271,39 @@ const TAG_FINAL_ACK: u8 = 6;
 const TAG_RESYNC: u8 = 7;
 const TAG_CKPT_MARK: u8 = 8;
 const TAG_RESYNC_DONE: u8 = 9;
+const TAG_ORPHAN_QUERY: u8 = 10;
+const TAG_ORPHAN_STATE: u8 = 11;
+const TAG_ORPHAN_FINAL: u8 = 12;
 
 /// Initiator retry pacing: unconfirmed `Submit`/`Final` rounds are
 /// re-probed every this-many Δ of the addressed group's ring.
 pub const RETRY_DELTAS: u64 = 4;
 
+/// Orphan timeout, in Δ of the proposing sequencer's ring: a
+/// multi-group proposal whose initiator has shown no sign of life (no
+/// `Final`, no retransmitted `Submit`) for this long is presumed
+/// orphaned, and the sequencer holding it assumes the initiator role
+/// for the round (see *Initiator crash recovery* in the module docs).
+/// Three full retry periods mean a live initiator has had several
+/// chances to refresh the proposal before recovery ever fires — and a
+/// spurious recovery of a live round is harmless anyway (the exchange
+/// is idempotent and decides exactly what the initiator would).
+pub const ORPHAN_DELTAS: u64 = 3 * RETRY_DELTAS;
+
 /// A fresh sequencer's recovery window, in Δ of its ring: releases and
-/// heartbeat promises are held this long after takeover so initiators
-/// can re-run interrupted rounds before the group's frontier moves.
-/// Two retry periods cover a full Submit → ProposeAck → Final exchange
-/// even when the first retransmission raced the election announcement.
-pub const TAKEOVER_GRACE_DELTAS: u64 = 2 * RETRY_DELTAS;
+/// heartbeat promises are held this long after takeover so that
+/// decided values re-injected at their original (possibly small)
+/// timestamps re-enter the stream *before* the frontier advances past
+/// them. Two sources re-inject: a live initiator re-running its
+/// interrupted rounds (re-probes fire inline on `CoordinatorChange`,
+/// then every [`RETRY_DELTAS`] × Δ), and orphan recovery acting for a
+/// dead initiator — which fires up to [`ORPHAN_DELTAS`] × Δ after the
+/// initiator's last sign of life. The window exceeds the orphan
+/// timeout by a retry period so that even a decided-wins re-injection
+/// of a round whose proposal died with this group's previous sequencer
+/// lands while the stream is still held, keeping the
+/// released-in-key-order invariant.
+pub const TAKEOVER_GRACE_DELTAS: u64 = ORPHAN_DELTAS + RETRY_DELTAS;
 
 /// Cap on a sequencer's retained released-value history while **not**
 /// every subscriber of the group participates in checkpointing (has
@@ -290,8 +389,72 @@ enum WbMessage {
     /// the replay (live releases, heartbeats with post-crash promises)
     /// advance frontiers past keys the replay still carries, so the
     /// frontiers only regain their "nothing smaller can arrive" meaning
-    /// here.
-    ResyncDone { group: GroupId, epoch: u32, ts: u64 },
+    /// here. `gap_to` is zero when the replay is prefix-complete from
+    /// the requested position; otherwise the sequencer has discarded
+    /// history up to `gap_to` (capped retention, or pruning authorized
+    /// by the live subscribers' checkpoints) and values in
+    /// `(from_ts, gap_to]` may be missing from the replay — the
+    /// recovering subscriber must not pretend its stream has no hole.
+    ResyncDone {
+        group: GroupId,
+        epoch: u32,
+        ts: u64,
+        gap_to: u64,
+    },
+    /// Orphan recovery, step 1: a sequencer acting as recovery
+    /// initiator for the presumed-orphaned round `id` asks `group`'s
+    /// sequencer for its state. `attempt` fences replies: stale answers
+    /// from a previous recovery attempt (possibly by a since-deposed
+    /// sequencer) must not leak into a later collection.
+    OrphanQuery {
+        group: GroupId,
+        id: ValueId,
+        attempt: u32,
+    },
+    /// Orphan recovery, step 2: `group`'s sequencer reports what it
+    /// holds for `id` — a decided final timestamp, a still-undecided
+    /// proposal, or nothing at all (it never saw the `Submit`, or a
+    /// replacement sequencer lost it with its predecessor).
+    OrphanState {
+        group: GroupId,
+        id: ValueId,
+        attempt: u32,
+        state: OrphanSt,
+    },
+    /// Orphan recovery, step 3: the recoverer's decision — the final
+    /// timestamp for the round, computed exactly as the crashed
+    /// initiator would have (any already-decided timestamp wins,
+    /// otherwise the maximum over every addressed group's proposal).
+    /// Handled like [`WbMessage::Final`]: first decide wins, duplicates
+    /// are idempotent.
+    OrphanFinal {
+        group: GroupId,
+        id: ValueId,
+        ts: u64,
+    },
+}
+
+/// A sequencer's state for an orphaned round, reported in
+/// [`WbMessage::OrphanState`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum OrphanSt {
+    /// No trace of the value: the `Submit` never arrived (or died with
+    /// a deposed sequencer). The recoverer re-submits on the orphan's
+    /// behalf.
+    Unknown,
+    /// An undecided proposal at this timestamp.
+    Proposed(u64),
+    /// Decided at this final timestamp (immutable), but not yet
+    /// released into the group's stream (gated behind earlier keys).
+    /// The value could still be lost with this sequencer, so the
+    /// recoverer keeps tracking the round.
+    Decided(u64),
+    /// Decided *and* released into the group's ordered stream at this
+    /// final timestamp. Released frames are never lost (reliable FIFO
+    /// channels), so the value is safe in this group: the recoverer's
+    /// release-confirmation — the analogue of the `FinalAck` a live
+    /// initiator waits for before it stops retrying.
+    Released(u64),
 }
 
 fn put_value(buf: &mut BytesMut, v: &Value) {
@@ -411,10 +574,47 @@ impl WbMessage {
                 buf.put_u16_le(group.value());
                 buf.put_u64_le(*ts);
             }
-            WbMessage::ResyncDone { group, epoch, ts } => {
+            WbMessage::ResyncDone {
+                group,
+                epoch,
+                ts,
+                gap_to,
+            } => {
                 buf.put_u8(TAG_RESYNC_DONE);
                 buf.put_u16_le(group.value());
                 buf.put_u32_le(*epoch);
+                buf.put_u64_le(*ts);
+                buf.put_u64_le(*gap_to);
+            }
+            WbMessage::OrphanQuery { group, id, attempt } => {
+                buf.put_u8(TAG_ORPHAN_QUERY);
+                buf.put_u16_le(group.value());
+                put_id(&mut buf, *id);
+                buf.put_u32_le(*attempt);
+            }
+            WbMessage::OrphanState {
+                group,
+                id,
+                attempt,
+                state,
+            } => {
+                buf.put_u8(TAG_ORPHAN_STATE);
+                buf.put_u16_le(group.value());
+                put_id(&mut buf, *id);
+                buf.put_u32_le(*attempt);
+                let (kind, ts) = match state {
+                    OrphanSt::Unknown => (0u8, 0u64),
+                    OrphanSt::Proposed(ts) => (1, *ts),
+                    OrphanSt::Decided(ts) => (2, *ts),
+                    OrphanSt::Released(ts) => (3, *ts),
+                };
+                buf.put_u8(kind);
+                buf.put_u64_le(ts);
+            }
+            WbMessage::OrphanFinal { group, id, ts } => {
+                buf.put_u8(TAG_ORPHAN_FINAL);
+                buf.put_u16_le(group.value());
+                put_id(&mut buf, *id);
                 buf.put_u64_le(*ts);
             }
         }
@@ -514,13 +714,59 @@ impl WbMessage {
                 })
             }
             TAG_RESYNC_DONE => {
-                if payload.remaining() < 4 + 8 {
+                if payload.remaining() < 4 + 8 + 8 {
                     return None;
                 }
                 let epoch = payload.get_u32_le();
+                let ts = payload.get_u64_le();
                 Some(WbMessage::ResyncDone {
                     group,
                     epoch,
+                    ts,
+                    gap_to: payload.get_u64_le(),
+                })
+            }
+            TAG_ORPHAN_QUERY => {
+                let id = get_id(&mut payload)?;
+                if payload.remaining() < 4 {
+                    return None;
+                }
+                Some(WbMessage::OrphanQuery {
+                    group,
+                    id,
+                    attempt: payload.get_u32_le(),
+                })
+            }
+            TAG_ORPHAN_STATE => {
+                let id = get_id(&mut payload)?;
+                if payload.remaining() < 4 + 1 + 8 {
+                    return None;
+                }
+                let attempt = payload.get_u32_le();
+                let kind = payload.get_u8();
+                let ts = payload.get_u64_le();
+                let state = match kind {
+                    0 => OrphanSt::Unknown,
+                    1 => OrphanSt::Proposed(ts),
+                    2 => OrphanSt::Decided(ts),
+                    3 => OrphanSt::Released(ts),
+                    _ => return None,
+                };
+                Some(WbMessage::OrphanState {
+                    group,
+                    id,
+                    attempt,
+                    state,
+                })
+            }
+            TAG_ORPHAN_FINAL => {
+                let id = get_id(&mut payload)?;
+                if payload.remaining() < 8 {
+                    return None;
+                }
+                Some(WbMessage::OrphanFinal {
+                    group,
+                    id,
                     ts: payload.get_u64_le(),
                 })
             }
@@ -531,11 +777,14 @@ impl WbMessage {
 
 /// Whether a wbcast [`Message::Engine`] payload carries or references a
 /// multicast value: `Submit`/`Ordered` carry one,
-/// `ProposeAck`/`Final`/`FinalAck` reference one by id; heartbeats and
-/// the checkpoint traffic (`Resync`/`CkptMark`, which travel only
-/// between a group's subscribers and its sequencer) are pure control
-/// traffic. Genuineness tests use this to assert that processes outside
-/// an addressed group set γ see no protocol traffic for γ's messages.
+/// `ProposeAck`/`Final`/`FinalAck` and the orphan-recovery exchange
+/// (`OrphanQuery`/`OrphanState`/`OrphanFinal`, which travels only
+/// between addressed groups' sequencers) reference one by id;
+/// heartbeats and the checkpoint traffic (`Resync`/`CkptMark`, which
+/// travel only between a group's subscribers and its sequencer) are
+/// pure control traffic. Genuineness tests use this to assert that
+/// processes outside an addressed group set γ see no protocol traffic
+/// for γ's messages.
 pub fn frame_references_value(payload: Bytes) -> bool {
     matches!(
         WbMessage::parse(payload),
@@ -545,8 +794,34 @@ pub fn frame_references_value(payload: Bytes) -> bool {
                 | WbMessage::ProposeAck { .. }
                 | WbMessage::Final { .. }
                 | WbMessage::FinalAck { .. }
+                | WbMessage::OrphanQuery { .. }
+                | WbMessage::OrphanState { .. }
+                | WbMessage::OrphanFinal { .. }
         )
     )
+}
+
+/// Coarse classification of a wbcast [`Message::Engine`] payload by its
+/// frame type (`"submit"`, `"ordered"`, `"orphan_query"`, …), `None`
+/// for malformed or foreign payloads. Test harnesses use this to
+/// target fault injection — e.g. duplicating or reordering exactly the
+/// orphan-recovery exchange — without depending on the private wire
+/// format.
+pub fn frame_kind(payload: Bytes) -> Option<&'static str> {
+    Some(match WbMessage::parse(payload)? {
+        WbMessage::Submit { .. } => "submit",
+        WbMessage::ProposeAck { .. } => "propose_ack",
+        WbMessage::Final { .. } => "final",
+        WbMessage::FinalAck { .. } => "final_ack",
+        WbMessage::Ordered { .. } => "ordered",
+        WbMessage::Heartbeat { .. } => "heartbeat",
+        WbMessage::Resync { .. } => "resync",
+        WbMessage::CkptMark { .. } => "ckpt_mark",
+        WbMessage::ResyncDone { .. } => "resync_done",
+        WbMessage::OrphanQuery { .. } => "orphan_query",
+        WbMessage::OrphanState { .. } => "orphan_state",
+        WbMessage::OrphanFinal { .. } => "orphan_final",
+    })
 }
 
 /// A multi-group value whose final timestamp is still being agreed on
@@ -559,6 +834,22 @@ struct Proposal {
     value: Value,
     /// The full addressed group set γ.
     groups: Vec<GroupId>,
+    /// When the initiator last showed a sign of life for this round
+    /// (the proposal's creation, a retransmitted `Submit`), or when the
+    /// last orphan-recovery attempt for it started: the clock the
+    /// [`ORPHAN_DELTAS`] timeout runs against.
+    since: Time,
+    /// Set once this sequencer has answered an [`WbMessage::OrphanQuery`]
+    /// for the proposal: recovery owns the round from here on. A plain
+    /// `Final` from the (possibly falsely-suspected, possibly
+    /// stale-viewed) initiator is ignored — only an `OrphanFinal`
+    /// decides — so the initiator and a recoverer that re-submitted
+    /// after a sequencer failover can never split the round across two
+    /// final timestamps by winning the race in different groups.
+    /// Duplicate `Submit`s stop refreshing `since` for a fenced
+    /// proposal, so if the recoverer dies the orphan timeout re-fires
+    /// here no matter how lively the initiator's retries are.
+    fenced: bool,
 }
 
 /// Per-group sequencer state (held by the group's coordinator).
@@ -604,16 +895,22 @@ struct Sequencer {
     /// `done` — this is the "retired backlog" a checkpoint lets the
     /// sequencer discard.
     history: BTreeMap<Key, (Value, Vec<GroupId>)>,
+    /// Highest released timestamp no longer in `history`: the retained
+    /// stream's floor, raised by the [`UNREPORTED_HISTORY_CAP`]
+    /// eviction and by checkpoint-authorized pruning. A resync from
+    /// below it cannot be made prefix-complete, and its `ResyncDone`
+    /// says so (`gap_to`) instead of silently claiming completeness.
+    evicted: u64,
     /// The latest durable checkpoint mark each subscriber reported
-    /// (`CkptMark`). `done`/`history` are pruned below the minimum once
-    /// every subscriber has reported; a subscriber that has never
+    /// (`CkptMark`). `done`/`history` are pruned below the minimum over
+    /// the subscribers the coordination service considers *alive* once
+    /// each of them has reported; a live subscriber that has never
     /// checkpointed keeps the full history available (it would resync
-    /// from the very beginning). A subscriber that reported once and
-    /// then died permanently freezes the prune floor at its last mark —
-    /// the deliberate cost of guaranteeing it can resync after any
-    /// restart; evicting the dead (quorum-based trim plus peer
-    /// checkpoint transfer, as the ring engine does) is tracked in the
-    /// ROADMAP.
+    /// from the very beginning). Subscribers reported crashed
+    /// ([`Event::MembershipChange`]) are excluded so a permanent death
+    /// no longer freezes the prune floor — if one nevertheless revives
+    /// and resyncs from below the advanced floor, the replay signals
+    /// the truncation (`gap_to`) instead of leaving a silent hole.
     reported: BTreeMap<ProcessId, u64>,
 }
 
@@ -660,14 +957,71 @@ impl Sequencer {
         self.pending.iter().map(|(&id, p)| (p.ts, id)).min()
     }
 
-    /// Whether every subscriber of the group has reported a durable
-    /// checkpoint mark at least once (the precondition for pruning the
-    /// released history by the collective watermark; until then the
-    /// history is bounded by [`UNREPORTED_HISTORY_CAP`] instead).
-    fn all_reported(&self) -> bool {
-        self.subscribers
+    /// Whether every subscriber of the group *not reported crashed* has
+    /// reported a durable checkpoint mark at least once (the
+    /// precondition for pruning the released history by the collective
+    /// watermark; until then the history is bounded by
+    /// [`UNREPORTED_HISTORY_CAP`] instead).
+    fn all_reported(&self, down: &BTreeSet<ProcessId>) -> bool {
+        let mut live = self.subscribers.iter().filter(|p| !down.contains(p));
+        live.clone().count() > 0 && live.all(|p| self.reported.contains_key(p))
+    }
+
+    /// Prunes the decided-id map and released history once every live
+    /// subscriber has reported a durable mark. Two floors cooperate:
+    ///
+    /// * The **hard floor** — the minimum over *every* reported mark,
+    ///   crashed reporters included — is unconditionally prunable: each
+    ///   reporter's own durable checkpoint covers it, so no resync ever
+    ///   starts below its own mark.
+    /// * Above that, the band up to the **live floor** (minimum over
+    ///   the live subscribers only) is retained solely as a courtesy to
+    ///   dead reporters that may yet revive and resync from their stale
+    ///   mark. It is capped at [`UNREPORTED_HISTORY_CAP`] entries:
+    ///   a short-downtime restart replays exactly, while a permanent
+    ///   death no longer grows `history`/`done` without bound — the
+    ///   effective floor advances past the dead reporter's mark, and a
+    ///   late revival from below it gets a truncation-flagged replay
+    ///   instead of a silent hole.
+    fn prune_below_collective_mark(&mut self, down: &BTreeSet<ProcessId>) {
+        if !self.all_reported(down) {
+            return;
+        }
+        let Some(live_floor) = self
+            .subscribers
             .iter()
-            .all(|p| self.reported.contains_key(p))
+            .filter(|p| !down.contains(p))
+            .map(|p| self.reported[p])
+            .min()
+        else {
+            return;
+        };
+        // Every live subscriber has reported (checked above), so the
+        // reported set is a non-empty superset of the live marks and
+        // its minimum can only sit at or below the live floor.
+        let hard_floor = *self
+            .reported
+            .values()
+            .min()
+            .expect("all_reported implies a non-empty reported set");
+        if hard_floor > 0 {
+            self.history.retain(|&(ts, _), _| ts > hard_floor);
+            self.evicted = self.evicted.max(hard_floor);
+        }
+        let band: Vec<Key> = self
+            .history
+            .range(..=promise_key(live_floor))
+            .map(|(&k, _)| k)
+            .collect();
+        if band.len() > UNREPORTED_HISTORY_CAP {
+            let drop = band.len() - UNREPORTED_HISTORY_CAP;
+            for key in &band[..drop] {
+                self.history.remove(key);
+            }
+            self.evicted = self.evicted.max(band[drop - 1].0);
+        }
+        let evicted = self.evicted;
+        self.done.retain(|_, fts| *fts > evicted);
     }
 
     /// The highest timestamp this sequencer may promise: everything
@@ -789,6 +1143,43 @@ struct Inflight {
     delivered: bool,
 }
 
+/// A recovery round this process runs on behalf of a presumed-crashed
+/// initiator: one [`WbMessage::OrphanQuery`] per addressed group, the
+/// collected [`WbMessage::OrphanState`] answers, and — once every group
+/// holds the value — the deterministic decision the initiator would
+/// have made. Created by the sequencer that detected the orphan; the
+/// entry retires only when **every addressed group confirms release**
+/// ([`OrphanSt::Released`]) — a fire-and-forget `OrphanFinal` could die
+/// with an addressed sequencer that crashed right after answering,
+/// permanently losing the round in that group while others deliver.
+/// Until then the round is re-probed every orphan-timeout period, and
+/// a group whose replacement sequencer lost everything is re-submitted
+/// and re-decided at the recorded (immutable) timestamp.
+#[derive(Debug)]
+struct OrphanRound {
+    /// The addressed group set γ (from the orphaned proposal).
+    groups: Vec<GroupId>,
+    /// The orphaned value, kept for re-submission to groups that never
+    /// saw the initiator's `Submit`.
+    value: Value,
+    /// Fences [`WbMessage::OrphanState`] replies: answers from an
+    /// earlier attempt (possibly by a since-deposed sequencer) are
+    /// discarded, so a recovery re-run after a `CoordinatorChange`
+    /// collects a consistent snapshot.
+    attempt: u32,
+    /// States collected in the current attempt, one per addressed
+    /// group.
+    states: BTreeMap<GroupId, OrphanSt>,
+    /// The round's final timestamp, once first computed. Immutable: a
+    /// later re-probe that has to re-submit the value to an
+    /// empty-handed replacement sequencer re-decides at exactly this
+    /// timestamp, never at a fresh maximum.
+    decided: Option<u64>,
+    /// When this round last made progress (attempt started, decision
+    /// sent): the clock the Δ-paced re-probe runs against.
+    since: Time,
+}
+
 /// The per-process state machine of the white-box engine: sequencer
 /// roles for the groups this process coordinates, the initiator state
 /// for in-flight multi-group submissions, plus the delivery buffer over
@@ -818,6 +1209,24 @@ pub struct WbcastNode {
     delivered_ids: BTreeMap<ValueId, u64>,
     /// Locally submitted values still being tracked (retries, backlog).
     inflight: BTreeMap<ValueId, Inflight>,
+    /// Orphan-recovery rounds this process is running on behalf of
+    /// presumed-crashed initiators, by orphaned value id.
+    orphans: BTreeMap<ValueId, OrphanRound>,
+    /// Per-ring down-sets as the coordination service last reported
+    /// them ([`Event::MembershipChange`]). Kept per ring — one global
+    /// set would let a later event from ring B (whose down-list only
+    /// covers B's members) silently overwrite ring A's verdict about a
+    /// shared member. A process counts as crashed while *any* ring
+    /// reports it down ([`WbcastNode::down_union`]): crashed processes
+    /// are excluded from the checkpoint prune floor, and their
+    /// in-flight multi-group rounds are recovered without waiting for
+    /// the orphan timeout.
+    down: BTreeMap<RingId, BTreeSet<ProcessId>>,
+    /// Resync replays that terminated with a truncation flag (the
+    /// sequencer could not serve a prefix-complete replay): each one is
+    /// a re-anchor past a potential delivery gap, surfaced here so
+    /// deployments fail loudly instead of proceeding on a silent hole.
+    resync_truncations: u64,
     /// Rings with a live Δ heartbeat timer (avoids double-arming when a
     /// resigned ring is re-acquired before its old timer fired).
     delta_armed: BTreeSet<RingId>,
@@ -885,6 +1294,7 @@ impl WbcastNode {
                         outq: BTreeMap::new(),
                         done: BTreeMap::new(),
                         history: BTreeMap::new(),
+                        evicted: 0,
                         reported: BTreeMap::new(),
                     },
                 );
@@ -905,6 +1315,9 @@ impl WbcastNode {
             observed: BTreeMap::new(),
             delivered_ids: BTreeMap::new(),
             inflight: BTreeMap::new(),
+            orphans: BTreeMap::new(),
+            down: BTreeMap::new(),
+            resync_truncations: 0,
             delta_armed: BTreeSet::new(),
             retry_armed: BTreeSet::new(),
             next_seq: 0,
@@ -961,6 +1374,34 @@ impl WbcastNode {
         self.led.values().fold((0, 0), |(d, h), seq| {
             (d + seq.done.len(), h + seq.history.len())
         })
+    }
+
+    /// Undecided multi-group proposals held by the groups this process
+    /// sequences. A stalled stream always shows up here: every key
+    /// above an undecided proposal is gated on it, so a quiesced
+    /// cluster must report zero (the liveness invariant the
+    /// initiator-crash suite asserts).
+    pub fn undecided_len(&self) -> usize {
+        self.led.values().map(|s| s.pending.len()).sum()
+    }
+
+    /// Resync replays that terminated with a truncation flag: the
+    /// sequencer had discarded *retained* history below the requested
+    /// position (capped retention, checkpoint pruning past a dead
+    /// subscriber), so the stream was re-anchored past a potential
+    /// delivery gap instead of silently claiming prefix-completeness.
+    /// Deployments that require gapless recovery must treat a nonzero
+    /// count as a failed recovery (re-seed the replica from a peer
+    /// checkpoint). Note the flag covers retention-driven truncation
+    /// only: a *replacement* sequencer answering from its necessarily
+    /// empty history (the deposed incarnation's stream died with it) is
+    /// the separate, documented remaining limitation that in-group
+    /// history replication will close — it cannot be flagged off the
+    /// takeover resume point, whose wall-clock component sits far above
+    /// every real timestamp and would write off grace-window
+    /// re-injections that other subscribers deliver.
+    pub fn resync_truncations(&self) -> u64 {
+        self.resync_truncations
     }
 
     /// The believed current sequencer of `group`: the coordinator the
@@ -1035,8 +1476,17 @@ impl WbcastNode {
                 // group); the initiator re-routes on CoordinatorChange.
                 return;
             };
-            if let Some(p) = seq.pending.get(&id) {
+            if let Some(p) = seq.pending.get_mut(&id) {
                 // Duplicate of an undecided proposal: same timestamp.
+                // The retransmission is a sign of life from the
+                // initiator (or a recoverer), so the orphan clock
+                // restarts — unless recovery already owns the round
+                // (fenced): then only recovery's own attempts reset it,
+                // so a lively-but-fenced initiator cannot postpone the
+                // backstop forever.
+                if !p.fenced {
+                    p.since = now;
+                }
                 (
                     Some(WbMessage::ProposeAck {
                         group,
@@ -1058,7 +1508,16 @@ impl WbcastNode {
                 let ts = seq.next_ts;
                 seq.next_ts += 1;
                 if groups.len() > 1 {
-                    seq.pending.insert(id, Proposal { ts, value, groups });
+                    seq.pending.insert(
+                        id,
+                        Proposal {
+                            ts,
+                            value,
+                            groups,
+                            since: now,
+                            fenced: false,
+                        },
+                    );
                     (Some(WbMessage::ProposeAck { group, id, ts }), false)
                 } else {
                     seq.done.insert(id, ts);
@@ -1130,16 +1589,47 @@ impl WbcastNode {
     /// Sequencer side: the final timestamp for an undecided proposal
     /// arrived; re-key the value at it and release what became settled.
     /// A duplicate `Final` is idempotent: re-confirm if released.
+    /// `from_recovery` distinguishes an `OrphanFinal` from the
+    /// initiator's own `Final`: once recovery has queried a pending
+    /// proposal (fenced), only recovery may decide it — a
+    /// falsely-suspected initiator racing the recoverer could otherwise
+    /// win in one group while the recoverer (whose view may differ
+    /// after a sequencer failover re-proposal) wins in another,
+    /// splitting the round across two final timestamps.
     fn on_final(
         &mut self,
         now: Time,
         group: GroupId,
         id: ValueId,
         fts: u64,
+        from_recovery: bool,
         out: &mut Vec<Action>,
     ) {
         self.note_observed(group, fts);
         self.observe_ts(group, fts);
+        if !from_recovery {
+            if let Some(seq) = self.led.get(&group) {
+                if seq.pending.get(&id).is_some_and(|p| p.fenced) {
+                    // Recovery owns this round: the initiator's Final is
+                    // dropped (not even re-acknowledged), and its retries
+                    // settle once recovery releases the value.
+                    return;
+                }
+            }
+        }
+        if !from_recovery && self.orphans.get(&id).is_some_and(|r| r.decided.is_none()) {
+            // The live initiator is driving this round (it retries
+            // until release-time FinalAcks) and recovery has not
+            // decided anything yet: stand down. A round recovery
+            // already *decided* stays tracked through release
+            // confirmation — the initiator may crash again before
+            // re-driving a group whose sequencer lost the decision,
+            // and only this round's re-probe would re-detect that
+            // (the group's replacement holds no pending proposal for
+            // the scan to fire on). A recovery decision (`OrphanFinal`)
+            // never stands a round down either.
+            self.orphans.remove(&id);
+        }
         let reack = {
             let Some(seq) = self.led.get_mut(&group) else {
                 return;
@@ -1196,6 +1686,386 @@ impl WbcastNode {
         }
     }
 
+    // --- initiator crash recovery (orphaned multi-group rounds) -----
+    //
+    // A multi-group round whose initiator crashed before distributing
+    // the final timestamp would stall every addressed group's stream
+    // behind the undecided proposal forever. Any sequencer holding such
+    // a proposal eventually assumes the initiator role for the round:
+    // it collects every addressed sequencer's state for the value
+    // (`OrphanQuery`/`OrphanState`), re-submits on the orphan's behalf
+    // to groups that never saw the `Submit` (id-based dedup makes the
+    // re-submission safe), and — once every group holds the value —
+    // completes the round deterministically (`OrphanFinal`): an
+    // already-decided timestamp wins, otherwise the maximum over the
+    // proposals, exactly the initiator's own rule. Concurrent
+    // recoverers therefore decide identically, duplicates are absorbed
+    // by the same dedup that protects initiator retries, and a decided
+    // timestamp is never overwritten (first decide wins at each
+    // sequencer).
+
+    /// Starts (or re-runs) an orphan-recovery round for `id`: bumps the
+    /// attempt — fencing any state replies still in flight from a
+    /// previous attempt — and queries the current sequencer of every
+    /// addressed group.
+    fn start_orphan_recovery(
+        &mut self,
+        now: Time,
+        id: ValueId,
+        value: Value,
+        groups: Vec<GroupId>,
+        out: &mut Vec<Action>,
+    ) {
+        let round = self.orphans.entry(id).or_insert(OrphanRound {
+            groups: groups.clone(),
+            value,
+            attempt: 0,
+            states: BTreeMap::new(),
+            decided: None,
+            since: now,
+        });
+        round.attempt += 1;
+        round.states.clear();
+        round.since = now;
+        let attempt = round.attempt;
+        for g in groups {
+            let Some(sequencer) = self.sequencer_of(g) else {
+                continue;
+            };
+            self.route(
+                now,
+                sequencer,
+                WbMessage::OrphanQuery {
+                    group: g,
+                    id,
+                    attempt,
+                },
+                out,
+            );
+        }
+    }
+
+    /// Kicks off recovery for every pending proposal of this process's
+    /// sequencers that matches `orphaned` (called with the proposal's
+    /// ring, its ring's Δ, the value id, and the proposal itself).
+    /// Matched proposals get their liveness clock reset — a recovery
+    /// attempt is progress — before the exchange starts.
+    fn kick_orphans(
+        &mut self,
+        now: Time,
+        out: &mut Vec<Action>,
+        mut orphaned: impl FnMut(RingId, u64, ValueId, &Proposal) -> bool,
+    ) {
+        let mut stale: Vec<(ValueId, Value, Vec<GroupId>)> = Vec::new();
+        for seq in self.led.values_mut() {
+            let (ring, delta_us) = (seq.ring, seq.delta_us);
+            for (&id, p) in seq.pending.iter_mut() {
+                if orphaned(ring, delta_us, id, p) {
+                    p.since = now;
+                    stale.push((id, p.value.clone(), p.groups.clone()));
+                }
+            }
+        }
+        for (id, value, gamma) in stale {
+            self.start_orphan_recovery(now, id, value, gamma, out);
+        }
+    }
+
+    /// Re-runs recovery for every pending proposal this process's
+    /// sequencers hold whose initiator is in `suspects` (the
+    /// coordination service reported them crashed): the fast path that
+    /// skips the orphan timeout.
+    fn recover_orphans_of(
+        &mut self,
+        now: Time,
+        suspects: &BTreeSet<ProcessId>,
+        out: &mut Vec<Action>,
+    ) {
+        self.kick_orphans(now, out, |_, _, id, _| suspects.contains(&id.proposer));
+    }
+
+    /// The Δ-paced backstop: proposals of the led groups of `ring`
+    /// whose initiator has shown no sign of life for
+    /// [`ORPHAN_DELTAS`] × Δ are presumed orphaned and recovered. This
+    /// catches what no crash notification can: initiators that are not
+    /// ring members anywhere, lost notifications, recovery exchanges
+    /// that themselves lost frames, and recoverers that died after
+    /// fencing a proposal (the proposal is still pending, so the scan
+    /// simply fires again).
+    fn scan_orphans(&mut self, now: Time, ring: RingId, out: &mut Vec<Action>) {
+        self.kick_orphans(now, out, |r, delta_us, _, p| {
+            r == ring && now.since(p.since) >= (delta_us * ORPHAN_DELTAS).max(1)
+        });
+    }
+
+    /// Sequencer side: a recoverer asks what this process holds for the
+    /// orphaned round `id` in `group`. Answer from the authoritative
+    /// maps; stay silent when this process does not (or no longer)
+    /// sequence the group — the recoverer re-routes on
+    /// `CoordinatorChange` and re-fires on its orphan timeout.
+    fn on_orphan_query(
+        &mut self,
+        now: Time,
+        from: ProcessId,
+        group: GroupId,
+        id: ValueId,
+        attempt: u32,
+        out: &mut Vec<Action>,
+    ) {
+        let Some(seq) = self.led.get_mut(&group) else {
+            return;
+        };
+        let state = if let Some(&fts) = seq.done.get(&id) {
+            if seq.outq.contains_key(&(fts, id)) {
+                // Decided but gated behind earlier keys: still only in
+                // this sequencer's memory, so not yet confirmable.
+                OrphanSt::Decided(fts)
+            } else {
+                OrphanSt::Released(fts)
+            }
+        } else if let Some(p) = seq.pending.get_mut(&id) {
+            // Answering hands the round to recovery: from here only an
+            // OrphanFinal decides this proposal (see `Proposal::fenced`).
+            p.fenced = true;
+            OrphanSt::Proposed(p.ts)
+        } else {
+            OrphanSt::Unknown
+        };
+        self.route(
+            now,
+            from,
+            WbMessage::OrphanState {
+                group,
+                id,
+                attempt,
+                state,
+            },
+            out,
+        );
+    }
+
+    /// Recoverer side: collects one state per addressed group. Once the
+    /// collection is complete, either every group holds the value —
+    /// then the round is finished exactly as the initiator would have
+    /// (decided timestamp wins, else max over proposals) — or some
+    /// group never saw the `Submit`: re-submit the orphan's value there
+    /// (receiver-side dedup makes duplicates harmless) and re-query it
+    /// over the same FIFO channel, so the refreshed state arrives right
+    /// behind the new proposal.
+    fn on_orphan_state(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        id: ValueId,
+        attempt: u32,
+        state: OrphanSt,
+        out: &mut Vec<Action>,
+    ) {
+        {
+            let Some(round) = self.orphans.get_mut(&id) else {
+                return;
+            };
+            if attempt != round.attempt || !round.groups.contains(&group) {
+                return;
+            }
+            round.states.insert(group, state);
+            if round.states.len() < round.groups.len() {
+                return;
+            }
+        }
+        // The collection is complete: classify it into the next step,
+        // shedding all Unknown states *before* routing anything — a
+        // re-submit to a self-led group is handled inline and can
+        // re-enter this function, so the map must already be consistent
+        // by then.
+        enum Next {
+            /// Every addressed group confirmed the value in its
+            /// released stream (never lost from there): recovery
+            /// retires.
+            Confirmed,
+            /// Some groups never saw the `Submit`: re-seed them, then
+            /// re-collect.
+            Reseed(Vec<GroupId>),
+            /// Every group holds the value: (re-)send the decision to
+            /// the not-yet-released ones and await confirmation.
+            Decide(u64, Vec<GroupId>),
+        }
+        let (next, value, gamma, attempt) = {
+            let round = self.orphans.get_mut(&id).expect("checked above");
+            // The round's timestamp is immutable once first computed:
+            // re-proposals minted for an empty-handed replacement
+            // sequencer must never move an already-decided round, so
+            // the recorded value (or any group's reported decision —
+            // every decision of this round carries the same one,
+            // first-decide-wins at each sequencer) beats any maximum
+            // over fresh proposals.
+            let decided = round.decided.or_else(|| {
+                round.states.values().find_map(|s| match s {
+                    OrphanSt::Decided(ts) | OrphanSt::Released(ts) => Some(*ts),
+                    _ => None,
+                })
+            });
+            let unknown: Vec<GroupId> = round
+                .states
+                .iter()
+                .filter(|(_, s)| matches!(s, OrphanSt::Unknown))
+                .map(|(&g, _)| g)
+                .collect();
+            for g in &unknown {
+                round.states.remove(g);
+            }
+            let next = if !unknown.is_empty() {
+                Next::Reseed(unknown)
+            } else if round
+                .states
+                .values()
+                .all(|s| matches!(s, OrphanSt::Released(_)))
+            {
+                Next::Confirmed
+            } else {
+                let fts = decided.unwrap_or_else(|| {
+                    round
+                        .states
+                        .values()
+                        .map(|s| match s {
+                            OrphanSt::Proposed(ts)
+                            | OrphanSt::Decided(ts)
+                            | OrphanSt::Released(ts) => *ts,
+                            OrphanSt::Unknown => 0,
+                        })
+                        .max()
+                        .expect("non-empty states")
+                });
+                let unreleased: Vec<GroupId> = round
+                    .states
+                    .iter()
+                    .filter(|(_, s)| !matches!(s, OrphanSt::Released(_)))
+                    .map(|(&g, _)| g)
+                    .collect();
+                // Record the decision and keep the round: a
+                // fire-and-forget OrphanFinal could die with an
+                // addressed sequencer that crashed right after
+                // answering, losing the round in that group forever
+                // while the others deliver. The Δ-paced re-probe
+                // re-drives the decision until every group confirms
+                // release.
+                round.decided = Some(fts);
+                round.since = now;
+                Next::Decide(fts, unreleased)
+            };
+            (
+                next,
+                round.value.clone(),
+                round.groups.clone(),
+                round.attempt,
+            )
+        };
+        match next {
+            Next::Confirmed => {
+                self.orphans.remove(&id);
+            }
+            Next::Reseed(groups) => {
+                for g in groups {
+                    let Some(sequencer) = self.sequencer_of(g) else {
+                        continue;
+                    };
+                    self.route(
+                        now,
+                        sequencer,
+                        WbMessage::Submit {
+                            group: g,
+                            groups: gamma.clone(),
+                            value: value.clone(),
+                        },
+                        out,
+                    );
+                    self.route(
+                        now,
+                        sequencer,
+                        WbMessage::OrphanQuery {
+                            group: g,
+                            id,
+                            attempt,
+                        },
+                        out,
+                    );
+                }
+            }
+            Next::Decide(fts, groups) => {
+                for g in groups {
+                    let Some(sequencer) = self.sequencer_of(g) else {
+                        continue;
+                    };
+                    self.route(
+                        now,
+                        sequencer,
+                        WbMessage::OrphanFinal {
+                            group: g,
+                            id,
+                            ts: fts,
+                        },
+                        out,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-probes outstanding orphan rounds that have gone an orphan
+    /// timeout without progress: a fresh attempt re-queries every
+    /// addressed group, so a decision frame lost with a crashed
+    /// sequencer is re-driven (re-submission included) until every
+    /// group confirms release.
+    fn reprobe_orphan_rounds(&mut self, now: Time, delta_us: u64, out: &mut Vec<Action>) {
+        let timeout = (delta_us * ORPHAN_DELTAS).max(1);
+        let stale: Vec<(ValueId, Value, Vec<GroupId>)> = self
+            .orphans
+            .iter()
+            .filter(|(_, r)| now.since(r.since) >= timeout)
+            .map(|(&id, r)| (id, r.value.clone(), r.groups.clone()))
+            .collect();
+        for (id, value, gamma) in stale {
+            self.start_orphan_recovery(now, id, value, gamma, out);
+        }
+    }
+
+    /// The coordination service reported the current down-set of
+    /// `ring`'s members. Two consumers: the checkpoint prune floor
+    /// drops crashed subscribers (a permanent death no longer freezes
+    /// sequencer `history`/`done` growth), and pending multi-group
+    /// proposals whose initiator is among the dead are recovered
+    /// immediately instead of waiting out the orphan timeout.
+    fn on_membership_change(
+        &mut self,
+        now: Time,
+        ring: RingId,
+        down: Vec<ProcessId>,
+        out: &mut Vec<Action>,
+    ) {
+        let Some(ringcfg) = self.config.ring(ring) else {
+            return;
+        };
+        let down_set: BTreeSet<ProcessId> = down
+            .into_iter()
+            .filter(|p| ringcfg.members().iter().any(|m| m.process == *p))
+            .collect();
+        self.down.insert(ring, down_set.clone());
+        let down_now = self.down_union();
+        for seq in self.led.values_mut() {
+            seq.prune_below_collective_mark(&down_now);
+        }
+        self.recover_orphans_of(now, &down_set, out);
+    }
+
+    /// Processes the coordination service currently reports crashed in
+    /// *any* ring (per-ring down-sets never overwrite each other's
+    /// verdicts about a shared member; erring toward "down" only
+    /// advances a prune floor, and a wrongly-pruned-past subscriber is
+    /// still answered with an explicit truncation, never a silent gap).
+    fn down_union(&self) -> BTreeSet<ProcessId> {
+        self.down.values().flatten().copied().collect()
+    }
+
     /// Releases the settled prefix of a led group's stream: decided
     /// values strictly below every undecided proposal, fanned out to the
     /// subscribers in increasing `(ts, id)` order. The frame is encoded
@@ -1231,8 +2101,19 @@ impl WbcastNode {
                 // beats unbounded memory in never-checkpointing
                 // deployments).
                 seq.history.insert(key, (value.clone(), groups.clone()));
-                if seq.history.len() > UNREPORTED_HISTORY_CAP && !seq.all_reported() {
-                    seq.history.pop_first();
+                if seq.history.len() > UNREPORTED_HISTORY_CAP {
+                    // The union is built only on this rare over-cap
+                    // path (never-checkpointing deployments), keeping
+                    // the per-release fast path allocation-free.
+                    let down: BTreeSet<ProcessId> = self.down.values().flatten().copied().collect();
+                    if !seq.all_reported(&down) {
+                        if let Some(((ts, _), _)) = seq.history.pop_first() {
+                            // The retained stream's floor moved: a
+                            // resync from below it can no longer be
+                            // served prefix-complete, and must say so.
+                            seq.evicted = seq.evicted.max(ts);
+                        }
+                    }
                 }
                 let frame = WbMessage::Ordered {
                     group,
@@ -1447,12 +2328,23 @@ impl WbcastNode {
             .collect();
         // The replay terminator: releases the requester's delivery hold
         // and republishes the current promise over the same channel, so
-        // its frontier is prefix-complete from here on.
+        // its frontier is prefix-complete from here on. When the
+        // request starts below the retained history's floor (capped
+        // eviction, checkpoint pruning past a dead subscriber), the
+        // replay is truncated and the terminator says so — the
+        // requester must re-anchor past the hole, not claim a complete
+        // prefix it never received.
+        let gap_to = if from_ts < seq.evicted {
+            seq.evicted
+        } else {
+            0
+        };
         frames.push(
             WbMessage::ResyncDone {
                 group,
                 epoch: seq.epoch,
                 ts: seq.promised,
+                gap_to,
             }
             .into_frame(),
         );
@@ -1470,8 +2362,23 @@ impl WbcastNode {
 
     /// Subscriber side: the replay for `group` has fully arrived — the
     /// stream's frontier is prefix-complete again, deliveries may
-    /// proceed (once no other stream is still resyncing).
-    fn on_resync_done(&mut self, group: GroupId, epoch: u32, ts: u64, out: &mut Vec<Action>) {
+    /// proceed (once no other stream is still resyncing). A nonzero
+    /// `gap_to` means the sequencer could not serve the requested
+    /// prefix (its retained history starts above it): rather than
+    /// deliver around a silent hole, the stream **re-anchors at the
+    /// gap's end** — everything at or below `gap_to` is written off,
+    /// buffered stragglers from inside the hole are discarded, and the
+    /// truncation is surfaced in [`WbcastNode::resync_truncations`] so
+    /// the deployment can fail loudly (e.g. re-seed from a peer
+    /// checkpoint) instead of proceeding on a gapped history.
+    fn on_resync_done(
+        &mut self,
+        group: GroupId,
+        epoch: u32,
+        ts: u64,
+        gap_to: u64,
+        out: &mut Vec<Action>,
+    ) {
         self.note_observed(group, ts);
         self.note_epoch(group, epoch);
         self.observe_ts(group, ts);
@@ -1484,29 +2391,36 @@ impl WbcastNode {
             return;
         }
         sub.epoch = epoch;
+        if gap_to > sub.floor {
+            self.resync_truncations += 1;
+            sub.floor = gap_to;
+            sub.pending.retain(|&(ts, _), _| ts > gap_to);
+            // The frontier anchor below (ts.max(sub.floor)) covers the
+            // raised floor.
+        }
         sub.resyncing = false;
         sub.frontier = sub.frontier.max(promise_key(ts.max(sub.floor)));
         self.drain(out);
     }
 
     /// Sequencer side: a subscriber's durable checkpoint covers `group`
-    /// up to `ts`. Once every subscriber has reported, protocol state
-    /// below the minimum mark is unreachable — no retry can resurrect it
-    /// (initiators stop at `FinalAck`) and no resync can start below a
-    /// durable checkpoint — so the decided-id map and the released
-    /// history are pruned to the un-checkpointed window.
+    /// up to `ts`. Once every live subscriber has reported, protocol
+    /// state below the minimum mark is unreachable — no retry can
+    /// resurrect it (initiators stop at `FinalAck`) and no live
+    /// subscriber resyncs below its own durable checkpoint — so the
+    /// decided-id map and the released history are pruned to the
+    /// un-checkpointed window. Subscribers the coordination service
+    /// reports crashed are dropped from the minimum (their last mark
+    /// would otherwise freeze the floor forever); if one revives, its
+    /// below-floor resync is answered with an explicit truncation.
     fn on_ckpt_mark(&mut self, from: ProcessId, group: GroupId, ts: u64) {
+        let down = self.down_union();
         let Some(seq) = self.led.get_mut(&group) else {
             return;
         };
         let mark = seq.reported.entry(from).or_insert(0);
         *mark = (*mark).max(ts);
-        if !seq.all_reported() {
-            return;
-        }
-        let floor = seq.reported.values().copied().min().unwrap_or(0);
-        seq.done.retain(|_, fts| *fts > floor);
-        seq.history.retain(|&(ts, _), _| ts > floor);
+        seq.prune_below_collective_mark(&down);
     }
 
     fn on_wb_message(&mut self, now: Time, from: ProcessId, msg: WbMessage, out: &mut Vec<Action>) {
@@ -1519,7 +2433,7 @@ impl WbcastNode {
             WbMessage::ProposeAck { group, id, ts } => {
                 self.on_propose_ack(now, group, id, ts, out);
             }
-            WbMessage::Final { group, id, ts } => self.on_final(now, group, id, ts, out),
+            WbMessage::Final { group, id, ts } => self.on_final(now, group, id, ts, false, out),
             WbMessage::FinalAck { group, id, ts } => self.on_final_ack(group, id, ts),
             WbMessage::Ordered {
                 group,
@@ -1531,8 +2445,25 @@ impl WbcastNode {
             WbMessage::Heartbeat { group, epoch, ts } => self.on_heartbeat(group, epoch, ts, out),
             WbMessage::Resync { group, from_ts } => self.on_resync(now, from, group, from_ts, out),
             WbMessage::CkptMark { group, ts } => self.on_ckpt_mark(from, group, ts),
-            WbMessage::ResyncDone { group, epoch, ts } => {
-                self.on_resync_done(group, epoch, ts, out);
+            WbMessage::ResyncDone {
+                group,
+                epoch,
+                ts,
+                gap_to,
+            } => {
+                self.on_resync_done(group, epoch, ts, gap_to, out);
+            }
+            WbMessage::OrphanQuery { group, id, attempt } => {
+                self.on_orphan_query(now, from, group, id, attempt, out);
+            }
+            WbMessage::OrphanState {
+                group,
+                id,
+                attempt,
+                state,
+            } => self.on_orphan_state(now, group, id, attempt, state, out),
+            WbMessage::OrphanFinal { group, id, ts } => {
+                self.on_final(now, group, id, ts, true, out);
             }
         }
     }
@@ -1648,16 +2579,23 @@ impl WbcastNode {
             self.delta_armed.remove(&ring);
             return;
         }
+        let delta_us = self.led[&groups[0]].delta_us;
         // Release anything a just-ended recovery window was holding
         // before promising past it.
         for &g in &groups {
             self.flush_group(now, g, out);
         }
+        // Initiator liveness backstop: proposals whose initiator went
+        // silent are recovered, and outstanding recovery rounds that
+        // stopped making progress (a decision frame died with a crashed
+        // sequencer) are re-driven, before the next promise round (the
+        // promise is capped by pending proposals anyway).
+        self.scan_orphans(now, ring, out);
+        self.reprobe_orphan_rounds(now, delta_us, out);
         self.emit_heartbeats(now, ring, out);
         // Exactly one re-arm per ring, regardless of how many led
         // groups share it: runtimes do not dedupe timers, so one
         // SetTimer per group would multiply live timers every Δ.
-        let delta_us = self.led[&groups[0]].delta_us;
         out.push(Action::SetTimer {
             after_us: delta_us.max(1),
             timer: TimerKind::Delta(ring),
@@ -1725,7 +2663,10 @@ impl WbcastNode {
         // successive coordinators that never observed each other's
         // frames would otherwise mint colliding epochs.
         self.note_ring_epoch(ring, supersedes.round());
-        self.coordinators.insert(ring, coordinator);
+        let deposed = self
+            .coordinators
+            .insert(ring, coordinator)
+            .filter(|&old| old != coordinator);
         let groups: Vec<GroupId> = self
             .config
             .groups()
@@ -1773,6 +2714,7 @@ impl WbcastNode {
                         // inside the group is future work, with the
                         // per-group counter replication).
                         history: BTreeMap::new(),
+                        evicted: 0,
                         reported: BTreeMap::new(),
                     };
                     seq.bump_clock(now);
@@ -1855,6 +2797,29 @@ impl WbcastNode {
                 timer: TimerKind::ProposalResend(ring),
             });
         }
+        // Orphan recovery fast paths. The election usually means the
+        // previous coordinator crashed: rounds it *initiated* are
+        // recovered immediately wherever this process holds their
+        // proposals. And outstanding recovery rounds that address one
+        // of this ring's groups re-run with a fresh attempt, so queries
+        // stranded at the deposed sequencer re-route to its successor
+        // (the attempt bump fences any late answer the deposed one
+        // still sends).
+        if let Some(old) = deposed {
+            let suspects = BTreeSet::from([old]);
+            self.recover_orphans_of(now, &suspects, out);
+        }
+        let stuck: Vec<ValueId> = self
+            .orphans
+            .iter()
+            .filter(|(_, r)| r.groups.iter().any(|g| groups.contains(g)))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stuck {
+            let round = &self.orphans[&id];
+            let (value, gamma) = (round.value.clone(), round.groups.clone());
+            self.start_orphan_recovery(now, id, value, gamma, out);
+        }
     }
 
     fn on_start(&mut self, out: &mut Vec<Action>) {
@@ -1887,10 +2852,12 @@ impl StateMachine for WbcastNode {
                 coordinator,
                 supersedes,
             } => self.on_coordinator_change(now, ring, coordinator, supersedes, &mut out),
-            // The engine keeps no stable storage; other timers,
-            // persistence completions and membership events are
-            // ring-engine concerns.
-            Event::Timer(_) | Event::PersistDone(_) | Event::MembershipChange { .. } => {}
+            Event::MembershipChange { ring, down } => {
+                self.on_membership_change(now, ring, down, &mut out);
+            }
+            // The engine keeps no stable storage; other timers and
+            // persistence completions are ring-engine concerns.
+            Event::Timer(_) | Event::PersistDone(_) => {}
         }
         out
     }
@@ -2118,6 +3085,25 @@ mod tests {
     }
 
     fn pump(nodes: &mut Map<ProcessId, WbcastNode>, queue: Vec<(ProcessId, Action)>) -> Pumped {
+        pump_at(nodes, queue, Time::ZERO, true)
+    }
+
+    /// Like [`pump`], but frames to processes missing from `nodes` are
+    /// dropped (they crashed) instead of flagging a harness mistake.
+    fn pump_lossy(
+        nodes: &mut Map<ProcessId, WbcastNode>,
+        queue: Vec<(ProcessId, Action)>,
+        now: Time,
+    ) -> Pumped {
+        pump_at(nodes, queue, now, false)
+    }
+
+    fn pump_at(
+        nodes: &mut Map<ProcessId, WbcastNode>,
+        queue: Vec<(ProcessId, Action)>,
+        now: Time,
+        strict: bool,
+    ) -> Pumped {
         // FIFO processing: the Action::Send contract promises reliable
         // in-order channels, and the engine's stream frontiers build on
         // exactly that promise.
@@ -2132,13 +3118,16 @@ mod tests {
             assert!(steps < 100_000, "no quiescence");
             match action {
                 Action::Send { to, msg } => {
+                    let Some(node) = nodes.get_mut(&to) else {
+                        assert!(!strict, "send to unknown process {to}");
+                        continue; // crashed process: the frame is lost
+                    };
                     if let Message::Engine { payload, .. } = &msg {
                         if frame_references_value(payload.clone()) {
                             *result.value_frames_at.entry(to).or_default() += 1;
                         }
                     }
-                    let node = nodes.get_mut(&to).expect("known process");
-                    for a in node.on_event(Time::ZERO, Event::Message { from: origin, msg }) {
+                    for a in node.on_event(now, Event::Message { from: origin, msg }) {
                         queue.push_back((to, a));
                     }
                 }
@@ -2547,6 +3536,41 @@ mod tests {
                 group: GroupId::new(1),
                 epoch: 4,
                 ts: 13,
+                gap_to: 6,
+            },
+            WbMessage::OrphanQuery {
+                group: GroupId::new(1),
+                id: ValueId::new(ProcessId::new(3), 9),
+                attempt: 2,
+            },
+            WbMessage::OrphanState {
+                group: GroupId::new(1),
+                id: ValueId::new(ProcessId::new(3), 9),
+                attempt: 2,
+                state: OrphanSt::Proposed(21),
+            },
+            WbMessage::OrphanState {
+                group: GroupId::new(0),
+                id: ValueId::new(ProcessId::new(3), 9),
+                attempt: 3,
+                state: OrphanSt::Unknown,
+            },
+            WbMessage::OrphanState {
+                group: GroupId::new(0),
+                id: ValueId::new(ProcessId::new(3), 9),
+                attempt: 3,
+                state: OrphanSt::Decided(23),
+            },
+            WbMessage::OrphanState {
+                group: GroupId::new(1),
+                id: ValueId::new(ProcessId::new(3), 9),
+                attempt: 4,
+                state: OrphanSt::Released(23),
+            },
+            WbMessage::OrphanFinal {
+                group: GroupId::new(1),
+                id: ValueId::new(ProcessId::new(3), 9),
+                ts: 23,
             },
         ] {
             let Message::Engine { engine, payload } = msg.clone().into_frame() else {
@@ -3029,6 +4053,7 @@ mod tests {
                     group: g,
                     epoch: 0,
                     ts: 9_000,
+                    gap_to: 0,
                 }
                 .into_frame(),
             },
@@ -3195,5 +4220,525 @@ mod tests {
         assert!(seq.next_ts > 41, "clock resumed past the observed key");
         assert_eq!(seq.epoch, 1, "fresh sequencer epoch");
         assert!(seq.resume_at.is_some(), "recovery window armed");
+    }
+
+    /// The tentpole's core scenario: the initiator of a multi-group
+    /// round crashes after its `Submit`s went out but before any
+    /// `Final` — previously every addressed group's stream stalled
+    /// forever behind the undecided proposal. The orphan timeout makes
+    /// the sequencers assume the initiator role: they collect each
+    /// other's proposals and complete the round at the max timestamp,
+    /// so every surviving subscriber of γ delivers exactly once, at the
+    /// identical final key in both groups.
+    #[test]
+    fn initiator_crash_orphan_recovery_completes_round() {
+        let config = disjoint_config(&[&[0, 1], &[2, 3]]);
+        let mut nodes = spawn(&config);
+        let p1 = ProcessId::new(1);
+        let (id, actions) = AmcastEngine::multicast(
+            nodes.get_mut(&p1).unwrap(),
+            Time::ZERO,
+            &[GroupId::new(0), GroupId::new(1)],
+            Bytes::from_static(b"orphan"),
+        )
+        .unwrap();
+        // p1 crashes: its state is gone, frames to it are lost.
+        nodes.remove(&p1);
+        let queue = actions.into_iter().map(|a| (p1, a)).collect();
+        pump_lossy(&mut nodes, queue, Time::ZERO);
+        for p in [0u32, 2] {
+            assert_eq!(
+                nodes[&ProcessId::new(p)].undecided_len(),
+                1,
+                "sequencer {p} holds the orphaned proposal"
+            );
+        }
+        // Past the orphan timeout, group 0's Δ tick starts recovery and
+        // the exchange completes the round in both groups.
+        let t = Time::from_millis(100);
+        let p0 = ProcessId::new(0);
+        let ticked = nodes
+            .get_mut(&p0)
+            .unwrap()
+            .on_event(t, Event::Timer(TimerKind::Delta(RingId::new(0))));
+        let queue = ticked.into_iter().map(|a| (p0, a)).collect();
+        let late = pump_lossy(&mut nodes, queue, t);
+        let key_of = |p: u32| {
+            late.delivered
+                .get(&ProcessId::new(p))
+                .into_iter()
+                .flatten()
+                .filter(|(_, _, i)| *i == id)
+                .map(|(_, ts, i)| (*ts, *i))
+                .collect::<Vec<_>>()
+        };
+        for p in [0u32, 2, 3] {
+            assert_eq!(
+                key_of(p).len(),
+                1,
+                "survivor {p} delivers the orphan exactly once"
+            );
+        }
+        assert_eq!(
+            key_of(0),
+            key_of(2),
+            "identical final timestamp in both groups"
+        );
+        for p in [0u32, 2] {
+            assert_eq!(
+                nodes[&ProcessId::new(p)].undecided_len(),
+                0,
+                "no residual undecided proposal at sequencer {p}"
+            );
+        }
+        // The round is tracked until every group confirms release: the
+        // recoverer's next re-probe past another orphan timeout sees
+        // `Released` everywhere and retires it.
+        assert_eq!(nodes[&p0].orphans.len(), 1, "awaiting release confirmation");
+        let t2 = Time::from_millis(200);
+        let ticked = nodes
+            .get_mut(&p0)
+            .unwrap()
+            .on_event(t2, Event::Timer(TimerKind::Delta(RingId::new(0))));
+        let queue = ticked.into_iter().map(|a| (p0, a)).collect();
+        pump_lossy(&mut nodes, queue, t2);
+        assert!(
+            nodes[&p0].orphans.is_empty(),
+            "round retires once every group confirms release"
+        );
+    }
+
+    /// Review regression: once a sequencer has answered an
+    /// `OrphanQuery` for a pending proposal, a plain `Final` from the
+    /// (falsely-suspected) initiator must be dropped — if it could race
+    /// the recoverer's `OrphanFinal`, the two deciders could win in
+    /// different groups and split the round across two final
+    /// timestamps. Only the recovery decision lands.
+    #[test]
+    fn fenced_proposal_ignores_the_initiators_final_until_recovery_decides() {
+        let config = disjoint_config(&[&[0, 1], &[2, 3]]);
+        let mut n2 = WbcastNode::new(ProcessId::new(2), config);
+        let initiator = ProcessId::new(0);
+        let id = ValueId::new(initiator, 1);
+        let value = Value::new(id, GroupId::new(0), Bytes::from_static(b"m"));
+        let g1 = GroupId::new(1);
+        let ev = |from: ProcessId, msg: WbMessage| Event::Message {
+            from,
+            msg: msg.into_frame(),
+        };
+        n2.on_event(
+            Time::ZERO,
+            ev(
+                initiator,
+                WbMessage::Submit {
+                    group: g1,
+                    groups: vec![GroupId::new(0), g1],
+                    value,
+                },
+            ),
+        );
+        let ts = n2.led[&g1].pending[&id].ts;
+        // A recoverer (group 0's sequencer) queries: the proposal is
+        // now fenced.
+        n2.on_event(
+            Time::ZERO,
+            ev(
+                ProcessId::new(0),
+                WbMessage::OrphanQuery {
+                    group: g1,
+                    id,
+                    attempt: 1,
+                },
+            ),
+        );
+        // The slow initiator's own Final arrives: dropped, the round
+        // stays pending.
+        let out = n2.on_event(
+            Time::ZERO,
+            ev(
+                initiator,
+                WbMessage::Final {
+                    group: g1,
+                    id,
+                    ts: ts + 3,
+                },
+            ),
+        );
+        assert!(out.is_empty(), "fenced round ignores the initiator's Final");
+        assert_eq!(n2.undecided_len(), 1, "still pending — recovery owns it");
+        // The recovery decision lands and releases at ITS timestamp.
+        let out = n2.on_event(
+            Time::ZERO,
+            ev(
+                ProcessId::new(0),
+                WbMessage::OrphanFinal {
+                    group: g1,
+                    id,
+                    ts: ts + 7,
+                },
+            ),
+        );
+        assert_eq!(n2.undecided_len(), 0, "recovery decides the fenced round");
+        let released: Vec<u64> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: Message::Engine { payload, .. },
+                    ..
+                } => match WbMessage::parse(payload.clone()) {
+                    Some(WbMessage::Ordered { ts, .. }) => Some(ts),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        assert!(
+            released.contains(&(ts + 7)),
+            "released at the recovery timestamp: {released:?}"
+        );
+        assert!(
+            !released.contains(&(ts + 3)),
+            "the initiator's racing timestamp never enters the stream"
+        );
+    }
+
+    /// Review regression (agreement): an `OrphanFinal` that dies with
+    /// an addressed sequencer which crashed right after reporting its
+    /// proposal must not lose the round in that group while the others
+    /// deliver. The recoverer keeps the round until every group
+    /// confirms *release*: its re-probe finds the replacement sequencer
+    /// empty-handed, re-seeds it, and re-decides at the recorded —
+    /// immutable — timestamp, so the late group delivers at exactly the
+    /// key the early group already used.
+    #[test]
+    fn lost_orphan_final_is_redriven_until_every_group_confirms_release() {
+        let config = disjoint_config(&[&[0, 1], &[2, 3]]);
+        let mut nodes = spawn(&config);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let p2 = ProcessId::new(2);
+        let p3 = ProcessId::new(3);
+        let g1 = GroupId::new(1);
+        let (id, actions) = AmcastEngine::multicast(
+            nodes.get_mut(&p1).unwrap(),
+            Time::ZERO,
+            &[GroupId::new(0), g1],
+            Bytes::from_static(b"orphan"),
+        )
+        .unwrap();
+        nodes.remove(&p1); // the initiator dies with the round in flight
+        pump_lossy(
+            &mut nodes,
+            actions.into_iter().map(|a| (p1, a)).collect(),
+            Time::ZERO,
+        );
+        // p0's orphan timeout: step the exchange by hand so p2 can
+        // crash at the worst instant — after its OrphanState reply,
+        // before the OrphanFinal reaches it.
+        let t = Time::from_millis(100);
+        let ticked = nodes
+            .get_mut(&p0)
+            .unwrap()
+            .on_event(t, Event::Timer(TimerKind::Delta(RingId::new(0))));
+        let to_p2: Vec<Message> = ticked
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } if *to == p2 => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(to_p2.len(), 1, "exactly the OrphanQuery goes to p2");
+        let replies = nodes.get_mut(&p2).unwrap().on_event(
+            t,
+            Event::Message {
+                from: p0,
+                msg: to_p2[0].clone(),
+            },
+        );
+        // p2 crashes now: its reply survives (already on the wire), the
+        // OrphanFinal p0 sends in response dies on the way back.
+        nodes.remove(&p2);
+        let mut p0_fts = None;
+        for a in replies {
+            if let Action::Send { to, msg } = a {
+                assert_eq!(to, p0);
+                let out = nodes
+                    .get_mut(&p0)
+                    .unwrap()
+                    .on_event(t, Event::Message { from: p2, msg });
+                for a in out {
+                    if let Action::Deliver { instance, .. } = a {
+                        p0_fts = Some(instance.value());
+                    }
+                    // Sends to the dead p2 (the OrphanFinal) are lost.
+                }
+            }
+        }
+        let p0_fts = p0_fts.expect("p0 delivered its copy at the decided timestamp");
+        assert!(nodes[&p3].delivered() == 0, "group 1 lost the decision");
+        // The coordination service elects p3 as group 1's sequencer:
+        // p0's stuck-round re-kick finds the replacement empty-handed,
+        // re-seeds it, and re-decides at the recorded timestamp.
+        let t2 = Time::from_millis(300);
+        let election = |coordinator| Event::CoordinatorChange {
+            ring: RingId::new(1),
+            coordinator,
+            supersedes: multiring_paxos::types::Ballot::new(1, p3),
+        };
+        nodes.get_mut(&p3).unwrap().on_event(t2, election(p3));
+        let rekick = nodes.get_mut(&p0).unwrap().on_event(t2, election(p3));
+        pump_lossy(
+            &mut nodes,
+            rekick.into_iter().map(|a| (p0, a)).collect(),
+            t2,
+        );
+        // Past p3's takeover grace window, its Δ tick releases the
+        // re-decided value.
+        let t3 = Time::from_millis(600);
+        let released = nodes
+            .get_mut(&p3)
+            .unwrap()
+            .on_event(t3, Event::Timer(TimerKind::Delta(RingId::new(1))));
+        let p3_fts: Vec<u64> = released
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver {
+                    instance, value, ..
+                } if value.id == id => Some(instance.value()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            p3_fts,
+            vec![p0_fts],
+            "the late group delivers exactly once, at the early group's timestamp"
+        );
+        // The recoverer's next re-probe sees Released everywhere and
+        // retires the round.
+        let t4 = Time::from_millis(900);
+        let probe = nodes
+            .get_mut(&p0)
+            .unwrap()
+            .on_event(t4, Event::Timer(TimerKind::Delta(RingId::new(0))));
+        pump_lossy(&mut nodes, probe.into_iter().map(|a| (p0, a)).collect(), t4);
+        assert!(nodes[&p0].orphans.is_empty(), "round confirmed and retired");
+    }
+
+    /// Recovery when one addressed group never saw the `Submit` (lost
+    /// with the crash): the recoverer re-submits on the orphan's behalf
+    /// and completes once the fresh proposal is in.
+    #[test]
+    fn orphan_recovery_resubmits_to_groups_that_never_saw_the_submit() {
+        let config = disjoint_config(&[&[0, 1], &[2, 3]]);
+        let mut nodes = spawn(&config);
+        let p1 = ProcessId::new(1);
+        let (id, actions) = AmcastEngine::multicast(
+            nodes.get_mut(&p1).unwrap(),
+            Time::ZERO,
+            &[GroupId::new(0), GroupId::new(1)],
+            Bytes::from_static(b"partial"),
+        )
+        .unwrap();
+        nodes.remove(&p1);
+        // Only group 0's Submit survives the crash.
+        let queue = actions
+            .into_iter()
+            .filter(|a| a.send_to() == Some(ProcessId::new(0)))
+            .map(|a| (p1, a))
+            .collect();
+        pump_lossy(&mut nodes, queue, Time::ZERO);
+        assert_eq!(nodes[&ProcessId::new(0)].undecided_len(), 1);
+        assert_eq!(
+            nodes[&ProcessId::new(2)].undecided_len(),
+            0,
+            "group 1 never saw the round"
+        );
+        let t = Time::from_millis(100);
+        let p0 = ProcessId::new(0);
+        let ticked = nodes
+            .get_mut(&p0)
+            .unwrap()
+            .on_event(t, Event::Timer(TimerKind::Delta(RingId::new(0))));
+        let queue = ticked.into_iter().map(|a| (p0, a)).collect();
+        let late = pump_lossy(&mut nodes, queue, t);
+        for p in [0u32, 2, 3] {
+            let copies = late
+                .delivered
+                .get(&ProcessId::new(p))
+                .into_iter()
+                .flatten()
+                .filter(|(_, _, i)| *i == id)
+                .count();
+            assert_eq!(copies, 1, "survivor {p} delivers exactly once");
+        }
+        for p in [0u32, 2] {
+            assert_eq!(nodes[&ProcessId::new(p)].undecided_len(), 0);
+        }
+    }
+
+    /// Satellite regression (`on_resync` silent gap): a resync from
+    /// below the sequencer's retained-history floor — here created by
+    /// the [`UNREPORTED_HISTORY_CAP`] eviction — must not replay a
+    /// truncated stream behind a terminator that claims
+    /// prefix-completeness. The terminator now carries the gap, and the
+    /// recovering subscriber re-anchors at the floor and surfaces the
+    /// truncation instead of delivering with a silent hole.
+    #[test]
+    fn below_floor_resync_signals_truncation_and_reanchors() {
+        let config = single_ring(2, RingTuning::default());
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let mut nodes = spawn(&config);
+        let extra = 10u64;
+        let total = UNREPORTED_HISTORY_CAP as u64 + extra;
+        // p1 is down the whole time: p0 orders `total` values alone and
+        // the cap evicts the oldest `extra` from its history.
+        nodes.remove(&p1);
+        for i in 0..total {
+            let (_, actions) = AmcastEngine::multicast(
+                nodes.get_mut(&p0).unwrap(),
+                Time::ZERO,
+                &[GroupId::new(0)],
+                Bytes::from(i.to_le_bytes().to_vec()),
+            )
+            .unwrap();
+            pump_lossy(
+                &mut nodes,
+                actions.into_iter().map(|a| (p0, a)).collect(),
+                Time::ZERO,
+            );
+        }
+        let (_, history) = nodes[&p0].sequencer_footprint();
+        assert_eq!(history, UNREPORTED_HISTORY_CAP, "cap enforced");
+        // p1 starts from scratch (no checkpoint) and resyncs from 0 —
+        // below the evicted floor.
+        let mut fresh = WbcastNode::recovering(p1, config.clone());
+        let resume = AmcastEngine::resume(&mut fresh, Time::from_millis(1));
+        nodes.insert(p1, fresh);
+        let replay = pump_lossy(
+            &mut nodes,
+            resume.into_iter().map(|a| (p1, a)).collect(),
+            Time::from_millis(1),
+        );
+        let n1 = &nodes[&p1];
+        assert_eq!(
+            n1.resync_truncations(),
+            1,
+            "the truncated replay is surfaced, not silent"
+        );
+        let delivered = replay.delivered.get(&p1).map_or(0, |d| d.len()) as u64;
+        assert_eq!(
+            delivered,
+            total - extra,
+            "exactly the retained suffix is delivered"
+        );
+        // The re-anchor writes the hole off explicitly: the floor sits
+        // at the evicted boundary, and the watermark never claims the
+        // missing prefix was executed as part of a complete stream.
+        assert_eq!(
+            n1.horizons()[&GroupId::new(0)],
+            nodes[&p0].horizons()[&GroupId::new(0)],
+            "frontier re-anchored to the live stream"
+        );
+    }
+
+    /// Satellite regression (dead-subscriber prune-floor freeze): a
+    /// subscriber that reported one durable mark and then crashed no
+    /// longer pins the sequencer's `done`/`history` growth — once the
+    /// coordination service reports it down, the retention floor
+    /// advances past its stale mark (modulo a bounded courtesy band so
+    /// a quick restart still replays exactly), and a late revival
+    /// resyncing from below the advanced floor is answered with an
+    /// explicit truncation.
+    #[test]
+    fn prune_floor_advances_past_dead_reporter() {
+        let config = single_ring(3, RingTuning::default());
+        let p0 = ProcessId::new(0);
+        let g = GroupId::new(0);
+        let mut n = WbcastNode::new(p0, config);
+        let submit = |n: &mut WbcastNode, count: u64| {
+            for i in 0..count {
+                AmcastEngine::multicast(n, Time::ZERO, &[g], Bytes::from(i.to_le_bytes().to_vec()))
+                    .unwrap();
+            }
+        };
+        submit(&mut n, 50);
+        // All three subscribers report once (which also lifts the
+        // unreported-history cap); p2's mark then freezes at 10.
+        for (p, ts) in [(0u32, 40u64), (1, 40), (2, 10)] {
+            n.on_event(
+                Time::ZERO,
+                Event::Message {
+                    from: ProcessId::new(p),
+                    msg: WbMessage::CkptMark { group: g, ts }.into_frame(),
+                },
+            );
+        }
+        assert_eq!(n.sequencer_footprint(), (40, 40), "pruned to the min mark");
+        // p2 never reports again; p0/p1 keep checkpointing. While p2 is
+        // believed alive, its stale mark freezes the floor: state grows
+        // with uptime.
+        let burst = UNREPORTED_HISTORY_CAP as u64 + 250;
+        submit(&mut n, burst);
+        let live_mark = 10 + 40 + burst; // timestamps are dense from 1
+        for p in [0u32, 1] {
+            n.on_event(
+                Time::ZERO,
+                Event::Message {
+                    from: ProcessId::new(p),
+                    msg: WbMessage::CkptMark {
+                        group: g,
+                        ts: live_mark,
+                    }
+                    .into_frame(),
+                },
+            );
+        }
+        let (done, history) = n.sequencer_footprint();
+        assert!(
+            history > UNREPORTED_HISTORY_CAP && done > UNREPORTED_HISTORY_CAP,
+            "a live-but-lagging reporter legitimately freezes the floor: {done}/{history}"
+        );
+        // The coordination service reports p2 crashed: the floor
+        // advances past its mark, and retention drops to the bounded
+        // courtesy band plus the live checkpoint window.
+        n.on_event(
+            Time::ZERO,
+            Event::MembershipChange {
+                ring: RingId::new(0),
+                down: vec![ProcessId::new(2)],
+            },
+        );
+        let (done, history) = n.sequencer_footprint();
+        assert!(
+            history <= UNREPORTED_HISTORY_CAP + 250 && done <= UNREPORTED_HISTORY_CAP + 250,
+            "dead reporter no longer grows sequencer state with uptime: {done}/{history}"
+        );
+        // A revived p2 resyncing from its stale mark gets the gap
+        // spelled out in the replay terminator instead of a silently
+        // truncated stream.
+        let out = n.on_event(
+            Time::ZERO,
+            Event::Message {
+                from: ProcessId::new(2),
+                msg: WbMessage::Resync {
+                    group: g,
+                    from_ts: 10,
+                }
+                .into_frame(),
+            },
+        );
+        let gap = out.iter().find_map(|a| match a {
+            Action::Send {
+                to,
+                msg: Message::Engine { payload, .. },
+            } if *to == ProcessId::new(2) => match WbMessage::parse(payload.clone()) {
+                Some(WbMessage::ResyncDone { gap_to, .. }) => Some(gap_to),
+                _ => None,
+            },
+            _ => None,
+        });
+        let gap = gap.expect("replay terminator present");
+        assert!(gap > 10, "below-floor resync flags the truncation: {gap}");
     }
 }

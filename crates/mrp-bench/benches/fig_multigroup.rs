@@ -15,10 +15,12 @@ fn to_json(rows: &[MultigroupRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"engine\": \"{}\", \"multi_per_mille\": {}, \"ops_per_sec\": {:.1}, \
+            "  {{\"engine\": \"{}\", \"multi_per_mille\": {}, \"crash_ms\": {}, \
+             \"ops_per_sec\": {:.1}, \
              \"latency_ms\": {:.3}, \"single_ms\": {:.3}, \"multi_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
             r.engine,
             r.multi_per_mille,
+            r.crash_ms,
             r.ops_per_sec,
             r.latency_ms,
             r.single_ms,
@@ -36,10 +38,12 @@ fn main() {
     let rows = figures::fig_multigroup(scale);
     let mut t = Table::new(
         "Multi-group multicast — genuine (wbcast) vs covering group (multiring); \
-         3 groups x 3 processes, 24 sessions, 512 B requests",
+         3 groups x 3 processes, 24 sessions, 512 B requests \
+         (MRP_MULTIGROUP_CRASH_MS=<period> adds initiator churn)",
         &[
             "engine",
             "multi_permille",
+            "crash_ms",
             "ops_per_sec",
             "latency_ms",
             "single_ms",
@@ -51,6 +55,7 @@ fn main() {
         t.row(&[
             r.engine.to_string(),
             r.multi_per_mille.to_string(),
+            r.crash_ms.to_string(),
             fmt_f(r.ops_per_sec),
             fmt_f(r.latency_ms),
             fmt_f(r.single_ms),

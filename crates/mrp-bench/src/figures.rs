@@ -1261,6 +1261,12 @@ pub struct MultigroupRow {
     pub engine: &'static str,
     /// Fraction of multi-group messages, per mille.
     pub multi_per_mille: u32,
+    /// Initiator-churn period in milliseconds (`0` = no churn): every
+    /// `crash_ms` the process that initiates the multi-group messages
+    /// is crashed and restarted half a period later, so the row
+    /// measures throughput with multi-group rounds repeatedly orphaned
+    /// mid-flight. Set via the `MRP_MULTIGROUP_CRASH_MS` env var.
+    pub crash_ms: u64,
     /// Completed operations per second.
     pub ops_per_sec: f64,
     /// Mean client latency in milliseconds, all operations.
@@ -1279,12 +1285,23 @@ pub struct MultigroupRow {
 /// every group — so the ring engine has a covering group available and
 /// both engines run the identical workload behind the identical
 /// engine-generic replica.
+///
+/// Setting `MRP_MULTIGROUP_CRASH_MS=<period>` adds **initiator churn**:
+/// every period the process that initiates the multi-group messages is
+/// crashed (orphaning its in-flight Skeen rounds) and restarted half a
+/// period later, and client sessions retry abandoned operations — so
+/// `BENCH_multigroup.json` records throughput while orphan recovery
+/// (wbcast) / coordinator re-election (both engines) runs continuously.
 pub fn fig_multigroup(scale: Scale) -> Vec<MultigroupRow> {
     use crate::harness::MixedGroupClient;
     use mrp_amcast::{EngineKind, EngineReplica};
     let fractions: &[u32] = scale.pick(&[0, 50, 200, 500, 1000], &[0, 500]);
     let warmup_s = scale.pick(2, 1);
     let run_s = scale.pick(10, 2);
+    let crash_ms: u64 = std::env::var("MRP_MULTIGROUP_CRASH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let n = 3u32;
     let groups = 3u16;
     let mut rows = Vec::new();
@@ -1299,34 +1316,53 @@ pub fn fig_multigroup(scale: Scale) -> Vec<MultigroupRow> {
             let mut cluster = Cluster::new(
                 SimConfig {
                     seed: 11,
+                    election_timeout_us: 50_000,
                     ..SimConfig::default()
                 },
                 Topology::lan(16),
             );
             cluster.set_protocol(config.clone());
+            let policy = CheckpointPolicy {
+                // Churn runs checkpoint so a restarted victim rejoins
+                // from a snapshot instead of replaying from genesis.
+                interval_us: if crash_ms > 0 { 100_000 } else { 0 },
+                sync: false,
+            };
             for p in 0..n {
                 let pid = ProcessId::new(p);
-                let replica = EngineReplica::new(
-                    kind,
-                    pid,
-                    config.clone(),
-                    EchoApp::new(),
-                    CheckpointPolicy {
-                        interval_us: 0,
-                        sync: false,
-                    },
-                );
-                cluster.add_actor(pid, Hosted::new(replica).boxed());
+                if crash_ms > 0 {
+                    let cfg = config.clone();
+                    cluster.add_recoverable_replica_actor(kind, pid, cfg, policy, EchoApp::new);
+                } else {
+                    let replica =
+                        EngineReplica::new(kind, pid, config.clone(), EchoApp::new(), policy);
+                    cluster.add_actor(pid, Hosted::new(replica).boxed());
+                }
                 cluster.set_cpu(pid, proto_cpu());
             }
             let targets: Vec<(ProcessId, GroupId)> = (0..groups)
                 .map(|g| (ProcessId::new(u32::from(g) % n), GroupId::new(g)))
                 .collect();
+            // The multi-group initiator (the first target) dies and
+            // comes back every churn period.
+            if crash_ms > 0 {
+                let victim = targets[0].0;
+                let period = crash_ms * 1_000;
+                let mut t = warmup_s * 1_000_000 + period;
+                while t + period / 2 < (warmup_s + run_s) * 1_000_000 {
+                    cluster.schedule_crash(Time::from_micros(t), victim);
+                    cluster.schedule_restart(Time::from_micros(t + period / 2), victim);
+                    t += period;
+                }
+            }
             let client_proc = ProcessId::new(950);
             let client_id = ClientId::new(1);
-            let client =
+            let mut client =
                 MixedGroupClient::new(client_id, 24, targets, multi_per_mille, 512, "multigroup")
                     .warmup_until(Time::from_secs(warmup_s));
+            if crash_ms > 0 {
+                client = client.with_retry(crash_ms * 1_000 / 2);
+            }
             cluster.add_actor(client_proc, Box::new(client));
             cluster.register_client(client_id, client_proc);
             cluster.start();
@@ -1337,6 +1373,7 @@ pub fn fig_multigroup(scale: Scale) -> Vec<MultigroupRow> {
             rows.push(MultigroupRow {
                 engine: kind.name(),
                 multi_per_mille,
+                crash_ms,
                 ops_per_sec: cluster.metrics().counter("multigroup/ops") as f64 / run_s as f64,
                 latency_ms: h.map_or(0.0, |h| h.mean() / 1000.0),
                 single_ms: single.map_or(0.0, |h| h.mean() / 1000.0),

@@ -216,6 +216,11 @@ pub struct MixedGroupClient {
     round_robin: u64,
     pending: BTreeMap<u64, (u32, Time, bool)>,
     warmup_until: Time,
+    /// When nonzero, a session whose request has been unanswered this
+    /// long abandons it and issues a fresh operation — the at-least-once
+    /// client behavior churn experiments need (a request sent to a
+    /// crashed replica would otherwise kill its closed loop forever).
+    retry_us: u64,
     prefix: String,
 }
 
@@ -251,6 +256,7 @@ impl MixedGroupClient {
             round_robin: 0,
             pending: BTreeMap::new(),
             warmup_until: Time::ZERO,
+            retry_us: 0,
             prefix: prefix.into(),
         }
     }
@@ -258,6 +264,15 @@ impl MixedGroupClient {
     /// Discards samples before `t`.
     pub fn warmup_until(mut self, t: Time) -> Self {
         self.warmup_until = t;
+        self
+    }
+
+    /// Enables session retries: an operation unanswered for `retry_us`
+    /// is abandoned and the session issues a fresh one (at-least-once —
+    /// the abandoned command may still execute). Required for churn
+    /// runs where the target replica crashes with requests in flight.
+    pub fn with_retry(mut self, retry_us: u64) -> Self {
+        self.retry_us = retry_us;
         self
     }
 
@@ -295,6 +310,22 @@ impl Actor for MixedGroupClient {
                 for s in 0..self.sessions {
                     self.issue(s, now, out, ctx.rng);
                 }
+                if self.retry_us > 0 {
+                    out.wakeup(self.retry_us, 0);
+                }
+            }
+            ActorEvent::Wakeup(0) if self.retry_us > 0 => {
+                let stale: Vec<u64> = self
+                    .pending
+                    .iter()
+                    .filter(|&(_, &(_, issued_at, _))| now.since(issued_at) >= self.retry_us)
+                    .map(|(&request, _)| request)
+                    .collect();
+                for request in stale {
+                    let (session, _, _) = self.pending.remove(&request).expect("stale entry");
+                    self.issue(session, now, out, ctx.rng);
+                }
+                out.wakeup(self.retry_us, 0);
             }
             ActorEvent::Message {
                 msg: Message::Response { request, .. },

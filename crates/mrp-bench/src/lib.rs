@@ -36,6 +36,7 @@
 //! |---|---|
 //! | `engine` | engine name (`multiring` \| `wbcast`) |
 //! | `multi_per_mille` | multi-group messages per 1000 client requests |
+//! | `crash_ms` | initiator-churn period in ms (`0` = none): every period the multi-group initiator is crashed and restarted half a period later (`MRP_MULTIGROUP_CRASH_MS`), measuring throughput under repeatedly orphaned rounds |
 //! | `ops_per_sec` | completed client operations per second |
 //! | `latency_ms` | mean end-to-end latency over all operations |
 //! | `single_ms` / `multi_ms` | mean latency split by message class |

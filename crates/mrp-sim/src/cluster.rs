@@ -824,7 +824,7 @@ mod tests {
     use super::*;
     use crate::actor::Hosted;
     use bytes::Bytes;
-    use multiring_paxos::config::{single_ring, RingTuning};
+    use multiring_paxos::config::{single_ring, ClusterConfig, RingSpec, RingTuning, Roles};
     use multiring_paxos::node::Node;
     use multiring_paxos::types::GroupId;
     use std::any::Any;
@@ -841,7 +841,7 @@ mod tests {
     #[derive(Debug)]
     struct Pulse {
         target: ProcessId,
-        group: GroupId,
+        groups: Vec<GroupId>,
         n: u64,
         client: ClientId,
     }
@@ -861,7 +861,7 @@ mod tests {
                         Message::Request {
                             client: self.client,
                             request: i,
-                            groups: vec![self.group],
+                            groups: self.groups.clone(),
                             payload: Bytes::from_static(b"ping"),
                         },
                     );
@@ -906,7 +906,7 @@ mod tests {
             client,
             Box::new(Pulse {
                 target: ProcessId::new(1),
-                group: GroupId::new(0),
+                groups: vec![GroupId::new(0)],
                 n: 10,
                 client: ClientId::new(1),
             }),
@@ -957,7 +957,7 @@ mod tests {
             late_client,
             Box::new(Pulse {
                 target: ProcessId::new(1),
-                group: GroupId::new(0),
+                groups: vec![GroupId::new(0)],
                 n: 5,
                 client: ClientId::new(2),
             }),
@@ -980,7 +980,7 @@ mod tests {
             late_client,
             Box::new(Pulse {
                 target: ProcessId::new(0),
-                group: GroupId::new(0),
+                groups: vec![GroupId::new(0)],
                 n: 5,
                 client: ClientId::new(2),
             }),
@@ -1016,7 +1016,7 @@ mod tests {
             client,
             Box::new(Pulse {
                 target: ProcessId::new(1),
-                group: GroupId::new(0),
+                groups: vec![GroupId::new(0)],
                 n: 10,
                 client: ClientId::new(1),
             }),
@@ -1035,7 +1035,7 @@ mod tests {
             late_client,
             Box::new(Pulse {
                 target: ProcessId::new(1),
-                group: GroupId::new(0),
+                groups: vec![GroupId::new(0)],
                 n: 5,
                 client: ClientId::new(2),
             }),
@@ -1043,5 +1043,67 @@ mod tests {
         cluster.run_until(Time::from_secs(4));
         // 30 before the crash + 5 × 2 surviving subscribers.
         assert_eq!(cluster.metrics().counter("delivered_values"), 40);
+    }
+
+    /// Crashing the *initiator* of multi-group wbcast rounds mid-round
+    /// — a plain proposer, so no election fires at all — must not stall
+    /// the addressed groups: the crash/membership machinery notifies
+    /// the sequencers, which recover the orphaned rounds themselves.
+    /// The crash instant is controlled to catch the rounds with their
+    /// `Submit`s delivered but every `ProposeAck` still in flight.
+    #[test]
+    fn wbcast_initiator_crash_mid_round_is_recovered_by_the_groups() {
+        // Two rings over three processes, rotated so p0 and p1 are the
+        // coordinators (= sequencers) and p2 coordinates nothing;
+        // everyone subscribes to both groups.
+        let mut b = ClusterConfig::builder();
+        for ring in 0..2u16 {
+            let mut spec = RingSpec::new(RingId::new(ring)).tuning(quiet());
+            for p in 0..3u32 {
+                spec = spec.member(ProcessId::new((p + u32::from(ring)) % 3), Roles::ALL);
+            }
+            b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+        }
+        for p in 0..3u32 {
+            for g in 0..2u16 {
+                b = b.subscribe(ProcessId::new(p), GroupId::new(g));
+            }
+        }
+        let config = b.build().expect("two-ring config");
+        let mut cluster = Cluster::new(
+            SimConfig {
+                seed: 13,
+                election_timeout_us: 100_000,
+                ..SimConfig::default()
+            },
+            Topology::lan(4),
+        );
+        cluster.add_engine_actors(&config, EngineKind::Wbcast);
+        let client = ProcessId::new(100);
+        cluster.add_actor(
+            client,
+            Box::new(Pulse {
+                target: ProcessId::new(2),
+                groups: vec![GroupId::new(0), GroupId::new(1)],
+                n: 5,
+                client: ClientId::new(1),
+            }),
+        );
+        cluster.register_client(ClientId::new(1), client);
+        // At 120 µs the client's requests (one ~50 µs hop) have reached
+        // p2 and its Submits are on the wire, while the sequencers'
+        // ProposeAcks (~165 µs round trip) have not come back: every
+        // round dies undecided with its initiator.
+        cluster.schedule_crash(Time::from_micros(120), ProcessId::new(2));
+        cluster.start();
+        cluster.run_until(Time::from_secs(2));
+        assert_eq!(
+            cluster.metrics().counter("elections"),
+            0,
+            "no sequencer was involved in the crash — recovery is the groups' own"
+        );
+        assert!(!cluster.is_up(ProcessId::new(2)));
+        // 5 orphaned rounds × 2 surviving subscribers of both groups.
+        assert_eq!(cluster.metrics().counter("delivered_values"), 10);
     }
 }

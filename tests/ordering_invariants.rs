@@ -644,6 +644,154 @@ fn sequencer_failover_delivers_every_message_exactly_once() {
     }
 }
 
+/// Crashes p2 — a plain proposer that coordinates nothing, i.e. a pure
+/// *initiator* — at `crash_us`, with its multi-group submissions caught
+/// mid-round at a phase the instant selects: before any `ProposeAck`
+/// reached it, after partial `ProposeAck`s, or after partial `Final`s
+/// already left. Survivors keep submitting before and after. Returns
+/// the survivors' delivery sequences, their residual engine backlogs,
+/// and (wbcast) their residual undecided-proposal counts.
+#[allow(clippy::type_complexity)]
+fn run_initiator_crash(
+    seed: u64,
+    kind: EngineKind,
+    crash_us: u64,
+) -> (BTreeMap<ProcessId, Vec<ValueId>>, Vec<usize>, Vec<usize>) {
+    let config = failover_config();
+    let mut cluster = Cluster::new(
+        SimConfig {
+            seed,
+            election_timeout_us: 50_000,
+            ..SimConfig::default()
+        },
+        Topology::lan(8),
+    );
+    cluster.set_protocol(config.clone());
+    for p in 0..3u32 {
+        let pid = ProcessId::new(p);
+        cluster.add_actor(
+            pid,
+            Box::new(Recorder::new(kind.build(pid, config.clone()))),
+        );
+    }
+    // In flight at crash time: singles on both groups from the
+    // survivors (p0 sequences/coordinates group 0, p1 group 1), plus
+    // multi-group messages whose *initiator is p2* — the process about
+    // to die. p2 coordinates no ring, so its crash triggers no
+    // election: the orphaned rounds must be recovered by the addressed
+    // groups themselves.
+    for (i, (target, groups, n)) in [
+        (0u32, vec![GroupId::new(0)], 6u64),
+        (1, vec![GroupId::new(1)], 6),
+        (2, vec![GroupId::new(0), GroupId::new(1)], 5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let client_proc = ProcessId::new(100 + i as u32);
+        let client_id = ClientId::new(i as u64);
+        cluster.add_actor(
+            client_proc,
+            Box::new(Burst {
+                target: ProcessId::new(target),
+                groups,
+                client: client_id,
+                n,
+            }),
+        );
+        cluster.register_client(client_id, client_proc);
+    }
+    cluster.schedule_crash(Time::ZERO.plus(crash_us), ProcessId::new(2));
+    cluster.start();
+    cluster.run_until(Time::from_secs(1));
+    // Post-crash wave: both streams must still be live — nothing may
+    // stay wedged behind an orphaned proposal.
+    for (i, (target, groups, n)) in [
+        (0u32, vec![GroupId::new(0), GroupId::new(1)], 3u64),
+        (1, vec![GroupId::new(1)], 3),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let client_proc = ProcessId::new(200 + i as u32);
+        let client_id = ClientId::new(10 + i as u64);
+        cluster.add_actor(
+            client_proc,
+            Box::new(Burst {
+                target: ProcessId::new(target),
+                groups,
+                client: client_id,
+                n,
+            }),
+        );
+        cluster.register_client(client_id, client_proc);
+    }
+    cluster.run_until(Time::from_secs(3));
+    let mut delivered = BTreeMap::new();
+    let mut backlogs = Vec::new();
+    let mut undecided = Vec::new();
+    for p in 0..2u32 {
+        let pid = ProcessId::new(p);
+        let r = cluster.actor_as::<Recorder>(pid).expect("survivor");
+        delivered.insert(pid, r.delivered.iter().map(|(_, id)| *id).collect());
+        backlogs.push(r.node.inner().backlog());
+        undecided.push(r.node.inner().as_wbcast().map_or(0, |n| n.undecided_len()));
+    }
+    (delivered, backlogs, undecided)
+}
+
+/// The tentpole acceptance test: crashing the *initiator* of in-flight
+/// multi-group rounds must not stall `multicast(γ, m)` — previously the
+/// engine's own docs admitted this wedged every addressed group's
+/// stream forever. With orphan recovery, every submitted value — the
+/// orphaned multi-group rounds included — is delivered exactly once in
+/// an identical order at all surviving subscribers, the post-crash wave
+/// proves no stream stayed wedged, and no residual backlog or
+/// undecided proposal survives. Parameterized over every engine and
+/// over crash instants that catch the Skeen rounds in different
+/// phases: before any `ProposeAck` returned (≈120 µs: the submissions
+/// are at the sequencers, the acks still in flight), amid the
+/// `ProposeAck` burst (≈170 µs), amid the `Final` fan-out (≈185 µs),
+/// and long after quiescence (2 ms, the trivial instant).
+#[test]
+fn initiator_crash_mid_round_does_not_stall_delivery() {
+    for kind in EngineKind::ALL {
+        for crash_us in [120u64, 170, 185, 2_000] {
+            let (delivered, backlogs, undecided) = run_initiator_crash(61, kind, crash_us);
+            let total = 6 + 6 + 5 + 3 + 3;
+            let reference = &delivered[&ProcessId::new(0)];
+            assert_eq!(
+                reference.len(),
+                total,
+                "{kind}/crash@{crash_us}µs: every submitted value delivered"
+            );
+            let unique: BTreeSet<&ValueId> = reference.iter().collect();
+            assert_eq!(
+                unique.len(),
+                total,
+                "{kind}/crash@{crash_us}µs: duplicate delivery"
+            );
+            assert_eq!(
+                reference,
+                &delivered[&ProcessId::new(1)],
+                "{kind}/crash@{crash_us}µs: survivors diverge"
+            );
+            for (i, b) in backlogs.iter().enumerate() {
+                assert_eq!(
+                    *b, 0,
+                    "{kind}/crash@{crash_us}µs: residual backlog at survivor {i}"
+                );
+            }
+            for (i, u) in undecided.iter().enumerate() {
+                assert_eq!(
+                    *u, 0,
+                    "{kind}/crash@{crash_us}µs: stalled undecided proposal at survivor {i}"
+                );
+            }
+        }
+    }
+}
+
 /// A deterministic application for the recovery test: records every
 /// executed command as a `(client, request)` pair — so duplicate
 /// executions and gaps are directly visible — and snapshot/restore

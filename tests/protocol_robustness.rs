@@ -1,17 +1,24 @@
 //! Robustness tests: the protocol under message loss, with link-level
-//! batching enabled, with synchronous storage gating votes, and across
-//! coordinator failovers (no duplicate or lost deliveries).
+//! batching enabled, with synchronous storage gating votes, across
+//! coordinator failovers (no duplicate or lost deliveries), and for the
+//! wbcast orphan-recovery exchange under duplicated/reordered frames
+//! and revived-initiator retries.
 
-use atomic_multicast::core::config::{single_ring, LinkBatching, RingTuning, StorageMode};
+use atomic_multicast::amcast::wbcast::{frame_kind, WbcastNode};
+use atomic_multicast::amcast::AmcastEngine;
+use atomic_multicast::core::config::{
+    single_ring, ClusterConfig, LinkBatching, RingSpec, RingTuning, Roles, StorageMode,
+};
 use atomic_multicast::core::node::Node;
-use atomic_multicast::core::types::{ClientId, GroupId, ProcessId, Time, ValueId};
+use atomic_multicast::core::types::{ClientId, GroupId, ProcessId, RingId, Time, ValueId};
 use atomic_multicast::sim::actor::{Actor, ActorCtx, ActorEvent, Hosted, Op, Outbox};
 use atomic_multicast::sim::cluster::{Cluster, SimConfig};
 use atomic_multicast::sim::disk::DiskModel;
 use atomic_multicast::sim::net::Topology;
 use bytes::Bytes;
-use multiring_paxos::event::Message;
+use multiring_paxos::event::{Action, Event, Message, StateMachine, TimerKind};
 use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Client that spreads `n` requests over time (one per `gap_us`).
 #[derive(Debug)]
@@ -266,4 +273,283 @@ fn coordinator_failover_neither_loses_nor_duplicates() {
     }
     assert_eq!(delivered(&mut cluster, 1), delivered(&mut cluster, 2));
     assert!(cluster.metrics().counter("elections") >= 1);
+}
+
+// ---------------- wbcast orphan-recovery robustness -------------------
+
+/// Two disjoint two-process groups: ring 0 = {p0, p1} (sequencer p0),
+/// ring 1 = {p2, p3} (sequencer p2); members subscribe their own
+/// group. p1 — a proposer that coordinates nothing — initiates the
+/// multi-group rounds.
+fn orphan_config() -> ClusterConfig {
+    let mut b = ClusterConfig::builder();
+    for (ring, members) in [(0u16, [0u32, 1]), (1, [2, 3])] {
+        let mut spec = RingSpec::new(RingId::new(ring));
+        for p in members {
+            spec = spec.member(ProcessId::new(p), Roles::ALL);
+        }
+        b = b.ring(spec).group(GroupId::new(ring), RingId::new(ring));
+        for p in members {
+            b = b.subscribe(ProcessId::new(p), GroupId::new(ring));
+        }
+    }
+    b.build().expect("orphan config")
+}
+
+/// A hand-driven network over [`WbcastNode`]s with targeted fault
+/// injection: frames to `slow` are *held* (the falsely-suspected
+/// initiator — delayed, not lost, matching the engine's reliable-FIFO
+/// channel contract), and — when enabled — every orphan-recovery frame
+/// (`OrphanQuery`/`OrphanState`/`OrphanFinal`) is delivered twice and
+/// each step's batch of them in reverse order.
+struct OrphanNet {
+    nodes: BTreeMap<ProcessId, WbcastNode>,
+    slow: ProcessId,
+    held: Vec<(ProcessId, Message)>,
+    dup_reorder_orphans: bool,
+    delivered: BTreeMap<ProcessId, Vec<(u64, ValueId)>>,
+    /// `Ordered` frames put on the wire (releases and re-releases).
+    ordered_frames: u64,
+}
+
+impl OrphanNet {
+    fn new(config: &ClusterConfig, slow: ProcessId) -> Self {
+        Self {
+            nodes: config
+                .processes()
+                .into_iter()
+                .map(|p| (p, WbcastNode::new(p, config.clone())))
+                .collect(),
+            slow,
+            held: Vec::new(),
+            dup_reorder_orphans: false,
+            delivered: BTreeMap::new(),
+            ordered_frames: 0,
+        }
+    }
+
+    fn enqueue(
+        &mut self,
+        queue: &mut VecDeque<(ProcessId, ProcessId, Message)>,
+        from: ProcessId,
+        actions: Vec<Action>,
+    ) {
+        let mut orphans = Vec::new();
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    let is_orphan = matches!(
+                        &msg,
+                        Message::Engine { payload, .. }
+                            if frame_kind(payload.clone())
+                                .is_some_and(|k| k.starts_with("orphan"))
+                    );
+                    if let Message::Engine { payload, .. } = &msg {
+                        if frame_kind(payload.clone()) == Some("ordered") {
+                            self.ordered_frames += 1;
+                        }
+                    }
+                    if self.dup_reorder_orphans && is_orphan {
+                        orphans.push((from, to, msg));
+                    } else {
+                        queue.push_back((from, to, msg));
+                    }
+                }
+                Action::Deliver {
+                    instance, value, ..
+                } => self
+                    .delivered
+                    .entry(from)
+                    .or_default()
+                    .push((instance.value(), value.id)),
+                _ => {}
+            }
+        }
+        // Reordered and duplicated: the exchange must be insensitive to
+        // both.
+        for (from, to, msg) in orphans.into_iter().rev() {
+            queue.push_back((from, to, msg.clone()));
+            queue.push_back((from, to, msg));
+        }
+    }
+
+    /// Runs `actions` (attributed to `from`) to quiescence at `t`.
+    fn pump(&mut self, t: Time, from: ProcessId, actions: Vec<Action>) {
+        let mut queue = VecDeque::new();
+        self.enqueue(&mut queue, from, actions);
+        let mut steps = 0;
+        while let Some((origin, to, msg)) = queue.pop_front() {
+            steps += 1;
+            assert!(steps < 100_000, "no quiescence");
+            if to == self.slow {
+                self.held.push((origin, msg));
+                continue;
+            }
+            let out = self
+                .nodes
+                .get_mut(&to)
+                .expect("known process")
+                .on_event(t, Event::Message { from: origin, msg });
+            self.enqueue(&mut queue, to, out);
+        }
+    }
+
+    /// Fires an event on one node and pumps the fallout.
+    fn fire(&mut self, t: Time, p: ProcessId, ev: Event) {
+        let out = self
+            .nodes
+            .get_mut(&p)
+            .expect("known process")
+            .on_event(t, ev);
+        self.pump(t, p, out);
+    }
+
+    /// Releases the frames held for the slow process (the "partition"
+    /// heals: they arrive late, in order) and pumps the fallout.
+    fn heal(&mut self, t: Time) {
+        let held = std::mem::take(&mut self.held);
+        let slow = self.slow;
+        for (origin, msg) in held {
+            let out = self
+                .nodes
+                .get_mut(&slow)
+                .expect("slow process")
+                .on_event(t, Event::Message { from: origin, msg });
+            self.pump(t, slow, out);
+        }
+    }
+
+    fn copies_of(&self, p: u32, id: ValueId) -> usize {
+        self.delivered
+            .get(&ProcessId::new(p))
+            .into_iter()
+            .flatten()
+            .filter(|(_, i)| *i == id)
+            .count()
+    }
+
+    fn key_of(&self, p: u32, id: ValueId) -> Option<u64> {
+        self.delivered
+            .get(&ProcessId::new(p))
+            .into_iter()
+            .flatten()
+            .find(|(_, i)| *i == id)
+            .map(|(ts, _)| *ts)
+    }
+}
+
+/// Drives a multi-group round into the orphaned state — p1's `Submit`s
+/// are out, every reply toward p1 is held — and returns the round's id.
+fn strand_round(net: &mut OrphanNet) -> ValueId {
+    let p1 = ProcessId::new(1);
+    let (id, actions) = AmcastEngine::multicast(
+        net.nodes.get_mut(&p1).unwrap(),
+        Time::ZERO,
+        &[GroupId::new(0), GroupId::new(1)],
+        Bytes::from_static(b"orphan"),
+    )
+    .unwrap();
+    net.pump(Time::ZERO, p1, actions);
+    assert_eq!(net.nodes[&ProcessId::new(0)].undecided_len(), 1);
+    assert_eq!(net.nodes[&ProcessId::new(2)].undecided_len(), 1);
+    id
+}
+
+/// Both sequencers detect the orphan concurrently, every recovery frame
+/// is delivered twice and each batch in reverse order: the exchange
+/// must stay idempotent — one delivery per subscriber, one consistent
+/// final timestamp across groups, no undecided residue (no
+/// double-decide: a second decision would re-release at a second key).
+#[test]
+fn orphan_recovery_is_idempotent_under_duplicated_and_reordered_frames() {
+    let config = orphan_config();
+    let mut net = OrphanNet::new(&config, ProcessId::new(1));
+    let id = strand_round(&mut net);
+    net.dup_reorder_orphans = true;
+    // Both sequencers' orphan timeouts fire in the same instant: two
+    // concurrent recoverers, their exchanges interleaved, duplicated
+    // and reordered.
+    let t = Time::from_millis(100);
+    net.fire(
+        t,
+        ProcessId::new(0),
+        Event::Timer(TimerKind::Delta(RingId::new(0))),
+    );
+    net.fire(
+        t,
+        ProcessId::new(2),
+        Event::Timer(TimerKind::Delta(RingId::new(1))),
+    );
+    for p in [0u32, 2, 3] {
+        assert_eq!(
+            net.copies_of(p, id),
+            1,
+            "subscriber {p} must deliver the orphan exactly once"
+        );
+    }
+    assert_eq!(
+        net.key_of(0, id),
+        net.key_of(2, id),
+        "one final timestamp across groups — no double-decide"
+    );
+    for p in [0u32, 2] {
+        assert_eq!(net.nodes[&ProcessId::new(p)].undecided_len(), 0);
+    }
+}
+
+/// A falsely-suspected initiator revives after the group completed its
+/// round: its stale `ProposeAck`s make it compute and distribute its
+/// own `Final`, and its retry timer re-submits the round — all of it
+/// must be absorbed by the id-based dedup (re-acknowledged, never
+/// re-released), and the revived initiator itself converges: it
+/// delivers the value once and its backlog settles.
+#[test]
+fn revived_initiator_retries_after_orphan_completion_are_deduplicated() {
+    let config = orphan_config();
+    let mut net = OrphanNet::new(&config, ProcessId::new(1));
+    let id = strand_round(&mut net);
+    let t = Time::from_millis(100);
+    net.fire(
+        t,
+        ProcessId::new(0),
+        Event::Timer(TimerKind::Delta(RingId::new(0))),
+    );
+    assert_eq!(net.copies_of(0, id), 1, "recovery completed");
+    let released = net.ordered_frames;
+    // The partition heals: p1 processes the stale ProposeAcks (and the
+    // held Ordered release), completes "its" round with its own Final,
+    // and its retry timer re-probes both groups.
+    let t2 = Time::from_millis(200);
+    net.heal(t2);
+    net.fire(
+        t2,
+        ProcessId::new(1),
+        Event::Timer(TimerKind::ProposalResend(RingId::new(0))),
+    );
+    net.fire(
+        t2,
+        ProcessId::new(1),
+        Event::Timer(TimerKind::ProposalResend(RingId::new(1))),
+    );
+    assert_eq!(
+        net.ordered_frames, released,
+        "the revived initiator's stale Final/Submit retries must re-release nothing"
+    );
+    for p in [0u32, 1, 2, 3] {
+        assert_eq!(
+            net.copies_of(p, id),
+            1,
+            "subscriber {p} delivers exactly once despite the revival"
+        );
+    }
+    assert_eq!(
+        net.key_of(1, id),
+        net.key_of(0, id),
+        "the revived initiator's copy sits at the recovered timestamp"
+    );
+    assert_eq!(
+        AmcastEngine::backlog(&net.nodes[&ProcessId::new(1)]),
+        0,
+        "the revived initiator's round settles"
+    );
 }
