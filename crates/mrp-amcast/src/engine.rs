@@ -2,6 +2,10 @@
 //! [`AnyEngine`] enum that lets runtimes host either engine behind one
 //! concrete type.
 
+use crate::telemetry::{
+    HealthIssue, HealthReport, Histogram, ProtocolEvent, RecoveryCounters, TelemetrySnapshot,
+    STALL_DELTAS,
+};
 use crate::wbcast::WbcastNode;
 use bytes::Bytes;
 use multiring_paxos::config::ClusterConfig;
@@ -71,6 +75,34 @@ pub trait AmcastEngine: StateMachine {
     /// (backpressure signal; engines without tracking return 0).
     fn backlog(&self) -> usize {
         0
+    }
+
+    // --- the observability surface ---------------------------------
+
+    /// A point-in-time snapshot of the engine's telemetry: phase-level
+    /// counters and latency histograms recorded on the protocol hot
+    /// paths, gauges computed from live state (backlogs, lags, epochs),
+    /// and the retained [`ProtocolEvent`] trace window. Engines that
+    /// record nothing return an empty snapshot.
+    fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::empty(self.engine_name())
+    }
+
+    /// The health/stall probe, evaluated against `now`: flags rounds
+    /// pending longer than [`STALL_DELTAS`]·Δ, frozen checkpoint prune
+    /// floors, and deliveries held behind a recovery — the conditions
+    /// that otherwise only surface as a timed-out test. Pure
+    /// inspection: no state changes, safe at any frequency.
+    fn health(&self, now: Time) -> HealthReport {
+        HealthReport::healthy(now)
+    }
+
+    /// Monotonic recovery-outcome counters (truncations, orphan
+    /// rounds, takeovers), cheap enough to read after every event:
+    /// [`EngineReplica`](crate::EngineReplica) diffs consecutive
+    /// readings to log recovery actions as they happen.
+    fn recovery_counters(&self) -> RecoveryCounters {
+        RecoveryCounters::default()
     }
 
     // --- the checkpoint/trim surface -------------------------------
@@ -158,6 +190,78 @@ impl AmcastEngine for Node {
 
     fn backlog(&self) -> usize {
         self.proposer_backlog()
+    }
+
+    /// Snapshot of the node's plain-scalar [`stats`](Node::stats):
+    /// submission/delivery counters and recovery activity as counters,
+    /// backlog / merge progress / merge-watermark lag as gauges, the
+    /// recent submit→deliver samples as the `ring_latency_us`
+    /// histogram, and the retained recovery events as the trace.
+    fn telemetry(&self) -> TelemetrySnapshot {
+        let stats = self.stats();
+        let mut snap = TelemetrySnapshot::empty("multiring");
+        snap.counters.insert("proposed".into(), stats.proposed);
+        snap.counters.insert("delivered".into(), stats.delivered);
+        snap.counters
+            .insert("backfill_rounds".into(), stats.backfill_rounds);
+        snap.counters
+            .insert("checkpoint_installs".into(), stats.checkpoint_installs);
+        snap.gauges
+            .insert("backlog".into(), self.proposer_backlog() as u64);
+        snap.gauges
+            .insert("merge_progress".into(), self.merge_progress());
+        let wm = self.watermarks();
+        let marks = wm.marks.iter().map(|&(_, i)| i.value());
+        let lag = marks.clone().max().unwrap_or(0) - marks.min().unwrap_or(0);
+        snap.gauges.insert("merge_watermark_lag".into(), lag);
+        let mut lat = Histogram::new();
+        for v in self.recent_latencies() {
+            lat.record(v);
+        }
+        if lat.count() > 0 {
+            snap.histograms.insert("ring_latency_us".into(), lat);
+        }
+        snap.events = self
+            .recovery_events()
+            .map(|(at, kind, detail)| ProtocolEvent {
+                at,
+                kind,
+                group: None,
+                detail,
+            })
+            .collect();
+        snap
+    }
+
+    /// Flags a locally submitted value that the merge has not delivered
+    /// back after [`STALL_DELTAS`]·Δ — undecided proposals and wedged
+    /// merges both surface here (code `"stalled_round"`, detail: µs
+    /// outstanding).
+    fn health(&self, now: Time) -> HealthReport {
+        let mut report = HealthReport::healthy(now);
+        let threshold = STALL_DELTAS * self.max_delta_us().max(1);
+        if let Some(oldest) = self.oldest_pending_submission() {
+            let waited = now.since(oldest);
+            if waited > threshold {
+                report.issues.push(HealthIssue {
+                    code: "stalled_round",
+                    group: None,
+                    detail: waited,
+                });
+            }
+        }
+        report
+    }
+
+    /// Backfills and checkpoint installs are the ring engine's recovery
+    /// outcomes; it has no resyncs or orphan rounds.
+    fn recovery_counters(&self) -> RecoveryCounters {
+        let stats = self.stats();
+        RecoveryCounters {
+            backfill_rounds: stats.backfill_rounds,
+            checkpoint_installs: stats.checkpoint_installs,
+            ..RecoveryCounters::default()
+        }
     }
 
     /// The deterministic merge's per-group instance watermarks plus the
@@ -383,6 +487,27 @@ impl AmcastEngine for AnyEngine {
         match self {
             AnyEngine::MultiRing(n) => AmcastEngine::backlog(n),
             AnyEngine::Wbcast(n) => AmcastEngine::backlog(n),
+        }
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::telemetry(n),
+            AnyEngine::Wbcast(n) => AmcastEngine::telemetry(n),
+        }
+    }
+
+    fn health(&self, now: Time) -> HealthReport {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::health(n, now),
+            AnyEngine::Wbcast(n) => AmcastEngine::health(n, now),
+        }
+    }
+
+    fn recovery_counters(&self) -> RecoveryCounters {
+        match self {
+            AnyEngine::MultiRing(n) => AmcastEngine::recovery_counters(n),
+            AnyEngine::Wbcast(n) => AmcastEngine::recovery_counters(n),
         }
     }
 

@@ -111,6 +111,27 @@
 //!    can select it, and run `tests/ordering_invariants.rs` (which is
 //!    parameterized over every [`EngineKind`]) against it.
 //!
+//! ## Observability
+//!
+//! Every engine carries a sans-io [`telemetry`] substrate and exposes
+//! three read-outs on the trait:
+//!
+//! * [`AmcastEngine::telemetry`] — a [`TelemetrySnapshot`] of
+//!   phase-level counters, gauges and latency histograms plus a bounded
+//!   ring of structured [`ProtocolEvent`](telemetry::ProtocolEvent)s
+//!   (takeovers, orphan recoveries, truncations);
+//! * [`AmcastEngine::health`] — a [`HealthReport`] from the stall
+//!   probe: rounds pending longer than
+//!   [`STALL_DELTAS`](telemetry::STALL_DELTAS)·Δ, frozen checkpoint
+//!   prune floors, deliveries held behind a resync;
+//! * [`AmcastEngine::recovery_counters`] — cheap [`RecoveryCounters`]
+//!   that [`EngineReplica`] diffs after every event to log recovery
+//!   actions as they happen.
+//!
+//! The simulator folds per-node snapshots into each run's metrics, the
+//! TCP runtime logs them periodically, and `mrp-bench` emits them as
+//! the `engine_telemetry` section of its `BENCH_*.json` artifacts.
+//!
 //! [`Event`]: multiring_paxos::event::Event
 //! [`Action`]: multiring_paxos::event::Action
 //! [`StateMachine`]: multiring_paxos::event::StateMachine
@@ -121,8 +142,13 @@
 
 pub mod engine;
 pub mod replica;
+pub mod telemetry;
 pub mod wbcast;
 
 pub use engine::{AmcastEngine, AnyEngine, EngineKind, Watermark};
 pub use replica::EngineReplica;
+pub use telemetry::{
+    EngineTelemetry, HealthIssue, HealthReport, Histogram, MetricsRegistry, RecoveryCounters,
+    TelemetrySnapshot,
+};
 pub use wbcast::WbcastNode;

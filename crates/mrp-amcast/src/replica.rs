@@ -38,6 +38,7 @@
 //! full `Replica` peers can fetch its checkpoints).
 
 use crate::engine::{AmcastEngine, AnyEngine, EngineKind, Watermark};
+use crate::telemetry::{HealthReport, RecoveryCounters, TelemetrySnapshot};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use multiring_paxos::app::{Application, Delivery, Reply};
 use multiring_paxos::config::ClusterConfig;
@@ -98,6 +99,11 @@ pub struct EngineReplica<A> {
     executed: u64,
     /// Statistics: checkpoints completed since start.
     checkpoints_taken: u64,
+    /// The engine's recovery counters as of the last event, diffed
+    /// after every event so recovery actions (takeovers, orphan
+    /// rounds, truncated resyncs, checkpoint installs) are logged the
+    /// moment they happen instead of sitting in a poll-only counter.
+    last_recovery: RecoveryCounters,
 }
 
 impl<A: fmt::Debug> fmt::Debug for EngineReplica<A> {
@@ -132,6 +138,7 @@ impl<A: Application> EngineReplica<A> {
             resume_pending: false,
             executed: 0,
             checkpoints_taken: 0,
+            last_recovery: RecoveryCounters::default(),
         }
     }
 
@@ -163,6 +170,11 @@ impl<A: Application> EngineReplica<A> {
             resume_pending: true,
             executed: 0,
             checkpoints_taken: 0,
+            // Deliberately zero even though the engine may bump a
+            // counter while installing the checkpoint below: the first
+            // event's diff then reports the install, keeping recovery
+            // loud from the very first action.
+            last_recovery: RecoveryCounters::default(),
         };
         if let Some((watermark, blob)) = checkpoint {
             if let Some((engine_state, app_snapshot)) = unpack_checkpoint(&blob) {
@@ -198,6 +210,86 @@ impl<A: Application> EngineReplica<A> {
     /// The watermark of the last durable checkpoint, if any.
     pub fn stable_watermark(&self) -> Option<&Watermark> {
         self.stable.as_ref().map(|(w, _)| w)
+    }
+
+    /// The hosted engine's [`telemetry
+    /// snapshot`](AmcastEngine::telemetry), with the replica's own
+    /// lifecycle counters (`replica.executed`,
+    /// `replica.checkpoints_taken`) folded in.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snap = self.engine.telemetry();
+        snap.counters
+            .insert("replica.executed".into(), self.executed);
+        snap.counters
+            .insert("replica.checkpoints_taken".into(), self.checkpoints_taken);
+        snap
+    }
+
+    /// The hosted engine's [`health probe`](AmcastEngine::health)
+    /// against `now`.
+    pub fn health(&self, now: Time) -> HealthReport {
+        self.engine.health(now)
+    }
+
+    /// The hosted engine's [`recovery
+    /// counters`](AmcastEngine::recovery_counters).
+    pub fn recovery_counters(&self) -> RecoveryCounters {
+        self.engine.recovery_counters()
+    }
+
+    /// Diffs the engine's recovery counters against the last event's
+    /// and logs every increase: a sequencer takeover, an orphan
+    /// recovery, a truncated resync or a checkpoint install is an
+    /// operational event worth a line, not a silent counter bump.
+    fn report_recovery_transitions(&mut self) {
+        let counters = self.engine.recovery_counters();
+        if counters == self.last_recovery {
+            return;
+        }
+        let prev = self.last_recovery;
+        let me = self.engine.process_id();
+        let engine = self.engine.engine_name();
+        let transitions: [(&str, u64, u64); 6] = [
+            (
+                "resync truncation: stream re-anchored past a gap",
+                prev.resync_truncations,
+                counters.resync_truncations,
+            ),
+            (
+                "orphan recovery started",
+                prev.orphan_rounds_started,
+                counters.orphan_rounds_started,
+            ),
+            (
+                "orphan recovery completed",
+                prev.orphan_rounds_completed,
+                counters.orphan_rounds_completed,
+            ),
+            (
+                "sequencer takeover",
+                prev.sequencer_takeovers,
+                counters.sequencer_takeovers,
+            ),
+            (
+                "backfill round",
+                prev.backfill_rounds,
+                counters.backfill_rounds,
+            ),
+            (
+                "checkpoint install",
+                prev.checkpoint_installs,
+                counters.checkpoint_installs,
+            ),
+        ];
+        for (what, before, after) in transitions {
+            if after > before {
+                eprintln!(
+                    "[{engine} {me}] {what} (+{}, total {after})",
+                    after - before
+                );
+            }
+        }
+        self.last_recovery = counters;
     }
 
     fn take_checkpoint(&mut self, out: &mut Vec<Action>) {
@@ -351,6 +443,7 @@ impl<A: Application> StateMachine for EngineReplica<A> {
                 self.post_process(actions, &mut out);
             }
         }
+        self.report_recovery_transitions();
         out
     }
 
@@ -484,6 +577,13 @@ mod tests {
             assert_eq!(r.checkpoints_taken(), 0, "{kind}");
             r.on_event(Time::from_millis(2), Event::PersistDone(token));
             assert_eq!(r.checkpoints_taken(), 1, "{kind}");
+            let snap = r.telemetry();
+            assert_eq!(snap.counter("replica.executed"), 2, "{kind}");
+            assert_eq!(snap.counter("replica.checkpoints_taken"), 1, "{kind}");
+            assert!(
+                r.health(Time::from_millis(2)).is_healthy(),
+                "{kind}: a settled singleton replica is healthy"
+            );
             let watermark = r.stable_watermark().expect("stable").clone();
             assert!(
                 watermark.mark_of(GroupId::new(0)).value() >= 1,

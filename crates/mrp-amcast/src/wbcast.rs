@@ -248,6 +248,9 @@
 //! (simulator, TCP transport) carries it unchanged.
 
 use crate::engine::AmcastEngine;
+use crate::telemetry::{
+    EngineTelemetry, HealthIssue, HealthReport, RecoveryCounters, TelemetrySnapshot, STALL_DELTAS,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use multiring_paxos::app::encode_command;
 use multiring_paxos::config::ClusterConfig;
@@ -1141,6 +1144,9 @@ struct Inflight {
     local: bool,
     /// Whether the value was delivered locally.
     delivered: bool,
+    /// When the value was submitted locally (round-latency attribution
+    /// and the stall probe).
+    submitted_at: Time,
 }
 
 /// A recovery round this process runs on behalf of a presumed-crashed
@@ -1236,6 +1242,15 @@ pub struct WbcastNode {
     next_seq: u64,
     /// Values delivered (progress metric).
     delivered: u64,
+    /// Orphan-recovery rounds this process started (first attempts) and
+    /// completed (every addressed group confirmed release).
+    orphans_started: u64,
+    orphans_completed: u64,
+    /// Sequencer takeovers this process performed (groups adopted on a
+    /// coordinator change).
+    takeovers: u64,
+    /// Phase-level metrics and the protocol-event trace ring.
+    tel: EngineTelemetry,
 }
 
 impl fmt::Debug for WbcastNode {
@@ -1322,6 +1337,10 @@ impl WbcastNode {
             retry_armed: BTreeSet::new(),
             next_seq: 0,
             delivered: 0,
+            orphans_started: 0,
+            orphans_completed: 0,
+            takeovers: 0,
+            tel: EngineTelemetry::new(),
         }
     }
 
@@ -1470,7 +1489,7 @@ impl WbcastNode {
         out: &mut Vec<Action>,
     ) {
         let id = value.id;
-        let (reply, release) = {
+        let (reply, release, mark) = {
             let Some(seq) = self.led.get_mut(&group) else {
                 // Stale submission (this process no longer sequences the
                 // group); the initiator re-routes on CoordinatorChange.
@@ -1494,6 +1513,7 @@ impl WbcastNode {
                         ts: p.ts,
                     }),
                     false,
+                    "seq.dedup_submits",
                 )
             } else if let Some(&fts) = seq.done.get(&id) {
                 // Already decided; confirm only once released (a gated
@@ -1502,6 +1522,7 @@ impl WbcastNode {
                 (
                     released.then_some(WbMessage::FinalAck { group, id, ts: fts }),
                     false,
+                    "seq.dedup_submits",
                 )
             } else {
                 seq.bump_clock(now);
@@ -1518,14 +1539,19 @@ impl WbcastNode {
                             fenced: false,
                         },
                     );
-                    (Some(WbMessage::ProposeAck { group, id, ts }), false)
+                    (
+                        Some(WbMessage::ProposeAck { group, id, ts }),
+                        false,
+                        "seq.proposals",
+                    )
                 } else {
                     seq.done.insert(id, ts);
                     seq.outq.insert((ts, id), (value, groups));
-                    (None, true)
+                    (None, true, "seq.ordered_single")
                 }
             }
         };
+        self.tel.incr(mark, 1);
         if let Some(msg) = reply {
             self.route(now, id.proposer, msg, out);
         }
@@ -1558,8 +1584,8 @@ impl WbcastNode {
         if !entry.groups.contains(&group) {
             return;
         }
-        let (fts, groups) = if let Some(fts) = entry.final_ts {
-            (fts, vec![group])
+        let (fts, groups, decided) = if let Some(fts) = entry.final_ts {
+            (fts, vec![group], None)
         } else {
             entry.acks.insert(group, ts);
             if entry.acks.len() < entry.groups.len() {
@@ -1567,8 +1593,13 @@ impl WbcastNode {
             }
             let fts = entry.acks.values().copied().max().expect("non-empty acks");
             entry.final_ts = Some(fts);
-            (fts, entry.groups.clone())
+            (fts, entry.groups.clone(), Some(entry.submitted_at))
         };
+        if let Some(submitted_at) = decided {
+            self.tel.incr("round.decided", 1);
+            self.tel
+                .record("round.decide_latency_us", now.since(submitted_at));
+        }
         for g in groups {
             let Some(sequencer) = self.sequencer_of(g) else {
                 continue;
@@ -1607,15 +1638,17 @@ impl WbcastNode {
     ) {
         self.note_observed(group, fts);
         self.observe_ts(group, fts);
-        if !from_recovery {
-            if let Some(seq) = self.led.get(&group) {
-                if seq.pending.get(&id).is_some_and(|p| p.fenced) {
-                    // Recovery owns this round: the initiator's Final is
-                    // dropped (not even re-acknowledged), and its retries
-                    // settle once recovery releases the value.
-                    return;
-                }
-            }
+        if !from_recovery
+            && self
+                .led
+                .get(&group)
+                .is_some_and(|seq| seq.pending.get(&id).is_some_and(|p| p.fenced))
+        {
+            // Recovery owns this round: the initiator's Final is
+            // dropped (not even re-acknowledged), and its retries
+            // settle once recovery releases the value.
+            self.tel.incr("seq.fenced_final_drops", 1);
+            return;
         }
         if !from_recovery && self.orphans.get(&id).is_some_and(|r| r.decided.is_none()) {
             // The live initiator is driving this round (it retries
@@ -1630,7 +1663,7 @@ impl WbcastNode {
             // never stands a round down either.
             self.orphans.remove(&id);
         }
-        let reack = {
+        let (reack, decided) = {
             let Some(seq) = self.led.get_mut(&group) else {
                 return;
             };
@@ -1642,15 +1675,20 @@ impl WbcastNode {
                     seq.next_ts = seq.next_ts.max(fts + 1);
                     seq.done.insert(id, fts);
                     seq.outq.insert((fts, id), (p.value, p.groups));
-                    None
+                    (None, true)
                 }
-                None => seq
-                    .done
-                    .get(&id)
-                    .copied()
-                    .filter(|&done_ts| !seq.outq.contains_key(&(done_ts, id))),
+                None => (
+                    seq.done
+                        .get(&id)
+                        .copied()
+                        .filter(|&done_ts| !seq.outq.contains_key(&(done_ts, id))),
+                    false,
+                ),
             }
         };
+        if decided {
+            self.tel.incr("seq.finals_applied", 1);
+        }
         if let Some(done_ts) = reack {
             self.route(
                 now,
@@ -1671,7 +1709,7 @@ impl WbcastNode {
     /// stream; stop retransmitting toward it. Once every addressed
     /// group has confirmed (and the value was delivered locally, when a
     /// subscribed group is addressed), the tracking entry retires.
-    fn on_final_ack(&mut self, group: GroupId, id: ValueId, ts: u64) {
+    fn on_final_ack(&mut self, now: Time, group: GroupId, id: ValueId, ts: u64) {
         self.note_observed(group, ts);
         self.observe_ts(group, ts);
         let Some(entry) = self.inflight.get_mut(&id) else {
@@ -1680,8 +1718,18 @@ impl WbcastNode {
         if !entry.groups.contains(&group) {
             return;
         }
-        entry.released.insert(group);
-        if entry.released.len() == entry.groups.len() && (!entry.local || entry.delivered) {
+        let fresh = entry.released.insert(group);
+        let fully_released = entry.released.len() == entry.groups.len();
+        let retire = fully_released && (!entry.local || entry.delivered);
+        let submitted_at = entry.submitted_at;
+        if fresh && fully_released {
+            // The round is safe in every addressed group's stream:
+            // submit→release is the initiator's view of round latency.
+            self.tel.incr("round.released", 1);
+            self.tel
+                .record("round.release_latency_us", now.since(submitted_at));
+        }
+        if retire {
             self.inflight.remove(&id);
         }
     }
@@ -1728,6 +1776,13 @@ impl WbcastNode {
         round.states.clear();
         round.since = now;
         let attempt = round.attempt;
+        if attempt == 1 {
+            self.orphans_started += 1;
+            self.tel.incr("orphan.rounds_started", 1);
+            self.tel.trace(now, "orphan.start", None, id.seq);
+        } else {
+            self.tel.incr("orphan.reprobes", 1);
+        }
         for g in groups {
             let Some(sequencer) = self.sequencer_of(g) else {
                 continue;
@@ -1963,6 +2018,9 @@ impl WbcastNode {
         match next {
             Next::Confirmed => {
                 self.orphans.remove(&id);
+                self.orphans_completed += 1;
+                self.tel.incr("orphan.rounds_completed", 1);
+                self.tel.trace(now, "orphan.confirmed", None, id.seq);
             }
             Next::Reseed(groups) => {
                 for g in groups {
@@ -2101,6 +2159,7 @@ impl WbcastNode {
                 // beats unbounded memory in never-checkpointing
                 // deployments).
                 seq.history.insert(key, (value.clone(), groups.clone()));
+                let mut evictions = 0u64;
                 if seq.history.len() > UNREPORTED_HISTORY_CAP {
                     // The union is built only on this rare over-cap
                     // path (never-checkpointing deployments), keeping
@@ -2112,6 +2171,7 @@ impl WbcastNode {
                             // resync from below it can no longer be
                             // served prefix-complete, and must say so.
                             seq.evicted = seq.evicted.max(ts);
+                            evictions = 1;
                         }
                     }
                 }
@@ -2134,9 +2194,13 @@ impl WbcastNode {
                         });
                     }
                 }
-                (key.0, seq.epoch, groups, value, local)
+                (key.0, seq.epoch, groups, value, local, evictions)
             };
-            let (ts, epoch, groups, value, local) = released;
+            let (ts, epoch, groups, value, local, evictions) = released;
+            self.tel.incr("seq.released", 1);
+            if evictions > 0 {
+                self.tel.incr("seq.history_evictions", evictions);
+            }
             // Release confirmation: the value is now in the group's
             // stream and can no longer be lost with this sequencer.
             self.route(
@@ -2150,7 +2214,7 @@ impl WbcastNode {
                 out,
             );
             if local {
-                self.on_ordered(group, epoch, ts, groups, value, out);
+                self.on_ordered(now, group, epoch, ts, groups, value, out);
             }
         }
     }
@@ -2171,8 +2235,10 @@ impl WbcastNode {
     /// only the copy in the smallest such group enters the delivery
     /// buffer — the others advance their stream's frontier, which is
     /// exactly what the delivery condition waits for.
+    #[allow(clippy::too_many_arguments)]
     fn on_ordered(
         &mut self,
+        now: Time,
         group: GroupId,
         epoch: u32,
         ts: u64,
@@ -2195,6 +2261,7 @@ impl WbcastNode {
         if epoch < sub.epoch {
             // A deposed sequencer's frame arriving after the new
             // stream anchored; its releases were re-run by initiators.
+            self.tel.incr("sub.fenced_frames", 1);
             return;
         }
         sub.epoch = epoch;
@@ -2206,10 +2273,17 @@ impl WbcastNode {
         if delivery_group == Some(group) && !duplicate && ts > sub.floor {
             sub.pending.insert(key, value);
         }
-        self.drain(out);
+        self.drain(now, out);
     }
 
-    fn on_heartbeat(&mut self, group: GroupId, epoch: u32, ts: u64, out: &mut Vec<Action>) {
+    fn on_heartbeat(
+        &mut self,
+        now: Time,
+        group: GroupId,
+        epoch: u32,
+        ts: u64,
+        out: &mut Vec<Action>,
+    ) {
         self.note_observed(group, ts);
         self.note_epoch(group, epoch);
         self.observe_ts(group, ts);
@@ -2217,6 +2291,7 @@ impl WbcastNode {
             return;
         };
         if epoch < sub.epoch {
+            self.tel.incr("sub.fenced_frames", 1);
             return;
         }
         // Re-anchor: the first heartbeat of a higher epoch adopts the
@@ -2227,14 +2302,14 @@ impl WbcastNode {
             return;
         }
         sub.frontier = key;
-        self.drain(out);
+        self.drain(now, out);
     }
 
     /// Delivers every buffered value whose `(ts, id)` key can no longer
     /// be preceded: every other subscribed group's frontier must have
     /// reached the key (streams arrive in strictly increasing key order,
     /// so nothing smaller can still arrive from a group at or past it).
-    fn drain(&mut self, out: &mut Vec<Action>) {
+    fn drain(&mut self, now: Time, out: &mut Vec<Action>) {
         // While any stream is being resynced, its frontier may stand
         // past keys the replay has not retransmitted yet, so no frontier
         // comparison is conclusive: hold all deliveries until every
@@ -2271,12 +2346,19 @@ impl WbcastNode {
                 // delivered (or also holds at its original key): the
                 // insert-time check only covers ids delivered *before*
                 // the copy arrived, so dedup again at delivery time.
+                self.tel.incr("sub.dedup_drops", 1);
                 continue;
             }
             self.delivered += 1;
+            self.tel.incr("sub.delivered", 1);
             self.delivered_ids.insert(value.id, key.0);
             if let Some(entry) = self.inflight.get_mut(&value.id) {
                 entry.delivered = true;
+                let submitted_at = entry.submitted_at;
+                // The initiator's submit→deliver time for its own
+                // values: the paper's end-to-end multicast latency.
+                self.tel
+                    .record("round.delivery_latency_us", now.since(submitted_at));
                 if entry.released.len() == entry.groups.len() {
                     self.inflight.remove(&value.id);
                 }
@@ -2348,6 +2430,10 @@ impl WbcastNode {
             }
             .into_frame(),
         );
+        self.tel.incr("seq.resync_replays", 1);
+        self.tel
+            .incr("seq.resync_frames_replayed", frames.len() as u64 - 1);
+        self.tel.trace(now, "resync.replay", Some(group), from_ts);
         if from == self.me {
             // A sequencer that also subscribes resyncs against itself
             // (only meaningful when its own state survived, i.e. never
@@ -2373,6 +2459,7 @@ impl WbcastNode {
     /// checkpoint) instead of proceeding on a gapped history.
     fn on_resync_done(
         &mut self,
+        now: Time,
         group: GroupId,
         epoch: u32,
         ts: u64,
@@ -2393,14 +2480,17 @@ impl WbcastNode {
         sub.epoch = epoch;
         if gap_to > sub.floor {
             self.resync_truncations += 1;
+            self.tel.incr("sub.resync_truncations", 1);
+            self.tel.trace(now, "resync.truncated", Some(group), gap_to);
             sub.floor = gap_to;
             sub.pending.retain(|&(ts, _), _| ts > gap_to);
             // The frontier anchor below (ts.max(sub.floor)) covers the
             // raised floor.
         }
         sub.resyncing = false;
+        self.tel.trace(now, "resync.done", Some(group), ts);
         sub.frontier = sub.frontier.max(promise_key(ts.max(sub.floor)));
-        self.drain(out);
+        self.drain(now, out);
     }
 
     /// Sequencer side: a subscriber's durable checkpoint covers `group`
@@ -2421,6 +2511,7 @@ impl WbcastNode {
         let mark = seq.reported.entry(from).or_insert(0);
         *mark = (*mark).max(ts);
         seq.prune_below_collective_mark(&down);
+        self.tel.incr("seq.ckpt_marks", 1);
     }
 
     fn on_wb_message(&mut self, now: Time, from: ProcessId, msg: WbMessage, out: &mut Vec<Action>) {
@@ -2434,15 +2525,17 @@ impl WbcastNode {
                 self.on_propose_ack(now, group, id, ts, out);
             }
             WbMessage::Final { group, id, ts } => self.on_final(now, group, id, ts, false, out),
-            WbMessage::FinalAck { group, id, ts } => self.on_final_ack(group, id, ts),
+            WbMessage::FinalAck { group, id, ts } => self.on_final_ack(now, group, id, ts),
             WbMessage::Ordered {
                 group,
                 epoch,
                 ts,
                 groups,
                 value,
-            } => self.on_ordered(group, epoch, ts, groups, value, out),
-            WbMessage::Heartbeat { group, epoch, ts } => self.on_heartbeat(group, epoch, ts, out),
+            } => self.on_ordered(now, group, epoch, ts, groups, value, out),
+            WbMessage::Heartbeat { group, epoch, ts } => {
+                self.on_heartbeat(now, group, epoch, ts, out);
+            }
             WbMessage::Resync { group, from_ts } => self.on_resync(now, from, group, from_ts, out),
             WbMessage::CkptMark { group, ts } => self.on_ckpt_mark(from, group, ts),
             WbMessage::ResyncDone {
@@ -2451,7 +2544,7 @@ impl WbcastNode {
                 ts,
                 gap_to,
             } => {
-                self.on_resync_done(group, epoch, ts, gap_to, out);
+                self.on_resync_done(now, group, epoch, ts, gap_to, out);
             }
             WbMessage::OrphanQuery { group, id, attempt } => {
                 self.on_orphan_query(now, from, group, id, attempt, out);
@@ -2562,7 +2655,7 @@ impl WbcastNode {
                 (promise, seq.epoch, heartbeat_locally)
             };
             if heartbeat_locally {
-                self.on_heartbeat(group, epoch, promise, out);
+                self.on_heartbeat(now, group, epoch, promise, out);
             }
         }
     }
@@ -2626,6 +2719,7 @@ impl WbcastNode {
         }
         for (g, groups, value) in probes {
             if let Some(sequencer) = self.sequencer_of(g) {
+                self.tel.incr("round.retry_probes", 1);
                 self.route(
                     now,
                     sequencer,
@@ -2719,6 +2813,10 @@ impl WbcastNode {
                     };
                     seq.bump_clock(now);
                     self.led.insert(g, seq);
+                    self.takeovers += 1;
+                    self.tel.incr("seq.takeovers", 1);
+                    self.tel
+                        .trace(now, "seq.takeover", Some(g), u64::from(epoch));
                 }
                 if self.delta_armed.insert(ring) {
                     out.push(Action::SetTimer {
@@ -2738,6 +2836,9 @@ impl WbcastNode {
                     // Undelivered pending/outq state is dropped: the
                     // initiators' retries re-run those rounds against
                     // the new sequencer.
+                    self.tel.incr("seq.resignations", 1);
+                    self.tel
+                        .trace(now, "seq.resign", Some(g), u64::from(seq.epoch));
                 }
             }
         }
@@ -2895,6 +2996,10 @@ impl AmcastEngine for WbcastNode {
         let id = ValueId::new(self.me, self.next_seq);
         let value = Value::new(id, gamma[0], payload);
         let local = gamma.iter().any(|g| self.subs.contains_key(g));
+        self.tel.incr("round.submitted", 1);
+        if gamma.len() > 1 {
+            self.tel.incr("round.submitted_multi_group", 1);
+        }
         self.inflight.insert(
             id,
             Inflight {
@@ -2905,6 +3010,7 @@ impl AmcastEngine for WbcastNode {
                 released: BTreeSet::new(),
                 local,
                 delivered: false,
+                submitted_at: now,
             },
         );
         let mut out = Vec::new();
@@ -3067,6 +3173,122 @@ impl AmcastEngine for WbcastNode {
             }
         }
         out
+    }
+
+    /// The registry's counters and histograms, the trace ring, plus
+    /// gauges computed from live state: initiator backlog and dedup
+    /// footprint, sequencer queue depths and checkpoint prune-floor lag,
+    /// subscriber buffer depth and resync holds (see the module docs'
+    /// metric table).
+    fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snap =
+            TelemetrySnapshot::from_telemetry(AmcastEngine::engine_name(self), &self.tel);
+        snap.gauges
+            .insert("backlog".into(), AmcastEngine::backlog(self) as u64);
+        snap.gauges
+            .insert("inflight".into(), self.inflight.len() as u64);
+        snap.gauges
+            .insert("dedup_records".into(), self.delivered_ids.len() as u64);
+        snap.gauges
+            .insert("orphan.rounds_open".into(), self.orphans.len() as u64);
+        snap.gauges
+            .insert("seq.groups_led".into(), self.led.len() as u64);
+        let mut history = 0u64;
+        let mut undecided = 0u64;
+        let mut outq = 0u64;
+        let mut prune_lag = 0u64;
+        let mut max_epoch = 0u32;
+        for seq in self.led.values() {
+            history += seq.history.len() as u64;
+            undecided += seq.pending.len() as u64;
+            outq += seq.outq.len() as u64;
+            if let Some((&(ts, _), _)) = seq.history.last_key_value() {
+                prune_lag = prune_lag.max(ts.saturating_sub(seq.evicted));
+            }
+            max_epoch = max_epoch.max(seq.epoch);
+        }
+        snap.gauges.insert("seq.history_retained".into(), history);
+        snap.gauges.insert("seq.undecided".into(), undecided);
+        snap.gauges.insert("seq.outq_depth".into(), outq);
+        snap.gauges.insert("seq.prune_floor_lag".into(), prune_lag);
+        let mut pending = 0u64;
+        let mut resyncing = 0u64;
+        for sub in self.subs.values() {
+            pending += sub.pending.len() as u64;
+            resyncing += u64::from(sub.resyncing);
+            max_epoch = max_epoch.max(sub.epoch);
+        }
+        snap.gauges.insert("sub.pending_depth".into(), pending);
+        snap.gauges
+            .insert("sub.resyncing_streams".into(), resyncing);
+        snap.gauges.insert("max_epoch".into(), u64::from(max_epoch));
+        snap
+    }
+
+    /// Flags, against `now`:
+    ///
+    /// * `"stalled_round"` — a locally submitted round unsettled for
+    ///   longer than [`STALL_DELTAS`] heartbeat intervals of the slowest
+    ///   ring (detail: µs waited);
+    /// * `"frozen_prune_floor"` — a led group retaining more than
+    ///   [`UNREPORTED_HISTORY_CAP`] released values even though every
+    ///   live subscriber has reported a mark, i.e. some reported mark
+    ///   stopped advancing (detail: retained entries);
+    /// * `"held_deliveries"` — a subscribed stream holding deliveries
+    ///   behind an outstanding resync (detail: buffered values).
+    fn health(&self, now: Time) -> HealthReport {
+        let mut report = HealthReport::healthy(now);
+        let delta_us = self
+            .config
+            .rings()
+            .values()
+            .map(|r| r.tuning().delta_us)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let threshold = STALL_DELTAS * delta_us;
+        for entry in self.inflight.values() {
+            let settled =
+                entry.released.len() == entry.groups.len() && (!entry.local || entry.delivered);
+            let waited = now.since(entry.submitted_at);
+            if !settled && waited > threshold {
+                report.issues.push(HealthIssue {
+                    code: "stalled_round",
+                    group: entry.groups.first().copied(),
+                    detail: waited,
+                });
+            }
+        }
+        for (&g, seq) in &self.led {
+            if seq.history.len() > UNREPORTED_HISTORY_CAP {
+                report.issues.push(HealthIssue {
+                    code: "frozen_prune_floor",
+                    group: Some(g),
+                    detail: seq.history.len() as u64,
+                });
+            }
+        }
+        for (&g, sub) in &self.subs {
+            if sub.resyncing {
+                report.issues.push(HealthIssue {
+                    code: "held_deliveries",
+                    group: Some(g),
+                    detail: sub.pending.len() as u64,
+                });
+            }
+        }
+        report
+    }
+
+    fn recovery_counters(&self) -> RecoveryCounters {
+        RecoveryCounters {
+            resync_truncations: self.resync_truncations,
+            orphan_rounds_started: self.orphans_started,
+            orphan_rounds_completed: self.orphans_completed,
+            sequencer_takeovers: self.takeovers,
+            backfill_rounds: 0,
+            checkpoint_installs: 0,
+        }
     }
 }
 
@@ -4740,5 +4962,149 @@ mod tests {
         });
         let gap = gap.expect("replay terminator present");
         assert!(gap > 10, "below-floor resync flags the truncation: {gap}");
+    }
+
+    /// Health probe: a multi-group round whose frames to the other
+    /// group's sequencer are all lost stays unsettled, and once it has
+    /// waited past the stall window the probe flags it — while a fresh
+    /// probe right after submission stays clean.
+    #[test]
+    fn health_probe_flags_wedged_round() {
+        let config = disjoint_config(&[&[0], &[1]]);
+        let p0 = ProcessId::new(0);
+        let mut n = WbcastNode::new(p0, config.clone());
+        let (_, actions) = AmcastEngine::multicast(
+            &mut n,
+            Time::ZERO,
+            &[GroupId::new(0), GroupId::new(1)],
+            Bytes::from_static(b"wedged"),
+        )
+        .unwrap();
+        // The frames to group 1's sequencer (p1) are dropped: the round
+        // can never collect its second timestamp proposal.
+        drop(actions);
+        assert!(
+            AmcastEngine::health(&n, Time::ZERO).is_healthy(),
+            "a just-submitted round is not a stall"
+        );
+        let delta_us = config
+            .rings()
+            .values()
+            .map(|r| r.tuning().delta_us)
+            .max()
+            .unwrap();
+        let late = Time::ZERO.plus(crate::telemetry::STALL_DELTAS * delta_us + 1);
+        let report = AmcastEngine::health(&n, late);
+        assert_eq!(
+            report.issues_with("stalled_round").count(),
+            1,
+            "the wedged round trips the probe: {report:?}"
+        );
+        let snap = AmcastEngine::telemetry(&n);
+        assert_eq!(snap.counter("round.submitted"), 1);
+        assert_eq!(snap.counter("round.submitted_multi_group"), 1);
+        assert_eq!(snap.counter("round.released"), 0);
+        assert_eq!(snap.gauge("inflight"), 1);
+    }
+
+    /// Health probe: a live-but-lagging reporter freezing the
+    /// checkpoint prune floor is flagged while the floor is frozen, and
+    /// the flag clears once the coordination service declares the
+    /// laggard down and the floor advances again.
+    #[test]
+    fn health_probe_flags_frozen_prune_floor() {
+        let config = single_ring(3, RingTuning::default());
+        let p0 = ProcessId::new(0);
+        let g = GroupId::new(0);
+        let mut n = WbcastNode::new(p0, config);
+        // Everyone reports once, then p2's mark freezes while the
+        // others keep checkpointing through a large burst.
+        for i in 0..50u64 {
+            AmcastEngine::multicast(
+                &mut n,
+                Time::ZERO,
+                &[g],
+                Bytes::from(i.to_le_bytes().to_vec()),
+            )
+            .unwrap();
+        }
+        for (p, ts) in [(0u32, 40u64), (1, 40), (2, 10)] {
+            n.on_event(
+                Time::ZERO,
+                Event::Message {
+                    from: ProcessId::new(p),
+                    msg: WbMessage::CkptMark { group: g, ts }.into_frame(),
+                },
+            );
+        }
+        let burst = UNREPORTED_HISTORY_CAP as u64 + 250;
+        for i in 0..burst {
+            AmcastEngine::multicast(
+                &mut n,
+                Time::ZERO,
+                &[g],
+                Bytes::from(i.to_le_bytes().to_vec()),
+            )
+            .unwrap();
+        }
+        let live_mark = 10 + 40 + burst;
+        for p in [0u32, 1] {
+            n.on_event(
+                Time::ZERO,
+                Event::Message {
+                    from: ProcessId::new(p),
+                    msg: WbMessage::CkptMark {
+                        group: g,
+                        ts: live_mark,
+                    }
+                    .into_frame(),
+                },
+            );
+        }
+        let report = AmcastEngine::health(&n, Time::ZERO);
+        assert_eq!(
+            report.issues_with("frozen_prune_floor").count(),
+            1,
+            "over-cap retention with a frozen mark trips the probe: {report:?}"
+        );
+        assert!(
+            AmcastEngine::telemetry(&n).gauge("seq.history_retained")
+                > UNREPORTED_HISTORY_CAP as u64
+        );
+        n.on_event(
+            Time::ZERO,
+            Event::MembershipChange {
+                ring: RingId::new(0),
+                down: vec![ProcessId::new(2)],
+            },
+        );
+        assert_eq!(
+            AmcastEngine::health(&n, Time::ZERO)
+                .issues_with("frozen_prune_floor")
+                .count(),
+            0,
+            "declaring the laggard down advances the floor and clears the flag"
+        );
+    }
+
+    /// Health probe: a recovering subscriber whose resync is still
+    /// unanswered holds deliveries, and the probe says so until the
+    /// replay terminator arrives.
+    #[test]
+    fn health_probe_flags_held_deliveries_during_resync() {
+        let config = single_ring(2, RingTuning::default());
+        let p1 = ProcessId::new(1);
+        let mut fresh = WbcastNode::recovering(p1, config);
+        let _resync_frames = AmcastEngine::resume(&mut fresh, Time::ZERO);
+        let report = AmcastEngine::health(&fresh, Time::ZERO);
+        assert_eq!(
+            report.issues_with("held_deliveries").count(),
+            1,
+            "the outstanding resync holds the stream: {report:?}"
+        );
+        assert_eq!(
+            AmcastEngine::telemetry(&fresh).gauge("sub.resyncing_streams"),
+            1
+        );
     }
 }

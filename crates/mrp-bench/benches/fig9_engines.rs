@@ -1,9 +1,68 @@
 //! Figure 9 (extension): atomic-multicast engine comparison —
 //! Multi-Ring Paxos vs the timestamp-based Skeen/white-box engine on
 //! the identical closed-loop workload as groups scale.
+//!
+//! Prints the table and writes `BENCH_fig9.json` — the client-side rows
+//! plus an `engine_telemetry` section carrying the engines' own
+//! phase-level counters, merged latency histograms and health verdicts
+//! (schema documented in the `mrp-bench` crate docs).
 
+use mrp_bench::figures::Fig9Row;
 use mrp_bench::table::{fmt_f, Table};
 use mrp_bench::{figures, Scale};
+use std::fmt::Write as _;
+
+/// Hand-rolled JSON (the workspace is offline-hermetic: no serde). The
+/// metric names are dotted identifiers, so no string escaping is
+/// needed.
+fn to_json(rows: &[Fig9Row]) -> String {
+    let mut out = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"engine\": \"{}\", \"groups\": {}, \"ops_per_sec\": {:.1}, \
+             \"latency_ms\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}",
+            r.engine,
+            r.groups,
+            r.ops_per_sec,
+            r.latency_ms,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"engine_telemetry\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let t = &r.telemetry;
+        let _ = write!(
+            out,
+            "    {{\"engine\": \"{}\", \"groups\": {}, \"nodes\": {}, \"healthy\": {},\n     \"counters\": {{",
+            r.engine, r.groups, t.nodes, t.healthy
+        );
+        for (j, (name, v)) in t.counters.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\"{name}\": {v}{}",
+                if j + 1 < t.counters.len() { ", " } else { "" }
+            );
+        }
+        out.push_str("},\n     \"histograms\": {");
+        for (j, (name, h)) in t.histograms.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\"{name}\": {{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}{}",
+                h.count(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max(),
+                if j + 1 < t.histograms.len() { ", " } else { "" }
+            );
+        }
+        let _ = writeln!(out, "}}}}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}");
+    out
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -17,6 +76,7 @@ fn main() {
             "latency_ms",
             "p50_ms",
             "p99_ms",
+            "healthy",
         ],
     );
     for r in &rows {
@@ -27,7 +87,14 @@ fn main() {
             fmt_f(r.latency_ms),
             fmt_f(r.p50_ms),
             fmt_f(r.p99_ms),
+            r.telemetry.healthy.to_string(),
         ]);
     }
     t.print();
+    let json = to_json(&rows);
+    let path = "BENCH_fig9.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} rows)", rows.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

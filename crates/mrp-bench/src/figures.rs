@@ -1139,6 +1139,22 @@ pub fn ablation_merge(scale: Scale) -> Vec<AblationMergeRow> {
 
 // ---------------------------------------------------------------- fig 9
 
+/// Aggregated engine telemetry for one benchmark cell: the per-node
+/// [`mrp_amcast::TelemetrySnapshot`]s collected by
+/// [`Cluster::collect_engine_telemetry`] at the end of the run, folded
+/// across nodes (counters summed, latency histograms merged).
+#[derive(Clone, Debug, Default)]
+pub struct EngineTelemetrySummary {
+    /// Nodes that contributed a snapshot.
+    pub nodes: usize,
+    /// Whether every node's end-of-run health probe came back clean.
+    pub healthy: bool,
+    /// Protocol counters summed over the nodes.
+    pub counters: BTreeMap<String, u64>,
+    /// Phase-latency histograms merged over the nodes.
+    pub histograms: BTreeMap<String, mrp_amcast::Histogram>,
+}
+
 /// One row of the engine comparison (Figure 9, an extension of the
 /// paper's evaluation: same workload ordered by different
 /// atomic-multicast engines).
@@ -1156,6 +1172,8 @@ pub struct Fig9Row {
     pub p50_ms: f64,
     /// 99th-percentile client latency in milliseconds.
     pub p99_ms: f64,
+    /// The engines' own phase-level telemetry for this cell.
+    pub telemetry: EngineTelemetrySummary,
 }
 
 /// A deployment for the engine comparison: `groups` rings over the same
@@ -1219,6 +1237,19 @@ pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
                     },
                 );
                 cluster.add_actor(pid, Hosted::new(replica).boxed());
+                // The replica is added as a plain actor, so install the
+                // engine telemetry probe by hand (the recoverable-actor
+                // surfaces do this automatically).
+                cluster.set_telemetry_probe(
+                    pid,
+                    Box::new(|actor, now| {
+                        let replica = actor
+                            .as_any()
+                            .downcast_mut::<Hosted<EngineReplica<EchoApp>>>()?
+                            .inner();
+                        Some((replica.telemetry(), replica.health(now)))
+                    }),
+                );
                 cluster.set_cpu(pid, proto_cpu());
             }
             for g in 0..groups {
@@ -1234,6 +1265,30 @@ pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
             }
             cluster.start();
             cluster.run_until(Time::from_secs(warmup_s + run_s));
+            let per_node = cluster.collect_engine_telemetry();
+            let mut telemetry = EngineTelemetrySummary {
+                nodes: per_node.len(),
+                // `collect_engine_telemetry` folds health issues into
+                // `engine.health.<code>` counters; none means every
+                // node's probe came back clean.
+                healthy: !cluster
+                    .metrics()
+                    .counter_names()
+                    .any(|name| name.starts_with("engine.health.")),
+                ..EngineTelemetrySummary::default()
+            };
+            for snapshot in per_node.values() {
+                for (name, &v) in &snapshot.counters {
+                    *telemetry.counters.entry(name.clone()).or_insert(0) += v;
+                }
+                for (name, h) in &snapshot.histograms {
+                    telemetry
+                        .histograms
+                        .entry(name.clone())
+                        .or_default()
+                        .merge(h);
+                }
+            }
             let h = cluster.metrics().histogram("fig9/latency_us");
             rows.push(Fig9Row {
                 engine: kind.name(),
@@ -1242,6 +1297,7 @@ pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
                 latency_ms: h.map_or(0.0, |h| h.mean() / 1000.0),
                 p50_ms: h.map_or(0.0, |h| h.quantile(0.5) as f64 / 1000.0),
                 p99_ms: h.map_or(0.0, |h| h.quantile(0.99) as f64 / 1000.0),
+                telemetry,
             });
         }
     }

@@ -13,6 +13,7 @@
 //! | `fig8_recovery` | Fig. 8 — recovery impact timeline |
 //! | `ablation_2pc` | §3 — 2PC aborts vs atomic-multicast ordering |
 //! | `ablation_merge` | §4 — rate-leveling (Δ, λ) sensitivity |
+//! | `fig9_engines` | extension — Multi-Ring Paxos vs the white-box engine as groups scale (emits `BENCH_fig9.json`) |
 //! | `fig_multigroup` | extension — genuine multi-group multicast vs global-ring routing as the multi-group fraction grows (emits `BENCH_multigroup.json`) |
 //! | `micro` | Criterion micro-benchmarks of the hot paths |
 //!
@@ -56,12 +57,32 @@
 //! The recovery dip and the post-restart catch-up are what to look at
 //! in `timeline`; `checkpoints > 0` is what makes the restart recover
 //! from a snapshot rather than replaying history from genesis.
+//!
+//! `BENCH_fig9.json` — the engine comparison, an object with two
+//! parallel arrays (one entry each per `(engine, groups)` cell):
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `rows[].engine` | engine name (`multiring` \| `wbcast`) |
+//! | `rows[].groups` | number of multicast groups in the cell |
+//! | `rows[].ops_per_sec`, `latency_ms`, `p50_ms`, `p99_ms` | client-side throughput and latency |
+//! | `engine_telemetry[].engine`, `groups` | the matching cell |
+//! | `engine_telemetry[].nodes` | nodes that contributed a snapshot |
+//! | `engine_telemetry[].healthy` | `true` iff every node's end-of-run health probe was clean |
+//! | `engine_telemetry[].counters` | protocol counters summed over nodes (the engine's own phase metrics, e.g. `sub.delivered`, `seq.takeovers` for wbcast; `delivered`, `backfill_rounds` for multiring) |
+//! | `engine_telemetry[].histograms` | phase-latency histograms merged over nodes, summarized as `{count, p50_us, p99_us, max_us}` |
+//!
+//! A smoke-scale `BENCH_fig9.json` is checked in at the crate root as
+//! the perf baseline; the `bench_baseline` integration test asserts it
+//! (and any regenerated replacement) parses — with the zero-dependency
+//! reader in [`json`] — and matches this schema.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod table;
 
 pub use harness::{EchoApp, MixedGroupClient, OpenLoopClient, PingClient, Scale};

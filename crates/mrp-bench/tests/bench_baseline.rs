@@ -1,0 +1,112 @@
+//! Validates the checked-in benchmark baseline `BENCH_fig9.json`: it
+//! must parse as JSON and carry the documented schema — the client-side
+//! rows plus the `engine_telemetry` section with per-engine counters,
+//! histograms and a health verdict. CI regenerates the file at smoke
+//! scale and re-runs this test, so a writer/schema drift fails loudly
+//! in both places.
+
+use mrp_bench::json::{self, Value};
+
+fn baseline() -> Value {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_fig9.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("checked-in baseline {path} must be readable: {e}"));
+    json::parse(&text).unwrap_or_else(|e| panic!("{path} must parse as JSON: {e}"))
+}
+
+#[test]
+fn fig9_baseline_rows_match_schema() {
+    let doc = baseline();
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .expect("top-level \"rows\" array");
+    assert!(!rows.is_empty(), "baseline must carry at least one cell");
+    let mut engines = std::collections::BTreeSet::new();
+    for row in rows {
+        let engine = row
+            .get("engine")
+            .and_then(Value::as_str)
+            .expect("row.engine");
+        engines.insert(engine.to_string());
+        assert!(row.get("groups").and_then(Value::as_u64).is_some());
+        for field in ["ops_per_sec", "latency_ms", "p50_ms", "p99_ms"] {
+            let v = row
+                .get(field)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("row.{field} must be a number"));
+            assert!(v.is_finite() && v >= 0.0, "row.{field} = {v}");
+        }
+    }
+    assert_eq!(
+        engines.into_iter().collect::<Vec<_>>(),
+        ["multiring", "wbcast"],
+        "the baseline compares both engines"
+    );
+}
+
+#[test]
+fn fig9_baseline_engine_telemetry_matches_schema() {
+    let doc = baseline();
+    let cells = doc
+        .get("engine_telemetry")
+        .and_then(Value::as_array)
+        .expect("top-level \"engine_telemetry\" array");
+    let rows = doc.get("rows").and_then(Value::as_array).expect("rows");
+    assert_eq!(
+        cells.len(),
+        rows.len(),
+        "one telemetry entry per benchmark cell"
+    );
+    for cell in cells {
+        let engine = cell
+            .get("engine")
+            .and_then(Value::as_str)
+            .expect("cell.engine");
+        assert!(cell.get("nodes").and_then(Value::as_u64).unwrap_or(0) > 0);
+        assert_eq!(
+            cell.get("healthy").and_then(Value::as_bool),
+            Some(true),
+            "{engine}: a checked-in baseline must come from a healthy run"
+        );
+        let counters = cell
+            .get("counters")
+            .and_then(Value::as_object)
+            .expect("cell.counters object");
+        // The engines' delivery counters must show the workload actually
+        // flowed through the instrumented phases.
+        let delivered_counter = match engine {
+            "multiring" => "delivered",
+            "wbcast" => "sub.delivered",
+            other => panic!("unknown engine {other}"),
+        };
+        let delivered = counters
+            .get(delivered_counter)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("{engine}: missing counter {delivered_counter}"));
+        assert!(delivered > 0, "{engine}: no deliveries in baseline");
+        for (name, v) in counters {
+            assert!(v.as_u64().is_some(), "{engine}: counter {name} not a u64");
+        }
+        let histograms = cell
+            .get("histograms")
+            .and_then(Value::as_object)
+            .expect("cell.histograms object");
+        let latency_histogram = match engine {
+            "multiring" => "ring_latency_us",
+            "wbcast" => "round.delivery_latency_us",
+            other => panic!("unknown engine {other}"),
+        };
+        let h = histograms
+            .get(latency_histogram)
+            .unwrap_or_else(|| panic!("{engine}: missing histogram {latency_histogram}"));
+        let count = h.get("count").and_then(Value::as_u64).expect("count");
+        assert!(count > 0, "{engine}: empty latency histogram in baseline");
+        for field in ["p50_us", "p99_us", "max_us"] {
+            assert!(
+                h.get(field).and_then(Value::as_u64).is_some(),
+                "{engine}: histogram field {field}"
+            );
+        }
+    }
+}

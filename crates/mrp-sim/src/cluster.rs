@@ -8,7 +8,9 @@ use crate::disk::DiskModel;
 use crate::metrics::Metrics;
 use crate::net::{NetState, Topology};
 use crate::rng::Rng;
-use mrp_amcast::{EngineKind, EngineReplica};
+use mrp_amcast::{
+    AmcastEngine, AnyEngine, EngineKind, EngineReplica, HealthReport, TelemetrySnapshot,
+};
 use mrp_storage::NodeStorage;
 use multiring_paxos::app::Application;
 use multiring_paxos::codec;
@@ -91,9 +93,18 @@ impl Ord for Sched {
 /// Factory rebuilding an actor from its stable storage on restart.
 pub type ActorFactory = Box<dyn FnMut(&NodeStorage) -> Box<dyn Actor>>;
 
+/// Extracts a telemetry snapshot and health report from a hosted actor.
+/// Captured at spawn time — when the concrete actor type is known — so
+/// [`Cluster::collect_engine_telemetry`] can probe through `dyn Actor`;
+/// the probe survives restarts because the factory rebuilds the same
+/// concrete type.
+pub type TelemetryProbe =
+    Box<dyn FnMut(&mut dyn Actor, Time) -> Option<(TelemetrySnapshot, HealthReport)>>;
+
 struct Slot {
     actor: Option<Box<dyn Actor>>,
     factory: Option<ActorFactory>,
+    probe: Option<TelemetryProbe>,
     storage: NodeStorage,
     disks: Vec<DiskModel>,
     disk_of_ring: BTreeMap<RingId, usize>,
@@ -175,6 +186,7 @@ impl Cluster {
             Slot {
                 actor: Some(actor),
                 factory: None,
+                probe: None,
                 storage: NodeStorage::new(),
                 disks: Vec::new(),
                 disk_of_ring: BTreeMap::new(),
@@ -203,6 +215,14 @@ impl Cluster {
         self.set_protocol(config.clone());
         for p in config.processes() {
             self.add_actor(p, Hosted::new(kind.build(p, config.clone())).boxed());
+            self.set_telemetry_probe(
+                p,
+                Box::new(|actor, now| {
+                    let hosted = actor.as_any().downcast_mut::<Hosted<AnyEngine>>()?;
+                    let engine = hosted.inner();
+                    Some((engine.telemetry(), engine.health(now)))
+                }),
+            );
         }
     }
 
@@ -223,11 +243,30 @@ impl Cluster {
         match kind {
             EngineKind::MultiRing => {
                 self.add_actor(p, Hosted::new(Replica::new(p, config, app, policy)).boxed());
+                self.set_telemetry_probe(
+                    p,
+                    Box::new(|actor, now| {
+                        let hosted = actor.as_any().downcast_mut::<Hosted<Replica<A>>>()?;
+                        let node = hosted.inner().node();
+                        Some((
+                            AmcastEngine::telemetry(node),
+                            AmcastEngine::health(node, now),
+                        ))
+                    }),
+                );
             }
             kind => {
                 self.add_actor(
                     p,
                     Hosted::new(EngineReplica::new(kind, p, config, app, policy)).boxed(),
+                );
+                self.set_telemetry_probe(
+                    p,
+                    Box::new(|actor, now| {
+                        let hosted = actor.as_any().downcast_mut::<Hosted<EngineReplica<A>>>()?;
+                        let replica = hosted.inner();
+                        Some((replica.telemetry(), replica.health(now)))
+                    }),
                 );
             }
         }
@@ -298,6 +337,15 @@ impl Cluster {
         }
     }
 
+    /// Registers the telemetry probe used to read `p`'s engine
+    /// telemetry and health through `dyn Actor` (the engine/replica
+    /// spawn helpers install one automatically).
+    pub fn set_telemetry_probe(&mut self, p: ProcessId, probe: TelemetryProbe) {
+        if let Some(slot) = self.slots.get_mut(&p) {
+            slot.probe = Some(probe);
+        }
+    }
+
     /// Attaches a CPU model to `p`.
     pub fn set_cpu(&mut self, p: ProcessId, cpu: CpuModel) {
         if let Some(slot) = self.slots.get_mut(&p) {
@@ -353,6 +401,71 @@ impl Cluster {
     /// Mutable metrics (for harness-level annotations).
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    /// Reads the current engine telemetry snapshot and health report of
+    /// `p`, if its actor hosts an engine (spawned through the engine or
+    /// replica helpers) and is up.
+    pub fn engine_telemetry(&mut self, p: ProcessId) -> Option<(TelemetrySnapshot, HealthReport)> {
+        let now = self.now;
+        let slot = self.slots.get_mut(&p)?;
+        if !slot.up {
+            return None;
+        }
+        let actor = slot.actor.as_mut()?;
+        slot.probe.as_mut()?(actor.as_mut(), now)
+    }
+
+    /// Probes every live engine-hosting node and folds the snapshots
+    /// into the run [`Metrics`]:
+    ///
+    /// * counters sum across nodes into `engine.<name>.<counter>`;
+    /// * histograms merge into `engine.<name>.<histogram>`;
+    /// * each gauge records one sample per node into
+    ///   `engine.<name>.<gauge>` (a per-node distribution);
+    /// * health issues count into `engine.health.<code>`.
+    ///
+    /// Returns the per-node snapshots for harnesses that want the
+    /// unmerged view (benchmark reports embed them per run).
+    pub fn collect_engine_telemetry(&mut self) -> BTreeMap<ProcessId, TelemetrySnapshot> {
+        let now = self.now;
+        // Probe first, fold second: the probes borrow the slots while
+        // the fold borrows the metrics.
+        let mut snapshots: BTreeMap<ProcessId, TelemetrySnapshot> = BTreeMap::new();
+        let mut issues: Vec<&'static str> = Vec::new();
+        for (&p, slot) in self.slots.iter_mut() {
+            if !slot.up {
+                continue;
+            }
+            let Some(actor) = slot.actor.as_mut() else {
+                continue;
+            };
+            let Some(probe) = slot.probe.as_mut() else {
+                continue;
+            };
+            let Some((snapshot, health)) = probe(actor.as_mut(), now) else {
+                continue;
+            };
+            issues.extend(health.issues.iter().map(|i| i.code));
+            snapshots.insert(p, snapshot);
+        }
+        for snapshot in snapshots.values() {
+            let engine = snapshot.engine;
+            for (name, &v) in &snapshot.counters {
+                self.metrics.incr(&format!("engine.{engine}.{name}"), v);
+            }
+            for (name, &v) in &snapshot.gauges {
+                self.metrics.record(&format!("engine.{engine}.{name}"), v);
+            }
+            for (name, h) in &snapshot.histograms {
+                self.metrics
+                    .merge_histogram(&format!("engine.{engine}.{name}"), h);
+            }
+        }
+        for code in issues {
+            self.metrics.incr(&format!("engine.health.{code}"), 1);
+        }
+        snapshots
     }
 
     /// Total bytes offered to the network.
@@ -922,6 +1035,61 @@ mod tests {
         cluster.run_until(Time::from_secs(2));
         // 10 requests delivered at each of the 3 learners.
         assert_eq!(cluster.metrics().counter("delivered_values"), 30);
+    }
+
+    /// Both engines' telemetry flows through the spawn-time probes:
+    /// per-node snapshots report deliveries and a quiescent cluster is
+    /// healthy, and the fold lands under the `engine.<name>.` metric
+    /// namespace.
+    #[test]
+    fn engine_telemetry_collection_folds_into_metrics() {
+        for kind in EngineKind::ALL {
+            let config = single_ring(3, quiet());
+            let mut cluster = Cluster::new(
+                SimConfig {
+                    seed: 11,
+                    ..SimConfig::default()
+                },
+                Topology::lan(4),
+            );
+            cluster.add_engine_actors(&config, kind);
+            let client = ProcessId::new(100);
+            cluster.add_actor(
+                client,
+                Box::new(Pulse {
+                    target: ProcessId::new(1),
+                    groups: vec![GroupId::new(0)],
+                    n: 10,
+                    client: ClientId::new(1),
+                }),
+            );
+            cluster.register_client(ClientId::new(1), client);
+            cluster.start();
+            cluster.run_until(Time::from_secs(2));
+            let (snapshot, health) = cluster
+                .engine_telemetry(ProcessId::new(0))
+                .expect("engine node is probeable");
+            assert_eq!(
+                snapshot.engine,
+                kind.build(ProcessId::new(0), config).engine_name()
+            );
+            assert!(
+                health.is_healthy(),
+                "{kind}: settled cluster reports healthy: {health:?}"
+            );
+            let snapshots = cluster.collect_engine_telemetry();
+            assert_eq!(snapshots.len(), 3, "{kind}: every engine node reports");
+            let engine = snapshot.engine;
+            let delivered_key = match kind {
+                EngineKind::MultiRing => format!("engine.{engine}.delivered"),
+                _ => format!("engine.{engine}.sub.delivered"),
+            };
+            assert_eq!(
+                cluster.metrics().counter(&delivered_key),
+                30,
+                "{kind}: 10 deliveries at each of 3 subscribers"
+            );
+        }
     }
 
     #[test]

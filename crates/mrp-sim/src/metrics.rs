@@ -5,126 +5,14 @@
 use multiring_paxos::types::Time;
 use std::collections::BTreeMap;
 
-/// Precision bits of the log-linear histogram (relative error ≤ 1/2^P).
-const P: u32 = 7;
-
-/// A log-linear histogram of `u64` samples (microseconds, bytes, …):
-/// constant relative precision like HDR histograms, O(1) record.
-#[derive(Clone, Debug, Default)]
-pub struct Histogram {
-    buckets: BTreeMap<u32, u64>,
-    count: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            min: u64::MAX,
-            ..Self::default()
-        }
-    }
-
-    fn index(v: u64) -> u32 {
-        if v < (1 << P) {
-            v as u32
-        } else {
-            let k = 63 - v.leading_zeros(); // k >= P
-            ((k - P + 1) << P) + (((v >> (k - P)) as u32) & ((1 << P) - 1))
-        }
-    }
-
-    fn representative(idx: u32) -> u64 {
-        if idx < (1 << P) {
-            u64::from(idx)
-        } else {
-            let group = (idx >> P) - 1;
-            let sub = u64::from(idx & ((1 << P) - 1));
-            let base = 1u64 << (group + P);
-            base + sub * (base >> P) + (base >> (P + 1))
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, v: u64) {
-        *self.buckets.entry(Self::index(v)).or_insert(0) += 1;
-        self.count += 1;
-        self.sum += u128::from(v);
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of the samples (0 if empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Smallest sample (0 if empty).
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest sample.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// The value at quantile `q` in `[0, 1]` (approximate to the bucket
-    /// resolution).
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (&idx, &n) in &self.buckets {
-            seen += n;
-            if seen >= target {
-                return Self::representative(idx);
-            }
-        }
-        self.max
-    }
-
-    /// The (value, cumulative fraction) points of the CDF, one per
-    /// occupied bucket — directly plottable.
-    pub fn cdf(&self) -> Vec<(u64, f64)> {
-        let mut out = Vec::with_capacity(self.buckets.len());
-        let mut seen = 0u64;
-        for (&idx, &n) in &self.buckets {
-            seen += n;
-            out.push((Self::representative(idx), seen as f64 / self.count as f64));
-        }
-        out
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (&idx, &n) in &other.buckets {
-            *self.buckets.entry(idx).or_insert(0) += n;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-}
+// The histogram started life here and moved to `mrp-amcast` when the
+// engines grew their own latency telemetry; re-exported so existing
+// harness/report code (and the engine snapshots the cluster folds into
+// these metrics) share one implementation. The shared type also fixes
+// the old `Default`/`new()` asymmetry: `Histogram::default()` now seeds
+// `min` correctly, so empty-histogram `min()`/`max()` are well-defined
+// however the value was constructed.
+pub use mrp_amcast::telemetry::Histogram;
 
 /// A time series bucketed into fixed windows (for throughput-over-time
 /// plots).
@@ -216,14 +104,20 @@ impl Metrics {
     }
 
     /// Records `v` into histogram `name`.
-    // Not `or_default()`: `Histogram::new` seeds `min` with `u64::MAX`,
-    // which the derived `Default` would not.
-    #[allow(clippy::unwrap_or_default)]
     pub fn record(&mut self, name: &str, v: u64) {
         self.histograms
             .entry(name.to_string())
-            .or_insert_with(Histogram::new)
+            .or_default()
             .record(v);
+    }
+
+    /// Merges a whole histogram into `name` (used when folding per-node
+    /// engine telemetry into a run's metrics).
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
     }
 
     /// Reads histogram `name`, if any samples were recorded.
@@ -333,6 +227,41 @@ mod tests {
         assert_eq!(s.at(Time::from_millis(1999)), 5.0);
         assert_eq!(s.total(), 8.0);
         assert_eq!(s.points().len(), 2);
+    }
+
+    /// Regression: the pre-extraction local histogram's derived
+    /// `Default` left `min = 0`, so a default-constructed histogram
+    /// disagreed with `Histogram::new()` after recording. The shared
+    /// type keeps both construction paths identical and empty-histogram
+    /// `min()`/`max()` well-defined.
+    #[test]
+    fn default_histogram_behaves_like_new() {
+        let empty = Histogram::default();
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.max(), 0);
+        let mut a = Histogram::default();
+        let mut b = Histogram::new();
+        a.record(42);
+        b.record(42);
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.min(), 42, "default construction must not pin min at 0");
+    }
+
+    #[test]
+    fn merge_histogram_folds_external_samples() {
+        let mut m = Metrics::new(1_000_000);
+        m.record("lat", 10);
+        let mut h = Histogram::new();
+        h.record(30);
+        h.record(5);
+        m.merge_histogram("lat", &h);
+        let merged = m.histogram("lat").unwrap();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.min(), 5);
+        assert_eq!(merged.max(), 30);
+        // Merging into a fresh name starts from a well-defined empty.
+        m.merge_histogram("other", &h);
+        assert_eq!(m.histogram("other").unwrap().min(), 5);
     }
 
     #[test]

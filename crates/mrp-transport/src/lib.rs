@@ -25,4 +25,4 @@
 pub mod framing;
 pub mod tcp;
 
-pub use tcp::{RuntimeConfig, RuntimeEvent, RuntimeHandle, TcpRuntime};
+pub use tcp::{RuntimeConfig, RuntimeEvent, RuntimeHandle, StatusProbe, TcpRuntime};

@@ -38,6 +38,11 @@ pub struct RuntimeConfig {
     pub storage_dir: Option<PathBuf>,
     /// Maximum idle wait of the protocol loop, microseconds.
     pub tick_us: u64,
+    /// Interval between status-probe invocations
+    /// ([`TcpRuntime::spawn_with_status`]), microseconds; 0 disables
+    /// the probe. Fires from the protocol loop, so the granularity is
+    /// bounded below by `tick_us`.
+    pub status_interval_us: u64,
 }
 
 impl RuntimeConfig {
@@ -50,9 +55,17 @@ impl RuntimeConfig {
             clients: BTreeMap::new(),
             storage_dir: None,
             tick_us: 10_000,
+            status_interval_us: 0,
         }
     }
 }
+
+/// A periodic observer of the hosted state machine, invoked from the
+/// protocol thread between events (never concurrently with one): the
+/// place to snapshot engine telemetry, run the health probe and log
+/// both — the closure knows the concrete `S`, so the runtime stays
+/// engine-agnostic.
+pub type StatusProbe<S> = Box<dyn FnMut(Time, &S) + Send>;
 
 /// Events surfaced by the runtime to its embedding application.
 #[derive(Clone, PartialEq, Debug)]
@@ -187,6 +200,32 @@ impl TcpRuntime {
         config: RuntimeConfig,
         sm: S,
     ) -> std::io::Result<RuntimeHandle> {
+        Self::spawn_inner(config, sm, None)
+    }
+
+    /// Like [`TcpRuntime::spawn`], but additionally invokes `probe`
+    /// every [`RuntimeConfig::status_interval_us`] microseconds with
+    /// the current runtime time and a reference to the hosted state
+    /// machine — periodic telemetry/health logging for long-running
+    /// deployments.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listen socket cannot be bound or the storage
+    /// directory cannot be opened.
+    pub fn spawn_with_status<S: StateMachine + Send + 'static>(
+        config: RuntimeConfig,
+        sm: S,
+        probe: StatusProbe<S>,
+    ) -> std::io::Result<RuntimeHandle> {
+        Self::spawn_inner(config, sm, Some(probe))
+    }
+
+    fn spawn_inner<S: StateMachine + Send + 'static>(
+        config: RuntimeConfig,
+        sm: S,
+        probe: Option<StatusProbe<S>>,
+    ) -> std::io::Result<RuntimeHandle> {
         let listener = TcpListener::bind(config.listen)?;
         listener.set_nonblocking(true)?;
         let storage = match &config.storage_dir {
@@ -241,7 +280,7 @@ impl TcpRuntime {
         let join = thread::Builder::new()
             .name(format!("mrp-node-{}", config.me.value()))
             .spawn(move || {
-                Self::protocol_loop(cfg, sm, storage, in_rx, events_tx, shutdown_main)
+                Self::protocol_loop(cfg, sm, storage, in_rx, events_tx, shutdown_main, probe)
             })?;
 
         Ok(RuntimeHandle {
@@ -253,6 +292,7 @@ impl TcpRuntime {
     }
 
     #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_arguments)]
     fn protocol_loop<S: StateMachine>(
         config: RuntimeConfig,
         mut sm: S,
@@ -260,12 +300,23 @@ impl TcpRuntime {
         in_rx: Receiver<Inbound>,
         events_tx: Sender<RuntimeEvent>,
         shutdown: Arc<AtomicBool>,
+        mut probe: Option<StatusProbe<S>>,
     ) {
         let start = Instant::now();
         let now_us = || start.elapsed().as_micros() as u64;
         let mut timers: BinaryHeap<Deadline> = BinaryHeap::new();
         let mut writers: HashMap<ProcessId, Sender<Message>> = HashMap::new();
         let mut pending: VecDeque<Event> = VecDeque::new();
+        let status_interval = if probe.is_some() {
+            config.status_interval_us
+        } else {
+            0
+        };
+        let mut next_status_us = if status_interval > 0 {
+            status_interval
+        } else {
+            u64::MAX
+        };
 
         pending.push_back(Event::Start);
         'main: loop {
@@ -312,6 +363,14 @@ impl TcpRuntime {
             while timers.peek().is_some_and(|d| d.0 <= t) {
                 let Deadline(_, kind) = timers.pop().expect("peeked");
                 pending.push_back(Event::Timer(kind));
+            }
+            // Periodic status probe: between events on the protocol
+            // thread, so it reads a quiescent state machine.
+            if t >= next_status_us {
+                if let Some(probe) = probe.as_mut() {
+                    probe(Time::from_micros(t), &sm);
+                }
+                next_status_us = t + status_interval;
             }
         }
     }

@@ -9,6 +9,8 @@ use multiring_paxos::node::Node;
 use multiring_paxos::types::{ClientId, GroupId, ProcessId, ValueId};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn free_addr() -> SocketAddr {
@@ -31,6 +33,11 @@ fn three_nodes_total_order_over_loopback_tcp() {
     let client_proc = ProcessId::new(50);
     peers.insert(client_proc, addrs[3]);
 
+    // Node 0 runs with a periodic status probe (the telemetry-logging
+    // hook): it must fire while the run makes progress and observe the
+    // node's delivery counters advancing.
+    let probe_runs = Arc::new(AtomicU64::new(0));
+    let probe_delivered = Arc::new(AtomicU64::new(0));
     let mut handles = Vec::new();
     for i in 0..3u32 {
         let p = ProcessId::new(i);
@@ -38,7 +45,24 @@ fn three_nodes_total_order_over_loopback_tcp() {
         rc.peers = peers.clone();
         rc.clients = BTreeMap::from([(ClientId::new(1), client_proc)]);
         let node = Node::new(p, config.clone());
-        handles.push(TcpRuntime::spawn(rc, node).expect("spawn"));
+        if i == 0 {
+            rc.status_interval_us = 50_000;
+            let runs = Arc::clone(&probe_runs);
+            let delivered = Arc::clone(&probe_delivered);
+            handles.push(
+                TcpRuntime::spawn_with_status(
+                    rc,
+                    node,
+                    Box::new(move |_, node: &Node| {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        delivered.fetch_max(node.stats().delivered, Ordering::SeqCst);
+                    }),
+                )
+                .expect("spawn"),
+            );
+        } else {
+            handles.push(TcpRuntime::spawn(rc, node).expect("spawn"));
+        }
     }
     let client = ClientPort::bind(client_proc, addrs[3], peers.clone()).expect("client");
 
@@ -69,6 +93,18 @@ fn three_nodes_total_order_over_loopback_tcp() {
     assert_eq!(orders[0].len(), 20, "node 0 delivered everything");
     assert_eq!(orders[0], orders[1], "identical order at node 1");
     assert_eq!(orders[0], orders[2], "identical order at node 2");
+    // Give the probe at least one more firing window after the last
+    // delivery, then check it both ran and saw the node's telemetry.
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(
+        probe_runs.load(Ordering::SeqCst) > 0,
+        "status probe fired periodically"
+    );
+    assert_eq!(
+        probe_delivered.load(Ordering::SeqCst),
+        20,
+        "status probe observed the node's delivery counter"
+    );
 
     for h in handles {
         h.shutdown();

@@ -18,8 +18,43 @@ use crate::recovery::{CheckpointId, TrimCoordinator};
 use crate::ring::{Effects, RingState};
 use crate::types::{Ballot, ClientId, GroupId, InstanceId, ProcessId, RingId, Time, ValueId};
 use bytes::Bytes;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+
+/// Locally submitted values whose submission time is retained for
+/// latency attribution; beyond this many in flight, extra submissions
+/// are simply not timed (the protocol itself is unaffected).
+const PENDING_TIMING_CAP: usize = 4096;
+
+/// Delivery-latency samples retained for telemetry read-out.
+const LATENCY_SAMPLE_CAP: usize = 1024;
+
+/// Recovery events (backfills, checkpoint installs) retained for
+/// telemetry read-out.
+const RECOVERY_EVENT_CAP: usize = 64;
+
+/// Plain-scalar protocol statistics a [`Node`] accumulates as it runs:
+/// submissions, merge deliveries, end-to-end ring latency, and recovery
+/// activity. Zero-dependency by design — the engine layer above folds
+/// these into its richer telemetry snapshots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NodeStats {
+    /// Values multicast from this process (accepted submissions).
+    pub proposed: u64,
+    /// Values delivered by the deterministic merge on this process.
+    pub delivered: u64,
+    /// Sum of submit→deliver latencies (µs) over locally submitted
+    /// values delivered here.
+    pub latency_sum_us: u64,
+    /// Number of latency samples in [`latency_sum_us`](Self::latency_sum_us).
+    pub latency_count: u64,
+    /// Largest submit→deliver latency observed (µs).
+    pub latency_max_us: u64,
+    /// Backfill rounds requested from the acceptors (checkpoint resume).
+    pub backfill_rounds: u64,
+    /// Checkpoints installed into the merge (recovery events).
+    pub checkpoint_installs: u64,
+}
 
 /// Errors returned by [`Node::multicast`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -68,6 +103,17 @@ pub struct Node {
     /// Memoized covering-group resolutions, keyed by the sorted,
     /// deduplicated multi-group destination set.
     covering: BTreeMap<Vec<GroupId>, GroupId>,
+    stats: NodeStats,
+    /// Submission times of locally multicast values, for latency
+    /// attribution at delivery (bounded by `PENDING_TIMING_CAP`).
+    pending_at: HashMap<ValueId, Time>,
+    /// Most recent submit→deliver latency samples (µs), bounded.
+    recent_latencies: VecDeque<u64>,
+    /// Recent recovery events as `(time, kind, detail)` tuples, bounded
+    /// by `RECOVERY_EVENT_CAP`. Kinds: `"ring.backfill"` (detail: chunk
+    /// size) and `"ring.ckpt_install"` (detail: total instances covered;
+    /// time 0 — installation happens before the clock is threaded in).
+    recovery_events: VecDeque<(Time, &'static str, u64)>,
 }
 
 impl fmt::Debug for Node {
@@ -123,7 +169,53 @@ impl Node {
             token_seed: 0,
             need_checkpoint: None,
             covering: BTreeMap::new(),
+            stats: NodeStats::default(),
+            pending_at: HashMap::new(),
+            recent_latencies: VecDeque::new(),
+            recovery_events: VecDeque::new(),
         }
+    }
+
+    fn note_recovery_event(&mut self, at: Time, kind: &'static str, detail: u64) {
+        if self.recovery_events.len() == RECOVERY_EVENT_CAP {
+            self.recovery_events.pop_front();
+        }
+        self.recovery_events.push_back((at, kind, detail));
+    }
+
+    /// Recent recovery events as `(time, kind, detail)` tuples, oldest
+    /// first (see the field docs for the kinds).
+    pub fn recovery_events(&self) -> impl Iterator<Item = (Time, &'static str, u64)> + '_ {
+        self.recovery_events.iter().copied()
+    }
+
+    /// Submission time of the oldest locally submitted value that has
+    /// not been delivered back through the merge yet (stall-probe
+    /// input; `None` when nothing timed is outstanding).
+    pub fn oldest_pending_submission(&self) -> Option<Time> {
+        self.pending_at.values().min().copied()
+    }
+
+    /// The largest rate-leveling interval Δ (µs) over this node's rings
+    /// — the natural unit for stall thresholds.
+    pub fn max_delta_us(&self) -> u64 {
+        self.config
+            .rings()
+            .values()
+            .map(|r| r.tuning().delta_us)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The node's accumulated protocol statistics.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// The most recent submit→deliver latency samples (µs), oldest
+    /// first, bounded to the last `LATENCY_SAMPLE_CAP` deliveries.
+    pub fn recent_latencies(&self) -> impl Iterator<Item = u64> + '_ {
+        self.recent_latencies.iter().copied()
     }
 
     /// The process this node embodies.
@@ -164,6 +256,8 @@ impl Node {
     /// Repositions the merge and the per-ring learners at `ckpt`
     /// (checkpoint installation during recovery).
     pub fn install_watermarks(&mut self, ckpt: &CheckpointId) {
+        self.stats.checkpoint_installs += 1;
+        self.note_recovery_event(Time::ZERO, "ring.ckpt_install", ckpt.total_instances());
         self.merger.install(ckpt);
         for ring in self.rings.values_mut() {
             let mark = ckpt.mark_of(ring.group());
@@ -178,7 +272,8 @@ impl Node {
     /// after checkpoint installation to backfill without waiting for
     /// live traffic to reveal the gap.
     pub fn request_backfill(&mut self, now: Time, chunk: u64) -> Vec<Action> {
-        let _ = now;
+        self.stats.backfill_rounds += 1;
+        self.note_recovery_event(now, "ring.backfill", chunk);
         let mut fx = Effects::new(self.token_seed);
         for ring in self.rings.values_mut() {
             ring.backfill(chunk, &mut fx);
@@ -248,6 +343,13 @@ impl Node {
         let id = ring
             .multicast(now, payload, &mut fx)
             .ok_or(MulticastError::NotAProposer(group))?;
+        self.stats.proposed += 1;
+        // Only timed when this node also subscribes to the serving
+        // group: otherwise the merge never delivers the value here and
+        // the entry would never resolve (poisoning the stall probe).
+        if self.pending_at.len() < PENDING_TIMING_CAP && self.merger.groups().contains(&group) {
+            self.pending_at.insert(id, now);
+        }
         self.token_seed = fx.token_seed();
         let mut out = Vec::new();
         self.finish(now, fx, &mut out);
@@ -309,6 +411,17 @@ impl Node {
                 .push(group, range.first, range.count, range.value);
         }
         for d in self.merger.poll() {
+            self.stats.delivered += 1;
+            if let Some(submitted) = self.pending_at.remove(&d.value.id) {
+                let lat = now.since(submitted);
+                self.stats.latency_sum_us += lat;
+                self.stats.latency_count += 1;
+                self.stats.latency_max_us = self.stats.latency_max_us.max(lat);
+                if self.recent_latencies.len() == LATENCY_SAMPLE_CAP {
+                    self.recent_latencies.pop_front();
+                }
+                self.recent_latencies.push_back(lat);
+            }
             out.push(Action::Deliver {
                 group: d.group,
                 instance: d.instance,

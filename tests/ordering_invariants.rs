@@ -8,7 +8,9 @@
 //! Multi-Ring Paxos engine and for the timestamp-based white-box
 //! engine, on the identical workload and simulated network.
 
-use atomic_multicast::amcast::{AmcastEngine, AnyEngine, EngineKind};
+use atomic_multicast::amcast::{
+    AmcastEngine, AnyEngine, EngineKind, HealthReport, RecoveryCounters, TelemetrySnapshot,
+};
 use atomic_multicast::core::config::{ClusterConfig, RingSpec, RingTuning, Roles};
 use atomic_multicast::core::types::{ClientId, GroupId, ProcessId, RingId, Time, ValueId};
 use atomic_multicast::sim::actor::{Actor, ActorCtx, ActorEvent, Hosted, Outbox};
@@ -516,13 +518,19 @@ fn failover_config() -> ClusterConfig {
 /// Crashes p0 — the sequencer of group 0 for the white-box engine, the
 /// ring-0 Paxos coordinator for the ring engine — at `crash_us`, with
 /// single- and multi-group messages still in flight, then submits a
-/// post-election wave. Returns the survivors' delivery sequences and
-/// their residual engine backlogs.
+/// post-election wave. Returns the survivors' delivery sequences, their
+/// residual engine backlogs, and their telemetry read-outs (snapshot,
+/// health report at the end of the run, recovery counters).
+#[allow(clippy::type_complexity)]
 fn run_failover(
     seed: u64,
     kind: EngineKind,
     crash_us: u64,
-) -> (BTreeMap<ProcessId, Vec<ValueId>>, Vec<usize>) {
+) -> (
+    BTreeMap<ProcessId, Vec<ValueId>>,
+    Vec<usize>,
+    Vec<(TelemetrySnapshot, HealthReport, RecoveryCounters)>,
+) {
     let config = failover_config();
     let mut cluster = Cluster::new(
         SimConfig {
@@ -594,13 +602,20 @@ fn run_failover(
     cluster.run_until(Time::from_secs(3));
     let mut delivered = BTreeMap::new();
     let mut backlogs = Vec::new();
+    let mut telemetry = Vec::new();
     for p in 1..3u32 {
         let pid = ProcessId::new(p);
         let r = cluster.actor_as::<Recorder>(pid).expect("survivor");
         delivered.insert(pid, r.delivered.iter().map(|(_, id)| *id).collect());
         backlogs.push(r.node.inner().backlog());
+        let engine = r.node.inner();
+        telemetry.push((
+            engine.telemetry(),
+            engine.health(Time::from_secs(3)),
+            engine.recovery_counters(),
+        ));
     }
-    (delivered, backlogs)
+    (delivered, backlogs, telemetry)
 }
 
 /// Coordinator-crash-and-resume liveness (the ROADMAP's former top open
@@ -611,11 +626,17 @@ fn run_failover(
 /// survivors, in one identical total order, with zero residual
 /// initiator backlog. Parameterized over every engine and over crash
 /// instants that catch the protocol in different phases.
+///
+/// The engines' own telemetry must agree with the injected fault: each
+/// survivor's delivery counter matches the workload, exactly one
+/// survivor records a sequencer takeover for the crashed coordinator's
+/// group (wbcast), no orphan recovery runs (the multi-group initiators
+/// survive here), and every health probe is clean once the run settles.
 #[test]
 fn sequencer_failover_delivers_every_message_exactly_once() {
     for kind in EngineKind::ALL {
         for crash_us in [400u64, 2_000, 12_000] {
-            let (delivered, backlogs) = run_failover(47, kind, crash_us);
+            let (delivered, backlogs, telemetry) = run_failover(47, kind, crash_us);
             let total = 6 + 6 + 5 + 3 + 3;
             let reference = &delivered[&ProcessId::new(1)];
             assert_eq!(
@@ -640,6 +661,42 @@ fn sequencer_failover_delivers_every_message_exactly_once() {
                     "{kind}/crash@{crash_us}µs: residual backlog at survivor {i}"
                 );
             }
+            // Telemetry agrees with the injected fault and the outcome.
+            let delivered_counter = match kind {
+                EngineKind::MultiRing => "delivered",
+                EngineKind::Wbcast => "sub.delivered",
+            };
+            for (i, (snap, health, _)) in telemetry.iter().enumerate() {
+                assert_eq!(
+                    snap.counter(delivered_counter),
+                    total as u64,
+                    "{kind}/crash@{crash_us}µs: survivor {i} delivery counter"
+                );
+                assert!(
+                    health.is_healthy(),
+                    "{kind}/crash@{crash_us}µs: survivor {i} unhealthy after settle: {:?}",
+                    health.issues
+                );
+            }
+            if kind == EngineKind::Wbcast {
+                let takeovers: u64 = telemetry
+                    .iter()
+                    .map(|(_, _, rc)| rc.sequencer_takeovers)
+                    .sum();
+                assert_eq!(
+                    takeovers, 1,
+                    "{kind}/crash@{crash_us}µs: exactly one survivor adopts the dead \
+                     sequencer's group"
+                );
+                let orphans: u64 = telemetry
+                    .iter()
+                    .map(|(_, _, rc)| rc.orphan_rounds_started)
+                    .sum();
+                assert_eq!(
+                    orphans, 0,
+                    "{kind}/crash@{crash_us}µs: no orphan recovery — the initiators survive"
+                );
+            }
         }
     }
 }
@@ -650,13 +707,19 @@ fn sequencer_failover_delivers_every_message_exactly_once() {
 /// reached it, after partial `ProposeAck`s, or after partial `Final`s
 /// already left. Survivors keep submitting before and after. Returns
 /// the survivors' delivery sequences, their residual engine backlogs,
-/// and (wbcast) their residual undecided-proposal counts.
+/// (wbcast) their residual undecided-proposal counts, and their
+/// recovery counters and end-of-run health reports.
 #[allow(clippy::type_complexity)]
 fn run_initiator_crash(
     seed: u64,
     kind: EngineKind,
     crash_us: u64,
-) -> (BTreeMap<ProcessId, Vec<ValueId>>, Vec<usize>, Vec<usize>) {
+) -> (
+    BTreeMap<ProcessId, Vec<ValueId>>,
+    Vec<usize>,
+    Vec<usize>,
+    Vec<(RecoveryCounters, HealthReport)>,
+) {
     let config = failover_config();
     let mut cluster = Cluster::new(
         SimConfig {
@@ -730,14 +793,20 @@ fn run_initiator_crash(
     let mut delivered = BTreeMap::new();
     let mut backlogs = Vec::new();
     let mut undecided = Vec::new();
+    let mut recovery = Vec::new();
     for p in 0..2u32 {
         let pid = ProcessId::new(p);
         let r = cluster.actor_as::<Recorder>(pid).expect("survivor");
         delivered.insert(pid, r.delivered.iter().map(|(_, id)| *id).collect());
         backlogs.push(r.node.inner().backlog());
         undecided.push(r.node.inner().as_wbcast().map_or(0, |n| n.undecided_len()));
+        let engine = r.node.inner();
+        recovery.push((
+            engine.recovery_counters(),
+            engine.health(Time::from_secs(3)),
+        ));
     }
-    (delivered, backlogs, undecided)
+    (delivered, backlogs, undecided, recovery)
 }
 
 /// The tentpole acceptance test: crashing the *initiator* of in-flight
@@ -757,7 +826,8 @@ fn run_initiator_crash(
 fn initiator_crash_mid_round_does_not_stall_delivery() {
     for kind in EngineKind::ALL {
         for crash_us in [120u64, 170, 185, 2_000] {
-            let (delivered, backlogs, undecided) = run_initiator_crash(61, kind, crash_us);
+            let (delivered, backlogs, undecided, recovery) =
+                run_initiator_crash(61, kind, crash_us);
             let total = 6 + 6 + 5 + 3 + 3;
             let reference = &delivered[&ProcessId::new(0)];
             assert_eq!(
@@ -787,6 +857,44 @@ fn initiator_crash_mid_round_does_not_stall_delivery() {
                     *u, 0,
                     "{kind}/crash@{crash_us}µs: stalled undecided proposal at survivor {i}"
                 );
+            }
+            // Telemetry agrees with the injected fault: every orphan
+            // round a survivor started was driven to confirmation, and
+            // the survivors end the run healthy. The earliest instant
+            // (120 µs: the initiator dies before any ProposeAck returns)
+            // is guaranteed to orphan all five multi-group rounds; after
+            // quiescence (2 ms) there is nothing to recover. The
+            // intermediate instants may resolve either way — the Finals
+            // may already have left the initiator — so only the
+            // started == completed invariant is asserted there.
+            for (i, (rc, health)) in recovery.iter().enumerate() {
+                assert_eq!(
+                    rc.orphan_rounds_completed, rc.orphan_rounds_started,
+                    "{kind}/crash@{crash_us}µs: unfinished orphan recovery at survivor {i}"
+                );
+                assert!(
+                    health.is_healthy(),
+                    "{kind}/crash@{crash_us}µs: survivor {i} unhealthy after settle: {:?}",
+                    health.issues
+                );
+            }
+            if kind == EngineKind::Wbcast {
+                let started: u64 = recovery
+                    .iter()
+                    .map(|(rc, _)| rc.orphan_rounds_started)
+                    .sum();
+                if crash_us == 120 {
+                    assert!(
+                        started > 0,
+                        "{kind}/crash@{crash_us}µs: mid-flight initiator crash must \
+                         trigger orphan recovery"
+                    );
+                } else if crash_us == 2_000 {
+                    assert_eq!(
+                        started, 0,
+                        "{kind}/crash@{crash_us}µs: nothing was in flight to orphan"
+                    );
+                }
             }
         }
     }
