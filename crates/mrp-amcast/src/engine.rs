@@ -1,15 +1,18 @@
 //! The [`AmcastEngine`] trait, the [`EngineKind`] selector, and the
-//! [`AnyEngine`] enum that lets runtimes host either engine behind one
-//! concrete type.
+//! [`AnyEngine`] wrapper that lets runtimes host either engine behind
+//! one concrete type — with optional submission-edge batching and
+//! outgoing-frame coalescing layered on top (see [`BatchConfig`]).
 
+use crate::batcher::{BatchConfig, Batcher, PushOutcome};
 use crate::telemetry::{
     HealthIssue, HealthReport, Histogram, ProtocolEvent, RecoveryCounters, TelemetrySnapshot,
     STALL_DELTAS,
 };
 use crate::wbcast::WbcastNode;
 use bytes::Bytes;
+use multiring_paxos::app::encode_command;
 use multiring_paxos::config::ClusterConfig;
-use multiring_paxos::event::{Action, Event, StateMachine};
+use multiring_paxos::event::{Action, Event, Message, StateMachine, TimerKind};
 use multiring_paxos::node::{MulticastError, Node};
 use multiring_paxos::paxos::AcceptorRecovery;
 use multiring_paxos::types::{GroupId, ProcessId, RingId, Time, ValueId};
@@ -67,6 +70,42 @@ pub trait AmcastEngine: StateMachine {
         groups: &[GroupId],
         payload: Bytes,
     ) -> Result<(ValueId, Vec<Action>), MulticastError>;
+
+    /// Atomically multicasts a batch of payloads, all addressed to the
+    /// same group set, in one submission — the batched form of
+    /// [`multicast`](Self::multicast) the submission-edge [`Batcher`]
+    /// flushes into.
+    ///
+    /// Engines override this when one round (one consensus instance,
+    /// one sequencer exchange) can carry the whole batch; the default
+    /// simply loops [`multicast`](Self::multicast), so an engine
+    /// without an override behaves exactly as if each value had been
+    /// submitted individually. Per-value semantics are identical either
+    /// way: each payload gets its own [`ValueId`] (returned in payload
+    /// order) and is delivered individually via [`Action::Deliver`],
+    /// exactly once, in a position consistent with the engine's global
+    /// acyclic order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`multicast`](Self::multicast). With the
+    /// default implementation, payloads before the failing one have
+    /// already been submitted.
+    fn multicast_batch(
+        &mut self,
+        now: Time,
+        groups: &[GroupId],
+        payloads: Vec<Bytes>,
+    ) -> Result<(Vec<ValueId>, Vec<Action>), MulticastError> {
+        let mut ids = Vec::with_capacity(payloads.len());
+        let mut actions = Vec::new();
+        for payload in payloads {
+            let (id, acts) = self.multicast(now, groups, payload)?;
+            ids.push(id);
+            actions.extend(acts);
+        }
+        Ok((ids, actions))
+    }
 
     /// A short, stable engine name (for metrics and reports).
     fn engine_name(&self) -> &'static str;
@@ -182,6 +221,18 @@ impl AmcastEngine for Node {
         payload: Bytes,
     ) -> Result<(ValueId, Vec<Action>), MulticastError> {
         Node::multicast(self, now, groups, payload)
+    }
+
+    /// One submission to the serving ring for the whole batch: the
+    /// coordinator packs the values into as few consensus instances as
+    /// `values_per_instance` / `bytes_per_instance` allow.
+    fn multicast_batch(
+        &mut self,
+        now: Time,
+        groups: &[GroupId],
+        payloads: Vec<Bytes>,
+    ) -> Result<(Vec<ValueId>, Vec<Action>), MulticastError> {
+        Node::multicast_many(self, now, groups, payloads)
     }
 
     fn engine_name(&self) -> &'static str {
@@ -365,11 +416,15 @@ impl EngineKind {
     /// group→ring mapping (wbcast treats each ring as a replica set
     /// whose coordinator is the group's sequencer), roles and learner
     /// subscriptions.
+    /// Submission batching is applied from the environment
+    /// ([`BatchConfig::from_env`], the `MRP_BATCH*` knobs), so
+    /// deployments switch it on without recompiling; it defaults off.
     pub fn build(self, me: ProcessId, config: ClusterConfig) -> AnyEngine {
-        match self {
-            EngineKind::MultiRing => AnyEngine::MultiRing(Node::new(me, config)),
-            EngineKind::Wbcast => AnyEngine::Wbcast(WbcastNode::new(me, config)),
-        }
+        let inner = match self {
+            EngineKind::MultiRing => EngineInner::MultiRing(Node::new(me, config)),
+            EngineKind::Wbcast => EngineInner::Wbcast(WbcastNode::new(me, config)),
+        };
+        AnyEngine::with_env_batching(inner)
     }
 
     /// Builds an engine of this kind for a process restarting after a
@@ -387,12 +442,13 @@ impl EngineKind {
         config: ClusterConfig,
         acceptor_logs: BTreeMap<RingId, AcceptorRecovery>,
     ) -> AnyEngine {
-        match self {
+        let inner = match self {
             EngineKind::MultiRing => {
-                AnyEngine::MultiRing(Node::with_recovery(me, config, acceptor_logs))
+                EngineInner::MultiRing(Node::with_recovery(me, config, acceptor_logs))
             }
-            EngineKind::Wbcast => AnyEngine::Wbcast(WbcastNode::recovering(me, config)),
-        }
+            EngineKind::Wbcast => EngineInner::Wbcast(WbcastNode::recovering(me, config)),
+        };
+        AnyEngine::with_env_batching(inner)
     }
 }
 
@@ -414,55 +470,343 @@ impl FromStr for EngineKind {
     }
 }
 
-/// A concrete either-engine type, so runtimes and services can host an
-/// engine chosen at configuration time without trait objects.
+/// The inner either-engine dispatch: exactly the engine the deployment
+/// selected, with no wrapper behavior.
 #[derive(Debug)]
-pub enum AnyEngine {
+enum EngineInner {
     /// The Multi-Ring Paxos engine.
     MultiRing(Node),
     /// The timestamp-based white-box engine.
     Wbcast(WbcastNode),
 }
 
-impl AnyEngine {
-    /// Which kind this engine is.
-    pub fn kind(&self) -> EngineKind {
+impl EngineInner {
+    fn kind(&self) -> EngineKind {
         match self {
-            AnyEngine::MultiRing(_) => EngineKind::MultiRing,
-            AnyEngine::Wbcast(_) => EngineKind::Wbcast,
-        }
-    }
-
-    /// The inner Multi-Ring Paxos node, if that is the engine.
-    pub fn as_multiring(&self) -> Option<&Node> {
-        match self {
-            AnyEngine::MultiRing(n) => Some(n),
-            AnyEngine::Wbcast(_) => None,
-        }
-    }
-
-    /// The inner white-box node, if that is the engine.
-    pub fn as_wbcast(&self) -> Option<&WbcastNode> {
-        match self {
-            AnyEngine::MultiRing(_) => None,
-            AnyEngine::Wbcast(n) => Some(n),
+            EngineInner::MultiRing(_) => EngineKind::MultiRing,
+            EngineInner::Wbcast(_) => EngineKind::Wbcast,
         }
     }
 }
 
-impl StateMachine for AnyEngine {
+impl StateMachine for EngineInner {
     fn on_event(&mut self, now: Time, event: Event) -> Vec<Action> {
         match self {
-            AnyEngine::MultiRing(n) => n.on_event(now, event),
-            AnyEngine::Wbcast(n) => n.on_event(now, event),
+            EngineInner::MultiRing(n) => n.on_event(now, event),
+            EngineInner::Wbcast(n) => n.on_event(now, event),
         }
     }
 
     fn process_id(&self) -> ProcessId {
         match self {
-            AnyEngine::MultiRing(n) => n.process_id(),
-            AnyEngine::Wbcast(n) => n.process_id(),
+            EngineInner::MultiRing(n) => n.process_id(),
+            EngineInner::Wbcast(n) => n.process_id(),
         }
+    }
+}
+
+impl AmcastEngine for EngineInner {
+    fn multicast(
+        &mut self,
+        now: Time,
+        groups: &[GroupId],
+        payload: Bytes,
+    ) -> Result<(ValueId, Vec<Action>), MulticastError> {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::multicast(n, now, groups, payload),
+            EngineInner::Wbcast(n) => AmcastEngine::multicast(n, now, groups, payload),
+        }
+    }
+
+    fn multicast_batch(
+        &mut self,
+        now: Time,
+        groups: &[GroupId],
+        payloads: Vec<Bytes>,
+    ) -> Result<(Vec<ValueId>, Vec<Action>), MulticastError> {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::multicast_batch(n, now, groups, payloads),
+            EngineInner::Wbcast(n) => AmcastEngine::multicast_batch(n, now, groups, payloads),
+        }
+    }
+
+    fn engine_name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    fn backlog(&self) -> usize {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::backlog(n),
+            EngineInner::Wbcast(n) => AmcastEngine::backlog(n),
+        }
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::telemetry(n),
+            EngineInner::Wbcast(n) => AmcastEngine::telemetry(n),
+        }
+    }
+
+    fn health(&self, now: Time) -> HealthReport {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::health(n, now),
+            EngineInner::Wbcast(n) => AmcastEngine::health(n, now),
+        }
+    }
+
+    fn recovery_counters(&self) -> RecoveryCounters {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::recovery_counters(n),
+            EngineInner::Wbcast(n) => AmcastEngine::recovery_counters(n),
+        }
+    }
+
+    fn watermark(&self) -> Watermark {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::watermark(n),
+            EngineInner::Wbcast(n) => AmcastEngine::watermark(n),
+        }
+    }
+
+    fn checkpoint_state(&self) -> Bytes {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::checkpoint_state(n),
+            EngineInner::Wbcast(n) => AmcastEngine::checkpoint_state(n),
+        }
+    }
+
+    fn install_checkpoint(&mut self, watermark: &Watermark, state: &Bytes) {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::install_checkpoint(n, watermark, state),
+            EngineInner::Wbcast(n) => AmcastEngine::install_checkpoint(n, watermark, state),
+        }
+    }
+
+    fn trim(&mut self, now: Time, watermark: &Watermark) -> Vec<Action> {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::trim(n, now, watermark),
+            EngineInner::Wbcast(n) => AmcastEngine::trim(n, now, watermark),
+        }
+    }
+
+    fn resume(&mut self, now: Time) -> Vec<Action> {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::resume(n, now),
+            EngineInner::Wbcast(n) => AmcastEngine::resume(n, now),
+        }
+    }
+}
+
+/// A concrete either-engine type, so runtimes and services can host an
+/// engine chosen at configuration time without trait objects.
+///
+/// Beyond plain dispatch, the wrapper owns the hot-path throughput
+/// machinery (off unless batching is enabled; see [`BatchConfig`]):
+///
+/// - **Submission-edge batching** — incoming client
+///   [`Message::Request`]s are framed and queued per group set by a
+///   [`Batcher`], then flushed into one
+///   [`AmcastEngine::multicast_batch`] call when a size/byte budget
+///   trips or the `SubmitFlush` window timer fires, so one engine round
+///   carries many values.
+/// - **Outgoing frame coalescing** — [`Message::Engine`] sends to the
+///   same destination produced by one event are merged into a single
+///   [`Message::Batch`] frame (both engines unpack batches natively),
+///   which in particular makes a white-box sequencer's burst of
+///   `Ordered` releases to one subscriber ride one frame.
+///
+/// With batching disabled (the default) every event is forwarded to the
+/// inner engine verbatim and the wrapper is behaviorally invisible.
+#[derive(Debug)]
+pub struct AnyEngine {
+    inner: EngineInner,
+    batcher: Batcher,
+    /// Batch flushes performed (one per γ-queue handed to the engine).
+    batch_flushes: u64,
+    /// Values submitted through batch flushes.
+    batch_submitted: u64,
+    /// Values-per-flush distribution.
+    batch_occupancy: Histogram,
+    /// Frames saved by outgoing coalescing (`n` merged sends count as
+    /// `n - 1` saved frames).
+    frames_coalesced: u64,
+}
+
+impl AnyEngine {
+    fn new(inner: EngineInner) -> Self {
+        Self {
+            inner,
+            batcher: Batcher::default(),
+            batch_flushes: 0,
+            batch_submitted: 0,
+            batch_occupancy: Histogram::new(),
+            frames_coalesced: 0,
+        }
+    }
+
+    /// Wraps `inner` with batching read from the `MRP_BATCH*`
+    /// environment knobs (off when unset).
+    fn with_env_batching(inner: EngineInner) -> Self {
+        let mut engine = Self::new(inner);
+        engine.batcher.set_config(BatchConfig::from_env());
+        engine
+    }
+
+    /// Which kind this engine is.
+    pub fn kind(&self) -> EngineKind {
+        self.inner.kind()
+    }
+
+    /// The inner Multi-Ring Paxos node, if that is the engine.
+    pub fn as_multiring(&self) -> Option<&Node> {
+        match &self.inner {
+            EngineInner::MultiRing(n) => Some(n),
+            EngineInner::Wbcast(_) => None,
+        }
+    }
+
+    /// The inner white-box node, if that is the engine.
+    pub fn as_wbcast(&self) -> Option<&WbcastNode> {
+        match &self.inner {
+            EngineInner::MultiRing(_) => None,
+            EngineInner::Wbcast(n) => Some(n),
+        }
+    }
+
+    /// The active batching configuration (`None` = off).
+    pub fn batching(&self) -> Option<BatchConfig> {
+        self.batcher.config()
+    }
+
+    /// Reconfigures submission batching directly (tests and benches;
+    /// deployments use the `MRP_BATCH*` environment knobs through
+    /// [`EngineKind::build`]). Values queued under the previous
+    /// configuration are flushed immediately; the returned actions must
+    /// be executed like any other engine output.
+    pub fn set_batching(&mut self, now: Time, cfg: Option<BatchConfig>) -> Vec<Action> {
+        let pending = self.batcher.set_config(cfg);
+        let mut out = Vec::new();
+        for (groups, payloads) in pending {
+            self.submit_batch(now, &groups, payloads, &mut out);
+        }
+        self.coalesce_outgoing(&mut out);
+        out
+    }
+
+    /// Submits one flushed batch to the inner engine. Errors mirror the
+    /// unbatched `Request` path: the values are dropped and the clients
+    /// time out and retry against a correct proposer.
+    fn submit_batch(
+        &mut self,
+        now: Time,
+        groups: &[GroupId],
+        payloads: Vec<Bytes>,
+        out: &mut Vec<Action>,
+    ) {
+        self.batch_flushes += 1;
+        self.batch_submitted += payloads.len() as u64;
+        self.batch_occupancy.record(payloads.len() as u64);
+        if let Ok((_, actions)) = self.inner.multicast_batch(now, groups, payloads) {
+            out.extend(actions);
+        }
+    }
+
+    /// Merges same-destination [`Message::Engine`] sends into one
+    /// [`Message::Batch`] frame. Only engine frames are touched (other
+    /// message kinds may be handled outside the engine's own dispatch,
+    /// e.g. by the replica layer), and per-destination send order is
+    /// preserved: the merged frame takes the position of the
+    /// destination's last original send.
+    fn coalesce_outgoing(&mut self, actions: &mut Vec<Action>) {
+        let mut total: BTreeMap<ProcessId, usize> = BTreeMap::new();
+        for a in actions.iter() {
+            if let Action::Send {
+                to,
+                msg: Message::Engine { .. },
+            } = a
+            {
+                *total.entry(*to).or_insert(0) += 1;
+            }
+        }
+        if !total.values().any(|&n| n > 1) {
+            return;
+        }
+        let mut left = total.clone();
+        let mut grouped: BTreeMap<ProcessId, Vec<Message>> = BTreeMap::new();
+        let old = std::mem::take(actions);
+        for a in old {
+            match a {
+                Action::Send {
+                    to,
+                    msg: msg @ Message::Engine { .. },
+                } if total[&to] > 1 => {
+                    let queue = grouped.entry(to).or_default();
+                    queue.push(msg);
+                    let l = left.get_mut(&to).expect("counted above");
+                    *l -= 1;
+                    if *l == 0 {
+                        let msgs = grouped.remove(&to).expect("just pushed");
+                        self.frames_coalesced += msgs.len() as u64 - 1;
+                        actions.push(Action::Send {
+                            to,
+                            msg: Message::Batch(msgs),
+                        });
+                    }
+                }
+                other => actions.push(other),
+            }
+        }
+        // A destination whose counter never reached zero is impossible:
+        // every counted send is consumed in this pass.
+        debug_assert!(grouped.is_empty());
+    }
+}
+
+impl StateMachine for AnyEngine {
+    fn on_event(&mut self, now: Time, event: Event) -> Vec<Action> {
+        if !self.batcher.enabled() {
+            return self.inner.on_event(now, event);
+        }
+        let mut out = Vec::new();
+        match event {
+            // The submission edge: queue instead of submitting, so
+            // same-γ requests arriving close together share a round.
+            Event::Message {
+                msg:
+                    Message::Request {
+                        client,
+                        request,
+                        groups,
+                        payload,
+                    },
+                ..
+            } => {
+                let framed = encode_command(client, request, &payload);
+                match self.batcher.push(&groups, framed) {
+                    PushOutcome::Flush(key, payloads) => {
+                        self.submit_batch(now, &key, payloads, &mut out);
+                    }
+                    PushOutcome::ArmTimer(after_us) => out.push(Action::SetTimer {
+                        after_us,
+                        timer: TimerKind::SubmitFlush,
+                    }),
+                    PushOutcome::Queued => {}
+                }
+            }
+            Event::Timer(TimerKind::SubmitFlush) => {
+                for (groups, payloads) in self.batcher.drain() {
+                    self.submit_batch(now, &groups, payloads, &mut out);
+                }
+            }
+            other => out = self.inner.on_event(now, other),
+        }
+        self.coalesce_outgoing(&mut out);
+        out
+    }
+
+    fn process_id(&self) -> ProcessId {
+        self.inner.process_id()
     }
 }
 
@@ -473,77 +817,83 @@ impl AmcastEngine for AnyEngine {
         groups: &[GroupId],
         payload: Bytes,
     ) -> Result<(ValueId, Vec<Action>), MulticastError> {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::multicast(n, now, groups, payload),
-            AnyEngine::Wbcast(n) => AmcastEngine::multicast(n, now, groups, payload),
+        // Direct submissions need their ValueId synchronously, so they
+        // bypass the queue; outgoing coalescing still applies.
+        let (id, mut actions) = self.inner.multicast(now, groups, payload)?;
+        if self.batcher.enabled() {
+            self.coalesce_outgoing(&mut actions);
         }
+        Ok((id, actions))
+    }
+
+    fn multicast_batch(
+        &mut self,
+        now: Time,
+        groups: &[GroupId],
+        payloads: Vec<Bytes>,
+    ) -> Result<(Vec<ValueId>, Vec<Action>), MulticastError> {
+        let (ids, mut actions) = self.inner.multicast_batch(now, groups, payloads)?;
+        if self.batcher.enabled() {
+            self.coalesce_outgoing(&mut actions);
+        }
+        Ok((ids, actions))
     }
 
     fn engine_name(&self) -> &'static str {
-        self.kind().name()
+        self.inner.engine_name()
     }
 
     fn backlog(&self) -> usize {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::backlog(n),
-            AnyEngine::Wbcast(n) => AmcastEngine::backlog(n),
-        }
+        self.inner.backlog() + self.batcher.pending()
     }
 
+    /// The inner engine's snapshot, plus the wrapper's batching
+    /// telemetry when batching has been active: `batch.flushes` /
+    /// `batch.submitted_values` / `wire.frames_coalesced` counters and
+    /// the `batch.occupancy` histogram (values per flush).
     fn telemetry(&self) -> TelemetrySnapshot {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::telemetry(n),
-            AnyEngine::Wbcast(n) => AmcastEngine::telemetry(n),
+        let mut snap = self.inner.telemetry();
+        if self.batcher.enabled() || self.batch_flushes > 0 || self.frames_coalesced > 0 {
+            snap.counters
+                .insert("batch.flushes".into(), self.batch_flushes);
+            snap.counters
+                .insert("batch.submitted_values".into(), self.batch_submitted);
+            snap.counters
+                .insert("wire.frames_coalesced".into(), self.frames_coalesced);
+            if self.batch_occupancy.count() > 0 {
+                snap.histograms
+                    .insert("batch.occupancy".into(), self.batch_occupancy.clone());
+            }
         }
+        snap
     }
 
     fn health(&self, now: Time) -> HealthReport {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::health(n, now),
-            AnyEngine::Wbcast(n) => AmcastEngine::health(n, now),
-        }
+        self.inner.health(now)
     }
 
     fn recovery_counters(&self) -> RecoveryCounters {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::recovery_counters(n),
-            AnyEngine::Wbcast(n) => AmcastEngine::recovery_counters(n),
-        }
+        self.inner.recovery_counters()
     }
 
     fn watermark(&self) -> Watermark {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::watermark(n),
-            AnyEngine::Wbcast(n) => AmcastEngine::watermark(n),
-        }
+        self.inner.watermark()
     }
 
     fn checkpoint_state(&self) -> Bytes {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::checkpoint_state(n),
-            AnyEngine::Wbcast(n) => AmcastEngine::checkpoint_state(n),
-        }
+        self.inner.checkpoint_state()
     }
 
     fn install_checkpoint(&mut self, watermark: &Watermark, state: &Bytes) {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::install_checkpoint(n, watermark, state),
-            AnyEngine::Wbcast(n) => AmcastEngine::install_checkpoint(n, watermark, state),
-        }
+        self.inner.install_checkpoint(watermark, state);
     }
 
     fn trim(&mut self, now: Time, watermark: &Watermark) -> Vec<Action> {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::trim(n, now, watermark),
-            AnyEngine::Wbcast(n) => AmcastEngine::trim(n, now, watermark),
-        }
+        self.inner.trim(now, watermark)
     }
 
     fn resume(&mut self, now: Time) -> Vec<Action> {
-        match self {
-            AnyEngine::MultiRing(n) => AmcastEngine::resume(n, now),
-            AnyEngine::Wbcast(n) => AmcastEngine::resume(n, now),
-        }
+        self.inner.resume(now)
     }
 }
 
@@ -617,5 +967,64 @@ mod tests {
             assert_eq!(engine.engine_name(), kind.name());
             assert_eq!(engine.process_id(), ProcessId::new(0));
         }
+    }
+
+    /// The frame coalescer: a destination receiving several engine
+    /// frames gets exactly one [`Message::Batch`] at its *last* send
+    /// position; destinations with a single engine frame — and
+    /// non-engine sends — pass through untouched. (Regression: the
+    /// rebuild pass once guarded on the countdown it was decrementing,
+    /// dropping every multi-send destination's last frame.)
+    #[test]
+    fn coalescer_merges_multi_sends_and_keeps_singles_verbatim() {
+        let config = single_ring(3, RingTuning::default());
+        let mut engine = EngineKind::Wbcast.build(ProcessId::new(0), config);
+        let frame = |tag: u8| Message::Engine {
+            engine: 1,
+            payload: Bytes::from(vec![tag]),
+        };
+        let p1 = ProcessId::new(1);
+        let p2 = ProcessId::new(2);
+        let mut actions = vec![
+            Action::Send {
+                to: p1,
+                msg: frame(0),
+            },
+            Action::Send {
+                to: p2,
+                msg: frame(1),
+            },
+            Action::Send {
+                to: p1,
+                msg: frame(2),
+            },
+        ];
+        engine.coalesce_outgoing(&mut actions);
+        assert_eq!(actions.len(), 2);
+        // p2's single frame stays verbatim and keeps its place...
+        assert!(matches!(
+            &actions[0],
+            Action::Send { to, msg: Message::Engine { .. } } if *to == p2
+        ));
+        // ...while p1's two frames ride one Batch at the last position,
+        // in send order.
+        match &actions[1] {
+            Action::Send {
+                to,
+                msg: Message::Batch(msgs),
+            } => {
+                assert_eq!(*to, p1);
+                let tags: Vec<u8> = msgs
+                    .iter()
+                    .map(|m| match m {
+                        Message::Engine { payload, .. } => payload.as_slice()[0],
+                        other => panic!("non-engine frame in batch: {other:?}"),
+                    })
+                    .collect();
+                assert_eq!(tags, vec![0, 2]);
+            }
+            other => panic!("expected a coalesced batch: {other:?}"),
+        }
+        assert_eq!(engine.frames_coalesced, 1);
     }
 }

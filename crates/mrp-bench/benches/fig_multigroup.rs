@@ -15,10 +15,11 @@ fn to_json(rows: &[MultigroupRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"engine\": \"{}\", \"multi_per_mille\": {}, \"crash_ms\": {}, \
-             \"ops_per_sec\": {:.1}, \
+            "  {{\"engine\": \"{}\", \"batch\": \"{}\", \"multi_per_mille\": {}, \
+             \"crash_ms\": {}, \"ops_per_sec\": {:.1}, \
              \"latency_ms\": {:.3}, \"single_ms\": {:.3}, \"multi_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
             r.engine,
+            r.batch,
             r.multi_per_mille,
             r.crash_ms,
             r.ops_per_sec,
@@ -38,10 +39,11 @@ fn main() {
     let rows = figures::fig_multigroup(scale);
     let mut t = Table::new(
         "Multi-group multicast — genuine (wbcast) vs covering group (multiring); \
-         3 groups x 3 processes, 24 sessions, 512 B requests \
-         (MRP_MULTIGROUP_CRASH_MS=<period> adds initiator churn)",
+         3 groups x 3 processes, 24 sessions, 512 B requests, submission batching \
+         off vs on (MRP_MULTIGROUP_CRASH_MS=<period> adds initiator churn)",
         &[
             "engine",
+            "batch",
             "multi_permille",
             "crash_ms",
             "ops_per_sec",
@@ -54,6 +56,7 @@ fn main() {
     for r in &rows {
         t.row(&[
             r.engine.to_string(),
+            r.batch.to_string(),
             r.multi_per_mille.to_string(),
             r.crash_ms.to_string(),
             fmt_f(r.ops_per_sec),

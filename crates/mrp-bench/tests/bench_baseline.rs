@@ -1,17 +1,22 @@
-//! Validates the checked-in benchmark baseline `BENCH_fig9.json`: it
-//! must parse as JSON and carry the documented schema — the client-side
-//! rows plus the `engine_telemetry` section with per-engine counters,
-//! histograms and a health verdict. CI regenerates the file at smoke
-//! scale and re-runs this test, so a writer/schema drift fails loudly
-//! in both places.
+//! Validates the checked-in benchmark baselines `BENCH_fig9.json` and
+//! `BENCH_micro.json`: they must parse as JSON and carry the documented
+//! schema — the client-side rows plus the `engine_telemetry` section
+//! (fig9), and the submission/decode throughput rows with their speedup
+//! summary (micro). CI regenerates both files at smoke scale and
+//! re-runs this test, so a writer/schema drift fails loudly in both
+//! places.
 
 use mrp_bench::json::{self, Value};
 
-fn baseline() -> Value {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_fig9.json");
-    let text = std::fs::read_to_string(path)
+fn load(name: &str) -> Value {
+    let path = format!("{}/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("checked-in baseline {path} must be readable: {e}"));
     json::parse(&text).unwrap_or_else(|e| panic!("{path} must parse as JSON: {e}"))
+}
+
+fn baseline() -> Value {
+    load("BENCH_fig9.json")
 }
 
 #[test]
@@ -109,4 +114,84 @@ fn fig9_baseline_engine_telemetry_matches_schema() {
             );
         }
     }
+}
+
+#[test]
+fn micro_baseline_matches_schema_and_batching_pays() {
+    let doc = load("BENCH_micro.json");
+    let submit = doc
+        .get("submit")
+        .and_then(Value::as_array)
+        .expect("top-level \"submit\" array");
+    let mut seen = std::collections::BTreeSet::new();
+    for row in submit {
+        let engine = row
+            .get("engine")
+            .and_then(Value::as_str)
+            .expect("row.engine");
+        let mode = row.get("mode").and_then(Value::as_str).expect("row.mode");
+        seen.insert(format!("{engine}/{mode}"));
+        assert!(row.get("values").and_then(Value::as_u64).unwrap_or(0) > 0);
+        assert!(row.get("wire_frames").and_then(Value::as_u64).unwrap_or(0) > 0);
+        let vps = row
+            .get("values_per_sec")
+            .and_then(Value::as_f64)
+            .expect("row.values_per_sec");
+        assert!(vps.is_finite() && vps > 0.0, "{engine}/{mode}: vps = {vps}");
+    }
+    assert_eq!(
+        seen.into_iter().collect::<Vec<_>>(),
+        [
+            "multiring/batched",
+            "multiring/unbatched",
+            "wbcast/batched",
+            "wbcast/unbatched"
+        ],
+        "both engines, both submission modes"
+    );
+    let decode = doc
+        .get("decode")
+        .and_then(Value::as_array)
+        .expect("top-level \"decode\" array");
+    assert_eq!(decode.len(), 2, "copying and zero-copy decode rows");
+    for row in decode {
+        assert!(row.get("name").and_then(Value::as_str).is_some());
+        let mbps = row
+            .get("mb_per_sec")
+            .and_then(Value::as_f64)
+            .expect("row.mb_per_sec");
+        assert!(mbps.is_finite() && mbps > 0.0);
+    }
+    let speedup = doc
+        .get("speedup")
+        .and_then(Value::as_object)
+        .expect("top-level \"speedup\" object");
+    let s = |k: &str| {
+        speedup
+            .get(k)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("speedup.{k}"))
+    };
+    // The headline claim: packing submission batches into shared
+    // consensus instances beats one-value-per-instance by a wide
+    // margin. 2.0 is a deliberately loose floor (measured ~4.5x) so
+    // slow CI machines don't flake; a real regression lands far below.
+    assert!(
+        s("submit_multiring") >= 2.0,
+        "batched multiring submission must stay well ahead of unbatched \
+         (measured {:.2}x, floor 2.0x)",
+        s("submit_multiring")
+    );
+    // Frame coalescing alone cannot lose throughput; the virtual pump
+    // does not price syscalls, so parity is the honest expectation.
+    assert!(
+        s("submit_wbcast") >= 0.8,
+        "batched wbcast submission fell behind unbatched: {:.2}x",
+        s("submit_wbcast")
+    );
+    assert!(
+        s("decode_32k") >= 1.0,
+        "zero-copy burst decode fell behind the copying path: {:.2}x",
+        s("decode_32k")
+    );
 }

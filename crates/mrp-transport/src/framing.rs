@@ -20,12 +20,33 @@ pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_frame(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
-    let mut body = BytesMut::with_capacity(codec::encoded_len(msg) + 4);
-    body.put_u32_le(0); // placeholder
-    codec::encode(msg, &mut body);
-    let len = (body.len() - 4) as u32;
-    body[..4].copy_from_slice(&len.to_le_bytes());
-    w.write_all(&body)
+    let mut scratch = BytesMut::with_capacity(codec::encoded_len(msg) + 4);
+    write_frame_into(w, msg, &mut scratch)
+}
+
+/// Writes one framed message to `w`, encoding through a caller-owned
+/// scratch buffer.
+///
+/// The buffer is cleared (capacity retained) and sized up front via
+/// [`codec::encoded_len`], so a long-lived connection that passes the
+/// same `scratch` for every frame stops allocating once the buffer has
+/// grown to its steady-state frame size.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame_into(
+    w: &mut impl Write,
+    msg: &Message,
+    scratch: &mut BytesMut,
+) -> std::io::Result<()> {
+    scratch.clear();
+    scratch.reserve(codec::encoded_len(msg) + 4);
+    scratch.put_u32_le(0); // placeholder
+    codec::encode(msg, scratch);
+    let len = (scratch.len() - 4) as u32;
+    scratch[..4].copy_from_slice(&len.to_le_bytes());
+    w.write_all(scratch)
 }
 
 /// Reads one framed message from `r` (blocking).
@@ -71,9 +92,20 @@ pub fn read_hello(r: &mut impl Read) -> std::io::Result<ProcessId> {
 
 /// Incremental decoder for non-blocking byte accumulation (used by
 /// tests; the threaded runtime reads blocking frames directly).
+///
+/// The buffered region is frozen into a shared [`Bytes`] once per
+/// accumulation burst and complete frames are then served as zero-copy
+/// sub-views ([`Bytes::split_to`]), so decoded payloads alias the
+/// accumulator's storage instead of being copied out frame by frame.
+/// At most one of the two internal buffers is non-empty at a time; a
+/// partial trailing frame is folded back into the mutable side only
+/// when more bytes arrive.
 #[derive(Default, Debug)]
 pub struct FrameAccumulator {
+    /// Mutable accumulation buffer (bytes not yet frozen).
     buf: BytesMut,
+    /// Frozen region complete frames are split from without copying.
+    frozen: Bytes,
 }
 
 impl FrameAccumulator {
@@ -84,6 +116,13 @@ impl FrameAccumulator {
 
     /// Feeds raw bytes.
     pub fn extend(&mut self, bytes: &[u8]) {
+        if !self.frozen.is_empty() {
+            // A partial frame is stranded in the frozen region; fold it
+            // back so the new bytes extend it contiguously. This copies
+            // at most one partial frame, not the whole history.
+            self.buf.extend_from_slice(&self.frozen);
+            self.frozen = Bytes::new();
+        }
         self.buf.extend_from_slice(bytes);
     }
 
@@ -95,15 +134,23 @@ impl FrameAccumulator {
     // Fallible and non-iterating, so deliberately not `Iterator::next`.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Message>, CodecError> {
-        if self.buf.len() < 4 {
+        if self.frozen.is_empty() && !self.buf.is_empty() {
+            self.frozen = std::mem::take(&mut self.buf).freeze();
+        }
+        if self.frozen.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if self.buf.len() < 4 + len {
+        let len = u32::from_le_bytes([
+            self.frozen[0],
+            self.frozen[1],
+            self.frozen[2],
+            self.frozen[3],
+        ]) as usize;
+        if self.frozen.len() < 4 + len {
             return Ok(None);
         }
-        self.buf.advance(4);
-        let mut frame = self.buf.split_to(len).freeze();
+        self.frozen.advance(4);
+        let mut frame = self.frozen.split_to(len);
         codec::decode(&mut frame).map(Some)
     }
 }
@@ -143,6 +190,57 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
         let mut cursor = std::io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn write_frame_into_reuses_scratch_across_frames() {
+        let other = Message::TrimQuery {
+            group: GroupId::new(1),
+            seq: 4,
+        };
+        let mut expected = Vec::new();
+        write_frame(&mut expected, &sample()).unwrap();
+        write_frame(&mut expected, &other).unwrap();
+
+        let mut actual = Vec::new();
+        let mut scratch = BytesMut::new();
+        write_frame_into(&mut actual, &sample(), &mut scratch).unwrap();
+        write_frame_into(&mut actual, &other, &mut scratch).unwrap();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn accumulator_folds_partial_tail_across_bursts() {
+        // A complete frame plus a torn prefix of the next one arrive in
+        // one burst; the remainder lands later. Both frames must decode.
+        let mut a = Vec::new();
+        write_frame(&mut a, &sample()).unwrap();
+        let mut b = Vec::new();
+        write_frame(
+            &mut b,
+            &Message::TrimQuery {
+                group: GroupId::new(2),
+                seq: 9,
+            },
+        )
+        .unwrap();
+
+        let mut acc = FrameAccumulator::new();
+        let split = b.len() / 2;
+        let mut first = a.clone();
+        first.extend_from_slice(&b[..split]);
+        acc.extend(&first);
+        assert_eq!(acc.next().unwrap(), Some(sample()));
+        assert_eq!(acc.next().unwrap(), None);
+        acc.extend(&b[split..]);
+        assert_eq!(
+            acc.next().unwrap(),
+            Some(Message::TrimQuery {
+                group: GroupId::new(2),
+                seq: 9,
+            })
+        );
+        assert_eq!(acc.next().unwrap(), None);
     }
 
     #[test]

@@ -483,6 +483,9 @@ impl TcpRuntime {
     ) {
         let mut conn: Option<TcpStream> = None;
         let mut carry: Option<Message> = None;
+        // One encode buffer per connection: frames reuse its capacity
+        // instead of allocating per message.
+        let mut scratch = bytes::BytesMut::new();
         while !shutdown.load(Ordering::SeqCst) {
             let msg = match carry.take() {
                 Some(m) => m,
@@ -511,7 +514,7 @@ impl TcpRuntime {
                     }
                 }
                 if let Some(s) = conn.as_mut() {
-                    match framing::write_frame(s, &msg) {
+                    match framing::write_frame_into(s, &msg, &mut scratch) {
                         Ok(()) => break,
                         Err(_) => {
                             conn = None; // reconnect and retry this frame

@@ -948,5 +948,38 @@ mod tests {
             let mut buf = Bytes::from(data);
             let _ = decode(&mut buf);
         }
+
+        /// The zero-copy wire path: decoding from a frozen buffer must
+        /// not copy payload bytes — the decoded payload is a slice of
+        /// the input allocation (`copy_to_bytes` on `Bytes` shares the
+        /// backing storage instead of allocating).
+        #[test]
+        fn prop_decoded_payload_aliases_the_input_buffer(
+            client in any::<u64>(), request in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 1..512),
+        ) {
+            let msg = Message::Request {
+                client: ClientId::new(client),
+                request,
+                groups: vec![GroupId::new(1), GroupId::new(2)],
+                payload: Bytes::from(payload),
+            };
+            let mut buf = BytesMut::new();
+            encode(&msg, &mut buf);
+            let input = buf.freeze();
+            let base = input.as_slice().as_ptr() as usize;
+            let len = input.len();
+            let back = decode(&mut input.clone()).unwrap();
+            let Message::Request { payload: decoded, .. } = back else {
+                panic!("request decodes as request");
+            };
+            let p = decoded.as_slice().as_ptr() as usize;
+            prop_assert!(
+                p >= base && p + decoded.len() <= base + len,
+                "decoded payload must alias the input allocation \
+                 (payload {:#x}+{} outside input {:#x}+{})",
+                p, decoded.len(), base, len
+            );
+        }
     }
 }

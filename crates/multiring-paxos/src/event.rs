@@ -253,6 +253,9 @@ pub enum TimerKind {
     CheckpointTick,
     /// Retry a stalled recovery step (replica only).
     RecoveryRetry,
+    /// Flush the submission-edge batcher's pending queues (engine
+    /// wrapper only; see `mrp-amcast`'s batching layer).
+    SubmitFlush,
 }
 
 /// Token correlating a [`Action::Persist`] request with its

@@ -311,6 +311,76 @@ impl Node {
         groups: &[GroupId],
         payload: Bytes,
     ) -> Result<(ValueId, Vec<Action>), MulticastError> {
+        let (group, ring_id) = self.resolve_serving_ring(groups)?;
+        let Some(ring) = self.rings.get_mut(&ring_id) else {
+            return Err(MulticastError::NotAProposer(group));
+        };
+        let mut fx = Effects::new(self.token_seed);
+        let id = ring
+            .multicast(now, payload, &mut fx)
+            .ok_or(MulticastError::NotAProposer(group))?;
+        self.stats.proposed += 1;
+        // Only timed when this node also subscribes to the serving
+        // group: otherwise the merge never delivers the value here and
+        // the entry would never resolve (poisoning the stall probe).
+        if self.pending_at.len() < PENDING_TIMING_CAP && self.merger.groups().contains(&group) {
+            self.pending_at.insert(id, now);
+        }
+        self.token_seed = fx.token_seed();
+        let mut out = Vec::new();
+        self.finish(now, fx, &mut out);
+        Ok((id, out))
+    }
+
+    /// Batched form of [`Node::multicast`]: all payloads target the
+    /// same group set and are handed to the serving ring in one
+    /// submission, so the coordinator can pack them into as few
+    /// consensus instances as its tuning allows
+    /// (`values_per_instance` / `bytes_per_instance`). Delivery is
+    /// unchanged — each value is still delivered individually, in
+    /// submission order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Node::multicast`]; on error no value from
+    /// the batch is submitted.
+    pub fn multicast_many(
+        &mut self,
+        now: Time,
+        groups: &[GroupId],
+        payloads: Vec<Bytes>,
+    ) -> Result<(Vec<ValueId>, Vec<Action>), MulticastError> {
+        let (group, ring_id) = self.resolve_serving_ring(groups)?;
+        let Some(ring) = self.rings.get_mut(&ring_id) else {
+            return Err(MulticastError::NotAProposer(group));
+        };
+        let n = payloads.len();
+        let mut fx = Effects::new(self.token_seed);
+        let ids = ring
+            .multicast_many(now, payloads, &mut fx)
+            .ok_or(MulticastError::NotAProposer(group))?;
+        self.stats.proposed += n as u64;
+        if self.merger.groups().contains(&group) {
+            for &id in &ids {
+                if self.pending_at.len() >= PENDING_TIMING_CAP {
+                    break;
+                }
+                self.pending_at.insert(id, now);
+            }
+        }
+        self.token_seed = fx.token_seed();
+        let mut out = Vec::new();
+        self.finish(now, fx, &mut out);
+        Ok((ids, out))
+    }
+
+    /// Resolves the group a multicast to `groups` is ordered through
+    /// (the single group, or the covering group for a multi-group set)
+    /// and the ring serving it.
+    fn resolve_serving_ring(
+        &mut self,
+        groups: &[GroupId],
+    ) -> Result<(GroupId, RingId), MulticastError> {
         let group = match groups {
             [] => return Err(MulticastError::NoDestination),
             [one] => *one,
@@ -336,24 +406,7 @@ impl Node {
             .config
             .ring_of_group(group)
             .ok_or(MulticastError::UnknownGroup(group))?;
-        let Some(ring) = self.rings.get_mut(&ring_id) else {
-            return Err(MulticastError::NotAProposer(group));
-        };
-        let mut fx = Effects::new(self.token_seed);
-        let id = ring
-            .multicast(now, payload, &mut fx)
-            .ok_or(MulticastError::NotAProposer(group))?;
-        self.stats.proposed += 1;
-        // Only timed when this node also subscribes to the serving
-        // group: otherwise the merge never delivers the value here and
-        // the entry would never resolve (poisoning the stall probe).
-        if self.pending_at.len() < PENDING_TIMING_CAP && self.merger.groups().contains(&group) {
-            self.pending_at.insert(id, now);
-        }
-        self.token_seed = fx.token_seed();
-        let mut out = Vec::new();
-        self.finish(now, fx, &mut out);
-        Ok((id, out))
+        Ok((group, ring_id))
     }
 
     /// Resolves the group whose ring orders a multi-group message: the
@@ -607,8 +660,9 @@ impl Node {
                     }
                 }
             }
-            TimerKind::CheckpointTick | TimerKind::RecoveryRetry => {
-                // Replica-layer timers; a bare node ignores them.
+            TimerKind::CheckpointTick | TimerKind::RecoveryRetry | TimerKind::SubmitFlush => {
+                // Replica- and batcher-layer timers; a bare node
+                // ignores them.
             }
         }
     }

@@ -377,6 +377,42 @@ impl RingState {
         Some(id)
     }
 
+    /// Multicasts a batch of payloads to the ring's group in one
+    /// submission: all values are minted and handed to the coordinator
+    /// (or forwarded) together, so instance packing can amortize the
+    /// consensus round across the whole batch. Returns the assigned
+    /// value ids in payload order, or `None` if this process has no
+    /// proposer role here.
+    pub fn multicast_many(
+        &mut self,
+        now: Time,
+        payloads: Vec<bytes::Bytes>,
+        fx: &mut Effects,
+    ) -> Option<Vec<ValueId>> {
+        let group = self.group;
+        let resend_us = self.cfg.tuning().proposal_resend_us;
+        let ring_id = self.cfg.id();
+        let proposer = self.proposer.as_mut()?;
+        let mut ids = Vec::with_capacity(payloads.len());
+        let mut values = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            proposer.next_seq += 1;
+            let id = ValueId::new(self.me, proposer.next_seq);
+            let value = Value::new(id, group, payload);
+            proposer.pending.insert(id.seq, value.clone());
+            ids.push(id);
+            values.push(value);
+        }
+        if !values.is_empty() {
+            if !proposer.resend_armed {
+                proposer.resend_armed = true;
+                fx.timer(resend_us, TimerKind::ProposalResend(ring_id));
+            }
+            self.submit_or_forward(now, values, 0, fx);
+        }
+        Some(ids)
+    }
+
     fn submit_or_forward(&mut self, now: Time, values: Vec<Value>, hops: u32, fx: &mut Effects) {
         if self.me == self.coordinator_proc {
             if let Some(c) = self.coordinator.as_mut() {

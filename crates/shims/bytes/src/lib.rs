@@ -4,8 +4,9 @@
 //! cheaply-cloneable immutable byte buffer ([`Bytes`]), a growable
 //! builder ([`BytesMut`]) and the [`Buf`]/[`BufMut`] cursor traits —
 //! so the workspace builds without network access. `Bytes` is an
-//! `Arc<[u8]>` plus a sub-range, so `clone` and `slice` are O(1) and
-//! never copy payload data.
+//! `Arc<Vec<u8>>` plus a sub-range, so `clone`, `slice`, `split_to` —
+//! and freezing a [`BytesMut`], which moves its backing `Vec` behind
+//! the `Arc` — are O(1) and never copy payload data.
 
 #![forbid(unsafe_code)]
 
@@ -18,7 +19,7 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -75,6 +76,41 @@ impl Bytes {
         }
     }
 
+    /// Splits the buffer into two at `at`: returns `[0, at)` and
+    /// leaves `[at, len)` in `self`. Both halves share the same
+    /// allocation — no bytes are copied (matches the real crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Self {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Splits the buffer into two at `at`: returns `[at, len)` and
+    /// leaves `[0, at)` in `self`. Zero-copy, like [`Bytes::split_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Self {
+            data: Arc::clone(&self.data),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+
     /// The buffer contents as a plain slice.
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
@@ -107,10 +143,9 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Self {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -261,12 +296,15 @@ impl BytesMut {
     }
 
     /// Freezes into an immutable [`Bytes`].
+    ///
+    /// O(1): the backing `Vec` moves behind the shared `Arc` untouched
+    /// — no bytes are copied — and a non-zero read cursor becomes the
+    /// view's start offset.
     pub fn freeze(self) -> Bytes {
-        if self.read == 0 {
-            Bytes::from(self.inner)
-        } else {
-            Bytes::from(self.inner[self.read..].to_vec())
-        }
+        let read = self.read;
+        let mut out = Bytes::from(self.inner);
+        out.start = read;
+        out
     }
 
     /// The unconsumed contents as a plain slice.
@@ -497,6 +535,76 @@ mod tests {
         let head = m.split_to(2);
         assert_eq!(&head[..], b"ad");
         assert_eq!(&m[..], b"tail");
+    }
+
+    #[test]
+    fn bytes_split_to_matches_real_crate_semantics() {
+        // Mirrors the real crate's doc example: `a.split_to(5)` leaves
+        // the tail in place and returns the head, both aliasing the
+        // original allocation.
+        let mut a = Bytes::from(&b"hello world"[..]);
+        let base = a.as_slice().as_ptr();
+        let b = a.split_to(5);
+        assert_eq!(&a[..], b" world");
+        assert_eq!(&b[..], b"hello");
+        // Zero-copy: both halves point into the original storage.
+        assert_eq!(b.as_slice().as_ptr(), base);
+        assert_eq!(a.as_slice().as_ptr(), unsafe_free_ptr_add(base, 5));
+        // Boundary cases.
+        let empty = a.split_to(0);
+        assert!(empty.is_empty());
+        let rest = a.split_to(a.len());
+        assert_eq!(&rest[..], b" world");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn bytes_split_off_matches_real_crate_semantics() {
+        let mut a = Bytes::from(&b"hello world"[..]);
+        let base = a.as_slice().as_ptr();
+        let b = a.split_off(5);
+        assert_eq!(&a[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        assert_eq!(a.as_slice().as_ptr(), base);
+        assert_eq!(b.as_slice().as_ptr(), unsafe_free_ptr_add(base, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn bytes_split_to_panics_past_end() {
+        let mut a = Bytes::from(vec![1u8, 2, 3]);
+        let _ = a.split_to(4);
+    }
+
+    #[test]
+    fn freeze_with_read_cursor_keeps_single_allocation() {
+        let mut m = BytesMut::new();
+        m.put_slice(b"prefix-payload");
+        m.advance(7);
+        let frozen = m.freeze();
+        assert_eq!(&frozen[..], b"payload");
+        // A slice of the frozen view still aliases the same storage.
+        let view = frozen.slice(..3);
+        assert_eq!(view.as_slice().as_ptr(), frozen.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn freeze_moves_the_backing_vec_without_copying() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_slice(b"zero-copy freeze");
+        let heap = m.inner.as_ptr();
+        let frozen = m.freeze();
+        assert_eq!(
+            frozen.as_slice().as_ptr(),
+            heap,
+            "freeze must reuse the builder's heap buffer"
+        );
+    }
+
+    /// Pointer offset helper for the aliasing assertions (no unsafe:
+    /// computed via `wrapping_add`, only ever compared for equality).
+    fn unsafe_free_ptr_add(p: *const u8, n: usize) -> *const u8 {
+        p.wrapping_add(n)
     }
 
     #[test]

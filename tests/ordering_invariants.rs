@@ -6,10 +6,15 @@
 //! Every test is parameterized over [`EngineKind::ALL`] through the
 //! [`AmcastEngine`] abstraction: the same invariants must hold for the
 //! Multi-Ring Paxos engine and for the timestamp-based white-box
-//! engine, on the identical workload and simulated network.
+//! engine, on the identical workload and simulated network. The
+//! total-order and exactly-once tests are additionally parameterized
+//! over submission batching ([`BatchMode`]): off (today's default),
+//! size-bound and window-bound — the ordering invariants must be
+//! insensitive to how submissions are packed into engine rounds.
 
 use atomic_multicast::amcast::{
-    AmcastEngine, AnyEngine, EngineKind, HealthReport, RecoveryCounters, TelemetrySnapshot,
+    AmcastEngine, AnyEngine, BatchConfig, EngineKind, HealthReport, RecoveryCounters,
+    TelemetrySnapshot,
 };
 use atomic_multicast::core::config::{ClusterConfig, RingSpec, RingTuning, Roles};
 use atomic_multicast::core::types::{ClientId, GroupId, ProcessId, RingId, Time, ValueId};
@@ -74,16 +79,29 @@ impl Recorder {
     }
 }
 
+/// Counts value-bearing engine frames, descending into link-level
+/// [`Message::Batch`] packs (the wrapper's frame coalescing must not
+/// hide value traffic from the genuineness assertions).
+fn count_value_frames(msg: &Message, count: &mut u64) {
+    match msg {
+        Message::Engine { payload, .. }
+            if atomic_multicast::amcast::wbcast::frame_references_value(payload.clone()) =>
+        {
+            *count += 1;
+        }
+        Message::Batch(inner) => {
+            for m in inner {
+                count_value_frames(m, count);
+            }
+        }
+        _ => {}
+    }
+}
+
 impl Actor for Recorder {
     fn on_event(&mut self, now: Time, ev: ActorEvent, out: &mut Outbox, ctx: &mut ActorCtx<'_>) {
-        if let ActorEvent::Message {
-            msg: Message::Engine { payload, .. },
-            ..
-        } = &ev
-        {
-            if atomic_multicast::amcast::wbcast::frame_references_value(payload.clone()) {
-                self.value_frames += 1;
-            }
+        if let ActorEvent::Message { msg, .. } = &ev {
+            count_value_frames(msg, &mut self.value_frames);
         }
         let mut inner_out = Outbox::new();
         self.node.on_event(now, ev, &mut inner_out, ctx);
@@ -97,6 +115,59 @@ impl Actor for Recorder {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+}
+
+/// The submission-batching modes the ordering tests run under. Off is
+/// today's default (one engine round per value); the other two enable
+/// the wrapper's [`Batcher`](atomic_multicast::amcast::batcher::Batcher)
+/// with the flush trigger skewed toward the size budget or the window
+/// timer respectively. The ordering/exactly-once invariants must hold
+/// identically under all three.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum BatchMode {
+    /// Batching disabled — must reproduce the unbatched engine exactly.
+    Off,
+    /// Small value budget, so bursts flush by size; the window only
+    /// sweeps the final partial batch (a size-only config would strand
+    /// a tail smaller than `max_values` forever).
+    SizeBound,
+    /// Budgets too large to trip — every flush comes from the window
+    /// timer.
+    WindowBound,
+}
+
+const BATCH_MODES: [BatchMode; 3] = [BatchMode::Off, BatchMode::SizeBound, BatchMode::WindowBound];
+
+impl BatchMode {
+    fn config(self) -> Option<BatchConfig> {
+        match self {
+            BatchMode::Off => None,
+            BatchMode::SizeBound => Some(BatchConfig {
+                max_values: 4,
+                max_bytes: 64 * 1024,
+                window_us: 500,
+            }),
+            BatchMode::WindowBound => Some(BatchConfig {
+                max_values: 1 << 20,
+                max_bytes: 1 << 30,
+                window_us: 300,
+            }),
+        }
+    }
+}
+
+/// Builds an engine for `pid` and applies the batch mode. At build time
+/// nothing is queued, so reconfiguring flushes nothing.
+fn build_engine(
+    kind: EngineKind,
+    mode: BatchMode,
+    pid: ProcessId,
+    config: &ClusterConfig,
+) -> AnyEngine {
+    let mut engine = kind.build(pid, config.clone());
+    let flushed = engine.set_batching(Time::ZERO, mode.config());
+    assert!(flushed.is_empty(), "no submissions pending at build time");
+    engine
 }
 
 /// The Figure 2(c) deployment: two rings; learners L1, L2 subscribe to
@@ -124,7 +195,11 @@ fn fig2c_config() -> ClusterConfig {
     b.build().expect("fig2c config")
 }
 
-fn run_fig2c(seed: u64, kind: EngineKind) -> BTreeMap<ProcessId, Vec<(GroupId, ValueId)>> {
+fn run_fig2c(
+    seed: u64,
+    kind: EngineKind,
+    mode: BatchMode,
+) -> BTreeMap<ProcessId, Vec<(GroupId, ValueId)>> {
     let config = fig2c_config();
     let mut cluster = Cluster::new(
         SimConfig {
@@ -138,7 +213,7 @@ fn run_fig2c(seed: u64, kind: EngineKind) -> BTreeMap<ProcessId, Vec<(GroupId, V
         let pid = ProcessId::new(p);
         cluster.add_actor(
             pid,
-            Box::new(Recorder::new(kind.build(pid, config.clone()))),
+            Box::new(Recorder::new(build_engine(kind, mode, pid, &config))),
         );
     }
     for (i, group) in [(0u32, 0u16), (1, 1)] {
@@ -169,79 +244,86 @@ fn run_fig2c(seed: u64, kind: EngineKind) -> BTreeMap<ProcessId, Vec<(GroupId, V
 #[test]
 fn agreement_and_validity_per_group() {
     for kind in EngineKind::ALL {
-        let delivered = run_fig2c(17, kind);
-        // Validity: all 25 multicasts to each group delivered at its
-        // subscribers.
-        for (p, seq) in &delivered {
-            let g0 = seq.iter().filter(|(g, _)| *g == GroupId::new(0)).count();
-            let g1 = seq.iter().filter(|(g, _)| *g == GroupId::new(1)).count();
-            if *p == ProcessId::new(2) {
-                assert_eq!(g0, 0, "{kind}: L3 does not subscribe to group 0");
-            } else {
-                assert_eq!(g0, 25, "{kind}: {p} must deliver all of group 0");
+        for mode in BATCH_MODES {
+            let delivered = run_fig2c(17, kind, mode);
+            // Validity: all 25 multicasts to each group delivered at its
+            // subscribers.
+            for (p, seq) in &delivered {
+                let g0 = seq.iter().filter(|(g, _)| *g == GroupId::new(0)).count();
+                let g1 = seq.iter().filter(|(g, _)| *g == GroupId::new(1)).count();
+                if *p == ProcessId::new(2) {
+                    assert_eq!(g0, 0, "{kind}/{mode:?}: L3 does not subscribe to group 0");
+                } else {
+                    assert_eq!(g0, 25, "{kind}/{mode:?}: {p} must deliver all of group 0");
+                }
+                assert_eq!(g1, 25, "{kind}/{mode:?}: {p} must deliver all of group 1");
             }
-            assert_eq!(g1, 25, "{kind}: {p} must deliver all of group 1");
+            // Agreement + same relative order per group at all
+            // subscribers.
+            let filt = |p: u32, g: u16| -> Vec<ValueId> {
+                delivered[&ProcessId::new(p)]
+                    .iter()
+                    .filter(|(gr, _)| *gr == GroupId::new(g))
+                    .map(|(_, id)| *id)
+                    .collect()
+            };
+            assert_eq!(filt(0, 0), filt(1, 0), "{kind}/{mode:?}");
+            assert_eq!(filt(0, 1), filt(1, 1), "{kind}/{mode:?}");
+            assert_eq!(filt(0, 1), filt(2, 1), "{kind}/{mode:?}");
         }
-        // Agreement + same relative order per group at all subscribers.
-        let filt = |p: u32, g: u16| -> Vec<ValueId> {
-            delivered[&ProcessId::new(p)]
-                .iter()
-                .filter(|(gr, _)| *gr == GroupId::new(g))
-                .map(|(_, id)| *id)
-                .collect()
-        };
-        assert_eq!(filt(0, 0), filt(1, 0), "{kind}");
-        assert_eq!(filt(0, 1), filt(1, 1), "{kind}");
-        assert_eq!(filt(0, 1), filt(2, 1), "{kind}");
     }
 }
 
 #[test]
 fn multigroup_delivery_order_is_acyclic() {
     for kind in EngineKind::ALL {
-        let delivered = run_fig2c(23, kind);
-        // Build the global precedence graph: m -> m' if some process
-        // delivers m before m'. Atomic multicast requires it acyclic.
-        let mut edges: BTreeMap<(GroupId, ValueId), BTreeSet<(GroupId, ValueId)>> = BTreeMap::new();
-        let mut nodes: BTreeSet<(GroupId, ValueId)> = BTreeSet::new();
-        for seq in delivered.values() {
-            for w in seq.windows(2) {
-                edges.entry(w[0]).or_default().insert(w[1]);
-                nodes.insert(w[0]);
-                nodes.insert(w[1]);
+        for mode in BATCH_MODES {
+            let delivered = run_fig2c(23, kind, mode);
+            // Build the global precedence graph: m -> m' if some process
+            // delivers m before m'. Atomic multicast requires it acyclic.
+            let mut edges: BTreeMap<(GroupId, ValueId), BTreeSet<(GroupId, ValueId)>> =
+                BTreeMap::new();
+            let mut nodes: BTreeSet<(GroupId, ValueId)> = BTreeSet::new();
+            for seq in delivered.values() {
+                for w in seq.windows(2) {
+                    edges.entry(w[0]).or_default().insert(w[1]);
+                    nodes.insert(w[0]);
+                    nodes.insert(w[1]);
+                }
             }
-        }
-        // Kahn's algorithm: a topological order must consume every node.
-        let mut indegree: BTreeMap<(GroupId, ValueId), usize> =
-            nodes.iter().map(|&n| (n, 0)).collect();
-        for succs in edges.values() {
-            for s in succs {
-                *indegree.get_mut(s).expect("known node") += 1;
+            // Kahn's algorithm: a topological order must consume every node.
+            let mut indegree: BTreeMap<(GroupId, ValueId), usize> =
+                nodes.iter().map(|&n| (n, 0)).collect();
+            for succs in edges.values() {
+                for s in succs {
+                    *indegree.get_mut(s).expect("known node") += 1;
+                }
             }
-        }
-        let mut queue: VecDeque<(GroupId, ValueId)> = indegree
-            .iter()
-            .filter(|&(_, &d)| d == 0)
-            .map(|(&n, _)| n)
-            .collect();
-        let mut visited = 0;
-        while let Some(n) = queue.pop_front() {
-            visited += 1;
-            if let Some(succs) = edges.get(&n) {
-                for &s in succs {
-                    let d = indegree.get_mut(&s).expect("known node");
-                    *d -= 1;
-                    if *d == 0 {
-                        queue.push_back(s);
+            let mut queue: VecDeque<(GroupId, ValueId)> = indegree
+                .iter()
+                .filter(|&(_, &d)| d == 0)
+                .map(|(&n, _)| n)
+                .collect();
+            let mut visited = 0;
+            while let Some(n) = queue.pop_front() {
+                visited += 1;
+                if let Some(succs) = edges.get(&n) {
+                    for &s in succs {
+                        let d = indegree.get_mut(&s).expect("known node");
+                        *d -= 1;
+                        if *d == 0 {
+                            queue.push_back(s);
+                        }
                     }
                 }
             }
+            assert_eq!(
+                visited,
+                nodes.len(),
+                "{kind}/{mode:?}: delivery precedence graph has a cycle: atomic multicast order \
+             violated"
+            );
         }
-        assert_eq!(
-            visited,
-            nodes.len(),
-            "{kind}: delivery precedence graph has a cycle: atomic multicast order violated"
-        );
     }
 }
 
@@ -252,12 +334,15 @@ fn deterministic_merge_interleaving_matches_across_learners() {
     // for the ring engine via the deterministic merge, for the
     // white-box engine via the global (timestamp, group) order.
     for kind in EngineKind::ALL {
-        let delivered = run_fig2c(31, kind);
-        assert_eq!(
-            delivered[&ProcessId::new(0)],
-            delivered[&ProcessId::new(1)],
-            "{kind}: learners with identical subscriptions must deliver identical sequences"
-        );
+        for mode in BATCH_MODES {
+            let delivered = run_fig2c(31, kind, mode);
+            assert_eq!(
+                delivered[&ProcessId::new(0)],
+                delivered[&ProcessId::new(1)],
+                "{kind}/{mode:?}: learners with identical subscriptions must deliver identical \
+                 sequences"
+            );
+        }
     }
 }
 
@@ -288,16 +373,18 @@ fn shared_two_group_config() -> ClusterConfig {
     b.build().expect("shared two-group config")
 }
 
-/// Runs a two-group, three-process cluster under `kind`: `bursts[i]`
-/// single-group requests fired at proposer `i` for group `i % 2`, plus
-/// `multi` requests addressed to *both* groups. Returns each process's
-/// delivery sequence.
+/// Runs a two-group, three-process cluster under `kind` and `mode`:
+/// `bursts[i]` single-group requests fired at proposer `i` for group
+/// `i % 2`, plus `multi` requests addressed to *both* groups. Returns
+/// each process's delivery sequence and each process's end-of-run
+/// engine telemetry snapshot.
 fn run_mixed(
     seed: u64,
     kind: EngineKind,
+    mode: BatchMode,
     bursts: &[u8],
     multi: u8,
-) -> BTreeMap<ProcessId, Vec<ValueId>> {
+) -> (BTreeMap<ProcessId, Vec<ValueId>>, Vec<TelemetrySnapshot>) {
     let config = shared_two_group_config();
     let mut cluster = Cluster::new(
         SimConfig {
@@ -311,7 +398,7 @@ fn run_mixed(
         let pid = ProcessId::new(p);
         cluster.add_actor(
             pid,
-            Box::new(Recorder::new(kind.build(pid, config.clone()))),
+            Box::new(Recorder::new(build_engine(kind, mode, pid, &config))),
         );
     }
     for (i, &n) in bursts.iter().enumerate() {
@@ -344,13 +431,15 @@ fn run_mixed(
     }
     cluster.start();
     cluster.run_until(Time::from_secs(2));
-    (0..3u32)
-        .map(|p| {
-            let pid = ProcessId::new(p);
-            let r = cluster.actor_as::<Recorder>(pid).expect("recorder");
-            (pid, r.delivered.iter().map(|(_, id)| *id).collect())
-        })
-        .collect()
+    let mut delivered = BTreeMap::new();
+    let mut telemetry = Vec::new();
+    for p in 0..3u32 {
+        let pid = ProcessId::new(p);
+        let r = cluster.actor_as::<Recorder>(pid).expect("recorder");
+        delivered.insert(pid, r.delivered.iter().map(|(_, id)| *id).collect());
+        telemetry.push(r.node.inner().telemetry());
+    }
+    (delivered, telemetry)
 }
 
 /// A multi-group message addressed to both groups interleaves with
@@ -360,17 +449,102 @@ fn run_mixed(
 #[test]
 fn multigroup_and_single_group_share_one_total_order() {
     for kind in EngineKind::ALL {
-        let delivered = run_mixed(41, kind, &[10, 10], 5);
-        let reference = &delivered[&ProcessId::new(0)];
-        assert_eq!(reference.len(), 25, "{kind}: all messages delivered");
-        let unique: BTreeSet<&ValueId> = reference.iter().collect();
-        assert_eq!(
-            unique.len(),
-            reference.len(),
-            "{kind}: multi-group message delivered twice at one process"
-        );
-        for (p, seq) in &delivered {
-            assert_eq!(seq, reference, "{kind}: {p} diverges");
+        for mode in BATCH_MODES {
+            let (delivered, _) = run_mixed(41, kind, mode, &[10, 10], 5);
+            let reference = &delivered[&ProcessId::new(0)];
+            assert_eq!(
+                reference.len(),
+                25,
+                "{kind}/{mode:?}: all messages delivered"
+            );
+            let unique: BTreeSet<&ValueId> = reference.iter().collect();
+            assert_eq!(
+                unique.len(),
+                reference.len(),
+                "{kind}/{mode:?}: multi-group message delivered twice at one process"
+            );
+            for (p, seq) in &delivered {
+                assert_eq!(seq, reference, "{kind}/{mode:?}: {p} diverges");
+            }
+        }
+    }
+}
+
+/// The batching telemetry surface: under either batched mode every
+/// submission flows through the batcher (`batch.submitted_values`
+/// accounts for the whole workload), flushes are recorded with their
+/// occupancy distribution, and — for the white-box engine, whose
+/// protocol frames ride `Message::Engine` — the wrapper coalesces
+/// same-destination frame fan-outs (`wire.frames_coalesced`). With
+/// batching off, none of the batch metrics exist: the wrapper is
+/// telemetry-invisible.
+#[test]
+fn batched_submission_records_batch_telemetry() {
+    for kind in EngineKind::ALL {
+        for mode in [BatchMode::SizeBound, BatchMode::WindowBound] {
+            let (_, telemetry) = run_mixed(41, kind, mode, &[10, 10], 5);
+            let flushes: u64 = telemetry.iter().map(|s| s.counter("batch.flushes")).sum();
+            let submitted: u64 = telemetry
+                .iter()
+                .map(|s| s.counter("batch.submitted_values"))
+                .sum();
+            assert!(flushes > 0, "{kind}/{mode:?}: no batch flush recorded");
+            assert_eq!(
+                submitted, 25,
+                "{kind}/{mode:?}: every submission must flow through the batcher"
+            );
+            assert!(
+                flushes < submitted,
+                "{kind}/{mode:?}: batching must pack multiple values per flush \
+                 ({flushes} flushes for {submitted} values)"
+            );
+            let occupancy_max = telemetry
+                .iter()
+                .filter_map(|s| s.histogram("batch.occupancy"))
+                .map(|h| h.max())
+                .max()
+                .unwrap_or_else(|| {
+                    panic!("{kind}/{mode:?}: occupancy histogram missing despite flushes")
+                });
+            match mode {
+                BatchMode::SizeBound => assert_eq!(
+                    occupancy_max, 4,
+                    "{kind}/{mode:?}: size-bound batches flush at max_values"
+                ),
+                BatchMode::WindowBound => assert!(
+                    occupancy_max >= 10,
+                    "{kind}/{mode:?}: a window flush takes a whole burst ({occupancy_max})"
+                ),
+                BatchMode::Off => unreachable!(),
+            }
+            if kind == EngineKind::Wbcast {
+                let coalesced: u64 = telemetry
+                    .iter()
+                    .map(|s| s.counter("wire.frames_coalesced"))
+                    .sum();
+                assert!(
+                    coalesced > 0,
+                    "{kind}/{mode:?}: batched submissions must coalesce engine frames"
+                );
+            }
+        }
+        // Off: the batch metrics must not exist at all.
+        let (_, telemetry) = run_mixed(41, kind, BatchMode::Off, &[10, 10], 5);
+        for snap in &telemetry {
+            for key in [
+                "batch.flushes",
+                "batch.submitted_values",
+                "wire.frames_coalesced",
+            ] {
+                assert!(
+                    !snap.counters.contains_key(key),
+                    "{kind}: {key} reported with batching off"
+                );
+            }
+            assert!(
+                snap.histogram("batch.occupancy").is_none(),
+                "{kind}: occupancy histogram reported with batching off"
+            );
         }
     }
 }
@@ -525,6 +699,7 @@ fn failover_config() -> ClusterConfig {
 fn run_failover(
     seed: u64,
     kind: EngineKind,
+    mode: BatchMode,
     crash_us: u64,
 ) -> (
     BTreeMap<ProcessId, Vec<ValueId>>,
@@ -545,7 +720,7 @@ fn run_failover(
         let pid = ProcessId::new(p);
         cluster.add_actor(
             pid,
-            Box::new(Recorder::new(kind.build(pid, config.clone()))),
+            Box::new(Recorder::new(build_engine(kind, mode, pid, &config))),
         );
     }
     // In-flight at crash time: singles on both groups plus multi-group
@@ -634,68 +809,75 @@ fn run_failover(
 /// survive here), and every health probe is clean once the run settles.
 #[test]
 fn sequencer_failover_delivers_every_message_exactly_once() {
+    // Batching is safe to enable here because every initiator survives:
+    // a value queued in a batcher dies with its process exactly like a
+    // request lost on the wire, which only the client (absent in this
+    // harness) could retry — so the initiator-crash test below runs
+    // unbatched, while this one must hold under every mode.
     for kind in EngineKind::ALL {
-        for crash_us in [400u64, 2_000, 12_000] {
-            let (delivered, backlogs, telemetry) = run_failover(47, kind, crash_us);
-            let total = 6 + 6 + 5 + 3 + 3;
-            let reference = &delivered[&ProcessId::new(1)];
-            assert_eq!(
-                reference.len(),
-                total,
-                "{kind}/crash@{crash_us}µs: every message delivered"
-            );
-            let unique: BTreeSet<&ValueId> = reference.iter().collect();
-            assert_eq!(
-                unique.len(),
-                total,
-                "{kind}/crash@{crash_us}µs: duplicate delivery"
-            );
-            assert_eq!(
-                reference,
-                &delivered[&ProcessId::new(2)],
-                "{kind}/crash@{crash_us}µs: survivors diverge"
-            );
-            for (i, b) in backlogs.iter().enumerate() {
+        for mode in BATCH_MODES {
+            for crash_us in [400u64, 2_000, 12_000] {
+                let (delivered, backlogs, telemetry) = run_failover(47, kind, mode, crash_us);
+                let total = 6 + 6 + 5 + 3 + 3;
+                let reference = &delivered[&ProcessId::new(1)];
                 assert_eq!(
-                    *b, 0,
-                    "{kind}/crash@{crash_us}µs: residual backlog at survivor {i}"
+                    reference.len(),
+                    total,
+                    "{kind}/{mode:?}/crash@{crash_us}µs: every message delivered"
                 );
-            }
-            // Telemetry agrees with the injected fault and the outcome.
-            let delivered_counter = match kind {
-                EngineKind::MultiRing => "delivered",
-                EngineKind::Wbcast => "sub.delivered",
-            };
-            for (i, (snap, health, _)) in telemetry.iter().enumerate() {
+                let unique: BTreeSet<&ValueId> = reference.iter().collect();
                 assert_eq!(
-                    snap.counter(delivered_counter),
-                    total as u64,
-                    "{kind}/crash@{crash_us}µs: survivor {i} delivery counter"
+                    unique.len(),
+                    total,
+                    "{kind}/{mode:?}/crash@{crash_us}µs: duplicate delivery"
                 );
-                assert!(
+                assert_eq!(
+                    reference,
+                    &delivered[&ProcessId::new(2)],
+                    "{kind}/{mode:?}/crash@{crash_us}µs: survivors diverge"
+                );
+                for (i, b) in backlogs.iter().enumerate() {
+                    assert_eq!(
+                        *b, 0,
+                        "{kind}/{mode:?}/crash@{crash_us}µs: residual backlog at survivor {i}"
+                    );
+                }
+                // Telemetry agrees with the injected fault and the outcome.
+                let delivered_counter = match kind {
+                    EngineKind::MultiRing => "delivered",
+                    EngineKind::Wbcast => "sub.delivered",
+                };
+                for (i, (snap, health, _)) in telemetry.iter().enumerate() {
+                    assert_eq!(
+                        snap.counter(delivered_counter),
+                        total as u64,
+                        "{kind}/{mode:?}/crash@{crash_us}µs: survivor {i} delivery counter"
+                    );
+                    assert!(
                     health.is_healthy(),
-                    "{kind}/crash@{crash_us}µs: survivor {i} unhealthy after settle: {:?}",
+                    "{kind}/{mode:?}/crash@{crash_us}µs: survivor {i} unhealthy after settle: {:?}",
                     health.issues
                 );
-            }
-            if kind == EngineKind::Wbcast {
-                let takeovers: u64 = telemetry
-                    .iter()
-                    .map(|(_, _, rc)| rc.sequencer_takeovers)
-                    .sum();
-                assert_eq!(
-                    takeovers, 1,
-                    "{kind}/crash@{crash_us}µs: exactly one survivor adopts the dead \
+                }
+                if kind == EngineKind::Wbcast {
+                    let takeovers: u64 = telemetry
+                        .iter()
+                        .map(|(_, _, rc)| rc.sequencer_takeovers)
+                        .sum();
+                    assert_eq!(
+                        takeovers, 1,
+                        "{kind}/{mode:?}/crash@{crash_us}µs: exactly one survivor adopts the dead \
                      sequencer's group"
-                );
-                let orphans: u64 = telemetry
-                    .iter()
-                    .map(|(_, _, rc)| rc.orphan_rounds_started)
-                    .sum();
-                assert_eq!(
+                    );
+                    let orphans: u64 = telemetry
+                        .iter()
+                        .map(|(_, _, rc)| rc.orphan_rounds_started)
+                        .sum();
+                    assert_eq!(
                     orphans, 0,
-                    "{kind}/crash@{crash_us}µs: no orphan recovery — the initiators survive"
+                    "{kind}/{mode:?}/crash@{crash_us}µs: no orphan recovery — the initiators survive"
                 );
+                }
             }
         }
     }
@@ -1163,18 +1345,27 @@ proptest! {
         bursts in proptest::collection::vec(1u8..8, 2..4),
         multi in 0u8..5,
     ) {
+        // One batched mode per case keeps the proptest budget flat; the
+        // mode is drawn from the seed so the corpus covers all three.
+        let mode = BATCH_MODES[(seed % 3) as usize];
         for kind in EngineKind::ALL {
-            let delivered = run_mixed(seed, kind, &bursts, multi);
+            let (delivered, _) = run_mixed(seed, kind, mode, &bursts, multi);
             let total: u64 =
                 bursts.iter().map(|&n| u64::from(n)).sum::<u64>() + u64::from(multi);
             let reference = &delivered[&ProcessId::new(0)];
             // Totality: every multicast value is delivered exactly once.
-            prop_assert_eq!(reference.len() as u64, total, "{}: wrong count", kind);
+            prop_assert_eq!(reference.len() as u64, total, "{}/{:?}: wrong count", kind, mode);
             let unique: BTreeSet<&ValueId> = reference.iter().collect();
-            prop_assert_eq!(unique.len(), reference.len(), "{}: duplicate delivery", kind);
+            prop_assert_eq!(
+                unique.len(),
+                reference.len(),
+                "{}/{:?}: duplicate delivery",
+                kind,
+                mode
+            );
             // Total order: identical sequences at every subscriber.
             for (p, seq) in &delivered {
-                prop_assert_eq!(seq, reference, "{}: {} diverges", kind, p);
+                prop_assert_eq!(seq, reference, "{}/{:?}: {} diverges", kind, mode, p);
             }
         }
     }
