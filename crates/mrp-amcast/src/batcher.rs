@@ -191,6 +191,19 @@ impl Batcher {
     pub fn pending(&self) -> usize {
         self.queues.values().map(|q| q.payloads.len()).sum()
     }
+
+    /// Folds the pending γ-queues and the timer arm flag into a state
+    /// fingerprint (see [`multiring_paxos::digest`]); the static batch
+    /// configuration is excluded.
+    pub fn digest_into(&self, h: &mut multiring_paxos::digest::Fnv1a) {
+        use multiring_paxos::digest::DigestInto;
+        h.write_usize(self.queues.len());
+        for (groups, q) in &self.queues {
+            groups.digest_into(h);
+            q.payloads.digest_into(h);
+        }
+        self.timer_armed.digest_into(h);
+    }
 }
 
 #[cfg(test)]

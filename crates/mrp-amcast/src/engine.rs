@@ -116,6 +116,17 @@ pub trait AmcastEngine: StateMachine {
         0
     }
 
+    /// An FNV-1a fingerprint of the engine's protocol-relevant state —
+    /// a canonical serialization of everything that influences future
+    /// protocol behavior, with telemetry, latency samples and pure
+    /// progress counters excluded. The model checker (`mrp-check`)
+    /// prunes its interleaving search on it: two schedules whose
+    /// commuting steps reach the same protocol state must fingerprint
+    /// identically, and states that differ in any way that matters must
+    /// (collisions aside) fingerprint differently. See
+    /// [`multiring_paxos::digest`].
+    fn state_digest(&self) -> u64;
+
     // --- the observability surface ---------------------------------
 
     /// A point-in-time snapshot of the engine's telemetry: phase-level
@@ -237,6 +248,10 @@ impl AmcastEngine for Node {
 
     fn engine_name(&self) -> &'static str {
         "multiring"
+    }
+
+    fn state_digest(&self) -> u64 {
+        Node::state_digest(self)
     }
 
     fn backlog(&self) -> usize {
@@ -538,6 +553,13 @@ impl AmcastEngine for EngineInner {
         match self {
             EngineInner::MultiRing(n) => AmcastEngine::backlog(n),
             EngineInner::Wbcast(n) => AmcastEngine::backlog(n),
+        }
+    }
+
+    fn state_digest(&self) -> u64 {
+        match self {
+            EngineInner::MultiRing(n) => AmcastEngine::state_digest(n),
+            EngineInner::Wbcast(n) => AmcastEngine::state_digest(n),
         }
     }
 
@@ -851,6 +873,18 @@ impl AmcastEngine for AnyEngine {
     /// telemetry when batching has been active: `batch.flushes` /
     /// `batch.submitted_values` / `wire.frames_coalesced` counters and
     /// the `batch.occupancy` histogram (values per flush).
+    /// The inner engine's fingerprint folded together with the
+    /// submission-edge batcher's pending queues: a value parked in the
+    /// batcher is protocol-relevant state the inner engine has not seen
+    /// yet.
+    fn state_digest(&self) -> u64 {
+        use multiring_paxos::digest::Fnv1a;
+        let mut h = Fnv1a::new();
+        h.write_u64(self.inner.state_digest());
+        self.batcher.digest_into(&mut h);
+        h.finish()
+    }
+
     fn telemetry(&self) -> TelemetrySnapshot {
         let mut snap = self.inner.telemetry();
         if self.batcher.enabled() || self.batch_flushes > 0 || self.frames_coalesced > 0 {

@@ -49,7 +49,7 @@ use multiring_paxos::paxos::AcceptorRecovery;
 use multiring_paxos::recovery::TrimResponder;
 use multiring_paxos::replica::CheckpointPolicy;
 use multiring_paxos::types::{ProcessId, RingId, Time};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Packs a checkpoint blob: the engine's private recovery state in
@@ -90,7 +90,7 @@ pub struct EngineReplica<A> {
     /// recovering `Replica` peers and used to answer trim queries.
     stable: Option<(Watermark, Bytes)>,
     /// Checkpoints written but not yet durable, keyed by persist token.
-    pending_ckpt: HashMap<PersistToken, (Watermark, Bytes)>,
+    pending_ckpt: BTreeMap<PersistToken, (Watermark, Bytes)>,
     ckpt_token_seed: u64,
     /// Whether the next `Event::Start` must issue the engine's resume
     /// actions (set by [`EngineReplica::recovering`]).
@@ -132,7 +132,7 @@ impl<A: Application> EngineReplica<A> {
             policy,
             responder: TrimResponder::new(),
             stable: None,
-            pending_ckpt: HashMap::new(),
+            pending_ckpt: BTreeMap::new(),
             // Disjoint from the tokens the hosted engine mints itself.
             ckpt_token_seed: u64::MAX / 2,
             resume_pending: false,
@@ -165,7 +165,7 @@ impl<A: Application> EngineReplica<A> {
             policy,
             responder: TrimResponder::new(),
             stable: None,
-            pending_ckpt: HashMap::new(),
+            pending_ckpt: BTreeMap::new(),
             ckpt_token_seed: u64::MAX / 2,
             resume_pending: true,
             executed: 0,

@@ -1404,6 +1404,103 @@ impl WbcastNode {
         self.led.values().map(|s| s.pending.len()).sum()
     }
 
+    /// An FNV-1a fingerprint of the protocol-relevant state: sequencer
+    /// clocks/streams, subscriptions, initiator in-flight rounds,
+    /// orphan recovery and timer arming. Telemetry, the protocol-event
+    /// trace ring and pure progress counters are excluded so schedules
+    /// that commute into the same protocol state fingerprint
+    /// identically (see [`multiring_paxos::digest`]).
+    pub fn state_digest(&self) -> u64 {
+        use multiring_paxos::digest::{DigestInto, Fnv1a};
+        fn orphan_st(st: &OrphanSt, h: &mut Fnv1a) {
+            match st {
+                OrphanSt::Unknown => h.write_u8(1),
+                OrphanSt::Proposed(ts) => {
+                    h.write_u8(2);
+                    h.write_u64(*ts);
+                }
+                OrphanSt::Decided(ts) => {
+                    h.write_u8(3);
+                    h.write_u64(*ts);
+                }
+                OrphanSt::Released(ts) => {
+                    h.write_u8(4);
+                    h.write_u64(*ts);
+                }
+            }
+        }
+        let mut h = Fnv1a::new();
+        self.me.digest_into(&mut h);
+        h.write_usize(self.led.len());
+        for (g, s) in &self.led {
+            g.digest_into(&mut h);
+            s.ring.digest_into(&mut h);
+            h.write_u64(s.delta_us);
+            h.write_u64(u64::from(s.epoch));
+            h.write_u64(s.next_ts);
+            h.write_u64(s.promised);
+            s.resume_at.digest_into(&mut h);
+            h.write_usize(s.pending.len());
+            for (id, p) in &s.pending {
+                id.digest_into(&mut h);
+                h.write_u64(p.ts);
+                p.value.digest_into(&mut h);
+                p.groups.digest_into(&mut h);
+                p.since.digest_into(&mut h);
+                p.fenced.digest_into(&mut h);
+            }
+            s.outq.digest_into(&mut h);
+            s.done.digest_into(&mut h);
+            s.history.digest_into(&mut h);
+            h.write_u64(s.evicted);
+            s.reported.digest_into(&mut h);
+        }
+        h.write_usize(self.subs.len());
+        for (g, s) in &self.subs {
+            g.digest_into(&mut h);
+            h.write_u64(u64::from(s.epoch));
+            s.frontier.digest_into(&mut h);
+            h.write_u64(s.floor);
+            s.resyncing.digest_into(&mut h);
+            s.pending.digest_into(&mut h);
+        }
+        self.coordinators.digest_into(&mut h);
+        self.ring_epochs.digest_into(&mut h);
+        self.observed.digest_into(&mut h);
+        self.delivered_ids.digest_into(&mut h);
+        h.write_usize(self.inflight.len());
+        for (id, inf) in &self.inflight {
+            id.digest_into(&mut h);
+            inf.groups.digest_into(&mut h);
+            inf.value.digest_into(&mut h);
+            inf.acks.digest_into(&mut h);
+            inf.final_ts.digest_into(&mut h);
+            inf.released.digest_into(&mut h);
+            inf.local.digest_into(&mut h);
+            inf.delivered.digest_into(&mut h);
+            inf.submitted_at.digest_into(&mut h);
+        }
+        h.write_usize(self.orphans.len());
+        for (id, round) in &self.orphans {
+            id.digest_into(&mut h);
+            round.groups.digest_into(&mut h);
+            round.value.digest_into(&mut h);
+            h.write_u64(u64::from(round.attempt));
+            h.write_usize(round.states.len());
+            for (g, st) in &round.states {
+                g.digest_into(&mut h);
+                orphan_st(st, &mut h);
+            }
+            round.decided.digest_into(&mut h);
+            round.since.digest_into(&mut h);
+        }
+        self.down.digest_into(&mut h);
+        self.delta_armed.digest_into(&mut h);
+        self.retry_armed.digest_into(&mut h);
+        h.write_u64(self.next_seq);
+        h.finish()
+    }
+
     /// Resync replays that terminated with a truncation flag: the
     /// sequencer had discarded *retained* history below the requested
     /// position (capped retention, checkpoint pruning past a dead
@@ -1456,8 +1553,7 @@ impl WbcastNode {
         let delta = self
             .config
             .ring(ring)
-            .map(|r| r.tuning().delta_us)
-            .unwrap_or(1_000);
+            .map_or(1_000, |r| r.tuning().delta_us);
         (delta * RETRY_DELTAS).max(1)
     }
 
@@ -1814,7 +1910,7 @@ impl WbcastNode {
         let mut stale: Vec<(ValueId, Value, Vec<GroupId>)> = Vec::new();
         for seq in self.led.values_mut() {
             let (ring, delta_us) = (seq.ring, seq.delta_us);
-            for (&id, p) in seq.pending.iter_mut() {
+            for (&id, p) in &mut seq.pending {
                 if orphaned(ring, delta_us, id, p) {
                     p.since = now;
                     stale.push((id, p.value.clone(), p.groups.clone()));
@@ -1916,6 +2012,18 @@ impl WbcastNode {
         state: OrphanSt,
         out: &mut Vec<Action>,
     ) {
+        enum Next {
+            /// Every addressed group confirmed the value in its
+            /// released stream (never lost from there): recovery
+            /// retires.
+            Confirmed,
+            /// Some groups never saw the `Submit`: re-seed them, then
+            /// re-collect.
+            Reseed(Vec<GroupId>),
+            /// Every group holds the value: (re-)send the decision to
+            /// the not-yet-released ones and await confirmation.
+            Decide(u64, Vec<GroupId>),
+        }
         {
             let Some(round) = self.orphans.get_mut(&id) else {
                 return;
@@ -1933,18 +2041,6 @@ impl WbcastNode {
         // re-submit to a self-led group is handled inline and can
         // re-enter this function, so the map must already be consistent
         // by then.
-        enum Next {
-            /// Every addressed group confirmed the value in its
-            /// released stream (never lost from there): recovery
-            /// retires.
-            Confirmed,
-            /// Some groups never saw the `Submit`: re-seed them, then
-            /// re-collect.
-            Reseed(Vec<GroupId>),
-            /// Every group holds the value: (re-)send the decision to
-            /// the not-yet-released ones and await confirmation.
-            Decide(u64, Vec<GroupId>),
-        }
         let (next, value, gamma, attempt) = {
             let round = self.orphans.get_mut(&id).expect("checked above");
             // The round's timestamp is immutable once first computed:
@@ -2223,7 +2319,7 @@ impl WbcastNode {
     /// any timestamp observed from another group drags the local
     /// clocks past it (see [`Sequencer::observe`]).
     fn observe_ts(&mut self, from_group: GroupId, ts: u64) {
-        for (&g, seq) in self.led.iter_mut() {
+        for (&g, seq) in &mut self.led {
             if g != from_group {
                 seq.observe(ts);
             }
@@ -3048,6 +3144,10 @@ impl AmcastEngine for WbcastNode {
         "wbcast"
     }
 
+    fn state_digest(&self) -> u64 {
+        WbcastNode::state_digest(self)
+    }
+
     /// Locally submitted values addressed to at least one subscribed
     /// group that have not yet been delivered locally. Submissions to
     /// entirely foreign groups are tracked (and retried) until every
@@ -3109,7 +3209,7 @@ impl AmcastEngine for WbcastNode {
                 self.delivered_ids.insert(id, ts);
             }
         }
-        for (&g, sub) in self.subs.iter_mut() {
+        for (&g, sub) in &mut self.subs {
             let floor = sub.floor.max(watermark.mark_of(g).value());
             sub.floor = floor;
             // Nothing at or below the floor will be replayed (resync
@@ -3127,7 +3227,7 @@ impl AmcastEngine for WbcastNode {
         let mut out = Vec::new();
         let mut min_mark = u64::MAX;
         let mut reports: Vec<(GroupId, u64)> = Vec::new();
-        for (&g, sub) in self.subs.iter_mut() {
+        for (&g, sub) in &mut self.subs {
             let mark = watermark.mark_of(g).value();
             sub.floor = sub.floor.max(mark);
             min_mark = min_mark.min(mark);
@@ -3533,7 +3633,7 @@ mod tests {
         let total: usize = [&delivered, &late]
             .iter()
             .flat_map(|d| d.get(&p0))
-            .map(|v| v.len())
+            .map(std::vec::Vec::len)
             .sum();
         assert_eq!(total, 40, "idle group 1 must not throttle group 0's burst");
     }
@@ -3578,7 +3678,7 @@ mod tests {
                 0,
                 "process {p} is outside γ but received value frames"
             );
-            assert!(result.delivered.get(&p).is_none_or(|d| d.is_empty()));
+            assert!(result.delivered.get(&p).is_none_or(std::vec::Vec::is_empty));
         }
 
         // Exactly the four subscribers of groups 0 and 1 deliver the
@@ -3650,7 +3750,7 @@ mod tests {
         // stay buffered, waiting for the other group's idle promise
         // (runtimes re-fire Δ timers; the unit pump must do it once).
         let mut queue = Vec::new();
-        for (&p, node) in nodes.iter_mut() {
+        for (&p, node) in &mut nodes {
             for ring in 0..2u16 {
                 let hb = node.on_event(
                     Time::from_millis(10),
@@ -4848,7 +4948,7 @@ mod tests {
             1,
             "the truncated replay is surfaced, not silent"
         );
-        let delivered = replay.delivered.get(&p1).map_or(0, |d| d.len()) as u64;
+        let delivered = replay.delivered.get(&p1).map_or(0, std::vec::Vec::len) as u64;
         assert_eq!(
             delivered,
             total - extra,

@@ -29,8 +29,7 @@ fn main() {
             r.cdf
                 .iter()
                 .find(|&&(_, f)| f >= p)
-                .map(|&(v, _)| v as f64 / 1000.0)
-                .unwrap_or(0.0)
+                .map_or(0.0, |&(v, _)| v as f64 / 1000.0)
         };
         cdf.row(&[
             r.rings.to_string(),

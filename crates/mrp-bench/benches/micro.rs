@@ -61,14 +61,14 @@ fn bench_codec(c: &mut Criterion) {
                 let mut buf = BytesMut::with_capacity(codec::encoded_len(&msg));
                 codec::encode(&msg, &mut buf);
                 buf
-            })
+            });
         });
         let encoded = codec::encode_to_bytes(&msg);
         group.bench_function(format!("decode_{size}"), |b| {
             b.iter(|| {
                 let mut buf = encoded.clone();
                 codec::decode(&mut buf).expect("valid frame")
-            })
+            });
         });
     }
     group.finish();
@@ -97,7 +97,7 @@ fn bench_merge(c: &mut Criterion) {
             },
             |mut m| m.poll(),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -121,7 +121,7 @@ fn bench_acceptor(c: &mut Criterion) {
                 a
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -135,7 +135,7 @@ fn bench_ycsb(c: &mut Criterion) {
                 acc = acc.wrapping_add(chooser.next(&mut rng));
             }
             acc
-        })
+        });
     });
 }
 
@@ -529,7 +529,7 @@ fn check_baseline(submit: &[SubmitRow], baseline: Option<(String, String)>) -> R
                 && r.get("mode").and_then(|v| v.as_str()) == Some("unbatched")
         })
         .and_then(|r| r.get("values_per_sec"))
-        .and_then(|v| v.as_f64())
+        .and_then(mrp_bench::json::Value::as_f64)
         .ok_or_else(|| format!("{path}: no unbatched multiring baseline row"))?;
     let batched = fresh("multiring", "batched")?;
     if batched < committed {

@@ -133,7 +133,7 @@ pub fn fig3(scale: Scale) -> Vec<Fig3Row> {
             let window_s = run_s as f64;
             let mbps = bytes as f64 * 8.0 / window_s / 1e6;
             let latency_ms = h.map_or(0.0, |h| h.mean() / 1000.0);
-            let cdf = h.map(|h| h.cdf()).unwrap_or_default();
+            let cdf = h.map(mrp_sim::metrics::Histogram::cdf).unwrap_or_default();
             let elapsed = cluster.now().as_micros();
             let cpu_pct = cluster
                 .cpu(ProcessId::new(0))
@@ -642,7 +642,7 @@ pub fn fig6(scale: Scale) -> Vec<Fig6Row> {
         let cdf = cluster
             .metrics()
             .histogram("dlog/latency_us")
-            .map(|h| h.cdf())
+            .map(mrp_sim::metrics::Histogram::cdf)
             .unwrap_or_default();
         rows.push(Fig6Row {
             rings,
@@ -779,7 +779,7 @@ pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
         let cdf = cluster
             .metrics()
             .histogram("fig7/r0/latency_us")
-            .map(|h| h.cdf())
+            .map(mrp_sim::metrics::Histogram::cdf)
             .unwrap_or_default();
         rows.push(Fig7Row {
             regions: active,
@@ -829,6 +829,8 @@ pub struct Fig8Result {
 /// retransmission, the white-box engine through checkpoint + sequencer
 /// stream resync — both behind the same engine-generic replica surface.
 pub fn fig8(scale: Scale, kind: mrp_amcast::EngineKind) -> Fig8Result {
+    type StoreReplica = Hosted<Replica<StoreApp>>;
+    type StoreEngineReplica = Hosted<mrp_amcast::EngineReplica<StoreApp>>;
     let total_s = scale.pick(300u64, 30);
     let kill_s = scale.pick(20u64, 4);
     let restart_s = scale.pick(240u64, 18);
@@ -913,7 +915,7 @@ pub fn fig8(scale: Scale, kind: mrp_amcast::EngineKind) -> Fig8Result {
         let lat = cluster.metrics().series("fig8/latency_sum_us");
         for (t, n) in ops.points() {
             let window_s = ops.window_us() as f64 / 1e6;
-            let latency_ms = lat.map(|l| l.at(t) / n.max(1.0) / 1000.0).unwrap_or(0.0);
+            let latency_ms = lat.map_or(0.0, |l| l.at(t) / n.max(1.0) / 1000.0);
             timeline.push(Fig8Point {
                 t_s: t.as_micros() / 1_000_000,
                 ops_per_sec: n / window_s,
@@ -922,8 +924,6 @@ pub fn fig8(scale: Scale, kind: mrp_amcast::EngineKind) -> Fig8Result {
         }
     }
     let mut checkpoints = 0;
-    type StoreReplica = Hosted<Replica<StoreApp>>;
-    type StoreEngineReplica = Hosted<mrp_amcast::EngineReplica<StoreApp>>;
     for i in 3..6 {
         let p = ProcessId::new(i);
         if let Some(r) = cluster.actor_as::<StoreReplica>(p) {

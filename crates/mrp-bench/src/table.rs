@@ -15,7 +15,7 @@ impl Table {
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         Self {
             title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }

@@ -1,0 +1,38 @@
+//! CI entry point for the sans-io purity lints:
+//! `cargo run -p mrp-check --bin lint`.
+//!
+//! Exits 0 when the engine crates are clean, 1 with `file:line`
+//! diagnostics when they are not, and 2 on an operational error (bad
+//! allowlist, unreadable tree).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The binary is built from a fixed spot in the workspace; resolve
+    // the repo root relative to it so the lint runs correctly from any
+    // working directory.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+    match mrp_check::lint_engine_sources(&root) {
+        Ok((diags, files)) if diags.is_empty() => {
+            println!("lint: {files} engine source files clean");
+            ExitCode::SUCCESS
+        }
+        Ok((diags, files)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!(
+                "lint: {} violation(s) across {files} files — engines must stay sans-io \
+                 (see crates/mrp-check/src/lint.rs for the rules and lint.allow for exemptions)",
+                diags.len()
+            );
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # mrp-check: bounded model checking and sans-io purity lints
+//!
+//! The engines behind [`mrp_amcast::AmcastEngine`] are sans-io state
+//! machines: events in, actions out, no clocks, no threads, no
+//! non-determinism. That discipline is what makes them *checkable* — a
+//! schedule of event deliveries fully determines every state they reach
+//! — and this crate is the tooling that cashes the cheque:
+//!
+//! * [`checker`] — a deterministic bounded model checker. A
+//!   [`checker::Checker`] drives N engine nodes through every
+//!   interleaving of in-flight events up to a depth bound, pruning with
+//!   state-fingerprint deduplication (the engines' `state_digest()`
+//!   hook) and sleep-set partial-order reduction, optionally branching
+//!   into faults (frame drop/duplication, crash/restart through the
+//!   checkpoint surface). Invariant oracles — agreement, exactly-once
+//!   integrity, validity, pairwise delivery-order acyclicity, and
+//!   genuineness for the white-box engine — run at every state; a
+//!   violation is minimized into a replayable [`checker::Schedule`]
+//!   a plain `#[test]` can re-execute.
+//! * [`scenario`] — canned multi-node deployments (both engines,
+//!   multi-group traffic, batching on/off) the checker and the
+//!   regression schedules under `schedules/` run against.
+//! * [`lint`] — a source-level static pass (no new dependencies) that
+//!   rejects sans-io purity violations in the engine crates: wall-clock
+//!   reads, thread spawns, order-nondeterministic hash collections,
+//!   stray stdout. Run it as `cargo run -p mrp-check --bin lint`.
+//! * [`toy`] — a deliberately small (and optionally deliberately buggy)
+//!   hub-ordered engine used to prove the checker's oracles fire.
+//!
+//! The `check` binary (`cargo run -p mrp-check --bin check`) runs the
+//! bounded exploration for both engines with fault branching on and
+//! reports explored/pruned state counts, including the reduction factor
+//! of dedup + partial-order reduction over a naive DFS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checker;
+pub mod lint;
+pub mod scenario;
+pub mod toy;
+
+pub use checker::{
+    check, replay_schedule, Checker, CheckerConfig, Choice, FaultBudget, ReplayOutcome, Report,
+    Schedule, Violation,
+};
+pub use lint::{lint_engine_sources, lint_source, Allowlist, Diagnostic};
+pub use scenario::{Scenario, Submission};

@@ -1,0 +1,224 @@
+//! A deliberately tiny engine used to validate the checker itself.
+//!
+//! [`ToyEngine`] is a hub-ordered broadcast: every submission is
+//! forwarded to the lowest process id (the hub), which assigns a global
+//! sequence number and broadcasts the decision; receivers deliver in
+//! sequence order. Correct by construction — unless built with
+//! [`ToyEngine::buggy`], in which case the hub *skips sending one
+//! decision to the highest process*, a silent delivery drop the
+//! checker's validity oracle must catch within a small depth bound.
+//! That closes the loop on the whole apparatus: if the toy bug ever
+//! goes unnoticed, the oracles (not the engines) are broken.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use mrp_amcast::engine::AmcastEngine;
+use multiring_paxos::config::{single_ring, ClusterConfig};
+use multiring_paxos::digest::Fnv1a;
+use multiring_paxos::event::{Action, Event, Message, StateMachine};
+use multiring_paxos::node::MulticastError;
+use multiring_paxos::types::{
+    ConsensusValue, GroupId, InstanceId, ProcessId, RingId, Time, Value, ValueId,
+};
+
+use crate::scenario::{Scenario, Submission};
+
+/// The sequence number (1-based) whose decision the buggy hub fails to
+/// send to the highest process.
+pub const BUGGY_SEQ: u64 = 2;
+
+/// A hub-ordered broadcast over one group; see the module docs.
+#[derive(Debug)]
+pub struct ToyEngine {
+    me: ProcessId,
+    hub: ProcessId,
+    subscribers: Vec<ProcessId>,
+    /// Hub only: next sequence number to assign.
+    next_seq: u64,
+    /// Per-submitter value counter (value ids must be unique).
+    next_local: u64,
+    /// Out-of-order decisions waiting for their predecessors.
+    pending: BTreeMap<u64, Value>,
+    /// Next sequence number to deliver.
+    next_deliver: u64,
+    buggy: bool,
+}
+
+impl ToyEngine {
+    /// A correct toy node for a `single_ring` configuration.
+    pub fn new(me: ProcessId, config: &ClusterConfig) -> ToyEngine {
+        let subscribers = config.subscribers_of(GroupId::new(0));
+        let hub = *subscribers.first().expect("toy config has processes");
+        ToyEngine {
+            me,
+            hub,
+            subscribers,
+            next_seq: 0,
+            next_local: 0,
+            pending: BTreeMap::new(),
+            next_deliver: 1,
+            buggy: false,
+        }
+    }
+
+    /// Same engine, but the hub drops the [`BUGGY_SEQ`]-th decision for
+    /// the highest process.
+    pub fn buggy(me: ProcessId, config: &ClusterConfig) -> ToyEngine {
+        ToyEngine {
+            buggy: true,
+            ..ToyEngine::new(me, config)
+        }
+    }
+
+    /// Hub-side: order `value` and broadcast the decision.
+    fn order(&mut self, value: Value, out: &mut Vec<Action>) {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let victim = *self.subscribers.last().expect("non-empty");
+        for &to in &self.subscribers {
+            if self.buggy && seq == BUGGY_SEQ && to == victim {
+                continue;
+            }
+            out.push(Action::Send {
+                to,
+                msg: Message::Decision {
+                    ring: RingId::new(0),
+                    first: InstanceId::new(seq),
+                    count: 1,
+                    value: Some(ConsensusValue::Values(vec![value.clone()])),
+                    hops: 0,
+                },
+            });
+        }
+    }
+
+    /// Receiver-side: buffer and release in sequence order.
+    fn on_decision(&mut self, seq: u64, value: Value, out: &mut Vec<Action>) {
+        self.pending.insert(seq, value);
+        while let Some(value) = self.pending.remove(&self.next_deliver) {
+            out.push(Action::Deliver {
+                group: GroupId::new(0),
+                instance: InstanceId::new(self.next_deliver),
+                value,
+            });
+            self.next_deliver += 1;
+        }
+    }
+}
+
+impl StateMachine for ToyEngine {
+    fn on_event(&mut self, _now: Time, event: Event) -> Vec<Action> {
+        let mut out = Vec::new();
+        match event {
+            Event::Message {
+                msg: Message::Forward { values, .. },
+                ..
+            } if self.me == self.hub => {
+                for v in values {
+                    self.order(v, &mut out);
+                }
+            }
+            Event::Message {
+                msg:
+                    Message::Decision {
+                        first,
+                        value: Some(ConsensusValue::Values(values)),
+                        ..
+                    },
+                ..
+            } => {
+                for (i, v) in values.into_iter().enumerate() {
+                    self.on_decision(first.value() + i as u64, v, &mut out);
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn process_id(&self) -> ProcessId {
+        self.me
+    }
+}
+
+impl AmcastEngine for ToyEngine {
+    fn multicast(
+        &mut self,
+        _now: Time,
+        groups: &[GroupId],
+        payload: Bytes,
+    ) -> Result<(ValueId, Vec<Action>), MulticastError> {
+        if groups.is_empty() {
+            return Err(MulticastError::NoDestination);
+        }
+        self.next_local += 1;
+        let id = ValueId::new(self.me, self.next_local);
+        let value = Value::new(id, groups[0], payload);
+        let mut out = Vec::new();
+        if self.me == self.hub {
+            self.order(value, &mut out);
+        } else {
+            out.push(Action::Send {
+                to: self.hub,
+                msg: Message::Forward {
+                    ring: RingId::new(0),
+                    values: vec![value],
+                    hops: 0,
+                },
+            });
+        }
+        Ok((id, out))
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "toy"
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(u64::from(self.me.value()));
+        h.write_u64(self.next_seq);
+        h.write_u64(self.next_local);
+        h.write_u64(self.next_deliver);
+        h.write_usize(self.pending.len());
+        for (&seq, value) in &self.pending {
+            use multiring_paxos::digest::DigestInto;
+            h.write_u64(seq);
+            value.digest_into(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// A three-node toy scenario with `count` submissions spread across the
+/// processes; `buggy` selects the delivery-dropping hub.
+pub fn toy_scenario(count: u64, buggy: bool) -> Scenario {
+    let config = single_ring(3, multiring_paxos::config::RingTuning::default());
+    let submissions = (0..count)
+        .map(|i| Submission {
+            at: ProcessId::new((i % 3) as u32),
+            groups: vec![GroupId::new(0)],
+            payload: Bytes::from(format!("toy-{i}").into_bytes()),
+            via_request: false,
+        })
+        .collect();
+    let factory_config = config.clone();
+    Scenario {
+        name: if buggy {
+            "toy-buggy".into()
+        } else {
+            "toy".into()
+        },
+        factory: Box::new(move |p, _recovering| {
+            if buggy {
+                Box::new(ToyEngine::buggy(p, &factory_config))
+            } else {
+                Box::new(ToyEngine::new(p, &factory_config))
+            }
+        }),
+        config,
+        submissions,
+        value_frame_allowed: None,
+    }
+}

@@ -1,0 +1,122 @@
+//! Sans-io purity lint self-tests: the engine crates in this workspace
+//! must be clean, and every rule must fire (with file:line precision)
+//! on a deliberately violating source.
+
+use std::path::Path;
+
+use mrp_check::{lint_engine_sources, lint_source, Allowlist};
+
+fn no_allow() -> Allowlist {
+    Allowlist::parse("").unwrap()
+}
+
+#[test]
+fn engine_crates_are_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (diags, files) = lint_engine_sources(&root).expect("lint walk must succeed");
+    assert!(files >= 10, "suspiciously few engine sources: {files}");
+    assert!(
+        diags.is_empty(),
+        "sans-io violations in engine crates:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_fires_on_injected_source() {
+    let cases = [
+        ("wall-clock", "let t = Instant::now();"),
+        ("wall-clock", "let t = SystemTime::now();"),
+        ("thread", "std::thread::sleep(d);"),
+        ("thread", "let h = thread::spawn(move || {});"),
+        (
+            "hash-collections",
+            "let m: HashMap<u32, u32> = HashMap::new();",
+        ),
+        ("hash-collections", "let s = HashSet::from([1]);"),
+        ("stdout", "println!(\"state: {x}\");"),
+        ("stdout", "dbg!(x);"),
+        ("rand", "let mut rng = thread_rng();"),
+    ];
+    for (rule, line) in cases {
+        let src = format!("fn f() {{\n    {line}\n}}\n");
+        let diags = lint_source("engine.rs", &src, &no_allow());
+        assert!(
+            diags.iter().any(|d| d.rule == rule && d.line == 2),
+            "`{line}` should trip `{rule}` at line 2, got {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn stderr_logging_does_not_trip_the_stdout_rule() {
+    let src = "fn f() { eprintln!(\"diag\"); eprint!(\"d\"); }\n";
+    assert!(lint_source("engine.rs", src, &no_allow()).is_empty());
+}
+
+#[test]
+fn strings_and_comments_are_not_linted() {
+    let src = r##"
+// Instant::now() in a comment is fine.
+/* and HashMap in /* nested */ block comments too */
+fn f() -> &'static str {
+    let doc = "call Instant::now() and thread::spawn";
+    let raw = r#"HashMap::new() println!("x")"#;
+    doc
+}
+"##;
+    assert!(
+        lint_source("engine.rs", src, &no_allow()).is_empty(),
+        "quoted/commented patterns must not fire"
+    );
+}
+
+#[test]
+fn test_modules_are_exempt() {
+    let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { println!(\"ok\"); }\n}\n";
+    assert!(lint_source("engine.rs", src, &no_allow()).is_empty());
+}
+
+#[test]
+fn inline_allow_suppresses_a_single_line() {
+    let src = "fn f() {\n    let t = Instant::now(); // lint:allow(wall-clock)\n    let u = Instant::now();\n}\n";
+    let diags = lint_source("engine.rs", src, &no_allow());
+    assert_eq!(diags.len(), 1, "only the unannotated line fires: {diags:?}");
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn allowlist_suppresses_by_rule_and_path_suffix() {
+    let allow = Allowlist::parse("wall-clock src/shim.rs # reviewed\n").unwrap();
+    assert!(allow.permits("wall-clock", "crates/x/src/shim.rs"));
+    assert!(!allow.permits("wall-clock", "crates/x/src/other.rs"));
+    assert!(!allow.permits("thread", "crates/x/src/shim.rs"));
+
+    let src = "fn f() { let t = Instant::now(); }\n";
+    assert!(lint_source("crates/x/src/shim.rs", src, &allow).is_empty());
+    assert_eq!(lint_source("crates/x/src/other.rs", src, &allow).len(), 1);
+}
+
+#[test]
+fn allowlist_rejects_unknown_rules() {
+    assert!(Allowlist::parse("no-such-rule src/a.rs\n").is_err());
+    assert!(Allowlist::parse("wall-clock\n").is_err(), "missing suffix");
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let src = "fn f() {\n\n    let m = HashMap::new();\n}\n";
+    let diags = lint_source("crates/e/src/lib.rs", src, &no_allow());
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].file, "crates/e/src/lib.rs");
+    assert_eq!(diags[0].line, 3);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.contains("crates/e/src/lib.rs:3"),
+        "diagnostic must render file:line, got `{rendered}`"
+    );
+}

@@ -1,0 +1,95 @@
+//! Checked-in regression schedules: interleavings that exposed real
+//! bugs in earlier PRs, replayed against HEAD on every test run. Each
+//! `.sched` file documents the pre-fix failure mode; these tests assert
+//! the schedules now run violation-free with the expected deliveries.
+
+use mrp_check::{replay_schedule, Scenario, Schedule};
+use multiring_paxos::types::ProcessId;
+
+const COALESCER_SCHED: &str = include_str!("../schedules/pr7_coalescer_last_frame.sched");
+const ORPHAN_SCHED: &str = include_str!("../schedules/pr5_orphan_reentrancy.sched");
+
+/// PR 7: the per-destination frame coalescer dropped the last frame of
+/// a flushed submission batch, so the second of two coalesced values
+/// never left the submitter and validity failed everywhere else.
+#[test]
+fn pr7_coalescer_delivers_the_last_frame() {
+    let schedule = Schedule::parse(COALESCER_SCHED).expect("schedule file must parse");
+    let outcome = replay_schedule(&Scenario::coalescer(), &schedule)
+        .expect("schedule must stay applicable on HEAD");
+    assert!(
+        outcome.violation.is_none(),
+        "regression:\n{}",
+        outcome.violation.unwrap()
+    );
+    assert!(outcome.quiescent, "replay must drain to quiescence");
+    for p in 0..3u32 {
+        let delivered = &outcome.delivered[&ProcessId::new(p)];
+        assert_eq!(
+            delivered.len(),
+            2,
+            "p{p} delivered {} of 2 batched values",
+            delivered.len()
+        );
+    }
+}
+
+/// PR 5: `on_orphan_state` re-entrancy — with every remaining group
+/// self-led by the sequencer, the orphan exchange re-enters inline and
+/// used to observe a half-classified state map, wedging the round.
+#[test]
+fn pr5_orphaned_round_completes_after_initiator_crash() {
+    let schedule = Schedule::parse(ORPHAN_SCHED).expect("schedule file must parse");
+    let outcome = replay_schedule(&Scenario::orphan(), &schedule)
+        .expect("schedule must stay applicable on HEAD");
+    assert!(
+        outcome.violation.is_none(),
+        "regression:\n{}",
+        outcome.violation.unwrap()
+    );
+    assert!(outcome.quiescent, "replay must drain to quiescence");
+    // Both survivors deliver the orphaned value exactly once (the
+    // releasing group differs per node; delivery is per-value).
+    for p in 0..2u32 {
+        let delivered = &outcome.delivered[&ProcessId::new(p)];
+        assert_eq!(delivered.len(), 1, "p{p} must deliver the orphaned value");
+    }
+    // And delivery went through the orphan path, not the initiator:
+    // p0's sequencers started at least one recovery round. (Completion
+    // is not asserted — retiring the round needs a post-release
+    // re-probe tick the deterministic drain stops short of.)
+    let p0 = &outcome.recovery[&ProcessId::new(0)];
+    assert!(
+        p0.orphan_rounds_started >= 1,
+        "value was not recovered through the orphan path"
+    );
+}
+
+#[test]
+fn schedule_text_round_trips() {
+    for text in [COALESCER_SCHED, ORPHAN_SCHED] {
+        let parsed = Schedule::parse(text).unwrap();
+        let rendered = parsed.to_string();
+        assert_eq!(Schedule::parse(&rendered).unwrap(), parsed);
+    }
+    // Every choice kind, including the fault and timer vocabulary.
+    let all = "deliver 0>1\ndrop 2>0\ndup 1>2\nfire 0 delta:0\nfire 1 resend:1\n\
+               fire 2 gap\nfire 0 flush\nfire 1 trim\nfire 2 ckpt-tick\n\
+               fire 0 recovery\nfire 1 submit-flush\nckpt 1\ncrash 2\nrestart 2\ndrain\n";
+    let parsed = Schedule::parse(all).unwrap();
+    assert!(parsed.drain);
+    assert_eq!(parsed.steps.len(), 14);
+    assert_eq!(Schedule::parse(&parsed.to_string()).unwrap(), parsed);
+}
+
+#[test]
+fn malformed_schedules_are_rejected() {
+    for bad in [
+        "deliver 0",            // missing destination
+        "fire 0 frobnicate",    // unknown timer
+        "teleport 1>2",         // unknown verb
+        "deliver 0>1 trailing", // trailing junk
+    ] {
+        assert!(Schedule::parse(bad).is_err(), "`{bad}` must not parse");
+    }
+}

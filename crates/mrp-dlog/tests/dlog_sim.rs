@@ -30,6 +30,7 @@ fn spawn_dlog(cluster: &mut Cluster, deployment: &DLogDeployment) {
 
 #[test]
 fn appends_and_multi_appends_complete_and_servers_agree() {
+    type Server = Hosted<Replica<DLogApp>>;
     let deployment = DLogDeployment::build(
         &DLogTopology::new(2, tuning()).engine(mrp_amcast::EngineKind::MultiRing),
     );
@@ -57,7 +58,6 @@ fn appends_and_multi_appends_complete_and_servers_agree() {
     assert!(ops > 100, "appends progressed: {ops}");
 
     // All three servers hold identical log states.
-    type Server = Hosted<Replica<DLogApp>>;
     let mut snaps = Vec::new();
     for &s in &deployment.servers.clone() {
         let server = cluster.actor_as::<Server>(s).expect("server");
@@ -70,6 +70,7 @@ fn appends_and_multi_appends_complete_and_servers_agree() {
 
 #[test]
 fn wbcast_engine_serves_dlog_and_servers_agree() {
+    type WbServer = Hosted<mrp_amcast::EngineReplica<DLogApp>>;
     // The identical workload, ordered by the timestamp-based engine
     // selected purely from deployment configuration.
     let deployment = DLogDeployment::build(
@@ -102,7 +103,6 @@ fn wbcast_engine_serves_dlog_and_servers_agree() {
     let ops = cluster.metrics().counter("dlog/ops");
     assert!(ops > 100, "appends progressed under wbcast: {ops}");
 
-    type WbServer = Hosted<mrp_amcast::EngineReplica<DLogApp>>;
     let mut snaps = Vec::new();
     for &s in &deployment.servers.clone() {
         let server = cluster.actor_as::<WbServer>(s).expect("wbcast server");
@@ -115,6 +115,7 @@ fn wbcast_engine_serves_dlog_and_servers_agree() {
 
 #[test]
 fn wbcast_multi_appends_need_no_common_ring() {
+    type WbServer = Hosted<mrp_amcast::EngineReplica<DLogApp>>;
     // Genuine multi-group multicast: multi-appends address exactly the
     // destination logs' groups, so the common ring is not deployed at
     // all.
@@ -146,7 +147,6 @@ fn wbcast_multi_appends_need_no_common_ring() {
     let ops = cluster.metrics().counter("dlog/ops");
     assert!(ops > 100, "appends progressed without a common ring: {ops}");
 
-    type WbServer = Hosted<mrp_amcast::EngineReplica<DLogApp>>;
     let mut snaps = Vec::new();
     for &s in &deployment.servers.clone() {
         let server = cluster.actor_as::<WbServer>(s).expect("wbcast server");

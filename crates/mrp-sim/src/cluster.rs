@@ -433,7 +433,7 @@ impl Cluster {
         // the fold borrows the metrics.
         let mut snapshots: BTreeMap<ProcessId, TelemetrySnapshot> = BTreeMap::new();
         let mut issues: Vec<&'static str> = Vec::new();
-        for (&p, slot) in self.slots.iter_mut() {
+        for (&p, slot) in &mut self.slots {
             if !slot.up {
                 continue;
             }

@@ -73,7 +73,7 @@ impl Wal {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let mut segments: Vec<u64> = fs::read_dir(&dir)?
-            .filter_map(|e| e.ok())
+            .filter_map(Result::ok)
             .filter_map(|e| {
                 let name = e.file_name().into_string().ok()?;
                 let n = name.strip_prefix("wal-")?.strip_suffix(".log")?;

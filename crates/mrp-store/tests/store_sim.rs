@@ -120,6 +120,7 @@ fn mixed_workload_completes_operations() {
 
 #[test]
 fn replicas_of_a_partition_converge() {
+    type StoreReplica = Hosted<Replica<StoreApp>>;
     let deployment = StoreDeployment::build(
         &StoreTopology::local(2, tuning()).engine(mrp_amcast::EngineKind::MultiRing),
     );
@@ -156,8 +157,7 @@ fn replicas_of_a_partition_converge() {
     cluster.run_until(Time::from_secs(5));
 
     // Every replica of each partition holds the same entries.
-    type StoreReplica = Hosted<Replica<StoreApp>>;
-    for (&partition, members) in deployment.replicas.clone().iter() {
+    for (&partition, members) in &deployment.replicas.clone() {
         let mut snapshots = Vec::new();
         for &p in members {
             let replica = cluster
@@ -219,6 +219,7 @@ fn batching_reduces_requests_but_completes_all_ops() {
 
 #[test]
 fn wbcast_engine_serves_store_and_replicas_converge() {
+    type WbReplica = Hosted<mrp_amcast::EngineReplica<StoreApp>>;
     // The identical insert workload, ordered by the timestamp-based
     // engine selected purely from deployment configuration.
     let deployment = StoreDeployment::build(
@@ -261,8 +262,7 @@ fn wbcast_engine_serves_store_and_replicas_converge() {
     cluster.run_until(Time::from_secs(6));
 
     // Every replica of each partition holds the same entries.
-    type WbReplica = Hosted<mrp_amcast::EngineReplica<StoreApp>>;
-    for (&partition, members) in deployment.replicas.clone().iter() {
+    for (&partition, members) in &deployment.replicas.clone() {
         let mut snapshots = Vec::new();
         for &p in members {
             let replica = cluster
@@ -283,6 +283,7 @@ fn wbcast_engine_serves_store_and_replicas_converge() {
 
 #[test]
 fn wbcast_scans_need_no_global_ring() {
+    type WbReplica = Hosted<mrp_amcast::EngineReplica<StoreApp>>;
     // The acceptance shape of genuine multi-group multicast: a store
     // with *no* global ring, ordered by the white-box engine. Scans —
     // the multi-partition commands — are multicast once to exactly the
@@ -343,14 +344,13 @@ fn wbcast_scans_need_no_global_ring() {
     let scans = cluster
         .metrics()
         .histogram("store/latency_us/scan")
-        .map_or(0, |h| h.count());
+        .map_or(0, mrp_sim::Histogram::count);
     assert!(scans > 10, "cross-partition scans completed: {scans}");
 
     // Replicas of each partition converge despite the interleaved
     // multi-group scans (which every involved partition must order
     // identically against its writes).
-    type WbReplica = Hosted<mrp_amcast::EngineReplica<StoreApp>>;
-    for (&partition, members) in deployment.replicas.clone().iter() {
+    for (&partition, members) in &deployment.replicas.clone() {
         let mut snapshots = Vec::new();
         for &p in members {
             let replica = cluster

@@ -280,7 +280,7 @@ impl TcpRuntime {
         let join = thread::Builder::new()
             .name(format!("mrp-node-{}", config.me.value()))
             .spawn(move || {
-                Self::protocol_loop(cfg, sm, storage, in_rx, events_tx, shutdown_main, probe)
+                Self::protocol_loop(cfg, sm, storage, in_rx, events_tx, shutdown_main, probe);
             })?;
 
         Ok(RuntimeHandle {
@@ -342,8 +342,7 @@ impl TcpRuntime {
             // Wait for the next input or timer deadline.
             let timeout_us = timers
                 .peek()
-                .map(|d| d.0.saturating_sub(now_us()))
-                .unwrap_or(config.tick_us)
+                .map_or(config.tick_us, |d| d.0.saturating_sub(now_us()))
                 .min(config.tick_us)
                 .max(100);
             // Block until the next input or the timer deadline: all

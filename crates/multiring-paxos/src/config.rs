@@ -320,8 +320,7 @@ impl RingConfig {
     pub fn roles_of(&self, p: ProcessId) -> Roles {
         self.index_of
             .get(&p)
-            .map(|&i| self.members[i].roles)
-            .unwrap_or(Roles::NONE)
+            .map_or(Roles::NONE, |&i| self.members[i].roles)
     }
 
     /// Position of `p` in ring order.
@@ -546,7 +545,7 @@ impl ClusterConfig {
             .rings
             .values()
             .filter(|r| r.is_member(p))
-            .map(|r| r.id())
+            .map(RingConfig::id)
             .collect()
     }
 }
@@ -722,7 +721,7 @@ mod tests {
         assert!(r.is_learner());
         assert!(Roles::ALL.contains(r));
         assert!(!r.contains(Roles::ALL));
-        assert_eq!(format!("{:?}", r), "Roles(P+L)");
+        assert_eq!(format!("{r:?}"), "Roles(P+L)");
         assert_eq!(format!("{:?}", Roles::NONE), "Roles(-)");
     }
 

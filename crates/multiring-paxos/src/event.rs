@@ -260,7 +260,7 @@ pub enum TimerKind {
 
 /// Token correlating a [`Action::Persist`] request with its
 /// [`Event::PersistDone`] completion.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PersistToken(pub u64);
 
 /// What a state machine asks the runtime to persist.

@@ -81,6 +81,7 @@
 pub mod app;
 pub mod codec;
 pub mod config;
+pub mod digest;
 pub mod event;
 pub mod multiring;
 pub mod node;

@@ -44,6 +44,23 @@ pub struct Merger {
 }
 
 impl Merger {
+    /// Folds the merge state into a fingerprint (see [`crate::digest`]):
+    /// queued undelivered ranges, the round-robin cursor and the
+    /// exactly-once filters.
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv1a) {
+        use crate::digest::DigestInto;
+        h.write_u64(u64::from(self.m));
+        h.write_usize(self.queues.len());
+        for q in &self.queues {
+            q.group.digest_into(h);
+            q.ranges.digest_into(h);
+            q.next_expected.digest_into(h);
+        }
+        h.write_usize(self.cursor_group);
+        h.write_u64(u64::from(self.cursor_used));
+        self.delivered_seq.digest_into(h);
+    }
+
     /// A merge over `groups` (sorted ascending internally) consuming `m`
     /// instances per group per turn.
     ///
@@ -91,8 +108,7 @@ impl Merger {
         let expected_next = q
             .ranges
             .back()
-            .map(|&(f, c, _)| f.plus(u64::from(c)))
-            .unwrap_or(q.next_expected);
+            .map_or(q.next_expected, |&(f, c, _)| f.plus(u64::from(c)));
         if last < expected_next {
             return; // stale duplicate
         }

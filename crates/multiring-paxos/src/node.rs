@@ -18,7 +18,7 @@ use crate::recovery::{CheckpointId, TrimCoordinator};
 use crate::ring::{Effects, RingState};
 use crate::types::{Ballot, ClientId, GroupId, InstanceId, ProcessId, RingId, Time, ValueId};
 use bytes::Bytes;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// Locally submitted values whose submission time is retained for
@@ -97,7 +97,7 @@ pub struct Node {
     rings: BTreeMap<RingId, RingState>,
     merger: Merger,
     trim: BTreeMap<RingId, TrimCoordinator>,
-    gated: HashMap<PersistToken, Vec<Action>>,
+    gated: BTreeMap<PersistToken, Vec<Action>>,
     token_seed: u64,
     need_checkpoint: Option<(RingId, InstanceId)>,
     /// Memoized covering-group resolutions, keyed by the sorted,
@@ -106,7 +106,7 @@ pub struct Node {
     stats: NodeStats,
     /// Submission times of locally multicast values, for latency
     /// attribution at delivery (bounded by `PENDING_TIMING_CAP`).
-    pending_at: HashMap<ValueId, Time>,
+    pending_at: BTreeMap<ValueId, Time>,
     /// Most recent submit→deliver latency samples (µs), bounded.
     recent_latencies: VecDeque<u64>,
     /// Recent recovery events as `(time, kind, detail)` tuples, bounded
@@ -165,12 +165,12 @@ impl Node {
             rings,
             merger,
             trim: BTreeMap::new(),
-            gated: HashMap::new(),
+            gated: BTreeMap::new(),
             token_seed: 0,
             need_checkpoint: None,
             covering: BTreeMap::new(),
             stats: NodeStats::default(),
-            pending_at: HashMap::new(),
+            pending_at: BTreeMap::new(),
             recent_latencies: VecDeque::new(),
             recovery_events: VecDeque::new(),
         }
@@ -288,6 +288,32 @@ impl Node {
     /// consumed by the replica layer to trigger checkpoint recovery.
     pub fn take_need_checkpoint(&mut self) -> Option<(RingId, InstanceId)> {
         self.need_checkpoint.take()
+    }
+
+    /// An FNV-1a fingerprint of the protocol-relevant state: ring role
+    /// machines, merge queues, trim rounds and persist-gated actions.
+    /// Telemetry counters and latency samples are excluded so schedules
+    /// that commute into the same protocol state fingerprint identically
+    /// (see [`crate::digest`]).
+    pub fn state_digest(&self) -> u64 {
+        use crate::digest::{DigestInto, Fnv1a};
+        let mut h = Fnv1a::new();
+        self.me.digest_into(&mut h);
+        h.write_usize(self.rings.len());
+        for (id, ring) in &self.rings {
+            id.digest_into(&mut h);
+            ring.digest_into(&mut h);
+        }
+        self.merger.digest_into(&mut h);
+        h.write_usize(self.trim.len());
+        for (id, t) in &self.trim {
+            id.digest_into(&mut h);
+            t.digest_into(&mut h);
+        }
+        self.gated.digest_into(&mut h);
+        h.write_u64(self.token_seed);
+        self.need_checkpoint.digest_into(&mut h);
+        h.finish()
     }
 
     /// Atomically multicasts `payload` to the group set `groups` via the
@@ -458,8 +484,7 @@ impl Node {
             let group = self
                 .rings
                 .get(&ring_id)
-                .map(RingState::group)
-                .unwrap_or_else(|| GroupId::new(u16::MAX));
+                .map_or_else(|| GroupId::new(u16::MAX), RingState::group);
             self.merger
                 .push(group, range.first, range.count, range.value);
         }
@@ -638,8 +663,7 @@ impl Node {
                 let interval = self
                     .rings
                     .get(&r)
-                    .map(|ring| ring.config().tuning().trim_interval_us)
-                    .unwrap_or(0);
+                    .map_or(0, |ring| ring.config().tuning().trim_interval_us);
                 if let Some(tc) = self.trim.get_mut(&r) {
                     let group = tc.group();
                     let (seq, targets) = tc.begin_round();
@@ -789,7 +813,7 @@ mod tests {
             })
             .collect();
         let mut queue = Vec::new();
-        for (&p, node) in nodes.iter_mut() {
+        for (&p, node) in &mut nodes {
             for a in node.on_event(Time::ZERO, Event::Start) {
                 queue.push((p, a));
             }
@@ -812,7 +836,7 @@ mod tests {
         assert_eq!(delivered.len(), 3, "all three learners deliver");
         let reference = &delivered[&ProcessId::new(0)];
         assert_eq!(reference.len(), 3);
-        for (_, seq) in delivered.iter() {
+        for seq in delivered.values() {
             assert_eq!(seq, reference, "identical delivery order everywhere");
         }
     }
@@ -903,7 +927,7 @@ mod tests {
             })
             .collect();
         let mut queue = Vec::new();
-        for (&p, node) in nodes.iter_mut() {
+        for (&p, node) in &mut nodes {
             for a in node.on_event(Time::ZERO, Event::Start) {
                 queue.push((p, a));
             }

@@ -85,6 +85,17 @@ pub struct Acceptor {
 }
 
 impl Acceptor {
+    /// Folds the acceptor's protocol state into a fingerprint (see
+    /// [`crate::digest`]).
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv1a) {
+        use crate::digest::DigestInto;
+        self.ring.digest_into(h);
+        self.promised.digest_into(h);
+        self.accepted.digest_into(h);
+        self.decided.digest_into(h);
+        self.trimmed.digest_into(h);
+    }
+
     /// A fresh acceptor for `ring`.
     pub fn new(ring: RingId) -> Self {
         Self {
@@ -216,8 +227,7 @@ impl Acceptor {
             .decided
             .range(..=from)
             .next_back()
-            .map(|(&f, _)| f)
-            .unwrap_or(from);
+            .map_or(from, |(&f, _)| f);
         for (&first, &(count, ref value)) in self.decided.range(start..) {
             if first > to {
                 break;

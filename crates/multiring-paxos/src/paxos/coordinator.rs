@@ -49,6 +49,37 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
+    /// Folds the coordinator's protocol state into a fingerprint (see
+    /// [`crate::digest`]). Rate-leveling interval accounting is included:
+    /// it gates when the next proposal round may start.
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv1a) {
+        use crate::digest::DigestInto;
+        self.ring.digest_into(h);
+        self.me.digest_into(h);
+        h.write_usize(self.majority);
+        self.ballot.digest_into(h);
+        h.write_u8(match self.status {
+            CoordinatorStatus::Preparing => 1,
+            CoordinatorStatus::Steady => 2,
+        });
+        self.phase1_from.digest_into(h);
+        self.promises.digest_into(h);
+        self.recovered.digest_into(h);
+        self.recovered_trim_max.digest_into(h);
+        self.next_instance.digest_into(h);
+        self.pending.digest_into(h);
+        self.seen.digest_into(h);
+        h.write_usize(self.in_flight.len());
+        for (i, inf) in &self.in_flight {
+            i.digest_into(h);
+            h.write_u64(u64::from(inf.count));
+            inf.value.digest_into(h);
+            inf.proposed_at.digest_into(h);
+        }
+        h.write_u64(self.started_in_interval);
+        self.interval_started_at.digest_into(h);
+    }
+
     /// Creates an idle coordinator for `ring` at process `me`; call
     /// [`Coordinator::start`] to run Phase 1 and take over.
     pub fn new(ring: RingId, me: ProcessId, majority: usize, tuning: RingTuning) -> Self {
@@ -315,7 +346,7 @@ impl Coordinator {
         }
         // Re-propose stalled instances (lost Phase 2 or vote rejection).
         let resend_after = self.tuning.repropose_us.max(1);
-        for (&first, inflight) in self.in_flight.iter_mut() {
+        for (&first, inflight) in &mut self.in_flight {
             if now.since(inflight.proposed_at) >= resend_after {
                 inflight.proposed_at = now;
                 out.push(InstanceRange {

@@ -68,8 +68,7 @@ impl CheckpointId {
         self.marks
             .iter()
             .find(|&&(g, _)| g == group)
-            .map(|&(_, i)| i)
-            .unwrap_or(InstanceId::ZERO)
+            .map_or(InstanceId::ZERO, |&(_, i)| i)
     }
 
     /// Whether both checkpoints cover the same group set (i.e. belong to

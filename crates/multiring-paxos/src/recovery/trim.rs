@@ -28,6 +28,17 @@ pub struct TrimCoordinator {
 }
 
 impl TrimCoordinator {
+    /// Folds the trim round state into a fingerprint (see
+    /// [`crate::digest`]). The static partition layout is excluded.
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv1a) {
+        use crate::digest::DigestInto;
+        self.group.digest_into(h);
+        self.ring.digest_into(h);
+        h.write_u64(self.seq);
+        self.replies.digest_into(h);
+        self.last_trim.digest_into(h);
+    }
+
     /// Builds the trim coordinator for `group` from the cluster layout.
     pub fn new(group: GroupId, ring: RingId, config: &ClusterConfig) -> Self {
         let subscribers = config.subscribers_of(group);
@@ -145,8 +156,7 @@ impl TrimResponder {
     pub fn safe_instance(&self, group: GroupId) -> InstanceId {
         self.stable
             .as_ref()
-            .map(|c| c.mark_of(group))
-            .unwrap_or(InstanceId::ZERO)
+            .map_or(InstanceId::ZERO, |c| c.mark_of(group))
     }
 }
 

@@ -12,7 +12,7 @@ use crate::paxos::AcceptorRecovery;
 use crate::recovery::{CheckpointId, RecoveryManager, RecoveryStep, Resolution, TrimResponder};
 use crate::types::{ProcessId, RingId, Time};
 use bytes::Bytes;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Checkpointing policy of a replica.
@@ -53,7 +53,7 @@ pub struct Replica<A> {
     /// Last durable checkpoint (id + snapshot), served to peers.
     stable: Option<(CheckpointId, Bytes)>,
     /// Checkpoints written but not yet durable, keyed by persist token.
-    pending_ckpt: HashMap<PersistToken, (CheckpointId, Bytes)>,
+    pending_ckpt: BTreeMap<PersistToken, (CheckpointId, Bytes)>,
     ckpt_token_seed: u64,
     recovery: Option<RecoveryManager>,
     /// Statistics: commands executed since start.
@@ -81,7 +81,7 @@ impl<A: Application> Replica<A> {
             policy,
             responder: TrimResponder::new(),
             stable: None,
-            pending_ckpt: HashMap::new(),
+            pending_ckpt: BTreeMap::new(),
             ckpt_token_seed: u64::MAX / 2, // disjoint from node tokens
             recovery: None,
             executed: 0,
@@ -116,7 +116,7 @@ impl<A: Application> Replica<A> {
             policy,
             responder,
             stable: local_checkpoint,
-            pending_ckpt: HashMap::new(),
+            pending_ckpt: BTreeMap::new(),
             ckpt_token_seed: u64::MAX / 2,
             recovery: Some(RecoveryManager::new(peers, local_id, PREFER_LOCAL_WITHIN)),
             executed: 0,

@@ -52,6 +52,20 @@ pub struct RingLearner {
 }
 
 impl RingLearner {
+    /// Folds the learner's protocol state into a fingerprint (see
+    /// [`crate::digest`]). `gap_since` is included: it decides whether
+    /// the next gap-check timer requests a retransmission.
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv1a) {
+        use crate::digest::DigestInto;
+        self.ring.digest_into(h);
+        self.next_release.digest_into(h);
+        self.highest_seen.digest_into(h);
+        self.decided.digest_into(h);
+        self.phase2_cache.digest_into(h);
+        self.gap_since.digest_into(h);
+        self.hold_repair.digest_into(h);
+    }
+
     /// A fresh learner starting at instance 1.
     pub fn new(ring: RingId) -> Self {
         Self {
@@ -192,8 +206,7 @@ impl RingLearner {
             .decided
             .range(self.next_release..)
             .next()
-            .map(|(&f, _)| f.value() - 1)
-            .unwrap_or(self.highest_seen.value());
+            .map_or(self.highest_seen.value(), |(&f, _)| f.value() - 1);
         Some((self.next_release, InstanceId::new(to)))
     }
 

@@ -386,6 +386,12 @@ impl SeqFilter {
     pub fn sparse_len(&self) -> usize {
         self.seen.len()
     }
+
+    /// Sequences recorded above the watermark, ascending (the sparse
+    /// part of the filter; used by state fingerprinting).
+    pub fn sparse(&self) -> impl Iterator<Item = u64> + '_ {
+        self.seen.iter().copied()
+    }
 }
 
 #[cfg(test)]

@@ -166,7 +166,7 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.throughput(Throughput::Bytes(8))
             .bench_function("batched", |b| {
-                b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+                b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput);
             });
         g.finish();
     }

@@ -19,6 +19,7 @@ use bytes::Bytes;
 use mrp_bench::OpenLoopClient;
 
 fn main() {
+    type StoreReplica = Hosted<Replica<StoreApp>>;
     // One ring: three proposer/acceptors + three learner replicas.
     let tuning = RingTuning {
         lambda: 2_000,
@@ -109,7 +110,6 @@ fn main() {
     cluster.schedule_restart(Time::from_secs(10), ProcessId::new(4));
     cluster.run_until(Time::from_secs(16));
 
-    type StoreReplica = Hosted<Replica<StoreApp>>;
     println!("t=16s: run finished");
     println!(
         "  acceptor log trims executed: {}",

@@ -50,6 +50,9 @@
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! the repository `README.md` for the paper-figure reproductions.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use mrp_amcast as amcast;
 pub use mrp_baselines as baselines;
 pub use mrp_coord as coord;

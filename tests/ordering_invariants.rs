@@ -501,7 +501,7 @@ fn batched_submission_records_batch_telemetry() {
             let occupancy_max = telemetry
                 .iter()
                 .filter_map(|s| s.histogram("batch.occupancy"))
-                .map(|h| h.max())
+                .map(atomic_multicast::sim::metrics::Histogram::max)
                 .max()
                 .unwrap_or_else(|| {
                     panic!("{kind}/{mode:?}: occupancy histogram missing despite flushes")
@@ -981,7 +981,12 @@ fn run_initiator_crash(
         let r = cluster.actor_as::<Recorder>(pid).expect("survivor");
         delivered.insert(pid, r.delivered.iter().map(|(_, id)| *id).collect());
         backlogs.push(r.node.inner().backlog());
-        undecided.push(r.node.inner().as_wbcast().map_or(0, |n| n.undecided_len()));
+        undecided.push(
+            r.node
+                .inner()
+                .as_wbcast()
+                .map_or(0, atomic_multicast::amcast::WbcastNode::undecided_len),
+        );
         let engine = r.node.inner();
         recovery.push((
             engine.recovery_counters(),
@@ -1236,8 +1241,10 @@ fn replica_crash_and_restart_recovers_from_checkpoint() {
         let ckpt_watermark = cluster
             .storage(ProcessId::new(4))
             .and_then(|s| s.checkpoint())
-            .map(|(id, _)| id.clone())
-            .unwrap_or_else(|| panic!("{kind}: no durable checkpoint before the crash"));
+            .map_or_else(
+                || panic!("{kind}: no durable checkpoint before the crash"),
+                |(id, _)| id.clone(),
+            );
         assert!(
             ckpt_watermark.total_instances() > 0,
             "{kind}: checkpoint covers deliveries"
