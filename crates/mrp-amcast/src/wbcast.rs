@@ -308,6 +308,15 @@ pub const ORPHAN_DELTAS: u64 = 3 * RETRY_DELTAS;
 /// released-in-key-order invariant.
 pub const TAKEOVER_GRACE_DELTAS: u64 = ORPHAN_DELTAS + RETRY_DELTAS;
 
+// The recovery-window algebra above is load-bearing: a takeover grace
+// shorter than the orphan timeout plus one retry period could advance
+// the frontier past a re-injected decided value, and an orphan timeout
+// at or below the retry period would recover live rounds constantly.
+// The wire-conformance lint (`mrp-check`) checks these assertions stay
+// present.
+const _: () = assert!(TAKEOVER_GRACE_DELTAS >= ORPHAN_DELTAS + RETRY_DELTAS);
+const _: () = assert!(ORPHAN_DELTAS > RETRY_DELTAS);
+
 /// Cap on a sequencer's retained released-value history while **not**
 /// every subscriber of the group participates in checkpointing (has
 /// sent at least one `CkptMark`): without the reports, nothing ever

@@ -1,8 +1,10 @@
-//! CI entry point for the sans-io purity lints:
+//! CI entry point for the static suites:
 //! `cargo run -p mrp-check --bin lint`.
 //!
-//! Exits 0 when the engine crates are clean, 1 with `file:line`
-//! diagnostics when they are not, and 2 on an operational error (bad
+//! Runs the sans-io purity lints over the engine crates, then the
+//! wire-conformance suite (codec tags, frame coverage, protocol
+//! constants, live round-trips). Exits 0 when everything is clean, 1
+//! with diagnostics when not, and 2 on an operational error (bad
 //! allowlist, unreadable tree).
 
 use std::path::Path;
@@ -14,10 +16,11 @@ fn main() -> ExitCode {
     // working directory.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let root = root.canonicalize().unwrap_or(root);
+    let mut problems = 0usize;
+
     match mrp_check::lint_engine_sources(&root) {
         Ok((diags, files)) if diags.is_empty() => {
-            println!("lint: {files} engine source files clean");
-            ExitCode::SUCCESS
+            println!("lint: {files} engine source files sans-io clean");
         }
         Ok((diags, files)) => {
             for d in &diags {
@@ -28,11 +31,38 @@ fn main() -> ExitCode {
                  (see crates/mrp-check/src/lint.rs for the rules and lint.allow for exemptions)",
                 diags.len()
             );
-            ExitCode::from(1)
+            problems += diags.len();
         }
         Err(e) => {
             eprintln!("lint: error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    }
+
+    match mrp_check::conformance_check(&root) {
+        Ok((findings, files)) if findings.is_empty() => {
+            println!("lint: wire conformance clean ({files} files inspected)");
+        }
+        Ok((findings, _)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!(
+                "lint: {} wire-conformance finding(s) — codec, frame vocabulary and protocol \
+                 constants must stay consistent (see crates/mrp-check/src/conformance.rs)",
+                findings.len()
+            );
+            problems += findings.len();
+        }
+        Err(e) => {
+            eprintln!("lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if problems == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

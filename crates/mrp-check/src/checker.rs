@@ -20,9 +20,18 @@
 //! * **sleep-set partial-order reduction** — independent choices
 //!   (disjoint node/channel footprints) are explored in only one order.
 //!
-//! Invariant oracles (exactly-once, agreement, delivery-order
-//! acyclicity, genuineness; validity at fault-free quiescence) run
-//! after every step. A violation is minimized into a replayable
+//! Correctness is judged against the executable specification in
+//! [`spec`](crate::spec): every concrete delivery is mapped to an
+//! [`AbstractAmcast`] transition, and a delivery the spec rejects is a
+//! `refinement` violation — the trace is not a behavior of the paper's
+//! primitive. The ad-hoc safety oracles (exactly-once, agreement,
+//! delivery-order acyclicity, genuineness; validity at fault-free
+//! quiescence) stay on as cheap fast-fail guards. With
+//! [`CheckerConfig::liveness`] set, the checker additionally hunts
+//! *lassos*: a cycle over progress-insensitive world digests in which
+//! some submitted message never delivers, every armed timer fires and
+//! every in-flight frame is delivered — a bounded non-progress
+//! counterexample. Any violation is minimized into a replayable
 //! [`Schedule`] that a plain `#[test]` can re-execute with
 //! [`replay_schedule`].
 
@@ -38,6 +47,7 @@ use multiring_paxos::event::{Action, Event, Message, TimerKind};
 use multiring_paxos::types::{GroupId, ProcessId, RingId, Time, ValueId};
 
 use crate::scenario::Scenario;
+use crate::spec::AbstractAmcast;
 
 /// A node's armed timers, keyed by [`timer_kind_key`] so the map order
 /// is deterministic (`TimerKind` itself is not `Ord`).
@@ -382,6 +392,12 @@ pub struct CheckerConfig {
     /// Hard cap on expanded states (0 = unlimited); sets
     /// [`Report::capped`] when hit.
     pub max_states: u64,
+    /// Enable bounded liveness checking: detect lassos — cycles over
+    /// progress-insensitive world digests along the DFS path in which
+    /// some submitted message never delivers although every armed timer
+    /// fires and every in-flight frame is delivered inside the cycle.
+    /// Reported under the `liveness` oracle.
+    pub liveness: bool,
 }
 
 impl Default for CheckerConfig {
@@ -393,6 +409,7 @@ impl Default for CheckerConfig {
             dedup: true,
             por: true,
             max_states: 500_000,
+            liveness: false,
         }
     }
 }
@@ -400,8 +417,8 @@ impl Default for CheckerConfig {
 /// An invariant breach, with the minimized schedule that reproduces it.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Violation {
-    /// Which oracle fired (`exactly-once`, `agreement`,
-    /// `acyclic-order`, `validity`, `genuineness`, `panic`).
+    /// Which oracle fired (`refinement`, `liveness`, `exactly-once`,
+    /// `agreement`, `acyclic-order`, `validity`, `genuineness`).
     pub oracle: String,
     /// Human-readable description of the breach.
     pub detail: String,
@@ -432,6 +449,10 @@ pub struct Report {
     pub quiescent: u64,
     /// Whether the `max_states` cap stopped the search early.
     pub capped: bool,
+    /// Liveness mode only: digest-repeat states examined as potential
+    /// lassos (most are benign — a cycle the fairness conditions or the
+    /// progress obligation rule out).
+    pub lasso_candidates: u64,
     /// The first (minimized) violation found, if any.
     pub violation: Option<Violation>,
 }
@@ -499,6 +520,9 @@ struct World<'a> {
     expected: BTreeMap<ProcessId, usize>,
     any_fault: bool,
     violation: Option<(String, String)>,
+    /// The abstract reference machine this path must refine: every
+    /// concrete delivery is checked as a spec transition.
+    spec: AbstractAmcast,
 }
 
 impl<'a> World<'a> {
@@ -515,6 +539,7 @@ impl<'a> World<'a> {
             expected: BTreeMap::new(),
             any_fault: false,
             violation: None,
+            spec: AbstractAmcast::new(),
         };
         let pids: Vec<ProcessId> = scenario.config.processes().into_iter().collect();
         for &p in &pids {
@@ -541,6 +566,17 @@ impl<'a> World<'a> {
         w.pump();
         for (i, sub) in scenario.submissions.iter().enumerate() {
             let at = sub.at;
+            // Register the submission with the abstract spec first:
+            // deliveries can happen while the submission's own frames
+            // are still being applied.
+            let dests: BTreeSet<ProcessId> = sub
+                .groups
+                .iter()
+                .flat_map(|&g| scenario.config.subscribers_of(g))
+                .collect();
+            let spec_msg = w
+                .spec
+                .submit(sub.groups.clone(), dests, sub.payload.clone());
             if sub.via_request {
                 let msg = Message::Request {
                     client: multiring_paxos::types::ClientId::new(9_000 + i as u64),
@@ -558,9 +594,10 @@ impl<'a> World<'a> {
                     .ok_or_else(|| format!("submitter {} not alive", at.value()))?;
                 let res = engine.multicast(now, &sub.groups, sub.payload.clone());
                 w.nodes.get_mut(&at).expect("slot exists").engine = Some(engine);
-                let actions = res
-                    .map_err(|e| format!("submission {i} rejected: {e:?}"))?
-                    .1;
+                let (id, actions) = res.map_err(|e| format!("submission {i} rejected: {e:?}"))?;
+                // Direct submissions reveal their value id up front:
+                // bind it eagerly so the spec never has to guess.
+                w.spec.bind(id, spec_msg);
                 w.apply(at, actions);
             }
             for (p, count) in w.expected_for(&sub.groups) {
@@ -662,6 +699,13 @@ impl<'a> World<'a> {
             Action::Persist { token, .. } => queue.push_back(Event::PersistDone(token)),
             Action::TrimStorage { .. } => {}
             Action::Deliver { group, value, .. } => {
+                // The refinement oracle: a delivery the abstract spec
+                // rejects means this trace is not a spec behavior.
+                if let Err(detail) = self.spec.deliver(pid, &value) {
+                    if self.violation.is_none() {
+                        self.violation = Some(("refinement".into(), detail));
+                    }
+                }
                 let slot = self.nodes.get_mut(&pid).expect("slot exists");
                 slot.delivered.push((group, value.id));
             }
@@ -848,6 +892,11 @@ impl<'a> World<'a> {
                     None => slot.delivered.clear(),
                 }
                 slot.engine = Some(engine);
+                // Mirror the crash in the spec: the delivery sequence
+                // resumes from the durable prefix (order edges persist
+                // — uniformity).
+                let keep = slot.delivered.len();
+                self.spec.truncate(node, keep);
                 self.feed(node, Event::Start);
                 let now = self.nodes[&node].now;
                 let mut engine = self
@@ -1021,13 +1070,29 @@ impl<'a> World<'a> {
 
     /// Fingerprint of everything that influences future behavior:
     /// engine digests, clocks, channels, timers, delivery logs, durable
-    /// checkpoints and remaining budgets.
+    /// checkpoints, remaining budgets and the abstract spec state.
     fn digest(&self) -> u64 {
+        self.digest_with(false)
+    }
+
+    /// The progress-insensitive fingerprint the lasso detector cycles
+    /// over: like [`digest`](World::digest) but without the per-node
+    /// clocks, fire counters and timer due times — all monotonically
+    /// advancing, so a wedged protocol revisits the *same* liveness
+    /// digest while its full digest keeps changing.
+    fn liveness_digest(&self) -> u64 {
+        self.digest_with(true)
+    }
+
+    fn digest_with(&self, progress_insensitive: bool) -> u64 {
         let mut h = Fnv1a::new();
         h.write_usize(self.nodes.len());
         for (&p, slot) in &self.nodes {
             h.write_u64(u64::from(p.value()));
-            h.write_u64(slot.now.as_micros());
+            if !progress_insensitive {
+                h.write_u64(slot.now.as_micros());
+                h.write_u64(u64::from(slot.fires));
+            }
             match &slot.engine {
                 Some(e) => {
                     h.write_u8(1);
@@ -1036,7 +1101,6 @@ impl<'a> World<'a> {
                 None => h.write_u8(0),
             }
             slot.delivered.digest_into(&mut h);
-            h.write_u64(u64::from(slot.fires));
             match &slot.durable {
                 Some(d) => {
                     h.write_u8(1);
@@ -1065,7 +1129,9 @@ impl<'a> World<'a> {
             for (&(tag, ring), &(_, due)) in timers {
                 h.write_u8(tag);
                 h.write_u64(u64::from(ring));
-                h.write_u64(due.as_micros());
+                if !progress_insensitive {
+                    h.write_u64(due.as_micros());
+                }
             }
         }
         for b in [
@@ -1077,7 +1143,73 @@ impl<'a> World<'a> {
             h.write_u64(u64::from(b));
         }
         h.write_u8(u8::from(self.any_fault));
+        self.spec.digest_into(&mut h);
         h.finish()
+    }
+
+    /// Judges a digest-repeating DFS segment as a non-progress lasso.
+    /// `segment` is the choice sequence between the two states with
+    /// equal [`liveness_digest`](World::liveness_digest)s; `self` is
+    /// the state at the cycle's (re-)entry point. Returns the violation
+    /// detail when all of the following hold:
+    ///
+    /// * some live node still owes expected deliveries (a submitted
+    ///   message never delivers),
+    /// * every node is up (a crashed node explains any stall — the
+    ///   `restart` choice, not the protocol, is what is being starved),
+    /// * every timer armed at the cycle state fired inside the segment
+    ///   and every non-empty channel was delivered from inside it (weak
+    ///   fairness: the Δ-paced retry/orphan machinery got its chance).
+    ///
+    /// Budget-consuming choices cannot occur inside a candidate segment
+    /// at all: budgets only decrease and are part of the digest, so the
+    /// endpoints would not match.
+    fn lasso_violation(&self, segment: &[Choice]) -> Option<String> {
+        if segment.is_empty() {
+            return None;
+        }
+        if !self.nodes.values().all(|s| s.engine.is_some() && !s.down) {
+            return None;
+        }
+        let owed: Vec<String> = self
+            .expected
+            .iter()
+            .filter_map(|(&p, &want)| {
+                let got = self.nodes.get(&p).map_or(0, |s| s.delivered.len());
+                (got < want).then(|| format!("p{} delivered {got}/{want}", p.value()))
+            })
+            .collect();
+        if owed.is_empty() {
+            return None;
+        }
+        for (&p, timers) in &self.timers {
+            for &(timer, _) in timers.values() {
+                let fired = segment.iter().any(|c| {
+                    matches!(c, Choice::Fire { node, timer: t }
+                        if *node == p && timer_kind_key(*t) == timer_kind_key(timer))
+                });
+                if !fired {
+                    return None;
+                }
+            }
+        }
+        for (&(from, to), q) in &self.channels {
+            if q.is_empty() {
+                continue;
+            }
+            let served = segment
+                .iter()
+                .any(|c| matches!(c, Choice::Deliver { from: f, to: t } if *f == from && *t == to));
+            if !served {
+                return None;
+            }
+        }
+        Some(format!(
+            "non-progress cycle of {} step(s): {} although every armed timer fired and \
+             every in-flight frame was delivered inside the cycle",
+            segment.len(),
+            owed.join(", "),
+        ))
     }
 }
 
@@ -1148,6 +1280,10 @@ pub struct Checker<'a> {
     report: Report,
     /// digest → sleep sets it was expanded with (subset rule).
     seen: BTreeMap<u64, Vec<BTreeSet<Choice>>>,
+    /// Liveness mode: the progress-insensitive digests of every prefix
+    /// of the current DFS path (index i = prefix of length i), scanned
+    /// for repeats — a repeat is a lasso candidate.
+    live_stack: Vec<u64>,
 }
 
 impl fmt::Debug for Checker<'_> {
@@ -1168,6 +1304,7 @@ impl<'a> Checker<'a> {
             cfg,
             report: Report::default(),
             seen: BTreeMap::new(),
+            live_stack: Vec::new(),
         }
     }
 
@@ -1176,6 +1313,7 @@ impl<'a> Checker<'a> {
     /// returned; exploration stops at the first violation.
     pub fn run(&mut self) -> Report {
         let mut path = Vec::new();
+        self.live_stack.clear();
         if let Err(v) = self.explore(&mut path, BTreeSet::new()) {
             let minimized = self.minimize(v);
             self.report.violation = Some(minimized);
@@ -1232,8 +1370,44 @@ impl<'a> Checker<'a> {
             self.report.capped = true;
             return Ok(());
         }
-        let (mut world, _) = self.replay(path)?;
+        let (world, _) = self.replay(path)?;
         self.report.explored += 1;
+        if self.cfg.liveness {
+            let ld = world.liveness_digest();
+            // A repeat against any shorter prefix of the current path
+            // is a cycle; the earliest match gives the longest segment,
+            // which the fairness conditions judge most precisely (the
+            // minimizer shrinks the counterexample afterwards).
+            if let Some(j) = self.live_stack.iter().position(|&d| d == ld) {
+                self.report.lasso_candidates += 1;
+                if let Some(detail) = world.lasso_violation(&path[j..]) {
+                    return Err(Violation {
+                        oracle: "liveness".into(),
+                        detail,
+                        schedule: Schedule {
+                            steps: path.clone(),
+                            drain: false,
+                        },
+                    });
+                }
+            }
+            self.live_stack.push(ld);
+            let res = self.expand(path, sleep, world);
+            self.live_stack.pop();
+            res
+        } else {
+            self.expand(path, sleep, world)
+        }
+    }
+
+    /// The expansion half of [`explore`](Checker::explore): dedup, the
+    /// depth/quiescence close-out and recursion into child choices.
+    fn expand(
+        &mut self,
+        path: &mut Vec<Choice>,
+        sleep: BTreeSet<Choice>,
+        mut world: World<'a>,
+    ) -> Result<(), Violation> {
         if self.cfg.dedup {
             let d = world.digest();
             let entries = self.seen.entry(d).or_default();
@@ -1328,6 +1502,9 @@ impl<'a> Checker<'a> {
     /// Replays `candidate` (plus a validity close-out drain when
     /// applicable) and returns the violation if `oracle` reproduces.
     fn reproduce(&self, candidate: &[Choice], oracle: &str) -> Option<Violation> {
+        if oracle == "liveness" {
+            return self.reproduce_liveness(candidate);
+        }
         match self.replay(candidate) {
             Err(v) if v.oracle == oracle => Some(v),
             Err(_) => None,
@@ -1351,6 +1528,43 @@ impl<'a> Checker<'a> {
                 }
             }
         }
+    }
+
+    /// Replays `candidate` with lasso detection after every step (same
+    /// fault budgets as the exploration, so the digests agree) and
+    /// returns the first liveness violation, trimmed to the prefix that
+    /// closes the cycle.
+    fn reproduce_liveness(&self, candidate: &[Choice]) -> Option<Violation> {
+        let mut world = World::build(self.scenario, self.cfg.faults).ok()?;
+        world.check_safety();
+        if world.violation.is_some() {
+            return None;
+        }
+        let mut stack = vec![world.liveness_digest()];
+        for (i, &c) in candidate.iter().enumerate() {
+            if world.step(c).is_err() {
+                return None;
+            }
+            world.check_safety();
+            if world.violation.is_some() {
+                return None;
+            }
+            let ld = world.liveness_digest();
+            if let Some(j) = stack.iter().position(|&d| d == ld) {
+                if let Some(detail) = world.lasso_violation(&candidate[j..=i]) {
+                    return Some(Violation {
+                        oracle: "liveness".into(),
+                        detail,
+                        schedule: Schedule {
+                            steps: candidate[..=i].to_vec(),
+                            drain: false,
+                        },
+                    });
+                }
+            }
+            stack.push(ld);
+        }
+        None
     }
 }
 
@@ -1383,6 +1597,10 @@ pub fn replay_schedule(scenario: &Scenario, schedule: &Schedule) -> Result<Repla
     )?;
     world.check_safety();
     let mut executed = Vec::new();
+    // Scripted liveness counterexamples (lassos) are re-detected during
+    // replay, so a checked-in `.sched` for a stall reproduces like any
+    // safety schedule does.
+    let mut live_stack = vec![world.liveness_digest()];
     for (i, &c) in schedule.steps.iter().enumerate() {
         if world.violation.is_some() {
             break;
@@ -1392,6 +1610,15 @@ pub fn replay_schedule(scenario: &Scenario, schedule: &Schedule) -> Result<Repla
             .map_err(|e| format!("step {} (`{c}`): {e}", i + 1))?;
         executed.push(c);
         world.check_safety();
+        if world.violation.is_none() {
+            let ld = world.liveness_digest();
+            if let Some(j) = live_stack.iter().position(|&d| d == ld) {
+                if let Some(detail) = world.lasso_violation(&executed[j..]) {
+                    world.violation = Some(("liveness".into(), detail));
+                }
+            }
+            live_stack.push(ld);
+        }
     }
     if schedule.drain && world.violation.is_none() {
         world.drain(DRAIN_STEPS, &mut executed);

@@ -1,0 +1,682 @@
+//! Wire-conformance lints: the codec, the engine frame vocabulary and
+//! the protocol constants must stay mutually consistent.
+//!
+//! The sans-io lints in [`lint`](crate::lint) keep the engines
+//! *checkable*; this suite keeps the wire layer *honest*. Three rule
+//! families, all dependency-free source scanning plus one live codec
+//! exercise:
+//!
+//! | rule                | rejects |
+//! |---------------------|---------|
+//! | `codec-tags`        | colliding wire-tag values; a declared tag not referenced by both an encode and a decode path (dead vocabulary) |
+//! | `frame-coverage`    | an enum variant missing from any of its codec/dispatch functions — every [`Message`] variant must appear in `encode`, `encoded_len` and `decode`; every `PersistRecord` variant in `encode_record`, `record_len` and `decode_record`; every white-box `WbMessage` frame in `into_frame`, `parse` and `on_wb_message` (constructed somewhere ⇒ matched somewhere) |
+//! | `protocol-constants`| a missing `const _` static assertion for the load-bearing recovery-window algebra (`TAKEOVER_GRACE_DELTAS ≥ ORPHAN_DELTAS + RETRY_DELTAS`, `ORPHAN_DELTAS > RETRY_DELTAS`) |
+//! | `round-trip`        | a [`Message`] variant without a sample that encodes, length-checks, decodes and compares equal through the live codec |
+//!
+//! Like the purity lints, sources are stripped of comments and string
+//! literals and matching stops at the first `#[cfg(test)]`. The
+//! functions all take source *text* so the self-tests can feed doctored
+//! sources with injected violations; [`conformance_check`] is the
+//! entry point the `lint` binary runs against the real tree.
+
+use std::fmt;
+use std::path::Path;
+
+use bytes::{Bytes, BytesMut};
+use multiring_paxos::codec::{decode, encode, encoded_len};
+use multiring_paxos::event::Message;
+use multiring_paxos::recovery::CheckpointId;
+use multiring_paxos::types::{
+    Ballot, ClientId, ConsensusValue, GroupId, InstanceId, ProcessId, RingId, Value, ValueId,
+};
+
+use crate::lint::{contains_word, strip};
+
+/// One conformance finding: the rule, the (logical) file and what is
+/// inconsistent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// Rule identifier (`codec-tags`, `frame-coverage`,
+    /// `protocol-constants`, `round-trip`).
+    pub rule: &'static str,
+    /// File the inconsistency concerns (as given to the checker).
+    pub file: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.file, self.rule, self.detail)
+    }
+}
+
+/// Strips comments/strings and truncates at the first `#[cfg(test)]`
+/// so test-module mentions never satisfy (or trip) a rule.
+fn prepared(source: &str) -> String {
+    let stripped = strip(source);
+    match stripped
+        .lines()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+    {
+        Some(cut) => stripped.lines().take(cut).collect::<Vec<_>>().join("\n"),
+        None => stripped,
+    }
+}
+
+/// Counts word-boundary occurrences of `needle` in `text`.
+fn count_word(text: &str, needle: &str) -> usize {
+    text.lines().filter(|l| contains_word(l, needle)).count()
+}
+
+/// Extracts `const TAG_*` declarations with `u8` literal values:
+/// `(name, value, 1-based line)`.
+pub fn parse_tag_consts(source: &str) -> Vec<(String, u8, usize)> {
+    let mut out = Vec::new();
+    for (idx, raw) in prepared(source).lines().enumerate() {
+        let line = raw.trim_start().trim_start_matches("pub ");
+        let Some(rest) = line.strip_prefix("const TAG_") else {
+            continue;
+        };
+        let Some((name_tail, rest)) = rest.split_once(':') else {
+            continue;
+        };
+        let Some((_, value)) = rest.split_once('=') else {
+            continue;
+        };
+        let Ok(value) = value.trim().trim_end_matches(';').trim().parse::<u8>() else {
+            continue;
+        };
+        out.push((format!("TAG_{}", name_tail.trim()), value, idx + 1));
+    }
+    out
+}
+
+/// The `codec-tags` rule over one file: no two tags may share a value,
+/// and every declared tag must be referenced at least twice beyond its
+/// declaration (once encoding, once decoding) — a tag that is not is
+/// dead vocabulary.
+pub fn check_codec_tags(file: &str, source: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let text = prepared(source);
+    let tags = parse_tag_consts(source);
+    for (i, (name, value, line)) in tags.iter().enumerate() {
+        for (other, value2, line2) in tags.iter().skip(i + 1) {
+            if value == value2 {
+                out.push(Finding {
+                    rule: "codec-tags",
+                    file: file.to_string(),
+                    detail: format!(
+                        "tag collision: `{name}` (line {line}) and `{other}` (line {line2}) \
+                         both use wire value {value}"
+                    ),
+                });
+            }
+        }
+        let uses = count_word(&text, name);
+        if uses < 3 {
+            out.push(Finding {
+                rule: "codec-tags",
+                file: file.to_string(),
+                detail: format!(
+                    "dead tag: `{name}` (line {line}) referenced on {uses} line(s) including \
+                     its declaration; an alive tag appears in both an encode and a decode path"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Parses the variant names of `enum enum_name` out of `source`
+/// (stripped, pre-`#[cfg(test)]`).
+pub fn parse_enum_variants(source: &str, enum_name: &str) -> Vec<String> {
+    let text = prepared(source);
+    let Some(body) = enum_body(&text, enum_name) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut at_variant = true;
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' | '(' | '<' | '[' => depth += 1,
+            '}' | ')' | '>' | ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => at_variant = true,
+            c if at_variant && depth == 0 && c.is_ascii_uppercase() => {
+                let mut name = String::new();
+                name.push(c);
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        name.push(n);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(name);
+                at_variant = false;
+            }
+            c if !c.is_whitespace() && depth == 0 => at_variant = false,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Returns the brace-matched body of `enum enum_name { ... }`.
+fn enum_body<'t>(text: &'t str, enum_name: &str) -> Option<&'t str> {
+    let needle = format!("enum {enum_name}");
+    let mut search = 0usize;
+    loop {
+        let at = search + text[search..].find(&needle)?;
+        let end = at + needle.len();
+        let next = text[end..].chars().next();
+        if next.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            search = end;
+            continue;
+        }
+        let open = end + text[end..].find('{')?;
+        let mut depth = 0usize;
+        for (i, c) in text[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&text[open + 1..open + i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+}
+
+/// Returns the brace-matched body of the first function named
+/// `fn_name` in `text` (which must already be stripped).
+fn fn_body<'t>(text: &'t str, fn_name: &str) -> Option<&'t str> {
+    let needle = format!("fn {fn_name}");
+    let mut search = 0usize;
+    loop {
+        let at = search + text[search..].find(&needle)?;
+        let end = at + needle.len();
+        let next = text[end..].chars().next();
+        if next.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            search = end;
+            continue;
+        }
+        let open = end + text[end..].find('{')?;
+        let mut depth = 0usize;
+        for (i, c) in text[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&text[open..open + i + 1]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+}
+
+/// The `frame-coverage` rule: every variant of `enum_name` (parsed from
+/// `enum_src`) must appear, qualified (`Enum::Variant`), inside the
+/// body of each function in `fns` within `impl_src` — constructed
+/// somewhere means matched somewhere, in every direction the frame
+/// travels.
+pub fn check_enum_fn_coverage(
+    file: &str,
+    enum_src: &str,
+    enum_name: &str,
+    impl_src: &str,
+    fns: &[&str],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let variants = parse_enum_variants(enum_src, enum_name);
+    if variants.is_empty() {
+        out.push(Finding {
+            rule: "frame-coverage",
+            file: file.to_string(),
+            detail: format!("enum `{enum_name}` not found (or has no variants)"),
+        });
+        return out;
+    }
+    let text = prepared(impl_src);
+    for &f in fns {
+        let Some(body) = fn_body(&text, f) else {
+            out.push(Finding {
+                rule: "frame-coverage",
+                file: file.to_string(),
+                detail: format!("function `{f}` not found while checking `{enum_name}` coverage"),
+            });
+            continue;
+        };
+        for v in &variants {
+            let needle = format!("{enum_name}::{v}");
+            if !body.lines().any(|l| contains_word(l, &needle)) {
+                out.push(Finding {
+                    rule: "frame-coverage",
+                    file: file.to_string(),
+                    detail: format!("`{needle}` is not handled in `{f}`"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The static assertions the `protocol-constants` rule demands in the
+/// white-box engine source, compared whitespace-insensitively. The
+/// recovery-window algebra from the sequencer-handover fix is
+/// load-bearing: the takeover grace must cover the orphan timeout plus
+/// one retry period or re-injected decided values can miss the held
+/// stream.
+const REQUIRED_CONST_ASSERTS: &[&str] = &[
+    "const _: () = assert!(TAKEOVER_GRACE_DELTAS >= ORPHAN_DELTAS + RETRY_DELTAS",
+    "const _: () = assert!(ORPHAN_DELTAS > RETRY_DELTAS",
+];
+
+/// The `protocol-constants` rule: the white-box engine source must
+/// carry a compile-time assertion for each relation in
+/// `REQUIRED_CONST_ASSERTS`.
+pub fn check_protocol_constants(file: &str, source: &str) -> Vec<Finding> {
+    let squeezed: String = prepared(source)
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    let mut out = Vec::new();
+    for required in REQUIRED_CONST_ASSERTS {
+        let needle: String = required.chars().filter(|c| !c.is_whitespace()).collect();
+        if !squeezed.contains(&needle) {
+            out.push(Finding {
+                rule: "protocol-constants",
+                file: file.to_string(),
+                detail: format!("missing static assertion `{required}...)`"),
+            });
+        }
+    }
+    out
+}
+
+/// One hand-maintained sample per [`Message`] variant for the live
+/// round-trip check. The completeness of this list is itself checked
+/// against the enum source, so a new variant without a sample is a
+/// finding, not a silent gap.
+fn message_samples() -> Vec<(&'static str, Message)> {
+    let value = Value::new(
+        ValueId::new(ProcessId::new(3), 77),
+        GroupId::new(2),
+        Bytes::from_static(b"conformance"),
+    );
+    let cv = ConsensusValue::Values(vec![value.clone()]);
+    let ckpt = CheckpointId {
+        marks: vec![(GroupId::new(0), InstanceId::new(10))],
+        cursor_group: 1,
+        cursor_used: 0,
+    };
+    vec![
+        (
+            "Forward",
+            Message::Forward {
+                ring: RingId::new(1),
+                values: vec![value],
+                hops: 2,
+            },
+        ),
+        (
+            "Phase1A",
+            Message::Phase1A {
+                ring: RingId::new(1),
+                ballot: Ballot::new(4, ProcessId::new(2)),
+                from: InstanceId::new(5),
+            },
+        ),
+        (
+            "Phase1B",
+            Message::Phase1B {
+                ring: RingId::new(1),
+                ballot: Ballot::new(4, ProcessId::new(2)),
+                from: InstanceId::new(5),
+                accepted: vec![(
+                    InstanceId::new(6),
+                    Ballot::new(3, ProcessId::new(1)),
+                    cv.clone(),
+                )],
+                trimmed: InstanceId::new(2),
+            },
+        ),
+        (
+            "Phase2",
+            Message::Phase2 {
+                ring: RingId::new(1),
+                ballot: Ballot::new(4, ProcessId::new(2)),
+                first: InstanceId::new(7),
+                count: 1,
+                value: cv.clone(),
+                votes: 2,
+            },
+        ),
+        (
+            "Decision",
+            Message::Decision {
+                ring: RingId::new(1),
+                first: InstanceId::new(7),
+                count: 1,
+                value: Some(cv),
+                hops: 1,
+            },
+        ),
+        (
+            "Retransmit",
+            Message::Retransmit {
+                ring: RingId::new(0),
+                from: InstanceId::new(1),
+                to: InstanceId::new(4),
+            },
+        ),
+        (
+            "RetransmitReply",
+            Message::RetransmitReply {
+                ring: RingId::new(0),
+                decided: vec![(InstanceId::new(1), 2, ConsensusValue::Skip)],
+                trimmed: InstanceId::ZERO,
+            },
+        ),
+        (
+            "TrimQuery",
+            Message::TrimQuery {
+                group: GroupId::new(3),
+                seq: 9,
+            },
+        ),
+        (
+            "TrimReply",
+            Message::TrimReply {
+                group: GroupId::new(3),
+                seq: 9,
+                safe: InstanceId::new(100),
+            },
+        ),
+        (
+            "TrimCommand",
+            Message::TrimCommand {
+                ring: RingId::new(2),
+                upto: InstanceId::new(50),
+            },
+        ),
+        ("CheckpointQuery", Message::CheckpointQuery { seq: 1 }),
+        (
+            "CheckpointInfo",
+            Message::CheckpointInfo {
+                seq: 1,
+                checkpoint: Some(ckpt.clone()),
+            },
+        ),
+        (
+            "CheckpointFetch",
+            Message::CheckpointFetch {
+                seq: 3,
+                id: ckpt.clone(),
+            },
+        ),
+        (
+            "CheckpointData",
+            Message::CheckpointData {
+                seq: 3,
+                id: ckpt,
+                snapshot: Some(Bytes::from_static(b"snapshot")),
+            },
+        ),
+        (
+            "Request",
+            Message::Request {
+                client: ClientId::new(8),
+                request: 55,
+                groups: vec![GroupId::new(1)],
+                payload: Bytes::from_static(b"cmd"),
+            },
+        ),
+        (
+            "Response",
+            Message::Response {
+                client: ClientId::new(8),
+                request: 55,
+                payload: Bytes::from_static(b"ok"),
+            },
+        ),
+        (
+            "Batch",
+            Message::Batch(vec![Message::CheckpointQuery { seq: 4 }]),
+        ),
+        (
+            "Engine",
+            Message::Engine {
+                engine: 1,
+                payload: Bytes::from_static(b"engine-frame"),
+            },
+        ),
+    ]
+}
+
+/// The `round-trip` rule: every `Message` variant parsed from
+/// `event_src` must have a sample in `message_samples` that encodes
+/// to exactly `encoded_len` bytes, decodes back equal, and leaves no
+/// trailing bytes.
+pub fn check_message_round_trip(event_src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let samples = message_samples();
+    let variants = parse_enum_variants(event_src, "Message");
+    for v in &variants {
+        if !samples.iter().any(|(name, _)| name == v) {
+            out.push(Finding {
+                rule: "round-trip",
+                file: "crates/multiring-paxos/src/event.rs".into(),
+                detail: format!("`Message::{v}` has no round-trip sample in the conformance suite"),
+            });
+        }
+    }
+    for (name, msg) in &samples {
+        let mut buf = BytesMut::new();
+        encode(msg, &mut buf);
+        if buf.len() != encoded_len(msg) {
+            out.push(Finding {
+                rule: "round-trip",
+                file: "crates/multiring-paxos/src/codec.rs".into(),
+                detail: format!(
+                    "`Message::{name}` encodes to {} bytes but encoded_len claims {}",
+                    buf.len(),
+                    encoded_len(msg)
+                ),
+            });
+            continue;
+        }
+        let mut frozen = buf.freeze();
+        match decode(&mut frozen) {
+            Ok(back) if &back == msg && frozen.is_empty() => {}
+            Ok(back) if &back == msg => out.push(Finding {
+                rule: "round-trip",
+                file: "crates/multiring-paxos/src/codec.rs".into(),
+                detail: format!(
+                    "`Message::{name}` leaves {} trailing byte(s) after decode",
+                    frozen.len()
+                ),
+            }),
+            Ok(_) => out.push(Finding {
+                rule: "round-trip",
+                file: "crates/multiring-paxos/src/codec.rs".into(),
+                detail: format!("`Message::{name}` does not decode back to itself"),
+            }),
+            Err(e) => out.push(Finding {
+                rule: "round-trip",
+                file: "crates/multiring-paxos/src/codec.rs".into(),
+                detail: format!("`Message::{name}` fails to decode: {e}"),
+            }),
+        }
+    }
+    out
+}
+
+/// Runs the whole wire-conformance suite against the real tree under
+/// `repo_root`. Returns the findings and the number of source files
+/// inspected.
+///
+/// # Errors
+///
+/// Fails when one of the inspected sources cannot be read.
+pub fn conformance_check(repo_root: &Path) -> Result<(Vec<Finding>, usize), String> {
+    let read = |rel: &str| -> Result<String, String> {
+        std::fs::read_to_string(repo_root.join(rel)).map_err(|e| format!("{rel}: {e}"))
+    };
+    let event_src = read("crates/multiring-paxos/src/event.rs")?;
+    let codec_src = read("crates/multiring-paxos/src/codec.rs")?;
+    let wbcast_src = read("crates/mrp-amcast/src/wbcast.rs")?;
+    let mut findings = Vec::new();
+    findings.extend(check_codec_tags(
+        "crates/multiring-paxos/src/codec.rs",
+        &codec_src,
+    ));
+    findings.extend(check_codec_tags(
+        "crates/mrp-amcast/src/wbcast.rs",
+        &wbcast_src,
+    ));
+    findings.extend(check_enum_fn_coverage(
+        "crates/multiring-paxos/src/codec.rs",
+        &event_src,
+        "Message",
+        &codec_src,
+        &["encode", "encoded_len", "decode"],
+    ));
+    findings.extend(check_enum_fn_coverage(
+        "crates/multiring-paxos/src/codec.rs",
+        &event_src,
+        "PersistRecord",
+        &codec_src,
+        &["encode_record", "record_len", "decode_record"],
+    ));
+    findings.extend(check_enum_fn_coverage(
+        "crates/mrp-amcast/src/wbcast.rs",
+        &wbcast_src,
+        "WbMessage",
+        &wbcast_src,
+        &["into_frame", "parse", "on_wb_message"],
+    ));
+    findings.extend(check_protocol_constants(
+        "crates/mrp-amcast/src/wbcast.rs",
+        &wbcast_src,
+    ));
+    findings.extend(check_message_round_trip(&event_src));
+    Ok((findings, 3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colliding_and_dead_tags_are_flagged() {
+        let src = "const TAG_A: u8 = 1;\nconst TAG_B: u8 = 1;\nconst TAG_C: u8 = 2;\n\
+                   fn encode() { use_tag(TAG_A); use_tag(TAG_B); use_tag(TAG_C); }\n\
+                   fn decode() { use_tag(TAG_A); use_tag(TAG_B); }\n";
+        let findings = check_codec_tags("doctored.rs", src);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.detail.contains("collision") && f.detail.contains("TAG_B")),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.detail.contains("dead tag") && f.detail.contains("TAG_C")),
+            "{findings:?}"
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn tag_mentions_inside_tests_do_not_count() {
+        let src = "const TAG_A: u8 = 1;\nfn encode() { t(TAG_A); }\n\
+                   #[cfg(test)]\nmod tests { fn x() { t(TAG_A); t(TAG_A); } }\n";
+        let findings = check_codec_tags("doctored.rs", src);
+        assert!(
+            findings.iter().any(|f| f.detail.contains("dead tag")),
+            "uses inside #[cfg(test)] must not keep a tag alive: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn enum_variants_parse_from_real_shapes() {
+        let src = "pub enum Message {\n    Forward { ring: RingId, values: Vec<Value> },\n\
+                   \n    Decision {\n        ring: RingId,\n    },\n    Batch(Vec<Message>),\n\
+                       Ping,\n}\n";
+        assert_eq!(
+            parse_enum_variants(src, "Message"),
+            vec!["Forward", "Decision", "Batch", "Ping"]
+        );
+    }
+
+    #[test]
+    fn missing_handler_coverage_is_flagged() {
+        let enum_src = "enum Wb { A { x: u8 }, B, C(u8) }";
+        let impl_src = "fn into_frame(self) { match self { Wb::A { .. } => 1, Wb::B => 2, \
+                        Wb::C(_) => 3 } }\n\
+                        fn parse(b: u8) { if b == 1 { Wb::A { x: 0 } } else { Wb::B } }\n";
+        let findings =
+            check_enum_fn_coverage("d.rs", enum_src, "Wb", impl_src, &["into_frame", "parse"]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0]
+            .detail
+            .contains("`Wb::C` is not handled in `parse`"));
+    }
+
+    #[test]
+    fn missing_function_is_flagged() {
+        let findings =
+            check_enum_fn_coverage("d.rs", "enum E { V }", "E", "fn other() {}", &["handle"]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.detail.contains("`handle` not found")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn missing_const_assert_is_flagged() {
+        let with =
+            "const _: () = assert!(TAKEOVER_GRACE_DELTAS >= ORPHAN_DELTAS + RETRY_DELTAS);\n\
+                    const _: () = assert!(ORPHAN_DELTAS > RETRY_DELTAS);\n";
+        assert!(check_protocol_constants("d.rs", with).is_empty());
+        let without = "const TAKEOVER_GRACE_DELTAS: u64 = 16;\n";
+        let findings = check_protocol_constants("d.rs", without);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].rule == "protocol-constants");
+    }
+
+    #[test]
+    fn unknown_variant_without_sample_is_flagged() {
+        let doctored = "pub enum Message { Forward { x: u8 }, Teleport { warp: u64 } }";
+        let findings = check_message_round_trip(doctored);
+        assert!(
+            findings.iter().any(|f| f
+                .detail
+                .contains("`Message::Teleport` has no round-trip sample")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn live_codec_round_trips_every_sample() {
+        // Against a minimal enum source listing exactly the real
+        // variants, the rule reduces to the live encode/decode checks.
+        let findings = check_message_round_trip("enum Message { Forward }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

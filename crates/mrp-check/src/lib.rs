@@ -1,4 +1,4 @@
-//! # mrp-check: bounded model checking and sans-io purity lints
+//! # mrp-check: bounded model checking, liveness and static suites
 //!
 //! The engines behind [`mrp_amcast::AmcastEngine`] are sans-io state
 //! machines: events in, actions out, no clocks, no threads, no
@@ -16,7 +16,18 @@
 //!   integrity, validity, pairwise delivery-order acyclicity, and
 //!   genuineness for the white-box engine — run at every state; a
 //!   violation is minimized into a replayable [`checker::Schedule`]
-//!   a plain `#[test]` can re-execute.
+//!   a plain `#[test]` can re-execute. With
+//!   [`CheckerConfig::liveness`](checker::CheckerConfig) set, the DFS
+//!   additionally hunts for *lassos*: cycles over progress-insensitive
+//!   state fingerprints in which a process is still owed a delivery yet
+//!   every armed timer fired and every in-flight frame was delivered —
+//!   a fair non-progress loop, minimized and replayable like any
+//!   safety counterexample.
+//! * [`spec`] — [`AbstractAmcast`], atomic multicast as the paper
+//!   specifies it, as an executable data structure. During exploration
+//!   every concrete delivery is mapped to the spec's single `deliver`
+//!   transition; a trace the spec rejects is a refinement violation.
+//!   The pointwise oracles above stay on as fast-fail guards.
 //! * [`scenario`] — canned multi-node deployments (both engines,
 //!   multi-group traffic, batching on/off) the checker and the
 //!   regression schedules under `schedules/` run against.
@@ -24,26 +35,42 @@
 //!   rejects sans-io purity violations in the engine crates: wall-clock
 //!   reads, thread spawns, order-nondeterministic hash collections,
 //!   stray stdout. Run it as `cargo run -p mrp-check --bin lint`.
-//! * [`toy`] — a deliberately small (and optionally deliberately buggy)
-//!   hub-ordered engine used to prove the checker's oracles fire.
+//! * [`conformance`] — the wire-conformance suite run by the same
+//!   binary: codec-tag collision/liveness checks, variant-coverage
+//!   checks for the `Message`/`PersistRecord`/`WbMessage` vocabularies
+//!   in every function that must be exhaustive over them, pinned
+//!   protocol-constant static asserts, and live round-trips of every
+//!   `Message` variant through the codec.
+//! * [`toy`] — a deliberately small hub-ordered engine with three
+//!   sabotaged variants (dropped decision, wedged retry loop,
+//!   order-inverting receiver) used to prove the validity, liveness and
+//!   refinement detectors each fire and minimize.
 //!
-//! The `check` binary (`cargo run -p mrp-check --bin check`) runs the
-//! bounded exploration for both engines with fault branching on and
-//! reports explored/pruned state counts, including the reduction factor
-//! of dedup + partial-order reduction over a naive DFS.
+//! The `check` binary (`cargo run --release -p mrp-check --bin check`)
+//! runs the bounded exploration for both engines with fault branching
+//! on and reports explored/pruned state counts, including the reduction
+//! factor of dedup + partial-order reduction over a naive DFS. CI runs
+//! it twice: a smoke pass, and a deep `--liveness` pass whose exact
+//! counts are diffed against the committed `CHECK_baseline.json`
+//! (exploration is deterministic; drift fails the build until the
+//! baseline is consciously regenerated).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod checker;
+pub mod conformance;
 pub mod lint;
 pub mod scenario;
+pub mod spec;
 pub mod toy;
 
 pub use checker::{
     check, replay_schedule, Checker, CheckerConfig, Choice, FaultBudget, ReplayOutcome, Report,
     Schedule, Violation,
 };
+pub use conformance::{conformance_check, Finding};
 pub use lint::{lint_engine_sources, lint_source, Allowlist, Diagnostic};
 pub use scenario::{Scenario, Submission};
+pub use spec::AbstractAmcast;

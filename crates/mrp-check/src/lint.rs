@@ -122,7 +122,8 @@ fn is_ident(c: char) -> bool {
 /// line structure so diagnostics keep their line numbers. Handles line
 /// and (nested) block comments, escaped strings, raw strings and the
 /// char-literal/lifetime ambiguity well enough for this codebase.
-fn strip(source: &str) -> String {
+/// Shared with the [`conformance`](crate::conformance) suite.
+pub(crate) fn strip(source: &str) -> String {
     let chars: Vec<char> = source.chars().collect();
     let mut out = String::with_capacity(source.len());
     let mut i = 0;
@@ -286,7 +287,7 @@ pub fn lint_source(file: &str, source: &str, allow: &Allowlist) -> Vec<Diagnosti
 /// `println!`), and when the pattern ends in an identifier character,
 /// neither may the character after (so a `HashMapShim` name would not
 /// trip `HashMap` — but `HashMap::new` and `HashMap<K, V>` do).
-fn contains_word(line: &str, pattern: &str) -> bool {
+pub(crate) fn contains_word(line: &str, pattern: &str) -> bool {
     let bytes = line.as_bytes();
     let pat = pattern.as_bytes();
     let check_suffix = pattern.chars().last().is_some_and(is_ident);

@@ -182,6 +182,59 @@ impl Scenario {
         }
     }
 
+    /// A batching-enabled deployment of either engine: three client
+    /// requests at two processes through the submission batcher. With
+    /// `window_bound` false the batcher flushes on its two-value size
+    /// bound; with it true the size bound is slack (eight values) and
+    /// every flush must come from a `SubmitFlush` timer firing, so the
+    /// checker interleaves the flush tick against deliveries and other
+    /// timers like any other choice.
+    pub fn batched(kind: EngineKind, window_bound: bool) -> Scenario {
+        let config = shared_two_group_config();
+        let batching = Some(if window_bound {
+            BatchConfig {
+                max_values: 8,
+                max_bytes: 1 << 20,
+                window_us: 500,
+            }
+        } else {
+            BatchConfig {
+                max_values: 2,
+                max_bytes: 1 << 20,
+                window_us: 1_000,
+            }
+        });
+        let bound = if window_bound { "window" } else { "size" };
+        Scenario {
+            name: format!("batched-{bound}-{}", engine_tag(kind)),
+            factory: boxed_factory(kind, config.clone(), batching),
+            config,
+            // Two values batch together at p0; the third, at p2, keeps a
+            // second batcher (and a second SubmitFlush timer) in play.
+            submissions: vec![
+                Submission {
+                    at: ProcessId::new(0),
+                    groups: vec![GroupId::new(0)],
+                    payload: Bytes::from_static(b"batch-a"),
+                    via_request: true,
+                },
+                Submission {
+                    at: ProcessId::new(0),
+                    groups: vec![GroupId::new(0)],
+                    payload: Bytes::from_static(b"batch-b"),
+                    via_request: true,
+                },
+                Submission {
+                    at: ProcessId::new(2),
+                    groups: vec![GroupId::new(1)],
+                    payload: Bytes::from_static(b"batch-c"),
+                    via_request: true,
+                },
+            ],
+            value_frame_allowed: None,
+        }
+    }
+
     /// The PR 7 regression deployment: white-box engine with the
     /// submission batcher flushing at two values, fed through the client
     /// request path so the flush produces coalesced outgoing frames.

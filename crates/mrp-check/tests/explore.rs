@@ -21,6 +21,7 @@ fn fault_cfg(depth: usize) -> CheckerConfig {
         dedup: true,
         por: true,
         max_states: 2_000_000,
+        ..CheckerConfig::default()
     }
 }
 
@@ -52,6 +53,61 @@ fn wbcast_mixed_traffic_is_violation_free_under_faults() {
     assert!(!report.capped, "exploration hit the state cap");
     assert!(report.explored > 5_000, "explored only {}", report.explored);
     assert!(report.depth_cutoffs > 0);
+}
+
+#[test]
+fn batched_scenarios_are_violation_free_under_faults() {
+    // The submission batcher in both flush regimes: size-bound (two
+    // values trip the flush inline) and window-bound (flushes only
+    // happen when the checker chooses to fire the SubmitFlush timer,
+    // interleaved against deliveries and faults like any other choice).
+    for kind in [EngineKind::MultiRing, EngineKind::Wbcast] {
+        for window_bound in [false, true] {
+            let scenario = Scenario::batched(kind, window_bound);
+            let report = check(&scenario, fault_cfg(3));
+            assert!(
+                report.violation.is_none(),
+                "{}: unexpected violation:\n{}",
+                scenario.name,
+                report.violation.unwrap()
+            );
+            assert!(!report.capped, "{}: hit the state cap", scenario.name);
+            assert!(
+                report.explored > 100,
+                "{}: explored only {}",
+                scenario.name,
+                report.explored
+            );
+        }
+    }
+}
+
+#[test]
+fn liveness_pass_is_clean_on_the_real_engines() {
+    // Lasso detection must not produce false positives on the real
+    // engines: every repeated progress-insensitive state the DFS sees
+    // either owes nobody anything or is still being driven (some timer
+    // or frame had no chance to act inside the segment).
+    for build in [
+        (|| Scenario::mixed(EngineKind::MultiRing)) as fn() -> Scenario,
+        || Scenario::mixed(EngineKind::Wbcast),
+        || Scenario::batched(EngineKind::Wbcast, true),
+    ] {
+        let scenario = build();
+        let report = check(
+            &scenario,
+            CheckerConfig {
+                liveness: true,
+                ..fault_cfg(3)
+            },
+        );
+        assert!(
+            report.violation.is_none(),
+            "{}: liveness false positive:\n{}",
+            scenario.name,
+            report.violation.unwrap()
+        );
+    }
 }
 
 #[test]

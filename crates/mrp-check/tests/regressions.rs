@@ -3,11 +3,14 @@
 //! `.sched` file documents the pre-fix failure mode; these tests assert
 //! the schedules now run violation-free with the expected deliveries.
 
+use mrp_check::toy::{toy_reorder_scenario, toy_wedge_scenario};
 use mrp_check::{replay_schedule, Scenario, Schedule};
 use multiring_paxos::types::ProcessId;
 
 const COALESCER_SCHED: &str = include_str!("../schedules/pr7_coalescer_last_frame.sched");
 const ORPHAN_SCHED: &str = include_str!("../schedules/pr5_orphan_reentrancy.sched");
+const WEDGE_SCHED: &str = include_str!("../schedules/toy_wedge_lasso.sched");
+const REORDER_SCHED: &str = include_str!("../schedules/toy_reorder_refinement.sched");
 
 /// PR 7: the per-destination frame coalescer dropped the last frame of
 /// a flushed submission batch, so the second of two coalesced values
@@ -65,9 +68,35 @@ fn pr5_orphaned_round_completes_after_initiator_crash() {
     );
 }
 
+/// Checker self-test kept as a schedule: the minimized lasso for the
+/// wedging toy hub must keep being classified as a liveness violation
+/// (not merely as validity's quiescence heuristic) on replay.
+#[test]
+fn toy_wedge_lasso_is_detected_on_replay() {
+    let schedule = Schedule::parse(WEDGE_SCHED).expect("schedule file must parse");
+    let outcome = replay_schedule(&toy_wedge_scenario(), &schedule)
+        .expect("schedule must stay applicable on HEAD");
+    let v = outcome.violation.expect("the lasso must reproduce");
+    assert_eq!(v.oracle, "liveness", "wrong oracle: {v}");
+    assert!(v.detail.contains("non-progress cycle"), "{}", v.detail);
+}
+
+/// Checker self-test kept as a schedule: the minimized spec divergence
+/// for the reordering toy victim must keep firing the refinement
+/// oracle on replay.
+#[test]
+fn toy_reorder_refinement_is_detected_on_replay() {
+    let schedule = Schedule::parse(REORDER_SCHED).expect("schedule file must parse");
+    let outcome = replay_schedule(&toy_reorder_scenario(), &schedule)
+        .expect("schedule must stay applicable on HEAD");
+    let v = outcome.violation.expect("the divergence must reproduce");
+    assert_eq!(v.oracle, "refinement", "wrong oracle: {v}");
+    assert!(v.detail.contains("cycle"), "{}", v.detail);
+}
+
 #[test]
 fn schedule_text_round_trips() {
-    for text in [COALESCER_SCHED, ORPHAN_SCHED] {
+    for text in [COALESCER_SCHED, ORPHAN_SCHED, WEDGE_SCHED, REORDER_SCHED] {
         let parsed = Schedule::parse(text).unwrap();
         let rendered = parsed.to_string();
         assert_eq!(Schedule::parse(&rendered).unwrap(), parsed);

@@ -5,7 +5,7 @@
 //! fingerprint deduplication).
 
 use mrp_amcast::EngineKind;
-use mrp_check::toy::toy_scenario;
+use mrp_check::toy::{toy_reorder_scenario, toy_scenario, toy_wedge_scenario};
 use mrp_check::{check, replay_schedule, CheckerConfig, Scenario, Schedule};
 
 fn cfg(depth: usize) -> CheckerConfig {
@@ -31,6 +31,59 @@ fn buggy_toy_engine_is_caught_within_depth_bound() {
         .expect("minimized schedule must stay applicable");
     let replayed = outcome.violation.expect("replay must reproduce");
     assert_eq!(replayed.oracle, "validity");
+}
+
+#[test]
+fn wedged_toy_engine_is_caught_by_lasso_detection() {
+    // The wedged hub parks the second value behind a retry timer that
+    // re-arms without retrying. Every safety oracle stays silent — only
+    // the liveness pass can object, by finding a fair cycle (the timer
+    // fires, the state repeats, someone is still owed a delivery).
+    let live = CheckerConfig {
+        liveness: true,
+        ..cfg(8)
+    };
+    let report = check(&toy_wedge_scenario(), live);
+    assert!(report.lasso_candidates > 0, "no lasso candidates seen");
+    let v = report.violation.expect("the wedge must be found");
+    assert_eq!(v.oracle, "liveness", "wrong oracle: {v}");
+
+    // Without the liveness pass the close-out drain's validity
+    // heuristic still notices the under-delivery — but only as "some
+    // deliveries missing at quiescence", with no evidence the stall is
+    // permanent. The lasso pass upgrades that to a proper non-progress
+    // counterexample: a repeating state whose every timer fired.
+    let blind = check(&toy_wedge_scenario(), cfg(8));
+    let heuristic = blind.violation.expect("validity heuristic fires too");
+    assert_eq!(heuristic.oracle, "validity");
+    assert_eq!(blind.lasso_candidates, 0, "no lasso accounting when off");
+
+    // The minimized lasso replays from scratch to the same verdict.
+    let outcome = replay_schedule(&toy_wedge_scenario(), &v.schedule)
+        .expect("minimized schedule must stay applicable");
+    let replayed = outcome.violation.expect("replay must reproduce");
+    assert_eq!(replayed.oracle, "liveness");
+}
+
+#[test]
+fn reordering_toy_engine_is_caught_by_the_refinement_oracle() {
+    // The victim plays sequence 2 before sequence 1; once any other
+    // process exhibits the agreed 1-then-2 order, the two executions
+    // close a cycle in the spec's global partial order and the trace
+    // stops being a behavior of the abstract multicast.
+    let report = check(&toy_reorder_scenario(), cfg(8));
+    let v = report.violation.expect("the reordering must be found");
+    assert_eq!(v.oracle, "refinement", "wrong oracle: {v}");
+    assert!(
+        v.detail.contains("cycle") || v.detail.contains("acyclic"),
+        "unexpected detail: {}",
+        v.detail
+    );
+
+    let outcome = replay_schedule(&toy_reorder_scenario(), &v.schedule)
+        .expect("minimized schedule must stay applicable");
+    let replayed = outcome.violation.expect("replay must reproduce");
+    assert_eq!(replayed.oracle, "refinement");
 }
 
 #[test]
